@@ -1,0 +1,89 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * A1 — merge gap (1 / 2 / 5 minutes): step 3 cost vs gap.
+//! * A2 — validation on/off: what steps 2's rules cost.
+//! * Key granularity — full replica key vs a key without the transport
+//!   checksum (the §IV-A.1 payload proxy).
+//! * Checksum-consistency verification on/off.
+
+use bench::harness::collect_one;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loopscope::{Detector, DetectorConfig, ReplicaKey};
+use std::collections::HashMap;
+
+fn bench_merge_gap(c: &mut Criterion) {
+    let data = collect_one(0, 0.1);
+    let mut group = c.benchmark_group("ablation_merge_gap");
+    group.sample_size(10);
+    for minutes in [1u64, 2, 5] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(minutes),
+            &minutes,
+            |b, &minutes| {
+                let det = Detector::new(DetectorConfig::default().with_merge_gap_minutes(minutes));
+                b.iter(|| det.run(std::hint::black_box(&data.run.records)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let data = collect_one(0, 0.1);
+    let mut group = c.benchmark_group("ablation_validate");
+    group.sample_size(10);
+    group.bench_function("with_validation", |b| {
+        let det = Detector::new(DetectorConfig::default());
+        b.iter(|| det.run(std::hint::black_box(&data.run.records)));
+    });
+    group.bench_function("no_validation", |b| {
+        let det = Detector::new(DetectorConfig::no_validation());
+        b.iter(|| det.run(std::hint::black_box(&data.run.records)));
+    });
+    group.bench_function("no_checksum_verify", |b| {
+        let det = Detector::new(DetectorConfig {
+            verify_checksum_consistency: false,
+            ..DetectorConfig::default()
+        });
+        b.iter(|| det.run(std::hint::black_box(&data.run.records)));
+    });
+    group.finish();
+}
+
+fn bench_key_granularity(c: &mut Criterion) {
+    let data = collect_one(0, 0.1);
+    let records = &data.run.records;
+    let mut group = c.benchmark_group("ablation_key");
+    group.sample_size(10);
+    group.bench_function("full_key_grouping", |b| {
+        b.iter(|| {
+            let mut map: HashMap<ReplicaKey, u32> = HashMap::new();
+            for r in records {
+                *map.entry(ReplicaKey::of(std::hint::black_box(r)))
+                    .or_insert(0) += 1;
+            }
+            map.len()
+        });
+    });
+    group.bench_function("no_checksum_key_grouping", |b| {
+        b.iter(|| {
+            let mut map: HashMap<ReplicaKey, u32> = HashMap::new();
+            for r in records {
+                *map.entry(ReplicaKey::without_transport_checksum(
+                    std::hint::black_box(r),
+                ))
+                .or_insert(0) += 1;
+            }
+            map.len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_merge_gap,
+    bench_validation,
+    bench_key_granularity
+);
+criterion_main!(benches);

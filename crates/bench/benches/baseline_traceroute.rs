@@ -1,0 +1,25 @@
+//! B1 — the traceroute baseline, as a bench: the cost of one full
+//! controlled-loop trial (simulate + probe + passive detect) per loop
+//! duration, plus probe-analysis throughput.
+
+use bench::baseline::run_trial;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simnet::SimDuration;
+
+fn bench_trials(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_traceroute_trial");
+    group.sample_size(10);
+    for &loop_ms in &[100u64, 1_000, 5_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(loop_ms),
+            &loop_ms,
+            |b, &loop_ms| {
+                b.iter(|| run_trial(loop_ms, 100, SimDuration::from_secs(10)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trials);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Core detector throughput: the three-step pipeline over traces of
+//! increasing size, plus its building blocks (key extraction, prefix
+//! indexing).
+//!
+//! The paper processed multi-hour OC-12 traces offline; these benches
+//! establish that the implementation sustains millions of records per
+//! second, i.e. that offline analysis of a day of backbone trace is
+//! practical.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use loopscope::validate::PrefixIndex;
+use loopscope::{Detector, DetectorConfig, ReplicaKey, TraceRecord};
+use net_types::{Packet, TcpFlags};
+use std::net::Ipv4Addr;
+
+/// Builds a synthetic trace of `n` records: mostly ordinary traffic with a
+/// loop episode every ~5000 packets.
+fn synthetic_trace(n: usize) -> Vec<TraceRecord> {
+    let mut records = Vec::with_capacity(n + 64);
+    let mut t = 0u64;
+    let mut ident = 0u16;
+    let mut i = 0usize;
+    while i < n {
+        // Ordinary packet.
+        let dst = Ipv4Addr::new(20 + (i % 60) as u8, 1, (i % 251) as u8, 9);
+        let mut p = Packet::tcp_flags(
+            Ipv4Addr::new(100, 64, 1, 1),
+            dst,
+            40_000,
+            80,
+            TcpFlags::ACK,
+            &b"pay"[..],
+        );
+        p.ip.ident = ident;
+        p.ip.ttl = 57;
+        p.fill_checksums();
+        records.push(TraceRecord::from_packet(t, &p));
+        ident = ident.wrapping_add(1);
+        t += 50_000;
+        i += 1;
+        // Periodic loop episode: one packet circulating 20 times.
+        if i.is_multiple_of(5_000) {
+            let mut lp = Packet::tcp_flags(
+                Ipv4Addr::new(100, 64, 2, 2),
+                Ipv4Addr::new(203, 0, 113, (i / 5_000 % 200) as u8),
+                41_000,
+                80,
+                TcpFlags::ACK,
+                &b"loop"[..],
+            );
+            lp.ip.ident = ident;
+            lp.ip.ttl = 60;
+            lp.fill_checksums();
+            ident = ident.wrapping_add(1);
+            for k in 0..20 {
+                if k > 0 {
+                    lp.ip.decrement_ttl();
+                    lp.ip.decrement_ttl();
+                }
+                records.push(TraceRecord::from_packet(t, &lp));
+                t += 1_000_000;
+                i += 1;
+            }
+        }
+    }
+    records
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detector_pipeline");
+    for &n in &[10_000usize, 50_000, 200_000] {
+        let trace = synthetic_trace(n);
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &trace, |b, trace| {
+            let det = Detector::new(DetectorConfig::default());
+            b.iter(|| det.run(std::hint::black_box(trace)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_key_extraction(c: &mut Criterion) {
+    let trace = synthetic_trace(10_000);
+    c.bench_function("replica_key_extraction_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for r in &trace {
+                let k = ReplicaKey::of(std::hint::black_box(r));
+                acc = acc.wrapping_add(u64::from(k.ident));
+            }
+            acc
+        });
+    });
+}
+
+fn bench_prefix_index(c: &mut Criterion) {
+    let trace = synthetic_trace(50_000);
+    c.bench_function("prefix_index_build_50k", |b| {
+        b.iter(|| PrefixIndex::build(std::hint::black_box(&trace)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_pipeline,
+    bench_key_extraction,
+    bench_prefix_index
+);
+criterion_main!(benches);

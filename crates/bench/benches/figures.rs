@@ -1,0 +1,69 @@
+//! One bench per table/figure: regenerating each artifact from a cached
+//! backbone run (T1, T2, F2–F9 and the §VI statistics).
+//!
+//! Collection (simulation + detection) happens once outside the measured
+//! region; what is timed is the per-artifact analysis, which is what an
+//! analyst iterating on a trace re-runs.
+
+use bench::harness::collect_one;
+use bench::BackboneData;
+use criterion::{criterion_group, criterion_main, Criterion};
+use loopscope::analysis;
+use loopscope::impact;
+
+fn data() -> BackboneData {
+    // Backbone 1 at small scale: representative mix of loops and traffic.
+    collect_one(0, 0.1)
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let b = data();
+    let records = &b.run.records;
+    let det = &b.detection;
+
+    c.bench_function("table1_traces", |bch| {
+        bch.iter(|| analysis::trace_summary(std::hint::black_box(records), det))
+    });
+    c.bench_function("table2_merge_counts", |bch| {
+        bch.iter(|| (det.streams.len(), det.loops.len()))
+    });
+    c.bench_function("fig2_ttl_delta", |bch| {
+        bch.iter(|| analysis::ttl_delta_distribution(std::hint::black_box(&det.streams)))
+    });
+    c.bench_function("fig3_stream_size", |bch| {
+        bch.iter(|| analysis::stream_size_cdf(std::hint::black_box(&det.streams)))
+    });
+    c.bench_function("fig4_spacing", |bch| {
+        bch.iter(|| analysis::spacing_cdf_ms(std::hint::black_box(&det.streams)))
+    });
+    c.bench_function("fig5_mix_all", |bch| {
+        bch.iter(|| analysis::mix_all(std::hint::black_box(records)))
+    });
+    c.bench_function("fig6_mix_looped", |bch| {
+        bch.iter(|| analysis::mix_looped(std::hint::black_box(records), det))
+    });
+    c.bench_function("fig7_dest_scatter", |bch| {
+        bch.iter(|| analysis::dest_scatter(std::hint::black_box(&det.streams)))
+    });
+    c.bench_function("fig8_stream_duration", |bch| {
+        bch.iter(|| analysis::stream_duration_cdf_ms(std::hint::black_box(&det.streams)))
+    });
+    c.bench_function("fig9_loop_duration", |bch| {
+        bch.iter(|| analysis::loop_duration_cdf_s(std::hint::black_box(&det.loops)))
+    });
+    c.bench_function("s1_loss_timeseries", |bch| {
+        bch.iter(|| {
+            impact::loop_death_timeseries(std::hint::black_box(&det.streams), impact::MINUTE_NS)
+        })
+    });
+    c.bench_function("s2_escape_estimate", |bch| {
+        bch.iter(|| impact::escape_estimate(std::hint::black_box(&det.streams)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_figures
+}
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! Substrate microbenchmarks: the packet engine, FIB, checksums, and pcap
+//! I/O that everything above rests on.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use net_types::{checksum, Ipv4Prefix, Packet, TcpFlags};
+use pcaplib::{FileHeader, PcapReader, PcapWriter};
+use simnet::{Engine, Fib, Route, SimConfig, SimDuration, SimTime, TopologyBuilder};
+use std::io::Cursor;
+use std::net::Ipv4Addr;
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simnet_engine");
+    group.sample_size(10);
+    let n_packets = 20_000u64;
+    group.throughput(Throughput::Elements(n_packets));
+    group.bench_function("line_forwarding_20k", |b| {
+        b.iter(|| {
+            let mut bld = TopologyBuilder::new();
+            let src = bld.node("src", Ipv4Addr::new(10, 0, 0, 1));
+            let r1 = bld.node("r1", Ipv4Addr::new(10, 0, 0, 2));
+            let r2 = bld.node("r2", Ipv4Addr::new(10, 0, 0, 3));
+            let dst = bld.node("dst", Ipv4Addr::new(10, 0, 0, 4));
+            bld.attach_prefix(dst, "203.0.113.0/24".parse().unwrap());
+            let l0 = bld.link(src, r1, 10_000_000_000, SimDuration::from_micros(100));
+            let l1 = bld.link(r1, r2, 10_000_000_000, SimDuration::from_micros(100));
+            let l2 = bld.link(r2, dst, 10_000_000_000, SimDuration::from_micros(100));
+            let topo = bld.build();
+            let mut e = Engine::new(
+                topo,
+                SimConfig {
+                    record_deliveries: false,
+                    ..SimConfig::default()
+                },
+            );
+            let p: Ipv4Prefix = "203.0.113.0/24".parse().unwrap();
+            e.install_route(src, p, Route::Link(l0));
+            e.install_route(r1, p, Route::Link(l1));
+            e.install_route(r2, p, Route::Link(l2));
+            let mut pkt = Packet::tcp_flags(
+                Ipv4Addr::new(100, 64, 0, 1),
+                Ipv4Addr::new(203, 0, 113, 77),
+                4000,
+                80,
+                TcpFlags::ACK,
+                vec![0u8; 100],
+            );
+            for i in 0..n_packets {
+                pkt.ip.ident = i as u16;
+                pkt.fill_checksums();
+                e.schedule_inject(SimTime(i * 10_000), src, pkt.clone());
+            }
+            let report = e.run();
+            assert_eq!(report.delivered, n_packets);
+            report.events_processed
+        });
+    });
+    group.finish();
+}
+
+fn bench_fib(c: &mut Criterion) {
+    let mut fib = Fib::new();
+    // A routing-table-like population: 10k prefixes of mixed length.
+    for i in 0..10_000u32 {
+        let addr = Ipv4Addr::from(i << 12);
+        let len = 12 + (i % 16) as u8;
+        fib.insert(
+            Ipv4Prefix::new(addr, len).unwrap(),
+            Route::Link(simnet::LinkId((i % 16) as usize)),
+        );
+    }
+    let mut group = c.benchmark_group("fib");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("lpm_lookup_10k_prefixes", |b| {
+        let mut x = 0u32;
+        b.iter(|| {
+            x = x.wrapping_add(0x9e37_79b9);
+            fib.lookup(std::hint::black_box(Ipv4Addr::from(x)))
+        });
+    });
+    group.finish();
+}
+
+fn bench_checksums(c: &mut Criterion) {
+    let data = vec![0xa5u8; 1500];
+    let mut group = c.benchmark_group("checksum");
+    group.throughput(Throughput::Bytes(1500));
+    group.bench_function("rfc1071_full_1500B", |b| {
+        b.iter(|| checksum::checksum(std::hint::black_box(&data)));
+    });
+    group.bench_function("rfc1624_ttl_rewrite", |b| {
+        let mut hc = 0x1234u16;
+        b.iter(|| {
+            hc = checksum::ttl_rewrite(std::hint::black_box(hc), 64, 63, 6);
+            hc
+        });
+    });
+    group.finish();
+}
+
+fn bench_pcap(c: &mut Criterion) {
+    let pkt = Packet::tcp_flags(
+        Ipv4Addr::new(100, 64, 0, 1),
+        Ipv4Addr::new(203, 0, 113, 1),
+        4000,
+        80,
+        TcpFlags::ACK,
+        vec![0u8; 1000],
+    );
+    let bytes = pkt.emit();
+    let n = 10_000u64;
+    let mut group = c.benchmark_group("pcap");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("write_10k_records", |b| {
+        b.iter(|| {
+            let mut w = PcapWriter::new(Vec::new(), FileHeader::raw_ip(40)).unwrap();
+            for i in 0..n {
+                w.write_bytes(i * 1_000, &bytes).unwrap();
+            }
+            w.finish().unwrap().len()
+        });
+    });
+    // Pre-build a file for the read bench.
+    let mut w = PcapWriter::new(Vec::new(), FileHeader::raw_ip(40)).unwrap();
+    for i in 0..n {
+        w.write_bytes(i * 1_000, &bytes).unwrap();
+    }
+    let file = w.finish().unwrap();
+    group.bench_function("read_10k_records", |b| {
+        b.iter(|| {
+            let mut r = PcapReader::new(Cursor::new(&file)).unwrap();
+            r.read_all().unwrap().len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine_throughput,
+    bench_fib,
+    bench_checksums,
+    bench_pcap
+);
+criterion_main!(benches);

@@ -1,0 +1,213 @@
+//! B1 — the traceroute baseline (§III).
+//!
+//! The paper argues that end-to-end traceroute probing is a poor transient
+//! loop detector. This experiment measures that claim: a network with a
+//! precisely-controlled loop window of duration D carries both background
+//! traffic (for the passive trace detector) and a periodic traceroute
+//! prober; we report, per D, whether each method detects the loop.
+//!
+//! A traceroute only witnesses a loop if an entire probe run overlaps the
+//! window, so sub-interval loops are invisible; the passive detector needs
+//! only a handful of packets to be caught, so it sees down to
+//! few-millisecond windows.
+
+use loopscope::{Detector, DetectorConfig, TraceRecord};
+use net_types::{Ipv4Prefix, Packet, UdpHeader};
+use routing::{Prober, ProberConfig};
+use simnet::{Engine, Route, SimConfig, SimDuration, SimTime, TopologyBuilder};
+use stats::table::Table;
+use std::net::Ipv4Addr;
+
+/// Outcome of one controlled-loop trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialOutcome {
+    /// The loop window duration.
+    pub loop_ms: u64,
+    /// Did the passive trace detector find it?
+    pub passive_detected: bool,
+    /// Did the traceroute prober find it?
+    pub traceroute_detected: bool,
+    /// Number of validated replica streams the passive detector produced.
+    pub passive_streams: usize,
+    /// Number of traceroute runs that showed the A-B-A loop signature.
+    pub looped_runs: usize,
+}
+
+/// Runs one controlled trial: a loop lasting exactly `loop_ms` opens at
+/// t = 5 s, with background traffic at `pkt_per_s` and a traceroute run
+/// every `probe_interval`.
+pub fn run_trial(loop_ms: u64, pkt_per_s: u64, probe_interval: SimDuration) -> TrialOutcome {
+    let prefix: Ipv4Prefix = "203.0.113.0/24".parse().unwrap();
+    let src_prefix: Ipv4Prefix = "100.64.0.0/12".parse().unwrap();
+    let target = Ipv4Addr::new(203, 0, 113, 50);
+    let probe_src = Ipv4Addr::new(100, 64, 0, 10);
+
+    let mut b = TopologyBuilder::new();
+    let src = b.node("src", Ipv4Addr::new(10, 98, 0, 1));
+    let c1 = b.node("c1", Ipv4Addr::new(10, 98, 0, 2));
+    let c2 = b.node("c2", Ipv4Addr::new(10, 98, 0, 3));
+    let c3 = b.node("c3", Ipv4Addr::new(10, 98, 0, 4));
+    let e = b.node("e", Ipv4Addr::new(10, 98, 0, 5));
+    b.attach_prefix(src, src_prefix);
+    b.attach_prefix(e, prefix);
+    let bw = 622_000_000;
+    let d = SimDuration::from_micros(400);
+    let (l_src_c1, l_c1_src) = b.duplex(src, c1, bw, d);
+    let (l_c1_c2, l_c2_c1) = b.duplex(c1, c2, bw, d);
+    let (l_c1_c3, l_c3_c1) = b.duplex(c1, c3, bw, d);
+    let (l_c2_e, l_e_c2) = b.duplex(c2, e, bw, d);
+    let (l_c3_e, _l_e_c3) = b.duplex(c3, e, bw, d);
+    let topo = b.build();
+
+    let mut engine = Engine::new(
+        topo,
+        SimConfig {
+            seed: loop_ms ^ 0x5a5a,
+            generate_time_exceeded: true,
+            icmp_min_interval: SimDuration::ZERO,
+            record_deliveries: false,
+            max_events: 500_000_000,
+        },
+    );
+    // Forward routes to the prefix.
+    engine.install_route(src, prefix, Route::Link(l_src_c1));
+    engine.install_route(c1, prefix, Route::Link(l_c1_c2));
+    engine.install_route(c2, prefix, Route::Link(l_c2_e));
+    engine.install_route(c3, prefix, Route::Link(l_c3_e));
+    // Return routes to probe sources.
+    engine.install_route(c1, src_prefix, Route::Link(l_c1_src));
+    engine.install_route(c2, src_prefix, Route::Link(l_c2_c1));
+    engine.install_route(c3, src_prefix, Route::Link(l_c3_c1));
+    engine.install_route(e, src_prefix, Route::Link(l_e_c2));
+
+    // The controlled loop: at t=5 s, c2 flips back towards c1; at
+    // t = 5 s + loop_ms, c1 repoints via c3 (heal).
+    let t_open = SimTime::from_secs(5);
+    let t_close = t_open + SimDuration::from_millis(loop_ms);
+    let horizon = SimTime::from_secs(60);
+    engine.schedule_fib_insert(t_open, c2, prefix, Route::Link(l_c2_c1));
+    engine.schedule_fib_insert(t_close, c1, prefix, Route::Link(l_c1_c3));
+
+    // Background traffic: constant-rate UDP to the target prefix.
+    let gap = 1_000_000_000 / pkt_per_s.max(1);
+    let mut t = 0u64;
+    let mut ident = 1u16;
+    while t < horizon.as_nanos() {
+        let mut p = Packet::udp(
+            Ipv4Addr::new(100, 64, 1, 1),
+            target,
+            UdpHeader::new(4000, 9),
+            vec![0u8; 64],
+        );
+        p.ip.ident = ident;
+        p.ip.ttl = 60;
+        p.fill_checksums();
+        ident = ident.wrapping_add(1);
+        engine.schedule_inject(SimTime(t), src, p);
+        t += gap;
+    }
+
+    // The prober.
+    let prober = Prober::new(ProberConfig {
+        vantage: src,
+        src: probe_src,
+        target,
+        max_ttl: 10,
+        inter_probe: SimDuration::from_millis(50),
+        run_interval: probe_interval,
+    });
+    prober.schedule(&mut engine, SimTime::ZERO, horizon);
+
+    // Taps: monitored core link for the passive detector, return link for
+    // probe responses.
+    let tap_core = engine.add_tap(l_c1_c2);
+    let tap_back = engine.add_tap(l_c1_src);
+    engine.run();
+    let taps = engine.take_taps();
+
+    // Passive detection.
+    let records: Vec<TraceRecord> = taps[tap_core]
+        .records
+        .iter()
+        .map(|r| TraceRecord::from_packet(r.time.as_nanos(), &r.packet))
+        .collect();
+    let detection = Detector::new(DetectorConfig::default()).run(&records);
+
+    // Traceroute detection.
+    let runs = prober.analyze(&taps[tap_back].records);
+    let looped_runs = runs.iter().filter(|r| r.loop_detected()).count();
+
+    TrialOutcome {
+        loop_ms,
+        passive_detected: !detection.streams.is_empty(),
+        traceroute_detected: looped_runs > 0,
+        passive_streams: detection.streams.len(),
+        looped_runs,
+    }
+}
+
+/// The standard B1 sweep: loop windows from 50 ms to 20 s, 200 pkt/s of
+/// background traffic, one traceroute run every 10 s.
+pub fn sweep() -> Vec<TrialOutcome> {
+    [50u64, 200, 1_000, 5_000, 20_000]
+        .iter()
+        .map(|&ms| run_trial(ms, 200, SimDuration::from_secs(10)))
+        .collect()
+}
+
+/// Renders the B1 table.
+pub fn report() -> String {
+    let mut t = Table::new(&[
+        "Loop duration",
+        "Passive (trace)",
+        "Traceroute",
+        "Streams",
+        "Looped runs",
+    ])
+    .with_title("B1 — PASSIVE TRACE DETECTOR vs TRACEROUTE PROBING (§III)");
+    for o in sweep() {
+        t.row_owned(vec![
+            format!("{} ms", o.loop_ms),
+            if o.passive_detected {
+                "detected"
+            } else {
+                "missed"
+            }
+            .into(),
+            if o.traceroute_detected {
+                "detected"
+            } else {
+                "missed"
+            }
+            .into(),
+            o.passive_streams.to_string(),
+            o.looped_runs.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passive_sees_short_loops_traceroute_does_not() {
+        let short = run_trial(100, 400, SimDuration::from_secs(10));
+        assert!(
+            short.passive_detected,
+            "passive must catch a 100 ms loop: {short:?}"
+        );
+        assert!(
+            !short.traceroute_detected,
+            "a 10 s-interval traceroute cannot catch a 100 ms loop: {short:?}"
+        );
+    }
+
+    #[test]
+    fn both_see_long_loops() {
+        let long = run_trial(20_000, 200, SimDuration::from_secs(5));
+        assert!(long.passive_detected, "{long:?}");
+        assert!(long.traceroute_detected, "{long:?}");
+    }
+}

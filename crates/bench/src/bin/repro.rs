@@ -1,0 +1,118 @@
+//! Regenerates every table and figure of the paper from the synthetic
+//! backbones.
+//!
+//! ```text
+//! cargo run -p bench --release --bin repro            # everything
+//! cargo run -p bench --release --bin repro -- --fig2  # one artifact
+//! cargo run -p bench --release --bin repro -- --scale 0.5
+//! ```
+
+use bench::experiments;
+
+const USAGE: &str = "\
+repro — regenerate the paper's tables and figures
+
+USAGE: repro [--scale F] [ARTIFACT...]
+
+ARTIFACTS (default: all)
+  --table1 --table2 --fig2 --fig3 --fig4 --fig5 --fig6 --fig7 --fig8 --fig9
+  --loss --escape --reorder --ablate-gap --ablate-validate --ablate-key
+  --attribution --persistent --stability --utilization --baseline
+
+OPTIONS
+  --scale F   trace duration scale factor (default 1.0 ≈ 5 simulated
+              minutes per backbone; smaller is faster)
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 1.0f64;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
+            "--scale" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--scale needs a value");
+                    std::process::exit(2);
+                });
+                scale = v.parse().unwrap_or_else(|_| {
+                    eprintln!("bad scale {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            flag if flag.starts_with("--") => wanted.push(flag[2..].to_string()),
+            other => {
+                eprintln!("unknown argument {other:?}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // The baseline experiment needs no backbone data; handle the
+    // baseline-only invocation without paying for collection.
+    if wanted.iter().all(|w| w == "baseline") && !wanted.is_empty() {
+        print!("{}", bench::baseline::report());
+        return;
+    }
+
+    eprintln!("building 4 synthetic backbones (scale {scale}) …");
+    let t0 = std::time::Instant::now();
+    let data = bench::collect(scale);
+    eprintln!("collection took {:.1}s", t0.elapsed().as_secs_f64());
+
+    type Gen = fn(&bench::ExperimentData) -> String;
+    let artifacts: &[(&str, Gen)] = &[
+        ("table1", experiments::table1),
+        ("table2", experiments::table2),
+        ("fig2", experiments::fig2),
+        ("fig3", experiments::fig3),
+        ("fig4", experiments::fig4),
+        ("fig5", experiments::fig5),
+        ("fig6", experiments::fig6),
+        ("fig7", experiments::fig7),
+        ("fig8", experiments::fig8),
+        ("fig9", experiments::fig9),
+        ("loss", experiments::loss),
+        ("escape", experiments::escape),
+        ("reorder", experiments::reorder),
+        ("ablate-gap", experiments::ablate_gap),
+        ("ablate-validate", experiments::ablate_validate),
+        ("ablate-key", experiments::ablate_key),
+        ("attribution", experiments::attribution_report),
+    ];
+
+    if wanted.is_empty() {
+        print!("{}", experiments::all(&data));
+        return;
+    }
+    for w in &wanted {
+        if w == "baseline" {
+            println!("{}", bench::baseline::report());
+            continue;
+        }
+        if w == "persistent" {
+            println!("{}", experiments::persistent(scale));
+            continue;
+        }
+        if w == "stability" {
+            println!("{}", experiments::stability(scale));
+            continue;
+        }
+        if w == "utilization" {
+            println!("{}", bench::utilization::report());
+            continue;
+        }
+        match artifacts.iter().find(|(name, _)| name == w) {
+            Some((_, f)) => println!("{}", f(&data)),
+            None => {
+                eprintln!("unknown artifact --{w}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

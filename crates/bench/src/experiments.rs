@@ -1,0 +1,760 @@
+//! Regeneration of every table and figure (see DESIGN.md's experiment
+//! index: T1, T2, F2–F9, S1, S2, A1, A2).
+
+use crate::harness::{BackboneData, ExperimentData};
+use loopscope::analysis;
+use loopscope::merge::LoopKind;
+use loopscope::traffic_class::CATEGORIES;
+use loopscope::{Detector, DetectorConfig};
+use simnet::DropCause;
+use stats::table::{fmt_count, fmt_pct, Table};
+use stats::{Cdf, TimeSeries};
+
+fn mbps(bps: f64) -> String {
+    format!("{:.1}", bps / 1e6)
+}
+
+/// T1 — Table I: per-trace length, average bandwidth, packets, looped
+/// packets.
+pub fn table1(data: &ExperimentData) -> String {
+    let mut t = Table::new(&[
+        "Trace",
+        "Length (s)",
+        "Avg BW (Mbps)",
+        "Packets",
+        "Looped Packets",
+        "Looped Sightings",
+    ])
+    .with_title("TABLE I — DETAILS OF TRACES");
+    for b in &data.backbones {
+        let sum = analysis::trace_summary(&b.run.records, &b.detection);
+        t.row_owned(vec![
+            b.name().to_string(),
+            format!("{:.1}", sum.duration_ns as f64 / 1e9),
+            mbps(sum.avg_bandwidth_bps),
+            fmt_count(sum.total_packets),
+            fmt_count(sum.looped_packets),
+            fmt_count(sum.looped_sightings),
+        ]);
+    }
+    t.render()
+}
+
+/// T2 — Table II: replica streams vs merged routing loops.
+pub fn table2(data: &ExperimentData) -> String {
+    let mut t = Table::new(&["Trace", "Replica Streams", "Routing Loops"])
+        .with_title("TABLE II — NUMBER OF ROUTING LOOPS");
+    for b in &data.backbones {
+        t.row_owned(vec![
+            b.name().to_string(),
+            fmt_count(b.detection.streams.len() as u64),
+            fmt_count(b.detection.loops.len() as u64),
+        ]);
+    }
+    t.render()
+}
+
+/// F2 — Figure 2: TTL delta distribution per trace.
+pub fn fig2(data: &ExperimentData) -> String {
+    let mut t = Table::new(&[
+        "TTL delta",
+        "Backbone 1",
+        "Backbone 2",
+        "Backbone 3",
+        "Backbone 4",
+    ])
+    .with_title("FIGURE 2 — TTL DELTA DISTRIBUTION (fraction of replica streams)");
+    let hists: Vec<_> = data
+        .backbones
+        .iter()
+        .map(|b| analysis::ttl_delta_distribution(&b.detection.streams))
+        .collect();
+    let max_delta = hists
+        .iter()
+        .flat_map(|h| h.iter().map(|(k, _)| k))
+        .max()
+        .unwrap_or(0);
+    for d in 2..=max_delta.max(2) {
+        let mut row = vec![d.to_string()];
+        for h in &hists {
+            row.push(format!("{:.3}", h.fraction(d)));
+        }
+        t.row_owned(row);
+    }
+    t.render()
+}
+
+fn cdf_series_table(title: &str, x_label: &str, cdfs: Vec<(String, Cdf)>, points: usize) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (name, mut cdf) in cdfs {
+        out.push_str(&format!(
+            "  {name}: n={} median={} p90={}\n",
+            cdf.len(),
+            cdf.median().map_or("-".into(), |v| format!("{v:.2}")),
+            cdf.quantile(0.9).map_or("-".into(), |v| format!("{v:.2}")),
+        ));
+        for (x, f) in cdf.series(points) {
+            out.push_str(&format!("    {x_label}={x:<12.3} cdf={f:.3}\n"));
+        }
+    }
+    out
+}
+
+/// F3 — Figure 3: CDF of the number of replicas per stream.
+pub fn fig3(data: &ExperimentData) -> String {
+    let cdfs = data
+        .backbones
+        .iter()
+        .map(|b| {
+            (
+                b.name().to_string(),
+                analysis::stream_size_cdf(&b.detection.streams),
+            )
+        })
+        .collect();
+    cdf_series_table("FIGURE 3 — CDF OF REPLICAS PER STREAM", "size", cdfs, 12)
+}
+
+/// F4 — Figure 4: CDF of mean inter-replica spacing (ms).
+pub fn fig4(data: &ExperimentData) -> String {
+    let cdfs = data
+        .backbones
+        .iter()
+        .map(|b| {
+            (
+                b.name().to_string(),
+                analysis::spacing_cdf_ms(&b.detection.streams),
+            )
+        })
+        .collect();
+    cdf_series_table(
+        "FIGURE 4 — CDF OF INTER-REPLICA SPACING (ms)",
+        "spacing_ms",
+        cdfs,
+        12,
+    )
+}
+
+fn mix_table(title: &str, data: &ExperimentData, looped: bool) -> String {
+    let mut header = vec!["Category"];
+    let names: Vec<String> = data
+        .backbones
+        .iter()
+        .map(|b| b.name().to_string())
+        .collect();
+    header.extend(names.iter().map(String::as_str));
+    let mut t = Table::new(&header).with_title(title);
+    let dists: Vec<_> = data
+        .backbones
+        .iter()
+        .map(|b| {
+            if looped {
+                analysis::mix_looped(&b.run.records, &b.detection)
+            } else {
+                analysis::mix_all(&b.run.records)
+            }
+        })
+        .collect();
+    for cat in CATEGORIES {
+        let mut row = vec![cat.to_string()];
+        for d in &dists {
+            row.push(fmt_pct(d.fraction(cat)));
+        }
+        t.row_owned(row);
+    }
+    t.render()
+}
+
+/// F5 — Figure 5: traffic-type distribution of all traffic.
+pub fn fig5(data: &ExperimentData) -> String {
+    mix_table(
+        "FIGURE 5 — TRAFFIC TYPE DISTRIBUTION, ALL TRAFFIC",
+        data,
+        false,
+    )
+}
+
+/// F6 — Figure 6: traffic-type distribution of looped traffic.
+pub fn fig6(data: &ExperimentData) -> String {
+    mix_table(
+        "FIGURE 6 — TRAFFIC TYPE DISTRIBUTION, LOOPED TRAFFIC",
+        data,
+        true,
+    )
+}
+
+/// F7 — Figure 7: destination scatter of replica streams over time.
+pub fn fig7(data: &ExperimentData) -> String {
+    let mut out = String::from("FIGURE 7 — DESTINATIONS OF REPLICA STREAMS OVER TIME\n");
+    for b in &data.backbones {
+        let scatter = analysis::dest_scatter(&b.detection.streams);
+        let cc = analysis::class_c_share(&b.detection.streams);
+        let diversity = analysis::dest_diversity_series(&b.detection.streams, 30_000_000_000);
+        let peak_div = diversity.iter().map(|(_, n)| *n).max().unwrap_or(0);
+        out.push_str(&format!(
+            "  {}: {} streams across {} distinct /24s (peak {} per 30 s), class-C share {}\n",
+            b.name(),
+            scatter.len(),
+            b.detection
+                .streams
+                .iter()
+                .map(|s| s.dst_slash24())
+                .collect::<std::collections::BTreeSet<_>>()
+                .len(),
+            peak_div,
+            fmt_pct(cc)
+        ));
+        for (t, dst) in scatter.iter().take(25) {
+            out.push_str(&format!("    t={t:<10.3}s dst={dst}\n"));
+        }
+        if scatter.len() > 25 {
+            out.push_str(&format!("    … ({} more)\n", scatter.len() - 25));
+        }
+    }
+    out
+}
+
+/// F8 — Figure 8: CDF of replica stream duration (ms).
+pub fn fig8(data: &ExperimentData) -> String {
+    let cdfs = data
+        .backbones
+        .iter()
+        .map(|b| {
+            (
+                b.name().to_string(),
+                analysis::stream_duration_cdf_ms(&b.detection.streams),
+            )
+        })
+        .collect();
+    cdf_series_table(
+        "FIGURE 8 — CDF OF REPLICA STREAM DURATION (ms)",
+        "duration_ms",
+        cdfs,
+        12,
+    )
+}
+
+/// F9 — Figure 9: CDF of routing loop duration (s).
+pub fn fig9(data: &ExperimentData) -> String {
+    let mut out = String::from("FIGURE 9 — CDF OF ROUTING LOOP DURATION (s)\n");
+    for b in &data.backbones {
+        let mut cdf = analysis::loop_duration_cdf_s(&b.detection.loops);
+        let under_10s = cdf.eval(10.0);
+        out.push_str(&format!(
+            "  {}: n={} median={} under-10s={}\n",
+            b.name(),
+            cdf.len(),
+            cdf.median().map_or("-".into(), |v| format!("{v:.2}s")),
+            fmt_pct(under_10s),
+        ));
+        for (x, f) in cdf.series(10) {
+            out.push_str(&format!("    duration={x:<10.3}s cdf={f:.3}\n"));
+        }
+    }
+    out
+}
+
+/// Loss bucket width: one paper-minute, shrunk for small-scale runs so
+/// there are always several buckets.
+fn loss_bucket_ns(b: &BackboneData) -> u64 {
+    let dur = b.run.report.end_time.as_nanos().max(1);
+    60_000_000_000u64.min((dur / 6).max(1_000_000_000))
+}
+
+/// S1 — §VI loss: loop-attributed share of per-bucket packet loss.
+pub fn loss(data: &ExperimentData) -> String {
+    let mut out =
+        String::from("S1 — LOSS IMPACT (loop-attributed share of packet loss per bucket)\n");
+    for b in &data.backbones {
+        let bucket = loss_bucket_ns(b);
+        let mut total = TimeSeries::new(bucket);
+        let mut looped = TimeSeries::new(bucket);
+        for d in &b.run.report.drop_records {
+            total.add(d.time.as_nanos(), 1);
+            if d.looped || d.cause == DropCause::TtlExpired {
+                looped.add(d.time.as_nanos(), 1);
+            }
+        }
+        let ratios = looped.ratio(&total);
+        let peak = ratios.iter().filter_map(|(_, r)| *r).fold(0.0f64, f64::max);
+        let overall = if total.total() > 0 {
+            looped.total() as f64 / total.total() as f64
+        } else {
+            0.0
+        };
+        // Detector-side estimate, from the trace alone.
+        let deaths = loopscope::impact::loop_death_timeseries(&b.detection.streams, bucket);
+        // The paper's framing: loop losses are a large share of *losses*
+        // in loss-y minutes ("up to 90% of packet loss per minute") yet a
+        // tiny share of *traffic* ("losses due to routing loops remain
+        // very small").
+        let traffic_rate = looped.total() as f64 / b.run.records.len().max(1) as f64;
+        out.push_str(&format!(
+            "  {}: bucket={}s total_losses={} loop_losses={} ({} of traffic) overall_share_of_loss={} peak_bucket_share={} trace_estimated_deaths={}\n",
+            b.name(),
+            bucket / 1_000_000_000,
+            total.total(),
+            looped.total(),
+            fmt_pct(traffic_rate),
+            fmt_pct(overall),
+            fmt_pct(peak),
+            deaths.total(),
+        ));
+        for ((t, r), (_, loop_n)) in ratios.iter().zip(looped.iter()) {
+            if let Some(r) = r {
+                out.push_str(&format!(
+                    "    t={:>5}s loss_share={} (loop drops {})\n",
+                    t / 1_000_000_000,
+                    fmt_pct(*r),
+                    loop_n
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// S2 — §VI escape: fraction of looping packets that escape and the extra
+/// delay they incur.
+pub fn escape(data: &ExperimentData) -> String {
+    let mut out = String::from("S2 — ESCAPE ANALYSIS (ground truth vs trace-side estimate)\n");
+    for b in &data.backbones {
+        let rep = &b.run.report;
+        let escaped: Vec<_> = rep.deliveries.iter().filter(|d| d.looped).collect();
+        let clean: Vec<_> = rep.deliveries.iter().filter(|d| !d.looped).collect();
+        let died = rep
+            .drop_records
+            .iter()
+            .filter(|d| d.looped && d.cause == DropCause::TtlExpired)
+            .count();
+        let total_looping = escaped.len() + died;
+        let frac = if total_looping > 0 {
+            escaped.len() as f64 / total_looping as f64
+        } else {
+            0.0
+        };
+        let mean_ms = |v: &[&simnet::DeliveryRecord]| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().map(|d| d.delay().as_millis_f64()).sum::<f64>() / v.len() as f64
+            }
+        };
+        let extra = mean_ms(&escaped) - mean_ms(&clean);
+        let est = loopscope::impact::escape_estimate(&b.detection.streams);
+        let mut delay_cdf = loopscope::impact::escape_extra_delay_cdf_ms(&b.detection.streams);
+        out.push_str(&format!(
+            "  {}: looping={} escaped={} ({}) died={} | extra delay: mean {:.1} ms (trace est. median {} ms) | trace escape upper bound {}\n",
+            b.name(),
+            total_looping,
+            escaped.len(),
+            fmt_pct(frac),
+            died,
+            extra,
+            delay_cdf.median().map_or("-".into(), |v| format!("{v:.1}")),
+            fmt_pct(est.escape_fraction_upper()),
+        ));
+    }
+    out
+}
+
+/// A1 — merge-gap ablation: loop counts at 1/2/5-minute gaps.
+pub fn ablate_gap(data: &ExperimentData) -> String {
+    let mut t = Table::new(&["Trace", "1 min", "2 min", "5 min"])
+        .with_title("A1 — MERGE-GAP ABLATION (routing loop count)");
+    for b in &data.backbones {
+        let mut row = vec![b.name().to_string()];
+        for minutes in [1u64, 2, 5] {
+            let cfg = DetectorConfig::default().with_merge_gap_minutes(minutes);
+            let result = Detector::new(cfg).run(&b.run.records);
+            row.push(result.loops.len().to_string());
+        }
+        t.row_owned(row);
+    }
+    t.render()
+}
+
+/// A2 — validation ablation: what steps 2's rules reject, and how many of
+/// the rejects were link-layer duplicates (true negatives).
+pub fn ablate_validate(data: &ExperimentData) -> String {
+    let mut t = Table::new(&[
+        "Trace",
+        "Raw candidates",
+        "Short-rejected",
+        "Coval-rejected",
+        "Validated",
+        "No-validation streams",
+        "Link dups injected",
+    ])
+    .with_title("A2 — VALIDATION ABLATION");
+    for b in &data.backbones {
+        let strict = &b.detection.stats;
+        let lax = Detector::new(DetectorConfig::no_validation()).run(&b.run.records);
+        t.row_owned(vec![
+            b.name().to_string(),
+            strict.raw_candidates.to_string(),
+            strict.rejected_short.to_string(),
+            strict.rejected_covalidation.to_string(),
+            strict.validated_streams.to_string(),
+            lax.streams.len().to_string(),
+            b.run.report.duplicates_generated.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// Key ablation: candidate inflation when the transport checksum is
+/// dropped from the replica key (the payload-identity proxy of §IV-A.1).
+pub fn ablate_key(data: &ExperimentData) -> String {
+    use loopscope::ReplicaKey;
+    use std::collections::HashMap;
+    let mut t = Table::new(&[
+        "Trace",
+        "Full-key groups",
+        "No-checksum groups",
+        "Inflation",
+    ])
+    .with_title("KEY ABLATION — multi-record key groups with and without the transport checksum");
+    for b in &data.backbones {
+        let mut full: HashMap<ReplicaKey, u32> = HashMap::new();
+        let mut reduced: HashMap<ReplicaKey, u32> = HashMap::new();
+        for r in &b.run.records {
+            *full.entry(ReplicaKey::of(r)).or_insert(0) += 1;
+            *reduced
+                .entry(ReplicaKey::without_transport_checksum(r))
+                .or_insert(0) += 1;
+        }
+        let full_groups = full.values().filter(|&&c| c >= 2).count();
+        let red_groups = reduced.values().filter(|&&c| c >= 2).count();
+        let inflation = if full_groups > 0 {
+            format!("{:.2}x", red_groups as f64 / full_groups as f64)
+        } else {
+            format!("{red_groups} from 0")
+        };
+        t.row_owned(vec![
+            b.name().to_string(),
+            full_groups.to_string(),
+            red_groups.to_string(),
+            inflation,
+        ]);
+    }
+    t.render()
+}
+
+/// P1 — persistent loops (the paper's future work, §I/§II): a scripted
+/// static-route misconfiguration creates a loop no protocol heals; the
+/// detector must find it, classify it as persistent, and the routing-data
+/// correlation must attribute it to the misconfiguration.
+pub fn persistent(scale: f64) -> String {
+    use routing_loops::attribution::{attribute, cause_counts, LoopCause};
+    use routing_loops::backbone::{paper_backbones, run_backbone};
+
+    let mut spec = paper_backbones(scale).remove(2); // quiet Backbone 3
+    spec.name = "Backbone 3 + misconfig".into();
+    spec.igp_failures = 2;
+    spec.misconfig_window = Some((0.25, 0.90));
+    let run = run_backbone(&spec);
+    let detection = Detector::new(DetectorConfig::default()).run(&run.records);
+
+    let trace_end = run
+        .records
+        .last()
+        .map(|r| r.timestamp_ns)
+        .unwrap_or_default();
+    // 60 s is beyond any transient convergence; for short demo traces the
+    // threshold scales down with the trace so the classification remains
+    // meaningful.
+    let threshold = 60_000_000_000u64.min((trace_end as f64 * 0.3) as u64);
+    let mut t = Table::new(&["Loop", "Prefix", "Duration", "Class", "Open-ended", "Cause"])
+        .with_title("P1 — PERSISTENT LOOP DETECTION AND ATTRIBUTION");
+    let attrs = attribute(
+        &detection.loops,
+        &run.compiled,
+        simnet::SimDuration::from_secs(45),
+    );
+    let mut n_persistent = 0;
+    let mut attributed_misconfig = 0;
+    for (i, l) in detection.loops.iter().enumerate() {
+        let kind = l.classify(threshold);
+        if kind == LoopKind::Persistent {
+            n_persistent += 1;
+        }
+        let cause = attrs[i].cause.map(|c| c.as_str()).unwrap_or("unattributed");
+        if kind == LoopKind::Persistent && attrs[i].cause == Some(LoopCause::Misconfiguration) {
+            attributed_misconfig += 1;
+        }
+        t.row_owned(vec![
+            i.to_string(),
+            l.prefix.to_string(),
+            stats::table::fmt_duration_ns(l.duration_ns()),
+            match kind {
+                LoopKind::Transient => "transient".into(),
+                LoopKind::Persistent => "PERSISTENT".into(),
+            },
+            l.is_open_ended(trace_end, 2_000_000_000).to_string(),
+            cause.to_string(),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str(&format!(
+        "persistent loops: {n_persistent}; attributed to misconfiguration: {attributed_misconfig}\n",
+    ));
+    out.push_str("cause summary: ");
+    for (label, count) in cause_counts(&attrs) {
+        out.push_str(&format!("{label}={count} "));
+    }
+    out.push('\n');
+    out
+}
+
+/// Attribution report for the standard backbones (the §VI future-work
+/// correlation, run over the same data as the tables).
+pub fn attribution_report(data: &ExperimentData) -> String {
+    use routing_loops::attribution::{attribute, cause_counts};
+    let mut t = Table::new(&["Trace", "Loops", "Attributed", "Causes"])
+        .with_title("ATTRIBUTION — detected loops joined against the control-plane record");
+    for b in &data.backbones {
+        let attrs = attribute(
+            &b.detection.loops,
+            &b.run.compiled,
+            simnet::SimDuration::from_secs(45),
+        );
+        let attributed = attrs.iter().filter(|a| a.cause.is_some()).count();
+        let causes: Vec<String> = cause_counts(&attrs)
+            .into_iter()
+            .map(|(l, c)| format!("{l}:{c}"))
+            .collect();
+        t.row_owned(vec![
+            b.name().to_string(),
+            b.detection.loops.len().to_string(),
+            attributed.to_string(),
+            causes.join(" "),
+        ]);
+    }
+    t.render()
+}
+
+/// S3 — §VI reordering: "those packets that escape a loop can be
+/// delivered out-of-order". A delivery is *overtaken* when some
+/// later-injected packet to the same destination arrived earlier; loop
+/// escapees should be overtaken far more often than clean deliveries.
+pub fn reorder(data: &ExperimentData) -> String {
+    let mut t = Table::new(&[
+        "Trace",
+        "Clean deliveries",
+        "Clean overtaken",
+        "Escaped deliveries",
+        "Escaped overtaken",
+    ])
+    .with_title("S3 — OUT-OF-ORDER DELIVERY (overtaken = a later-injected packet to the same destination arrived first)");
+    for b in &data.backbones {
+        use std::collections::HashMap;
+        let mut by_dst: HashMap<std::net::Ipv4Addr, Vec<&simnet::DeliveryRecord>> = HashMap::new();
+        for d in &b.run.report.deliveries {
+            by_dst.entry(d.dst).or_default().push(d);
+        }
+        let mut clean = (0u64, 0u64); // (total, overtaken)
+        let mut escaped = (0u64, 0u64);
+        for group in by_dst.values_mut() {
+            group.sort_by_key(|d| d.inject_time);
+            // suffix-min of delivery times over inject order.
+            let n = group.len();
+            let mut suffix_min = vec![simnet::SimTime(u64::MAX); n + 1];
+            for i in (0..n).rev() {
+                suffix_min[i] = suffix_min[i + 1].min(group[i].deliver_time);
+            }
+            for (i, d) in group.iter().enumerate() {
+                let overtaken = suffix_min[i + 1] < d.deliver_time;
+                let slot = if d.looped { &mut escaped } else { &mut clean };
+                slot.0 += 1;
+                if overtaken {
+                    slot.1 += 1;
+                }
+            }
+        }
+        let pct = |(total, ot): (u64, u64)| {
+            if total == 0 {
+                "-".to_string()
+            } else {
+                fmt_pct(ot as f64 / total as f64)
+            }
+        };
+        t.row_owned(vec![
+            b.name().to_string(),
+            fmt_count(clean.0),
+            pct(clean),
+            fmt_count(escaped.0),
+            pct(escaped),
+        ]);
+    }
+    t.render()
+}
+
+/// R1 — robustness: are the reported distributions properties of the
+/// *system* or artifacts of one seed? Two independently-seeded runs of the
+/// same backbone are compared with the two-sample KS statistic on each
+/// CDF-figure quantity. Small D (and non-tiny p) means the figure shape is
+/// stable across randomness.
+pub fn stability(scale: f64) -> String {
+    use routing_loops::backbone::{paper_backbones, run_backbone};
+    use stats::ks_two_sample;
+
+    let base = paper_backbones(scale).remove(0);
+    let mut runs = Vec::new();
+    for (tag, seed) in [("seed A", base.seed), ("seed B", base.seed ^ 0xffff)] {
+        let mut spec = base.clone();
+        spec.seed = seed;
+        spec.name = format!("{} ({tag})", base.name);
+        let run = run_backbone(&spec);
+        let det = Detector::new(DetectorConfig::default()).run(&run.records);
+        runs.push(det);
+    }
+    let (a, b) = (&runs[0], &runs[1]);
+    let mut t = Table::new(&["Quantity", "n(A)", "n(B)", "KS D", "p-value"])
+        .with_title("R1 — CROSS-SEED STABILITY (two-sample KS on figure quantities)");
+    let quantities: Vec<(&str, Cdf, Cdf)> = vec![
+        (
+            "Fig3 replicas/stream",
+            analysis::stream_size_cdf(&a.streams),
+            analysis::stream_size_cdf(&b.streams),
+        ),
+        (
+            "Fig4 spacing (ms)",
+            analysis::spacing_cdf_ms(&a.streams),
+            analysis::spacing_cdf_ms(&b.streams),
+        ),
+        (
+            "Fig8 stream duration (ms)",
+            analysis::stream_duration_cdf_ms(&a.streams),
+            analysis::stream_duration_cdf_ms(&b.streams),
+        ),
+        (
+            "Fig9 loop duration (s)",
+            analysis::loop_duration_cdf_s(&a.loops),
+            analysis::loop_duration_cdf_s(&b.loops),
+        ),
+    ];
+    for (name, ca, cb) in quantities {
+        match ks_two_sample(&ca, &cb) {
+            Some(r) => t.row_owned(vec![
+                name.to_string(),
+                r.n1.to_string(),
+                r.n2.to_string(),
+                format!("{:.3}", r.d),
+                format!("{:.3}", r.p_value),
+            ]),
+            None => t.row_owned(vec![
+                name.to_string(),
+                ca.len().to_string(),
+                cb.len().to_string(),
+                "-".into(),
+                "-".into(),
+            ]),
+        }
+    }
+    t.render()
+}
+
+/// Everything, in paper order.
+pub fn all(data: &ExperimentData) -> String {
+    let sections = [
+        table1(data),
+        table2(data),
+        fig2(data),
+        fig3(data),
+        fig4(data),
+        fig5(data),
+        fig6(data),
+        fig7(data),
+        fig8(data),
+        fig9(data),
+        loss(data),
+        escape(data),
+        reorder(data),
+        ablate_gap(data),
+        ablate_validate(data),
+        ablate_key(data),
+        attribution_report(data),
+        persistent(data.scale),
+        stability(data.scale),
+        crate::utilization::report(),
+        crate::baseline::report(),
+    ];
+    sections.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::collect;
+
+    /// One tiny collection shared by all formatting smoke tests.
+    fn data() -> ExperimentData {
+        collect(0.05)
+    }
+
+    #[test]
+    fn every_artifact_renders_with_expected_headers() {
+        let d = data();
+        let cases: Vec<(String, &str)> = vec![
+            (table1(&d), "TABLE I"),
+            (table2(&d), "TABLE II"),
+            (fig2(&d), "FIGURE 2"),
+            (fig3(&d), "FIGURE 3"),
+            (fig4(&d), "FIGURE 4"),
+            (fig5(&d), "FIGURE 5"),
+            (fig6(&d), "FIGURE 6"),
+            (fig7(&d), "FIGURE 7"),
+            (fig8(&d), "FIGURE 8"),
+            (fig9(&d), "FIGURE 9"),
+            (loss(&d), "S1"),
+            (escape(&d), "S2"),
+            (reorder(&d), "S3"),
+            (ablate_gap(&d), "A1"),
+            (ablate_validate(&d), "A2"),
+            (ablate_key(&d), "KEY ABLATION"),
+            (attribution_report(&d), "ATTRIBUTION"),
+        ];
+        for (rendered, header) in cases {
+            assert!(
+                rendered.contains(header),
+                "missing {header} in:\n{rendered}"
+            );
+            // Every table mentions every backbone.
+            for b in &d.backbones {
+                assert!(rendered.contains(b.name()), "{header} missing {}", b.name());
+            }
+        }
+    }
+
+    #[test]
+    fn fig5_tcp_dominates_at_any_scale() {
+        let d = data();
+        let rendered = fig5(&d);
+        // The TCP row is first; eyeball-free check: every backbone column
+        // in the TCP row is above 80%.
+        let tcp_row = rendered
+            .lines()
+            .find(|l| l.starts_with("TCP"))
+            .expect("TCP row");
+        let shares: Vec<f64> = tcp_row
+            .split_whitespace()
+            .skip(1)
+            .map(|c| c.trim_end_matches('%').parse::<f64>().unwrap())
+            .collect();
+        assert_eq!(shares.len(), 4);
+        assert!(shares.iter().all(|s| *s > 75.0), "{tcp_row}");
+    }
+
+    #[test]
+    fn loss_bucket_adapts_to_short_traces() {
+        let d = data();
+        for b in &d.backbones {
+            let bucket = loss_bucket_ns(b);
+            assert!(bucket >= 1_000_000_000);
+            assert!(bucket <= 60_000_000_000);
+        }
+    }
+}

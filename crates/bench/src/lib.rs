@@ -1,0 +1,14 @@
+//! The experiment harness: builds the four synthetic backbones, runs the
+//! detector, and regenerates every table and figure of the paper.
+//!
+//! The `repro` binary (`cargo run -p bench --release --bin repro`) prints
+//! the lot; the Criterion benches exercise per-artifact regeneration; the
+//! per-experiment functions here are shared by both and by the integration
+//! tests.
+
+pub mod baseline;
+pub mod experiments;
+pub mod harness;
+pub mod utilization;
+
+pub use harness::{collect, BackboneData, ExperimentData};

@@ -1,0 +1,187 @@
+//! S4 — §I collateral impact: "\[routing loops\] impact end-to-end
+//! performance … through increased link utilization and corresponding
+//! delay and jitter for packets that traverse the link but are not caught
+//! in the loop."
+//!
+//! A controlled trial: two prefixes share a modest link; one gets caught
+//! in a scripted loop, the other just passes through. Replicas of the
+//! looping traffic occupy the shared link, so the *bystander* flow sees
+//! longer queues exactly during the loop window.
+
+use net_types::{Ipv4Prefix, Packet, TcpFlags, UdpHeader};
+use simnet::{DeliveryRecord, Engine, Route, SimConfig, SimDuration, SimTime, TopologyBuilder};
+use stats::Summary;
+use std::net::Ipv4Addr;
+
+/// Outcome of the shared-link trial.
+#[derive(Debug, Clone, Copy)]
+pub struct UtilizationOutcome {
+    /// Mean bystander delay while the loop was live (ms).
+    pub delay_inside_ms: f64,
+    /// Mean bystander delay outside the window (ms).
+    pub delay_outside_ms: f64,
+    /// Bystander delay jitter (stddev, ms) inside the window.
+    pub jitter_inside_ms: f64,
+    /// Bystander delay jitter (stddev, ms) outside.
+    pub jitter_outside_ms: f64,
+    /// Bystander packets lost to queue overflow.
+    pub bystander_queue_losses: u64,
+}
+
+/// Runs the trial: a `link_mbps` shared link, a loop window of
+/// `loop_ms` on one prefix, and a steady bystander flow to another.
+pub fn run_trial(link_mbps: u64, loop_ms: u64) -> UtilizationOutcome {
+    let looped_prefix: Ipv4Prefix = "203.0.113.0/24".parse().unwrap();
+    let clean_prefix: Ipv4Prefix = "198.51.100.0/24".parse().unwrap();
+
+    let mut b = TopologyBuilder::new();
+    let src = b.node("src", Ipv4Addr::new(10, 95, 0, 1));
+    let c1 = b.node("c1", Ipv4Addr::new(10, 95, 0, 2));
+    let c2 = b.node("c2", Ipv4Addr::new(10, 95, 0, 3));
+    let e = b.node("e", Ipv4Addr::new(10, 95, 0, 4));
+    b.attach_prefix(e, looped_prefix);
+    b.attach_prefix(e, clean_prefix);
+    let bw = link_mbps * 1_000_000;
+    let d = SimDuration::from_millis(1);
+    let (l_src_c1, _) = b.duplex(src, c1, 1_000_000_000, SimDuration::from_micros(200));
+    let (l_c1_c2, l_c2_c1) = b.duplex(c1, c2, bw, d); // the shared link
+    let (l_c2_e, _) = b.duplex(c2, e, 1_000_000_000, SimDuration::from_micros(200));
+    let topo = b.build();
+
+    let mut engine = Engine::new(
+        topo,
+        SimConfig {
+            generate_time_exceeded: false,
+            ..SimConfig::default()
+        },
+    );
+    for p in [looped_prefix, clean_prefix] {
+        engine.install_route(src, p, Route::Link(l_src_c1));
+        engine.install_route(c1, p, Route::Link(l_c1_c2));
+        engine.install_route(c2, p, Route::Link(l_c2_e));
+    }
+    // The loop: c2 points back for the looped prefix only, healing after
+    // `loop_ms`.
+    let t_open = SimTime::from_secs(4);
+    let t_close = t_open + SimDuration::from_millis(loop_ms);
+    engine.schedule_fib_insert(t_open, c2, looped_prefix, Route::Link(l_c2_c1));
+    engine.schedule_fib_insert(t_close, c2, looped_prefix, Route::Link(l_c2_e));
+
+    let horizon = SimTime::from_secs(12);
+    // Victim traffic into the loop: sizeable packets at a rate that loads
+    // the shared link once each is replicated ~30x.
+    let mut t = 0u64;
+    let mut ident = 0u16;
+    while t < horizon.as_nanos() {
+        let mut p = Packet::udp(
+            Ipv4Addr::new(100, 64, 9, 9),
+            Ipv4Addr::new(203, 0, 113, 7),
+            UdpHeader::new(7000, 9),
+            vec![0u8; 1000],
+        );
+        p.ip.ident = ident;
+        p.ip.ttl = 64;
+        p.fill_checksums();
+        ident = ident.wrapping_add(1);
+        engine.schedule_inject(SimTime(t), src, p);
+        t += 2_000_000; // 500 pkt/s
+    }
+    // Bystander flow: small TCP packets, 1 kHz.
+    let mut t = 0u64;
+    let mut b_ident = 0u16;
+    while t < horizon.as_nanos() {
+        let mut p = Packet::tcp_flags(
+            Ipv4Addr::new(100, 64, 1, 1),
+            Ipv4Addr::new(198, 51, 100, 7),
+            7100,
+            80,
+            TcpFlags::ACK,
+            vec![0u8; 100],
+        );
+        p.ip.ident = b_ident;
+        p.ip.ttl = 64;
+        p.fill_checksums();
+        b_ident = b_ident.wrapping_add(1);
+        engine.schedule_inject(SimTime(t), src, p);
+        t += 1_000_000;
+    }
+    let report = engine.run();
+
+    let mut inside = Summary::new();
+    let mut outside = Summary::new();
+    let in_window = |d: &DeliveryRecord| d.inject_time >= t_open && d.inject_time < t_close;
+    for del in report
+        .deliveries
+        .iter()
+        .filter(|d| clean_prefix.contains(d.dst) && !d.looped)
+    {
+        let ms = del.delay().as_millis_f64();
+        if in_window(del) {
+            inside.add(ms);
+        } else {
+            outside.add(ms);
+        }
+    }
+    UtilizationOutcome {
+        delay_inside_ms: inside.mean().unwrap_or(0.0),
+        delay_outside_ms: outside.mean().unwrap_or(0.0),
+        jitter_inside_ms: inside.stddev().unwrap_or(0.0),
+        jitter_outside_ms: outside.stddev().unwrap_or(0.0),
+        bystander_queue_losses: report
+            .drop_records
+            .iter()
+            .filter(|r| clean_prefix.contains(r.dst) && r.cause == simnet::DropCause::QueueFull)
+            .count() as u64,
+    }
+}
+
+/// Renders the S4 report: the same trial at two link speeds.
+pub fn report() -> String {
+    let mut out = String::from(
+        "S4 — COLLATERAL IMPACT ON NON-LOOPED TRAFFIC (§I: loops raise the shared\n\
+         link's utilization, delaying and jittering bystander packets)\n",
+    );
+    for (mbps, loop_ms) in [(25u64, 2_000u64), (100, 2_000)] {
+        let o = run_trial(mbps, loop_ms);
+        out.push_str(&format!(
+            "  {mbps:>4} Mbps shared link, {loop_ms} ms loop: bystander delay \
+             {:.2} ms inside vs {:.2} ms outside (jitter {:.2} vs {:.2} ms), \
+             {} bystander queue losses\n",
+            o.delay_inside_ms,
+            o.delay_outside_ms,
+            o.jitter_inside_ms,
+            o.jitter_outside_ms,
+            o.bystander_queue_losses,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_inflates_bystander_delay_on_slow_link() {
+        let o = run_trial(25, 2_000);
+        assert!(
+            o.delay_inside_ms > o.delay_outside_ms * 1.5,
+            "inside {} ms must exceed outside {} ms",
+            o.delay_inside_ms,
+            o.delay_outside_ms
+        );
+        assert!(o.jitter_inside_ms > o.jitter_outside_ms);
+    }
+
+    #[test]
+    fn fast_link_shrinks_the_effect() {
+        let slow = run_trial(25, 2_000);
+        let fast = run_trial(200, 2_000);
+        let slow_blowup = slow.delay_inside_ms / slow.delay_outside_ms.max(1e-9);
+        let fast_blowup = fast.delay_inside_ms / fast.delay_outside_ms.max(1e-9);
+        assert!(
+            slow_blowup > fast_blowup,
+            "headroom must damp the effect: slow {slow_blowup:.2} vs fast {fast_blowup:.2}"
+        );
+    }
+}

@@ -1,0 +1,265 @@
+//! Derivation of every figure/table statistic from a detection run.
+
+use crate::merge::RoutingLoop;
+use crate::record::TraceRecord;
+use crate::replica::DetectionResult;
+use crate::stream::ReplicaStream;
+use crate::traffic_class;
+use stats::{CategoricalDist, Cdf, Histogram};
+
+/// Table I row material for one trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSummary {
+    /// Observation window length in nanoseconds.
+    pub duration_ns: u64,
+    /// Total packets captured.
+    pub total_packets: u64,
+    /// Total bytes (original wire lengths).
+    pub total_bytes: u64,
+    /// Average offered bandwidth in bits per second.
+    pub avg_bandwidth_bps: f64,
+    /// Unique packets that looped (one per validated replica stream).
+    pub looped_packets: u64,
+    /// Total replica sightings (each looping packet seen k times counts k).
+    pub looped_sightings: u64,
+}
+
+/// Computes the Table I row for a trace + detection result.
+pub fn trace_summary(records: &[TraceRecord], result: &DetectionResult) -> TraceSummary {
+    let duration_ns = match (records.first(), records.last()) {
+        (Some(a), Some(b)) => b.timestamp_ns - a.timestamp_ns,
+        _ => 0,
+    };
+    let total_bytes: u64 = records.iter().map(|r| u64::from(r.total_len)).sum();
+    let avg_bandwidth_bps = if duration_ns > 0 {
+        total_bytes as f64 * 8.0 / (duration_ns as f64 / 1e9)
+    } else {
+        0.0
+    };
+    TraceSummary {
+        duration_ns,
+        total_packets: records.len() as u64,
+        total_bytes,
+        avg_bandwidth_bps,
+        looped_packets: result.looped_unique_packets(),
+        looped_sightings: result.stats.looped_sightings,
+    }
+}
+
+/// Figure 2: distribution of TTL deltas across replica streams.
+pub fn ttl_delta_distribution(streams: &[ReplicaStream]) -> Histogram {
+    let mut h = Histogram::new();
+    for s in streams {
+        h.add(u64::from(s.ttl_delta()));
+    }
+    h
+}
+
+/// Figure 3: CDF of the number of replicas per stream.
+pub fn stream_size_cdf(streams: &[ReplicaStream]) -> Cdf {
+    Cdf::from_samples(streams.iter().map(|s| s.len() as f64))
+}
+
+/// Figure 4: CDF of mean inter-replica spacing, in milliseconds.
+pub fn spacing_cdf_ms(streams: &[ReplicaStream]) -> Cdf {
+    Cdf::from_samples(streams.iter().map(|s| s.mean_spacing_ns() as f64 / 1e6))
+}
+
+/// Figure 8: CDF of replica stream duration, in milliseconds.
+pub fn stream_duration_cdf_ms(streams: &[ReplicaStream]) -> Cdf {
+    Cdf::from_samples(streams.iter().map(|s| s.duration_ns() as f64 / 1e6))
+}
+
+/// Figure 9: CDF of merged routing-loop duration, in seconds.
+pub fn loop_duration_cdf_s(loops: &[RoutingLoop]) -> Cdf {
+    Cdf::from_samples(loops.iter().map(|l| l.duration_ns() as f64 / 1e9))
+}
+
+/// Figure 7: `(time_s, destination)` scatter of replica streams.
+pub fn dest_scatter(streams: &[ReplicaStream]) -> Vec<(f64, std::net::Ipv4Addr)> {
+    streams
+        .iter()
+        .map(|s| (s.start_ns() as f64 / 1e9, s.key.dst))
+        .collect()
+}
+
+/// Figure 5: traffic-type distribution of all traffic on the link.
+pub fn mix_all(records: &[TraceRecord]) -> CategoricalDist {
+    traffic_class::distribution(records.iter())
+}
+
+/// Figure 6: traffic-type distribution of looped traffic (every replica
+/// sighting of every validated stream).
+pub fn mix_looped(records: &[TraceRecord], result: &DetectionResult) -> CategoricalDist {
+    let looped_records = result
+        .streams
+        .iter()
+        .flat_map(|s| s.record_indices.iter())
+        .map(|&i| &records[i]);
+    traffic_class::distribution(looped_records)
+}
+
+/// Figure 7 support: number of *distinct* looped /24s per time bucket —
+/// the "wide spectrum of addresses are affected by routing loops during
+/// the packet trace collection" observation, as a series.
+pub fn dest_diversity_series(streams: &[ReplicaStream], bucket_ns: u64) -> Vec<(u64, usize)> {
+    use std::collections::{BTreeMap, BTreeSet};
+    let mut buckets: BTreeMap<u64, BTreeSet<net_types::Ipv4Prefix>> = BTreeMap::new();
+    for s in streams {
+        let b = s.start_ns() / bucket_ns * bucket_ns;
+        buckets.entry(b).or_default().insert(s.dst_slash24());
+    }
+    buckets.into_iter().map(|(t, set)| (t, set.len())).collect()
+}
+
+/// Class-C share of replica-stream destinations (Figure 7's observation
+/// that "there are more looped packets in the Class C IP addresses").
+pub fn class_c_share(streams: &[ReplicaStream]) -> f64 {
+    if streams.is_empty() {
+        return 0.0;
+    }
+    let class_c = streams
+        .iter()
+        .filter(|s| {
+            let a = s.key.dst.octets()[0];
+            (192..=223).contains(&a)
+        })
+        .count();
+    class_c as f64 / streams.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DetectorConfig;
+    use crate::replica::Detector;
+    use net_types::{Packet, TcpFlags};
+    use std::net::Ipv4Addr;
+
+    /// Fabricates a trace with `n_loops` independent loops (delta 2), each
+    /// trapping one packet for `sightings` sightings, plus background
+    /// traffic.
+    fn fabricated(n_loops: u16, sightings: usize) -> (Vec<TraceRecord>, DetectionResult) {
+        let mut recs = Vec::new();
+        for k in 0..n_loops {
+            let dst = Ipv4Addr::new(203, 0, (k % 250) as u8, 1);
+            let mut p = Packet::tcp_flags(
+                Ipv4Addr::new(100, 0, 0, 1),
+                dst,
+                1000 + k,
+                80,
+                TcpFlags::ACK,
+                &b""[..],
+            );
+            p.ip.ident = k;
+            p.ip.ttl = 60;
+            p.fill_checksums();
+            let base = u64::from(k) * 100_000_000;
+            for s in 0..sightings {
+                if s > 0 {
+                    p.ip.decrement_ttl();
+                    p.ip.decrement_ttl();
+                }
+                recs.push(TraceRecord::from_packet(base + s as u64 * 1_000_000, &p));
+            }
+        }
+        // Background packets to untouched prefixes.
+        for j in 0..50u16 {
+            let mut p = Packet::tcp_flags(
+                Ipv4Addr::new(100, 0, 0, 2),
+                Ipv4Addr::new(11, 1, (j % 250) as u8, 1),
+                2000,
+                80,
+                TcpFlags::ACK | TcpFlags::PSH,
+                &b""[..],
+            );
+            p.ip.ident = j;
+            p.fill_checksums();
+            recs.push(TraceRecord::from_packet(u64::from(j) * 3_000_000, &p));
+        }
+        recs.sort_by_key(|r| r.timestamp_ns);
+        let result = Detector::new(DetectorConfig::default()).run(&recs);
+        (recs, result)
+    }
+
+    #[test]
+    fn summary_counts() {
+        let (recs, result) = fabricated(5, 4);
+        let sum = trace_summary(&recs, &result);
+        assert_eq!(sum.total_packets, recs.len() as u64);
+        assert_eq!(sum.looped_packets, 5);
+        assert_eq!(sum.looped_sightings, 20);
+        assert!(sum.avg_bandwidth_bps > 0.0);
+        assert!(sum.total_bytes >= 40 * recs.len() as u64);
+    }
+
+    #[test]
+    fn fig2_delta_mode_is_two() {
+        let (_recs, result) = fabricated(6, 5);
+        let h = ttl_delta_distribution(&result.streams);
+        assert_eq!(h.mode(), Some(2));
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn fig3_sizes() {
+        let (_recs, result) = fabricated(4, 7);
+        let mut cdf = stream_size_cdf(&result.streams);
+        assert_eq!(cdf.min(), Some(7.0));
+        assert_eq!(cdf.max(), Some(7.0));
+    }
+
+    #[test]
+    fn fig4_spacing_in_ms() {
+        let (_recs, result) = fabricated(3, 5);
+        let mut cdf = spacing_cdf_ms(&result.streams);
+        // 1 ms spacing in fabrication.
+        assert!((cdf.median().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig8_fig9_durations() {
+        let (_recs, result) = fabricated(3, 5);
+        let mut f8 = stream_duration_cdf_ms(&result.streams);
+        assert!((f8.max().unwrap() - 4.0).abs() < 1e-9); // 4 gaps × 1 ms
+        let mut f9 = loop_duration_cdf_s(&result.loops);
+        assert_eq!(f9.len(), result.loops.len());
+        assert!(f9.max().unwrap() < 1.0);
+    }
+
+    #[test]
+    fn fig7_scatter_and_class_c() {
+        let (_recs, result) = fabricated(4, 4);
+        let scatter = dest_scatter(&result.streams);
+        assert_eq!(scatter.len(), 4);
+        assert!(scatter.iter().all(|(t, _)| *t >= 0.0));
+        assert_eq!(class_c_share(&result.streams), 1.0); // all 203.x
+        assert_eq!(class_c_share(&[]), 0.0);
+    }
+
+    #[test]
+    fn fig7_diversity_series() {
+        let (_recs, result) = fabricated(6, 4);
+        // Streams start 100 ms apart; bucket by 250 ms.
+        let series = dest_diversity_series(&result.streams, 250_000_000);
+        let total: usize = series.iter().map(|(_, n)| n).sum();
+        assert!(total >= 6, "every stream's prefix counted: {series:?}");
+        assert!(series.windows(2).all(|w| w[0].0 < w[1].0), "sorted buckets");
+        assert!(dest_diversity_series(&[], 1_000).is_empty());
+    }
+
+    #[test]
+    fn fig5_fig6_mixes() {
+        let (recs, result) = fabricated(3, 5);
+        let all = mix_all(&recs);
+        let looped = mix_looped(&recs, &result);
+        assert_eq!(all.items(), recs.len() as u64);
+        assert_eq!(looped.items(), 15);
+        // All looped traffic here is TCP ACK.
+        assert!((looped.fraction("TCP") - 1.0).abs() < 1e-9);
+        assert!((looped.fraction("ACK") - 1.0).abs() < 1e-9);
+        assert_eq!(looped.count("PSH"), 0);
+        // The background traffic has PSH, so the all-mix does.
+        assert!(all.count("PSH") > 0);
+    }
+}

@@ -1,0 +1,396 @@
+//! Step 3 — merging replica streams into routing loops.
+//!
+//! §IV-A.3: "First, we merge replica streams that overlap in time and have
+//! identical destination address prefixes. … we also merge replica streams
+//! that occur less than one minute apart provided that the resulting
+//! merged replica stream does not overlap with packets to the subnet that
+//! are not looped." One routing loop traps many packets, so the merged
+//! object — not the per-packet stream — is the unit Figure 9 and Table II
+//! report.
+
+use crate::config::DetectorConfig;
+use crate::record::TraceRecord;
+use crate::stream::ReplicaStream;
+use crate::validate::PrefixIndex;
+use net_types::Ipv4Prefix;
+use std::collections::BTreeMap;
+
+/// Transient-vs-persistent classification (§I–II: transient loops resolve
+/// as routing converges; persistent loops — typically misconfiguration —
+/// require human intervention; the paper analyses the former and leaves
+/// the latter to future work, which this reproduction includes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopKind {
+    /// Resolved within the persistence threshold.
+    Transient,
+    /// Outlived the threshold, or was still replicating when the trace
+    /// ended.
+    Persistent,
+}
+
+/// A merged routing loop: all replica streams attributed to one
+/// forwarding-state inconsistency for one /24.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingLoop {
+    /// The affected destination /24.
+    pub prefix: Ipv4Prefix,
+    /// First replica sighting across member streams.
+    pub start_ns: u64,
+    /// Last replica sighting across member streams.
+    pub end_ns: u64,
+    /// Member streams in start order.
+    pub streams: Vec<ReplicaStream>,
+}
+
+impl RoutingLoop {
+    fn from_stream(s: ReplicaStream) -> Self {
+        Self {
+            prefix: s.dst_slash24(),
+            start_ns: s.start_ns(),
+            end_ns: s.end_ns(),
+            streams: vec![s],
+        }
+    }
+
+    fn absorb(&mut self, s: ReplicaStream) {
+        debug_assert_eq!(self.prefix, s.dst_slash24());
+        self.start_ns = self.start_ns.min(s.start_ns());
+        self.end_ns = self.end_ns.max(s.end_ns());
+        self.streams.push(s);
+    }
+
+    /// Loop duration (Fig. 9's quantity).
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+
+    /// Member stream count.
+    pub fn num_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Total replica sightings across member streams.
+    pub fn replica_count(&self) -> usize {
+        self.streams.iter().map(ReplicaStream::len).sum()
+    }
+
+    /// Classifies the loop by observed duration. `persistent_threshold_ns`
+    /// is the longest duration still credited to protocol convergence (the
+    /// paper's data puts IGP reconvergence below ~10 s and pathological
+    /// BGP convergence in the minutes, so thresholds of 60–300 s are
+    /// reasonable).
+    pub fn classify(&self, persistent_threshold_ns: u64) -> LoopKind {
+        if self.duration_ns() >= persistent_threshold_ns {
+            LoopKind::Persistent
+        } else {
+            LoopKind::Transient
+        }
+    }
+
+    /// True when the loop was still replicating when the capture ended
+    /// (last replica within `tail_gap_ns` of `trace_end_ns`): its true
+    /// duration is unknown — at least what was observed.
+    pub fn is_open_ended(&self, trace_end_ns: u64, tail_gap_ns: u64) -> bool {
+        self.end_ns.saturating_add(tail_gap_ns) >= trace_end_ns
+    }
+
+    /// The loop's TTL delta: the modal delta across member streams.
+    pub fn ttl_delta(&self) -> u8 {
+        let mut counts = BTreeMap::new();
+        for s in &self.streams {
+            *counts.entry(s.ttl_delta()).or_insert(0u32) += 1;
+        }
+        counts
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|(d, _)| d)
+            .unwrap_or(0)
+    }
+}
+
+/// Merges validated streams into routing loops.
+pub fn merge(
+    _records: &[TraceRecord],
+    streams: Vec<ReplicaStream>,
+    looped_flags: &[bool],
+    index: &PrefixIndex,
+    cfg: &DetectorConfig,
+) -> Vec<RoutingLoop> {
+    // Group by /24.
+    let mut by_prefix: BTreeMap<Ipv4Prefix, Vec<ReplicaStream>> = BTreeMap::new();
+    for s in streams {
+        by_prefix.entry(s.dst_slash24()).or_default().push(s);
+    }
+    let mut out = Vec::new();
+    for (prefix, mut group) in by_prefix {
+        group.sort_by_key(|s| (s.start_ns(), s.end_ns()));
+        let mut iter = group.into_iter();
+        let mut current = RoutingLoop::from_stream(iter.next().expect("non-empty group"));
+        for s in iter {
+            let overlap = s.start_ns() <= current.end_ns;
+            let merged = if overlap {
+                true
+            } else {
+                let gap = s.start_ns() - current.end_ns;
+                gap <= cfg.merge_gap_ns
+                    && gap_is_clean(prefix, current.end_ns, s.start_ns(), looped_flags, index)
+            };
+            if merged {
+                current.absorb(s);
+            } else {
+                out.push(std::mem::replace(&mut current, RoutingLoop::from_stream(s)));
+            }
+        }
+        out.push(current);
+    }
+    out.sort_by_key(|l| (l.prefix, l.start_ns));
+    out
+}
+
+/// The gap between two streams is bridgeable only if no *non-looped*
+/// packet to the subnet crossed during it.
+fn gap_is_clean(
+    prefix: Ipv4Prefix,
+    from: u64,
+    to: u64,
+    looped_flags: &[bool],
+    index: &PrefixIndex,
+) -> bool {
+    // Exclusive interior of the gap.
+    if to <= from + 1 {
+        return true;
+    }
+    index
+        .in_window(prefix, from + 1, to - 1)
+        .iter()
+        .all(|(_, idx)| looped_flags[*idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::ReplicaKey;
+    use crate::stream::Observation;
+    use net_types::{Packet, TcpFlags};
+    use std::net::Ipv4Addr;
+
+    fn mk_record(ts: u64, dst: Ipv4Addr, ident: u16) -> TraceRecord {
+        let mut p = Packet::tcp_flags(
+            Ipv4Addr::new(100, 1, 1, 1),
+            dst,
+            1,
+            2,
+            TcpFlags::ACK,
+            &b""[..],
+        );
+        p.ip.ident = ident;
+        p.fill_checksums();
+        TraceRecord::from_packet(ts, &p)
+    }
+
+    fn mk_stream(dst: Ipv4Addr, ident: u16, times: &[u64], indices: &[usize]) -> ReplicaStream {
+        let rec = mk_record(times[0], dst, ident);
+        ReplicaStream {
+            key: ReplicaKey::of(&rec),
+            observations: times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| Observation {
+                    timestamp_ns: t,
+                    ttl: 60 - 2 * i as u8,
+                })
+                .collect(),
+            record_indices: indices.to_vec(),
+        }
+    }
+
+    const SEC: u64 = 1_000_000_000;
+
+    fn run_merge(
+        records: Vec<TraceRecord>,
+        streams: Vec<ReplicaStream>,
+        looped: Vec<bool>,
+        cfg: &DetectorConfig,
+    ) -> Vec<RoutingLoop> {
+        let index = PrefixIndex::build(&records);
+        merge(&records, streams, &looped, &index, cfg)
+    }
+
+    #[test]
+    fn overlapping_streams_merge() {
+        let dst = Ipv4Addr::new(203, 0, 113, 1);
+        let records = vec![
+            mk_record(0, dst, 1),
+            mk_record(SEC, dst, 2),
+            mk_record(2 * SEC, dst, 1),
+            mk_record(3 * SEC, dst, 2),
+        ];
+        let s1 = mk_stream(dst, 1, &[0, 2 * SEC], &[0, 2]);
+        let s2 = mk_stream(dst, 2, &[SEC, 3 * SEC], &[1, 3]);
+        let loops = run_merge(
+            records,
+            vec![s1, s2],
+            vec![true; 4],
+            &DetectorConfig::default(),
+        );
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].num_streams(), 2);
+        assert_eq!(loops[0].start_ns, 0);
+        assert_eq!(loops[0].end_ns, 3 * SEC);
+        assert_eq!(loops[0].duration_ns(), 3 * SEC);
+        assert_eq!(loops[0].replica_count(), 4);
+    }
+
+    #[test]
+    fn distinct_prefixes_never_merge() {
+        let d1 = Ipv4Addr::new(203, 0, 113, 1);
+        let d2 = Ipv4Addr::new(198, 51, 100, 1);
+        let records = vec![
+            mk_record(0, d1, 1),
+            mk_record(1, d2, 2),
+            mk_record(2, d1, 1),
+            mk_record(3, d2, 2),
+        ];
+        let s1 = mk_stream(d1, 1, &[0, 2], &[0, 2]);
+        let s2 = mk_stream(d2, 2, &[1, 3], &[1, 3]);
+        let loops = run_merge(
+            records,
+            vec![s1, s2],
+            vec![true; 4],
+            &DetectorConfig::default(),
+        );
+        assert_eq!(loops.len(), 2);
+    }
+
+    #[test]
+    fn clean_gap_within_limit_merges() {
+        let dst = Ipv4Addr::new(203, 0, 113, 1);
+        // Stream A ends at 1 s; stream B starts at 31 s. Nothing to the
+        // /24 in between.
+        let records = vec![
+            mk_record(0, dst, 1),
+            mk_record(SEC, dst, 1),
+            mk_record(31 * SEC, dst, 2),
+            mk_record(32 * SEC, dst, 2),
+        ];
+        let s1 = mk_stream(dst, 1, &[0, SEC], &[0, 1]);
+        let s2 = mk_stream(dst, 2, &[31 * SEC, 32 * SEC], &[2, 3]);
+        let loops = run_merge(
+            records,
+            vec![s1, s2],
+            vec![true; 4],
+            &DetectorConfig::default(),
+        );
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].num_streams(), 2);
+    }
+
+    #[test]
+    fn dirty_gap_blocks_merge() {
+        let dst = Ipv4Addr::new(203, 0, 113, 1);
+        // A non-looped packet to the /24 in the gap.
+        let records = vec![
+            mk_record(0, dst, 1),
+            mk_record(SEC, dst, 1),
+            mk_record(15 * SEC, dst, 99), // lone bystander: not looped
+            mk_record(31 * SEC, dst, 2),
+            mk_record(32 * SEC, dst, 2),
+        ];
+        let s1 = mk_stream(dst, 1, &[0, SEC], &[0, 1]);
+        let s2 = mk_stream(dst, 2, &[31 * SEC, 32 * SEC], &[3, 4]);
+        let looped = vec![true, true, false, true, true];
+        let loops = run_merge(records, vec![s1, s2], looped, &DetectorConfig::default());
+        assert_eq!(loops.len(), 2);
+    }
+
+    #[test]
+    fn gap_beyond_limit_blocks_merge() {
+        let dst = Ipv4Addr::new(203, 0, 113, 1);
+        let records = vec![
+            mk_record(0, dst, 1),
+            mk_record(SEC, dst, 1),
+            mk_record(100 * SEC, dst, 2), // 99 s gap > 60 s
+            mk_record(101 * SEC, dst, 2),
+        ];
+        let s1 = mk_stream(dst, 1, &[0, SEC], &[0, 1]);
+        let s2 = mk_stream(dst, 2, &[100 * SEC, 101 * SEC], &[2, 3]);
+        let loops = run_merge(
+            records,
+            vec![s1, s2],
+            vec![true; 4],
+            &DetectorConfig::default(),
+        );
+        assert_eq!(loops.len(), 2);
+        // With a 5-minute A1 gap they merge.
+        let records2 = vec![
+            mk_record(0, dst, 1),
+            mk_record(SEC, dst, 1),
+            mk_record(100 * SEC, dst, 2),
+            mk_record(101 * SEC, dst, 2),
+        ];
+        let s1 = mk_stream(dst, 1, &[0, SEC], &[0, 1]);
+        let s2 = mk_stream(dst, 2, &[100 * SEC, 101 * SEC], &[2, 3]);
+        let loops5 = run_merge(
+            records2,
+            vec![s1, s2],
+            vec![true; 4],
+            &DetectorConfig::default().with_merge_gap_minutes(5),
+        );
+        assert_eq!(loops5.len(), 1);
+    }
+
+    #[test]
+    fn chain_merging_is_transitive() {
+        let dst = Ipv4Addr::new(203, 0, 113, 1);
+        let mut records = Vec::new();
+        let mut streams = Vec::new();
+        for k in 0..5u64 {
+            let t0 = k * 30 * SEC;
+            records.push(mk_record(t0, dst, k as u16));
+            records.push(mk_record(t0 + SEC, dst, k as u16));
+            streams.push(mk_stream(
+                dst,
+                k as u16,
+                &[t0, t0 + SEC],
+                &[(k * 2) as usize, (k * 2 + 1) as usize],
+            ));
+        }
+        let n = records.len();
+        let loops = run_merge(records, streams, vec![true; n], &DetectorConfig::default());
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].num_streams(), 5);
+        assert_eq!(loops[0].duration_ns(), 4 * 30 * SEC + SEC);
+    }
+
+    #[test]
+    fn loop_ttl_delta_is_modal() {
+        let dst = Ipv4Addr::new(203, 0, 113, 1);
+        let records = vec![mk_record(0, dst, 1)];
+        let s1 = mk_stream(dst, 1, &[0, 1, 2], &[0, 0, 0]);
+        let loops = run_merge(records, vec![s1], vec![true], &DetectorConfig::default());
+        assert_eq!(loops[0].ttl_delta(), 2);
+    }
+
+    #[test]
+    fn classification_by_duration_and_tail() {
+        let dst = Ipv4Addr::new(203, 0, 113, 1);
+        let short = RoutingLoop {
+            prefix: Ipv4Prefix::slash24_of(dst),
+            start_ns: 0,
+            end_ns: 5 * SEC,
+            streams: vec![mk_stream(dst, 1, &[0, 5 * SEC], &[0, 1])],
+        };
+        let long = RoutingLoop {
+            prefix: Ipv4Prefix::slash24_of(dst),
+            start_ns: 0,
+            end_ns: 400 * SEC,
+            streams: vec![mk_stream(dst, 2, &[0, 400 * SEC], &[0, 1])],
+        };
+        let threshold = 120 * SEC;
+        assert_eq!(short.classify(threshold), LoopKind::Transient);
+        assert_eq!(long.classify(threshold), LoopKind::Persistent);
+        // Tail detection: trace ends at 401 s; `long` was still running.
+        assert!(long.is_open_ended(401 * SEC, 2 * SEC));
+        assert!(!short.is_open_ended(401 * SEC, 2 * SEC));
+    }
+}

@@ -1,0 +1,704 @@
+//! Online (streaming) loop detection.
+//!
+//! The paper's pipeline is offline: it assumes the whole trace is on disk.
+//! An operator who wants to *alarm* on loops needs the same logic as a
+//! single pass with bounded memory. This module provides that: records are
+//! pushed in timestamp order, and validated replica streams / merged
+//! routing loops are emitted as soon as the evidence is complete —
+//! a stream when its candidate has been silent for the replica gap, a loop
+//! when its prefix has been loop-free for the merge gap.
+//!
+//! Semantics match the offline [`crate::Detector`] exactly on any trace
+//! (the equivalence is property-tested), with one bounded-memory knob:
+//! [`OnlineDetector::with_history_horizon`] limits how much per-prefix
+//! packet history is retained for the co-loop and gap-clean rules. The
+//! default horizon covers the merge gap, which is what exact equivalence
+//! requires.
+
+use crate::config::DetectorConfig;
+use crate::key::ReplicaKey;
+use crate::merge::RoutingLoop;
+use crate::record::TraceRecord;
+use crate::stream::{Observation, ReplicaStream};
+use std::collections::{HashMap, VecDeque};
+
+/// Events emitted by the streaming detector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OnlineEvent {
+    /// A validated replica stream (post step 2).
+    Stream(ReplicaStream),
+    /// A merged routing loop, emitted once its prefix has been quiet for
+    /// the merge gap (post step 3).
+    Loop(RoutingLoop),
+}
+
+#[derive(Debug)]
+struct OpenCandidate {
+    observations: Vec<Observation>,
+    record_seqs: Vec<u64>,
+    last_ip_checksum: u16,
+    protocol: u8,
+}
+
+#[derive(Debug, Default)]
+struct PrefixState {
+    /// Recent records to this /24: `(timestamp, record sequence number)`.
+    history: VecDeque<(u64, u64)>,
+    /// Validated streams not yet committed to an emitted loop. Merging is
+    /// deferred until no open candidate can change the outcome, so the
+    /// result is byte-identical to the offline merge.
+    pending: Vec<ReplicaStream>,
+    /// First-observation time of every open candidate to this prefix.
+    open_cands: HashMap<ReplicaKey, u64>,
+}
+
+/// Single-pass detector.
+pub struct OnlineDetector {
+    cfg: DetectorConfig,
+    history_horizon_ns: u64,
+    now: u64,
+    seq: u64,
+    open: HashMap<ReplicaKey, OpenCandidate>,
+    prefixes: HashMap<net_types::Ipv4Prefix, PrefixState>,
+    /// Sequence numbers of records known to belong to a candidate with at
+    /// least two sightings ("looped" in the §IV-A.2 sense).
+    looped_seqs: std::collections::HashSet<u64>,
+    /// Validated streams waiting for their prefix's loop to close; kept
+    /// inside `open_loop` once merged.
+    stats: OnlineStats,
+}
+
+/// Streaming counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OnlineStats {
+    /// Records consumed.
+    pub records: u64,
+    /// Candidates with >= 2 sightings seen so far.
+    pub raw_candidates: u64,
+    /// Rejected: too few replicas.
+    pub rejected_short: u64,
+    /// Rejected: co-loop rule.
+    pub rejected_covalidation: u64,
+    /// Validated streams emitted.
+    pub streams_emitted: u64,
+    /// Loops emitted.
+    pub loops_emitted: u64,
+}
+
+impl OnlineDetector {
+    /// Creates a streaming detector with the given (offline-compatible)
+    /// configuration.
+    pub fn new(cfg: DetectorConfig) -> Self {
+        cfg.validate().expect("invalid detector configuration");
+        // Exact offline equivalence needs history reaching back from the
+        // moment a gap-clean check runs to the start of the gap. A check
+        // runs when the later stream closes, i.e. up to one replica gap
+        // after its last sighting; the stream itself can span up to 255
+        // inter-replica gaps (a TTL is at most 255); and the merge gap
+        // precedes the stream. Hence:
+        //   horizon >= merge_gap + (255 + 1) * replica_gap.
+        let horizon = cfg.merge_gap_ns + cfg.max_replica_gap_ns.saturating_mul(256);
+        Self {
+            cfg,
+            history_horizon_ns: horizon,
+            now: 0,
+            seq: 0,
+            open: HashMap::new(),
+            prefixes: HashMap::new(),
+            looped_seqs: std::collections::HashSet::new(),
+            stats: OnlineStats::default(),
+        }
+    }
+
+    /// Shrinks the retained per-prefix history (bounded-memory mode). With
+    /// a horizon below the merge gap, step 3's gap-clean rule degrades to
+    /// "no *remembered* non-looped packet in the gap", which can merge
+    /// loops the offline detector would keep apart.
+    pub fn with_history_horizon(mut self, horizon_ns: u64) -> Self {
+        self.history_horizon_ns = horizon_ns;
+        self
+    }
+
+    /// Streaming counters so far.
+    pub fn stats(&self) -> &OnlineStats {
+        &self.stats
+    }
+
+    /// Number of currently-open candidates (memory introspection).
+    pub fn open_candidates(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Pushes one record; returns any events whose evidence completed.
+    ///
+    /// # Panics
+    /// Panics when records go backwards in time.
+    pub fn push(&mut self, rec: &TraceRecord) -> Vec<OnlineEvent> {
+        assert!(
+            rec.timestamp_ns >= self.now,
+            "records must be pushed in timestamp order"
+        );
+        self.now = rec.timestamp_ns;
+        self.stats.records += 1;
+        let seq = self.seq;
+        self.seq += 1;
+        let mut events = Vec::new();
+
+        // Expire stale candidates and quiet loops *before* processing, so
+        // a record at time T sees exactly the state the offline pass would
+        // have built from records before T.
+        self.expire(&mut events);
+
+        // Record history for the co-loop / gap-clean rules.
+        let prefix = rec.dst_slash24();
+        let pstate = self.prefixes.entry(prefix).or_default();
+        pstate.history.push_back((rec.timestamp_ns, seq));
+
+        // Step 1 (incremental): candidate join / split.
+        let key = ReplicaKey::of(rec);
+        match self.open.get_mut(&key) {
+            Some(cand) => {
+                let last = *cand.observations.last().expect("non-empty");
+                let gap = rec.timestamp_ns.saturating_sub(last.timestamp_ns);
+                let ttl_ok = last.ttl >= rec.ttl.saturating_add(self.cfg.min_ttl_delta);
+                let fresh = gap <= self.cfg.max_replica_gap_ns;
+                let checksum_ok = if self.cfg.verify_checksum_consistency && ttl_ok {
+                    let expected = net_types::checksum::ttl_rewrite(
+                        cand.last_ip_checksum,
+                        last.ttl,
+                        rec.ttl,
+                        cand.protocol,
+                    );
+                    checksums_equivalent(expected, rec.ip_checksum)
+                } else {
+                    true
+                };
+                if ttl_ok && fresh && checksum_ok {
+                    cand.observations.push(Observation {
+                        timestamp_ns: rec.timestamp_ns,
+                        ttl: rec.ttl,
+                    });
+                    cand.record_seqs.push(seq);
+                    cand.last_ip_checksum = rec.ip_checksum;
+                    if cand.observations.len() == 2 {
+                        self.stats.raw_candidates += 1;
+                        for s in &cand.record_seqs {
+                            self.looped_seqs.insert(*s);
+                        }
+                    } else if cand.observations.len() > 2 {
+                        self.looped_seqs.insert(seq);
+                    }
+                } else {
+                    let cand = self.open.remove(&key).unwrap();
+                    self.close_candidate(key, cand, &mut events);
+                    self.open.insert(key, OpenCandidate::new(rec, seq));
+                    self.prefixes
+                        .entry(prefix)
+                        .or_default()
+                        .open_cands
+                        .insert(key, rec.timestamp_ns);
+                }
+            }
+            None => {
+                self.open.insert(key, OpenCandidate::new(rec, seq));
+                self.prefixes
+                    .entry(prefix)
+                    .or_default()
+                    .open_cands
+                    .insert(key, rec.timestamp_ns);
+            }
+        }
+        events
+    }
+
+    /// Flushes everything at end of trace; returns the tail events and
+    /// the final counters.
+    pub fn finish(mut self) -> (Vec<OnlineEvent>, OnlineStats) {
+        let mut events = Vec::new();
+        let mut keys: Vec<(u64, u16, ReplicaKey)> = self
+            .open
+            .iter()
+            .map(|(k, c)| (c.observations[0].timestamp_ns, k.ident, *k))
+            .collect();
+        keys.sort_unstable_by_key(|(start, ident, _)| (*start, *ident));
+        for (_, _, key) in keys {
+            let cand = self.open.remove(&key).unwrap();
+            self.close_candidate(key, cand, &mut events);
+        }
+        // Force-flush every pending loop.
+        let prefixes: Vec<net_types::Ipv4Prefix> = self.prefixes.keys().copied().collect();
+        for p in prefixes {
+            self.flush_final_loops(p, true, &mut events);
+        }
+        events.sort_by_key(|e| match e {
+            OnlineEvent::Stream(s) => (0u8, s.start_ns(), s.key.ident),
+            OnlineEvent::Loop(l) => (1u8, l.start_ns, 0),
+        });
+        (events, self.stats)
+    }
+
+    fn expire(&mut self, events: &mut Vec<OnlineEvent>) {
+        // Candidates silent past the replica gap can never grow again.
+        // Close them in stream-start order (HashMap order would make the
+        // output depend on hasher state).
+        let cutoff = self.now.saturating_sub(self.cfg.max_replica_gap_ns);
+        let mut stale: Vec<(u64, u16, ReplicaKey)> = self
+            .open
+            .iter()
+            .filter(|(_, c)| c.observations.last().unwrap().timestamp_ns < cutoff)
+            .map(|(k, c)| (c.observations[0].timestamp_ns, k.ident, *k))
+            .collect();
+        stale.sort_unstable_by_key(|(start, ident, _)| (*start, *ident));
+        for (_, _, key) in stale {
+            let cand = self.open.remove(&key).unwrap();
+            self.close_candidate(key, cand, events);
+        }
+        // Emit loops whose composition can no longer change, and trim
+        // history.
+        let prefixes: Vec<net_types::Ipv4Prefix> = self.prefixes.keys().copied().collect();
+        for p in prefixes {
+            self.flush_final_loops(p, false, events);
+            let state = self.prefixes.get_mut(&p).expect("listed");
+            let h_cutoff = self.now.saturating_sub(self.history_horizon_ns);
+            while state.history.front().is_some_and(|(t, _)| *t < h_cutoff) {
+                let (_, old_seq) = state.history.pop_front().unwrap();
+                self.looped_seqs.remove(&old_seq);
+            }
+        }
+    }
+
+    /// Runs the offline merge over this prefix's pending streams and emits
+    /// every loop that no future stream can still join: future streams
+    /// start no earlier than `min(now, earliest open candidate)`, so a loop
+    /// whose end lies more than the merge gap before that point is final.
+    /// With `force`, everything is emitted (end of trace).
+    fn flush_final_loops(
+        &mut self,
+        prefix: net_types::Ipv4Prefix,
+        force: bool,
+        events: &mut Vec<OnlineEvent>,
+    ) {
+        let Some(state) = self.prefixes.get(&prefix) else {
+            return;
+        };
+        if state.pending.is_empty() {
+            return;
+        }
+        let barrier = state
+            .open_cands
+            .values()
+            .copied()
+            .min()
+            .unwrap_or(u64::MAX)
+            .min(self.now);
+        // Offline-identical merge over pending streams, sorted by start.
+        let mut streams: Vec<ReplicaStream> = state.pending.clone();
+        streams.sort_by_key(|s| (s.start_ns(), s.end_ns(), s.key.ident));
+        let mut loops: Vec<RoutingLoop> = Vec::new();
+        for s in streams {
+            match loops.last_mut() {
+                Some(l)
+                    if s.start_ns() <= l.end_ns
+                        || (s.start_ns() - l.end_ns <= self.cfg.merge_gap_ns
+                            && self.gap_is_clean(prefix, l.end_ns, s.start_ns())) =>
+                {
+                    l.start_ns = l.start_ns.min(s.start_ns());
+                    l.end_ns = l.end_ns.max(s.end_ns());
+                    l.streams.push(s);
+                }
+                _ => loops.push(RoutingLoop {
+                    prefix,
+                    start_ns: s.start_ns(),
+                    end_ns: s.end_ns(),
+                    streams: vec![s],
+                }),
+            }
+        }
+        // Emit the final prefix-ordered loops; keep the rest pending.
+        let mut remaining: Vec<ReplicaStream> = Vec::new();
+        for l in loops {
+            let is_final = force || l.end_ns.saturating_add(self.cfg.merge_gap_ns) < barrier;
+            if is_final {
+                self.stats.loops_emitted += 1;
+                events.push(OnlineEvent::Loop(l));
+            } else {
+                remaining.extend(l.streams);
+            }
+        }
+        self.prefixes
+            .get_mut(&prefix)
+            .expect("still present")
+            .pending = remaining;
+    }
+
+    /// The offline gap-clean rule over retained history: no non-looped
+    /// packet to the prefix in the open interval `(from, to)`.
+    fn gap_is_clean(&self, prefix: net_types::Ipv4Prefix, from: u64, to: u64) -> bool {
+        if to <= from + 1 {
+            return true;
+        }
+        let Some(state) = self.prefixes.get(&prefix) else {
+            return true;
+        };
+        state
+            .history
+            .iter()
+            .filter(|(t, _)| *t > from && *t < to)
+            .all(|(_, seq)| self.looped_seqs.contains(seq))
+    }
+
+    fn close_candidate(
+        &mut self,
+        key: ReplicaKey,
+        cand: OpenCandidate,
+        events: &mut Vec<OnlineEvent>,
+    ) {
+        if let Some(state) = self
+            .prefixes
+            .get_mut(&net_types::Ipv4Prefix::slash24_of(key.dst))
+        {
+            state.open_cands.remove(&key);
+        }
+        if cand.observations.len() < 2 {
+            return;
+        }
+        let stream = ReplicaStream {
+            key,
+            observations: cand.observations,
+            // The offline record indices are global positions; online we
+            // use sequence numbers, which coincide when the same trace is
+            // replayed from the start.
+            record_indices: cand.record_seqs.iter().map(|s| *s as usize).collect(),
+        };
+        // Step 2.
+        if stream.len() < self.cfg.min_stream_len {
+            self.stats.rejected_short += 1;
+            return;
+        }
+        if self.cfg.covalidate_prefix && !self.co_loop_holds(&stream) {
+            self.stats.rejected_covalidation += 1;
+            return;
+        }
+        self.stats.streams_emitted += 1;
+        events.push(OnlineEvent::Stream(stream.clone()));
+        // Step 3 is deferred: the stream joins the prefix's pending set and
+        // loops are emitted once their composition is final.
+        self.prefixes
+            .entry(stream.dst_slash24())
+            .or_default()
+            .pending
+            .push(stream);
+    }
+
+    fn co_loop_holds(&self, stream: &ReplicaStream) -> bool {
+        let slack = (stream.mean_spacing_ns() as f64 * self.cfg.covalidate_slack_spacings) as u64;
+        let from = stream.start_ns().saturating_add(slack);
+        let to = stream.end_ns().saturating_sub(slack);
+        if from > to {
+            return true;
+        }
+        let Some(state) = self.prefixes.get(&stream.dst_slash24()) else {
+            return true;
+        };
+        state
+            .history
+            .iter()
+            .filter(|(t, _)| *t >= from && *t <= to)
+            .all(|(_, seq)| self.looped_seqs.contains(seq))
+    }
+}
+
+impl OpenCandidate {
+    fn new(rec: &TraceRecord, seq: u64) -> Self {
+        Self {
+            observations: vec![Observation {
+                timestamp_ns: rec.timestamp_ns,
+                ttl: rec.ttl,
+            }],
+            record_seqs: vec![seq],
+            last_ip_checksum: rec.ip_checksum,
+            protocol: rec.protocol,
+        }
+    }
+}
+
+fn checksums_equivalent(a: u16, b: u16) -> bool {
+    let canon = |c: u16| if c == 0xffff { 0 } else { c };
+    canon(a) == canon(b)
+}
+
+/// Runs the streaming detector over a full trace and collects the events —
+/// the bridge used to compare online and offline results.
+pub fn run_streaming(
+    cfg: DetectorConfig,
+    records: &[TraceRecord],
+) -> (Vec<OnlineEvent>, OnlineStats) {
+    let mut det = OnlineDetector::new(cfg);
+    let mut events = Vec::new();
+    for rec in records {
+        events.extend(det.push(rec));
+    }
+    let (mut tail, stats) = det.finish();
+    events.append(&mut tail);
+    (events, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replica::Detector;
+    use net_types::{Packet, TcpFlags};
+    use std::net::Ipv4Addr;
+
+    fn looping_records(
+        start_ns: u64,
+        spacing_ns: u64,
+        first_ttl: u8,
+        n: usize,
+        ident: u16,
+        dst: Ipv4Addr,
+    ) -> Vec<TraceRecord> {
+        let mut p = Packet::tcp_flags(
+            Ipv4Addr::new(100, 7, 7, 7),
+            dst,
+            5555,
+            80,
+            TcpFlags::ACK,
+            &b"data"[..],
+        );
+        p.ip.ident = ident;
+        p.ip.ttl = first_ttl;
+        p.fill_checksums();
+        let mut out = Vec::new();
+        let mut t = start_ns;
+        for k in 0..n {
+            if k > 0 {
+                p.ip.decrement_ttl();
+                p.ip.decrement_ttl();
+            }
+            out.push(TraceRecord::from_packet(t, &p));
+            t += spacing_ns;
+        }
+        out
+    }
+
+    fn streams_of(events: &[OnlineEvent]) -> Vec<&ReplicaStream> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                OnlineEvent::Stream(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn loops_of(events: &[OnlineEvent]) -> Vec<&RoutingLoop> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                OnlineEvent::Loop(l) => Some(l),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_loop_streamed() {
+        let recs = looping_records(0, 1_000_000, 60, 10, 1, Ipv4Addr::new(203, 0, 113, 1));
+        let (events, stats) = run_streaming(DetectorConfig::default(), &recs);
+        let streams = streams_of(&events);
+        assert_eq!(streams.len(), 1);
+        assert_eq!(streams[0].len(), 10);
+        assert_eq!(loops_of(&events).len(), 1);
+        assert_eq!(stats.records, 10);
+        assert_eq!(stats.streams_emitted, 1);
+    }
+
+    #[test]
+    fn stream_emitted_on_gap_expiry_not_before() {
+        let recs = looping_records(0, 1_000_000, 60, 5, 1, Ipv4Addr::new(203, 0, 113, 1));
+        let mut det = OnlineDetector::new(DetectorConfig::default());
+        let mut live_events = Vec::new();
+        for r in &recs {
+            live_events.extend(det.push(r));
+        }
+        assert!(live_events.is_empty(), "stream still open, nothing emitted");
+        // A later unrelated record past the gap triggers the flush.
+        let mut other = Packet::tcp_flags(
+            Ipv4Addr::new(100, 1, 1, 1),
+            Ipv4Addr::new(198, 51, 100, 1),
+            9,
+            9,
+            TcpFlags::ACK,
+            &b""[..],
+        );
+        other.ip.ident = 999;
+        other.fill_checksums();
+        let late = TraceRecord::from_packet(10_000_000_000, &other);
+        let events = det.push(&late);
+        assert_eq!(streams_of(&events).len(), 1);
+    }
+
+    #[test]
+    fn matches_offline_on_multi_loop_trace() {
+        let mut recs = Vec::new();
+        for j in 0..6u16 {
+            recs.extend(looping_records(
+                u64::from(j) * 2_000_000_000,
+                1_500_000,
+                64,
+                4 + usize::from(j % 3),
+                j,
+                Ipv4Addr::new(203, 0, (j % 4) as u8, 1),
+            ));
+        }
+        // Background noise.
+        for i in 0..200u16 {
+            let mut p = Packet::tcp_flags(
+                Ipv4Addr::new(100, 2, 2, 2),
+                Ipv4Addr::new(20, 0, (i % 5) as u8, 1),
+                1000,
+                80,
+                TcpFlags::ACK,
+                &b""[..],
+            );
+            p.ip.ident = i;
+            p.fill_checksums();
+            recs.push(TraceRecord::from_packet(u64::from(i) * 40_000_000, &p));
+        }
+        recs.sort_by_key(|r| r.timestamp_ns);
+
+        let offline = Detector::new(DetectorConfig::default()).run(&recs);
+        let (events, stats) = run_streaming(DetectorConfig::default(), &recs);
+        let streams = streams_of(&events);
+        assert_eq!(streams.len(), offline.streams.len());
+        for (a, b) in streams.iter().zip(&offline.streams) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.observations, b.observations);
+        }
+        let loops = loops_of(&events);
+        assert_eq!(loops.len(), offline.loops.len());
+        assert_eq!(stats.raw_candidates, offline.stats.raw_candidates);
+        assert_eq!(stats.rejected_short, offline.stats.rejected_short);
+    }
+
+    #[test]
+    fn covalidation_applies_online() {
+        let mut recs = looping_records(0, 1_000_000, 60, 5, 1, Ipv4Addr::new(203, 0, 113, 9));
+        let mut bystander = Packet::tcp_flags(
+            Ipv4Addr::new(100, 2, 2, 2),
+            Ipv4Addr::new(203, 0, 113, 10),
+            777,
+            443,
+            TcpFlags::ACK,
+            &b""[..],
+        );
+        bystander.ip.ident = 999;
+        bystander.fill_checksums();
+        recs.push(TraceRecord::from_packet(2_000_000, &bystander));
+        recs.sort_by_key(|r| r.timestamp_ns);
+        let (events, stats) = run_streaming(DetectorConfig::default(), &recs);
+        assert!(streams_of(&events).is_empty());
+        assert_eq!(stats.rejected_covalidation, 1);
+    }
+
+    #[test]
+    fn long_stream_dirty_gap_matches_offline() {
+        // Regression: the gap-clean check for a *long* later stream runs
+        // long after the gap itself. A non-looped packet early in the gap
+        // must still veto the merge, which requires the history horizon to
+        // cover merge_gap + the stream's own duration.
+        let dst = Ipv4Addr::new(203, 0, 113, 1);
+        let mut recs = looping_records(0, 1_000_000, 30, 4, 1, dst); // L1: ~3 ms
+                                                                     // The dirty bystander: one non-looped packet to the /24 at 300 ms.
+        let mut bystander = Packet::tcp_flags(
+            Ipv4Addr::new(100, 2, 2, 2),
+            Ipv4Addr::new(203, 0, 113, 40),
+            777,
+            443,
+            TcpFlags::ACK,
+            &b""[..],
+        );
+        bystander.ip.ident = 999;
+        bystander.fill_checksums();
+        recs.push(TraceRecord::from_packet(300_000_000, &bystander));
+        // L2: 25 sightings spaced 200 ms -> ~4.8 s duration, starting 59 s
+        // after L1 (inside the 60 s merge gap).
+        recs.extend(looping_records(59_000_000_000, 200_000_000, 64, 25, 2, dst));
+        // A trailing unrelated record to force expiry + flush via push.
+        let mut trailer = Packet::tcp_flags(
+            Ipv4Addr::new(100, 3, 3, 3),
+            Ipv4Addr::new(198, 51, 100, 1),
+            5,
+            6,
+            TcpFlags::ACK,
+            &b""[..],
+        );
+        trailer.ip.ident = 1234;
+        trailer.fill_checksums();
+        recs.push(TraceRecord::from_packet(70_000_000_000, &trailer));
+        recs.sort_by_key(|r| r.timestamp_ns);
+
+        let offline = Detector::new(DetectorConfig::default()).run(&recs);
+        assert_eq!(offline.loops.len(), 2, "offline must keep the loops apart");
+        let (events, _) = run_streaming(DetectorConfig::default(), &recs);
+        assert_eq!(
+            loops_of(&events).len(),
+            2,
+            "online must also keep them apart"
+        );
+    }
+
+    #[test]
+    fn merge_gap_bridges_online() {
+        let dst = Ipv4Addr::new(203, 0, 113, 1);
+        let mut recs = looping_records(0, 1_000_000, 60, 4, 1, dst);
+        recs.extend(looping_records(30_000_000_000, 1_000_000, 60, 4, 2, dst));
+        recs.sort_by_key(|r| r.timestamp_ns);
+        let (events, _) = run_streaming(DetectorConfig::default(), &recs);
+        let loops = loops_of(&events);
+        assert_eq!(loops.len(), 1, "30 s gap must bridge");
+        assert_eq!(loops[0].num_streams(), 2);
+    }
+
+    #[test]
+    fn unrelated_traffic_bounded_memory() {
+        let mut det = OnlineDetector::new(DetectorConfig::default());
+        for i in 0..20_000u32 {
+            let mut p = Packet::tcp_flags(
+                Ipv4Addr::new(100, 3, 3, 3),
+                Ipv4Addr::new(20, 1, (i % 7) as u8, 1),
+                2000,
+                80,
+                TcpFlags::ACK,
+                &b""[..],
+            );
+            p.ip.ident = i as u16;
+            p.fill_checksums();
+            // 10 ms apart: after the 1 s replica gap, old candidates are
+            // evicted, so at most ~100 remain open.
+            det.push(&TraceRecord::from_packet(u64::from(i) * 10_000_000, &p));
+        }
+        assert!(
+            det.open_candidates() < 200,
+            "candidate table must stay bounded, got {}",
+            det.open_candidates()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "timestamp order")]
+    fn out_of_order_panics() {
+        let recs = looping_records(
+            1_000_000,
+            1_000_000,
+            60,
+            3,
+            1,
+            Ipv4Addr::new(203, 0, 113, 1),
+        );
+        let mut det = OnlineDetector::new(DetectorConfig::default());
+        det.push(&recs[2]);
+        det.push(&recs[0]);
+    }
+}

@@ -1,0 +1,532 @@
+//! Step 1 — replica detection — and the overall detection pipeline.
+
+use crate::config::DetectorConfig;
+use crate::key::ReplicaKey;
+use crate::merge::{self, RoutingLoop};
+use crate::record::TraceRecord;
+use crate::stream::{Observation, ReplicaStream};
+use crate::validate::{self, PrefixIndex};
+use std::collections::HashMap;
+
+/// Counters describing what each pipeline stage did — the raw material of
+/// Table II and the A2 ablation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetectionStats {
+    /// Records consumed.
+    pub total_records: u64,
+    /// Candidate replica sets with at least two sightings (pre-validation).
+    pub raw_candidates: u64,
+    /// Candidates rejected for having fewer than `min_stream_len` replicas
+    /// (link-layer duplication artefacts).
+    pub rejected_short: u64,
+    /// Candidates rejected by the prefix co-loop rule.
+    pub rejected_covalidation: u64,
+    /// Times a sighting failed the RFC 1624 checksum-consistency check and
+    /// forced a candidate split.
+    pub checksum_splits: u64,
+    /// Streams surviving validation.
+    pub validated_streams: u64,
+    /// Merged routing loops.
+    pub routing_loops: u64,
+    /// Total looped packets: every sighting in every validated stream
+    /// (Table I's "Looped Packets" column counts individual looping
+    /// packets; see [`DetectionResult::looped_unique_packets`] for the
+    /// per-unique-packet count).
+    pub looped_sightings: u64,
+}
+
+/// Full output of a detection run.
+#[derive(Debug)]
+pub struct DetectionResult {
+    /// Validated replica streams, in start-time order.
+    pub streams: Vec<ReplicaStream>,
+    /// Merged routing loops, in `(prefix, start)` order.
+    pub loops: Vec<RoutingLoop>,
+    /// Per-record flag: was this record part of *any* candidate replica
+    /// set (>= 2 sightings)? Used by the co-loop rule and by the traffic
+    /// classification of looped traffic.
+    pub looped_flags: Vec<bool>,
+    /// Stage counters.
+    pub stats: DetectionStats,
+}
+
+impl DetectionResult {
+    /// Number of unique packets that looped (one per validated stream).
+    pub fn looped_unique_packets(&self) -> u64 {
+        self.streams.len() as u64
+    }
+}
+
+/// The three-step detector.
+#[derive(Debug, Clone)]
+pub struct Detector {
+    cfg: DetectorConfig,
+}
+
+struct OpenCandidate {
+    observations: Vec<Observation>,
+    record_indices: Vec<usize>,
+    last_ip_checksum: u16,
+    protocol: u8,
+}
+
+impl Detector {
+    /// Creates a detector.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration.
+    pub fn new(cfg: DetectorConfig) -> Self {
+        cfg.validate().expect("invalid detector configuration");
+        Self { cfg }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.cfg
+    }
+
+    /// Runs the full pipeline on a time-sorted trace.
+    ///
+    /// # Panics
+    /// Panics when records are not sorted by timestamp — a trace that is
+    /// out of order is corrupt and analysing it would silently produce
+    /// nonsense.
+    pub fn run(&self, records: &[TraceRecord]) -> DetectionResult {
+        assert!(
+            records
+                .windows(2)
+                .all(|w| w[0].timestamp_ns <= w[1].timestamp_ns),
+            "trace records must be sorted by timestamp"
+        );
+        let mut stats = DetectionStats {
+            total_records: records.len() as u64,
+            ..Default::default()
+        };
+        let candidates = self.find_candidates(records, &mut stats);
+        stats.raw_candidates = candidates.len() as u64;
+
+        // Per-record "is looped" flags from raw candidates: any packet with
+        // at least one replica counts as looped for the co-loop rule (§IV-
+        // A.2 asks whether packets "belong to a replica stream", prior to
+        // length filtering).
+        let mut looped_flags = vec![false; records.len()];
+        for c in &candidates {
+            for &idx in &c.record_indices {
+                looped_flags[idx] = true;
+            }
+        }
+
+        let index = PrefixIndex::build(records);
+        let validated = validate::validate(
+            records,
+            candidates,
+            &looped_flags,
+            &index,
+            &self.cfg,
+            &mut stats,
+        );
+        stats.validated_streams = validated.len() as u64;
+        stats.looped_sightings = validated.iter().map(|s| s.len() as u64).sum();
+
+        let loops = merge::merge(records, validated.clone(), &looped_flags, &index, &self.cfg);
+        stats.routing_loops = loops.len() as u64;
+
+        DetectionResult {
+            streams: validated,
+            loops,
+            looped_flags,
+            stats,
+        }
+    }
+
+    /// Step 1: groups records into candidate replica sets (>= 2 sightings
+    /// each).
+    fn find_candidates(
+        &self,
+        records: &[TraceRecord],
+        stats: &mut DetectionStats,
+    ) -> Vec<ReplicaStream> {
+        let mut open: HashMap<ReplicaKey, OpenCandidate> = HashMap::new();
+        let mut done: Vec<ReplicaStream> = Vec::new();
+        let close = |key: ReplicaKey, cand: OpenCandidate, done: &mut Vec<ReplicaStream>| {
+            if cand.observations.len() >= 2 {
+                done.push(ReplicaStream {
+                    key,
+                    observations: cand.observations,
+                    record_indices: cand.record_indices,
+                });
+            }
+        };
+        for (idx, rec) in records.iter().enumerate() {
+            let key = ReplicaKey::of(rec);
+            match open.get_mut(&key) {
+                Some(cand) => {
+                    let last = *cand.observations.last().expect("open candidate non-empty");
+                    let gap = rec.timestamp_ns.saturating_sub(last.timestamp_ns);
+                    let ttl_ok = last.ttl >= rec.ttl.saturating_add(self.cfg.min_ttl_delta);
+                    let fresh = gap <= self.cfg.max_replica_gap_ns;
+                    let checksum_ok = if self.cfg.verify_checksum_consistency && ttl_ok {
+                        let expected = net_types::checksum::ttl_rewrite(
+                            cand.last_ip_checksum,
+                            last.ttl,
+                            rec.ttl,
+                            cand.protocol,
+                        );
+                        checksums_equivalent(expected, rec.ip_checksum)
+                    } else {
+                        true
+                    };
+                    if ttl_ok && fresh && checksum_ok {
+                        cand.observations.push(Observation {
+                            timestamp_ns: rec.timestamp_ns,
+                            ttl: rec.ttl,
+                        });
+                        cand.record_indices.push(idx);
+                        cand.last_ip_checksum = rec.ip_checksum;
+                    } else {
+                        if ttl_ok && fresh && !checksum_ok {
+                            stats.checksum_splits += 1;
+                        }
+                        // Same key but not a continuation: close the old
+                        // candidate and start over from this sighting (a
+                        // link-layer duplicate, an ident wrap, or a stale
+                        // stream).
+                        let cand = open.remove(&key).unwrap();
+                        close(key, cand, &mut done);
+                        open.insert(key, OpenCandidate::new(rec, idx));
+                    }
+                }
+                None => {
+                    open.insert(key, OpenCandidate::new(rec, idx));
+                }
+            }
+        }
+        for (key, cand) in open.drain() {
+            close(key, cand, &mut done);
+        }
+        // HashMap drain order is nondeterministic; normalise.
+        done.sort_by_key(|s| (s.start_ns(), s.record_indices[0]));
+        done
+    }
+}
+
+impl OpenCandidate {
+    fn new(rec: &TraceRecord, idx: usize) -> Self {
+        Self {
+            observations: vec![Observation {
+                timestamp_ns: rec.timestamp_ns,
+                ttl: rec.ttl,
+            }],
+            record_indices: vec![idx],
+            last_ip_checksum: rec.ip_checksum,
+            protocol: rec.protocol,
+        }
+    }
+}
+
+/// One's-complement checksums have two zero representations; treat them as
+/// equal when comparing an incrementally-updated value against the one on
+/// the wire.
+fn checksums_equivalent(a: u16, b: u16) -> bool {
+    let canon = |c: u16| if c == 0xffff { 0 } else { c };
+    canon(a) == canon(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_types::{Packet, TcpFlags};
+    use std::net::Ipv4Addr;
+
+    /// Builds the records a tap would see for one packet looping between
+    /// two (or `delta`) routers: TTL decreasing by `delta` per sighting.
+    fn looping_records(
+        start_ns: u64,
+        spacing_ns: u64,
+        first_ttl: u8,
+        delta: u8,
+        n: usize,
+        ident: u16,
+        dst: Ipv4Addr,
+    ) -> Vec<TraceRecord> {
+        let mut p = Packet::tcp_flags(
+            Ipv4Addr::new(100, 7, 7, 7),
+            dst,
+            5555,
+            80,
+            TcpFlags::ACK,
+            &b"data"[..],
+        );
+        p.ip.ident = ident;
+        p.ip.ttl = first_ttl;
+        p.fill_checksums();
+        let mut out = Vec::new();
+        let mut t = start_ns;
+        for k in 0..n {
+            if k > 0 {
+                for _ in 0..delta {
+                    assert!(p.ip.decrement_ttl());
+                }
+            }
+            out.push(TraceRecord::from_packet(t, &p));
+            t += spacing_ns;
+        }
+        out
+    }
+
+    fn sort_records(mut v: Vec<TraceRecord>) -> Vec<TraceRecord> {
+        v.sort_by_key(|r| r.timestamp_ns);
+        v
+    }
+
+    #[test]
+    fn single_loop_yields_one_stream() {
+        let recs = looping_records(0, 1_000_000, 60, 2, 10, 1, Ipv4Addr::new(203, 0, 113, 1));
+        let det = Detector::new(DetectorConfig::default());
+        let result = det.run(&recs);
+        assert_eq!(result.streams.len(), 1);
+        let s = &result.streams[0];
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.ttl_delta(), 2);
+        assert_eq!(s.first_ttl(), 60);
+        assert_eq!(s.last_ttl(), 60 - 18);
+        assert_eq!(result.loops.len(), 1);
+        assert_eq!(result.stats.raw_candidates, 1);
+        assert_eq!(result.stats.looped_sightings, 10);
+        assert!(result.looped_flags.iter().all(|&f| f));
+    }
+
+    #[test]
+    fn normal_traffic_yields_nothing() {
+        // Distinct packets of one flow: increasing idents, same TTL.
+        let mut recs = Vec::new();
+        for i in 0..50u16 {
+            let mut p = Packet::tcp_flags(
+                Ipv4Addr::new(100, 1, 1, 1),
+                Ipv4Addr::new(203, 0, 113, 2),
+                1000,
+                80,
+                TcpFlags::ACK,
+                &b""[..],
+            );
+            p.ip.ident = i;
+            p.ip.ttl = 57;
+            p.fill_checksums();
+            recs.push(TraceRecord::from_packet(u64::from(i) * 1_000, &p));
+        }
+        let result = Detector::new(DetectorConfig::default()).run(&recs);
+        assert!(result.streams.is_empty());
+        assert!(result.loops.is_empty());
+        assert_eq!(result.stats.raw_candidates, 0);
+    }
+
+    #[test]
+    fn link_layer_duplicates_rejected() {
+        // The same packet twice with *equal* TTL: a token-ring/SONET
+        // duplicate, not a loop. Never a candidate (TTL must drop by 2).
+        let mut p = Packet::tcp_flags(
+            Ipv4Addr::new(100, 1, 1, 1),
+            Ipv4Addr::new(203, 0, 113, 3),
+            1,
+            2,
+            TcpFlags::ACK,
+            &b""[..],
+        );
+        p.ip.ttl = 60;
+        p.fill_checksums();
+        let recs = vec![
+            TraceRecord::from_packet(0, &p),
+            TraceRecord::from_packet(10, &p),
+        ];
+        let result = Detector::new(DetectorConfig::default()).run(&recs);
+        assert!(result.streams.is_empty());
+        assert_eq!(result.stats.raw_candidates, 0);
+    }
+
+    #[test]
+    fn two_element_stream_rejected_by_validation() {
+        let recs = looping_records(0, 1_000_000, 60, 2, 2, 9, Ipv4Addr::new(203, 0, 113, 4));
+        let result = Detector::new(DetectorConfig::default()).run(&recs);
+        assert_eq!(result.stats.raw_candidates, 1);
+        assert_eq!(result.stats.rejected_short, 1);
+        assert!(result.streams.is_empty());
+        // But the A2 ablation config accepts it.
+        let ablated = Detector::new(DetectorConfig::no_validation()).run(&recs);
+        assert_eq!(ablated.streams.len(), 1);
+    }
+
+    #[test]
+    fn ttl_delta_one_not_a_replica() {
+        // Successive sightings only 1 apart violate the >= 2 rule.
+        let recs = looping_records(0, 1_000, 60, 1, 5, 2, Ipv4Addr::new(203, 0, 113, 5));
+        let result = Detector::new(DetectorConfig::default()).run(&recs);
+        assert!(result.streams.is_empty());
+    }
+
+    #[test]
+    fn interleaved_streams_separated() {
+        // Two packets looping concurrently to different /24s.
+        let a = looping_records(0, 1_000_000, 62, 2, 8, 1, Ipv4Addr::new(203, 0, 113, 6));
+        let b = looping_records(
+            500_000,
+            1_000_000,
+            126,
+            2,
+            8,
+            2,
+            Ipv4Addr::new(198, 51, 100, 6),
+        );
+        let mut all = a;
+        all.extend(b);
+        let recs = sort_records(all);
+        let result = Detector::new(DetectorConfig::default()).run(&recs);
+        assert_eq!(result.streams.len(), 2);
+        let mut deltas: Vec<u8> = result.streams.iter().map(|s| s.ttl_delta()).collect();
+        deltas.sort();
+        assert_eq!(deltas, vec![2, 2]);
+        assert_eq!(result.loops.len(), 2);
+    }
+
+    #[test]
+    fn stale_candidate_split_by_gap() {
+        // Same key sighted, then silence past the gap, then sighted again
+        // with lower TTL: two candidates, neither long enough alone.
+        let mut recs = looping_records(0, 1_000_000, 60, 2, 3, 5, Ipv4Addr::new(203, 0, 113, 7));
+        let late = looping_records(
+            10_000_000_000, // 10 s later, gap default is 1 s
+            1_000_000,
+            40,
+            2,
+            3,
+            5,
+            Ipv4Addr::new(203, 0, 113, 7),
+        );
+        recs.extend(late);
+        let recs = sort_records(recs);
+        let result = Detector::new(DetectorConfig::default()).run(&recs);
+        // Both halves are 3-element candidates in their own right.
+        assert_eq!(result.stats.raw_candidates, 2);
+        assert_eq!(result.streams.len(), 2);
+        // And they merge into a single routing loop (same /24, < 1 min
+        // apart, nothing non-looped in between).
+        assert_eq!(result.loops.len(), 1);
+        assert_eq!(result.loops[0].streams.len(), 2);
+    }
+
+    #[test]
+    fn checksum_inconsistency_splits_candidate() {
+        let mut recs = looping_records(0, 1_000_000, 60, 2, 3, 3, Ipv4Addr::new(203, 0, 113, 8));
+        // Corrupt the third sighting's IP checksum.
+        recs[2].ip_checksum ^= 0x0f0f;
+        let result = Detector::new(DetectorConfig::default()).run(&recs);
+        assert_eq!(result.stats.checksum_splits, 1);
+        // Without the check it would be a clean 3-stream.
+        let lax = Detector::new(DetectorConfig {
+            verify_checksum_consistency: false,
+            ..DetectorConfig::default()
+        })
+        .run(&recs);
+        assert_eq!(lax.streams.len(), 1);
+        assert_eq!(lax.stats.checksum_splits, 0);
+    }
+
+    #[test]
+    fn covalidation_vetoes_stream_with_nonlooped_neighbour() {
+        // A 5-replica stream, but another packet to the same /24 crosses
+        // exactly once in the middle of the window: §IV-A.2 says the
+        // "loop" cannot be real.
+        let mut recs = looping_records(0, 1_000_000, 60, 2, 5, 1, Ipv4Addr::new(203, 0, 113, 9));
+        let mut bystander = Packet::tcp_flags(
+            Ipv4Addr::new(100, 2, 2, 2),
+            Ipv4Addr::new(203, 0, 113, 10), // same /24
+            777,
+            443,
+            TcpFlags::ACK,
+            &b""[..],
+        );
+        bystander.ip.ttl = 50;
+        bystander.ip.ident = 999;
+        bystander.fill_checksums();
+        recs.push(TraceRecord::from_packet(2_000_000, &bystander));
+        let recs = sort_records(recs);
+        let result = Detector::new(DetectorConfig::default()).run(&recs);
+        assert_eq!(result.stats.rejected_covalidation, 1);
+        assert!(result.streams.is_empty());
+        // A2 ablation keeps it.
+        let ablated = Detector::new(DetectorConfig::no_validation()).run(&recs);
+        assert_eq!(ablated.streams.len(), 1);
+    }
+
+    #[test]
+    fn covalidation_ignores_other_prefixes() {
+        let mut recs = looping_records(0, 1_000_000, 60, 2, 5, 1, Ipv4Addr::new(203, 0, 113, 9));
+        let mut bystander = Packet::tcp_flags(
+            Ipv4Addr::new(100, 2, 2, 2),
+            Ipv4Addr::new(198, 51, 100, 1), // different /24
+            777,
+            443,
+            TcpFlags::ACK,
+            &b""[..],
+        );
+        bystander.ip.ttl = 50;
+        bystander.fill_checksums();
+        recs.push(TraceRecord::from_packet(2_000_000, &bystander));
+        let recs = sort_records(recs);
+        let result = Detector::new(DetectorConfig::default()).run(&recs);
+        assert_eq!(result.streams.len(), 1);
+    }
+
+    #[test]
+    fn boundary_straggler_does_not_veto() {
+        // A packet that entered the loop just before it healed crosses the
+        // monitor once, right at the end of the stream's window. The slack
+        // (one mean spacing) must absorb it.
+        let mut recs = looping_records(0, 1_000_000, 60, 2, 5, 1, Ipv4Addr::new(203, 0, 113, 9));
+        let stream_end = 4_000_000u64;
+        let mut straggler = Packet::tcp_flags(
+            Ipv4Addr::new(100, 2, 2, 2),
+            Ipv4Addr::new(203, 0, 113, 11),
+            888,
+            443,
+            TcpFlags::ACK,
+            &b""[..],
+        );
+        straggler.ip.ttl = 50;
+        straggler.ip.ident = 1234;
+        straggler.fill_checksums();
+        recs.push(TraceRecord::from_packet(stream_end - 200_000, &straggler));
+        let recs = sort_records(recs);
+        let result = Detector::new(DetectorConfig::default()).run(&recs);
+        assert_eq!(result.streams.len(), 1, "straggler must not veto");
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_trace_panics() {
+        let mut recs = looping_records(0, 1_000_000, 60, 2, 3, 1, Ipv4Addr::new(203, 0, 113, 1));
+        recs.swap(0, 2);
+        Detector::new(DetectorConfig::default()).run(&recs);
+    }
+
+    #[test]
+    fn deterministic_output_order() {
+        let mut all = Vec::new();
+        for i in 0..20u16 {
+            all.extend(looping_records(
+                u64::from(i) * 10_000,
+                1_000_000,
+                60,
+                2,
+                4,
+                i,
+                Ipv4Addr::new(203, 0, 113, (i % 200) as u8 + 1),
+            ));
+        }
+        let recs = sort_records(all);
+        let det = Detector::new(DetectorConfig::default());
+        let a = det.run(&recs);
+        let b = det.run(&recs);
+        assert_eq!(a.streams, b.streams);
+        assert_eq!(a.stats, b.stats);
+    }
+}

@@ -1,0 +1,184 @@
+//! Traffic-type classification (Figures 5 and 6).
+//!
+//! "Note that a single replica can show up in multiple categories, a TCP
+//! SYN-ACK being listed in all of the TCP, SYN, and ACK categories for
+//! example."
+
+use crate::record::{TraceRecord, TransportSummary};
+use stats::CategoricalDist;
+
+/// The categories of Figures 5/6, in the paper's x-axis order.
+pub const CATEGORIES: [&str; 11] = [
+    "TCP", "ACK", "PSH", "RST", "URG", "SYN", "FIN", "UDP", "MCAST", "ICMP", "OTHER",
+];
+
+const FIN: u8 = 0x01;
+const SYN: u8 = 0x02;
+const RST: u8 = 0x04;
+const PSH: u8 = 0x08;
+const ACK: u8 = 0x10;
+const URG: u8 = 0x20;
+
+/// The categories a single record hits.
+pub fn classify(rec: &TraceRecord) -> Vec<&'static str> {
+    let mut hits = Vec::with_capacity(4);
+    let mcast = rec.dst.octets()[0] >= 224 && rec.dst.octets()[0] < 240;
+    match rec.transport {
+        TransportSummary::Tcp { flags, .. } => {
+            hits.push("TCP");
+            if flags & ACK != 0 {
+                hits.push("ACK");
+            }
+            if flags & PSH != 0 {
+                hits.push("PSH");
+            }
+            if flags & RST != 0 {
+                hits.push("RST");
+            }
+            if flags & URG != 0 {
+                hits.push("URG");
+            }
+            if flags & SYN != 0 {
+                hits.push("SYN");
+            }
+            if flags & FIN != 0 {
+                hits.push("FIN");
+            }
+        }
+        TransportSummary::Udp { .. } => hits.push("UDP"),
+        TransportSummary::Icmp { .. } => hits.push("ICMP"),
+        TransportSummary::Other { .. } => {
+            if !mcast {
+                hits.push("OTHER");
+            }
+        }
+    }
+    if mcast {
+        hits.push("MCAST");
+    }
+    hits
+}
+
+/// Classifies every record the iterator yields.
+pub fn distribution<'a>(records: impl Iterator<Item = &'a TraceRecord>) -> CategoricalDist {
+    let mut dist = CategoricalDist::new(&CATEGORIES);
+    for rec in records {
+        dist.record(&classify(rec));
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_types::{IcmpHeader, IpProtocol, Packet, TcpFlags, UdpHeader};
+    use std::net::Ipv4Addr;
+
+    fn rec_of(p: &Packet) -> TraceRecord {
+        TraceRecord::from_packet(0, p)
+    }
+
+    fn addrs() -> (Ipv4Addr, Ipv4Addr) {
+        (Ipv4Addr::new(100, 0, 0, 1), Ipv4Addr::new(203, 0, 113, 1))
+    }
+
+    #[test]
+    fn synack_hits_three_categories() {
+        let (s, d) = addrs();
+        let p = Packet::tcp_flags(s, d, 1, 2, TcpFlags::SYN | TcpFlags::ACK, &b""[..]);
+        let hits = classify(&rec_of(&p));
+        assert_eq!(hits, vec!["TCP", "ACK", "SYN"]);
+    }
+
+    #[test]
+    fn all_tcp_flags_classified() {
+        let (s, d) = addrs();
+        let p = Packet::tcp_flags(
+            s,
+            d,
+            1,
+            2,
+            TcpFlags::ACK | TcpFlags::PSH | TcpFlags::RST | TcpFlags::URG | TcpFlags::FIN,
+            &b""[..],
+        );
+        let hits = classify(&rec_of(&p));
+        assert_eq!(hits, vec!["TCP", "ACK", "PSH", "RST", "URG", "FIN"]);
+    }
+
+    #[test]
+    fn udp_icmp_other() {
+        let (s, d) = addrs();
+        assert_eq!(
+            classify(&rec_of(&Packet::udp(s, d, UdpHeader::new(1, 2), &b""[..]))),
+            vec!["UDP"]
+        );
+        assert_eq!(
+            classify(&rec_of(&Packet::icmp(
+                s,
+                d,
+                IcmpHeader::echo(true, 1, 1),
+                &b""[..]
+            ))),
+            vec!["ICMP"]
+        );
+        assert_eq!(
+            classify(&rec_of(&Packet::opaque(
+                s,
+                d,
+                IpProtocol::Other(47),
+                vec![0; 4]
+            ))),
+            vec!["OTHER"]
+        );
+    }
+
+    #[test]
+    fn multicast_destination_is_mcast() {
+        let (s, _) = addrs();
+        let mc = Ipv4Addr::new(224, 0, 1, 1);
+        // IGMP to a multicast group: MCAST only, not OTHER.
+        let p = Packet::opaque(s, mc, IpProtocol::Igmp, vec![0x16, 0, 0, 0]);
+        assert_eq!(classify(&rec_of(&p)), vec!["MCAST"]);
+        // UDP to a multicast group hits both UDP and MCAST.
+        let p = Packet::udp(s, mc, UdpHeader::new(1, 2), &b""[..]);
+        assert_eq!(classify(&rec_of(&p)), vec!["UDP", "MCAST"]);
+        // 239.x is still multicast; 240.x is not.
+        let p = Packet::udp(
+            s,
+            Ipv4Addr::new(239, 1, 1, 1),
+            UdpHeader::new(1, 2),
+            &b""[..],
+        );
+        assert!(classify(&rec_of(&p)).contains(&"MCAST"));
+        let p = Packet::udp(
+            s,
+            Ipv4Addr::new(240, 1, 1, 1),
+            UdpHeader::new(1, 2),
+            &b""[..],
+        );
+        assert!(!classify(&rec_of(&p)).contains(&"MCAST"));
+    }
+
+    #[test]
+    fn distribution_counts_items_once() {
+        let (s, d) = addrs();
+        let records = [
+            rec_of(&Packet::tcp_flags(
+                s,
+                d,
+                1,
+                2,
+                TcpFlags::SYN | TcpFlags::ACK,
+                &b""[..],
+            )),
+            rec_of(&Packet::udp(s, d, UdpHeader::new(1, 2), &b""[..])),
+        ];
+        let dist = distribution(records.iter());
+        assert_eq!(dist.items(), 2);
+        assert_eq!(dist.count("TCP"), 1);
+        assert_eq!(dist.count("SYN"), 1);
+        assert_eq!(dist.count("ACK"), 1);
+        assert_eq!(dist.count("UDP"), 1);
+        assert_eq!(dist.count("FIN"), 0);
+    }
+}

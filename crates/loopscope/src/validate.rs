@@ -1,0 +1,155 @@
+//! Step 2 — replica stream validation.
+//!
+//! Two rules from §IV-A.2:
+//!
+//! 1. Sets with only two elements are discarded: the link layer can
+//!    duplicate packets (token ring drain failures, SONET protection
+//!    mis-configuration), and two sightings are not enough evidence.
+//! 2. The co-loop rule: "If a packet with the same destination subnet as a
+//!    replicated packet does not itself belong to a replica stream, then
+//!    other replicas observed at that time cannot be due to a routing
+//!    loop, since the loop should affect all packets to the destination in
+//!    question."
+//!
+//! The co-loop window is shrunk by one mean inter-replica spacing on each
+//! side (configurable): a packet entering the loop just before it heals
+//! legitimately crosses the monitor exactly once and must not veto the
+//! stream (see `DetectorConfig::covalidate_slack_spacings`).
+
+use crate::config::DetectorConfig;
+use crate::record::TraceRecord;
+use crate::replica::DetectionStats;
+use crate::stream::ReplicaStream;
+use net_types::Ipv4Prefix;
+use std::collections::HashMap;
+
+/// Per-/24 index of record positions, for windowed queries.
+#[derive(Debug, Default)]
+pub struct PrefixIndex {
+    /// prefix -> (timestamp, record index), in time order.
+    by_prefix: HashMap<Ipv4Prefix, Vec<(u64, usize)>>,
+}
+
+impl PrefixIndex {
+    /// Builds the index from a time-sorted trace.
+    pub fn build(records: &[TraceRecord]) -> Self {
+        let mut by_prefix: HashMap<Ipv4Prefix, Vec<(u64, usize)>> = HashMap::new();
+        for (idx, rec) in records.iter().enumerate() {
+            by_prefix
+                .entry(rec.dst_slash24())
+                .or_default()
+                .push((rec.timestamp_ns, idx));
+        }
+        Self { by_prefix }
+    }
+
+    /// Record indices destined to `prefix` with timestamps in
+    /// `[from, to]` (inclusive).
+    pub fn in_window(&self, prefix: Ipv4Prefix, from: u64, to: u64) -> &[(u64, usize)] {
+        let Some(list) = self.by_prefix.get(&prefix) else {
+            return &[];
+        };
+        let lo = list.partition_point(|(t, _)| *t < from);
+        let hi = list.partition_point(|(t, _)| *t <= to);
+        &list[lo..hi]
+    }
+}
+
+/// Applies both validation rules, updating `stats`.
+pub fn validate(
+    _records: &[TraceRecord],
+    candidates: Vec<ReplicaStream>,
+    looped_flags: &[bool],
+    index: &PrefixIndex,
+    cfg: &DetectorConfig,
+    stats: &mut DetectionStats,
+) -> Vec<ReplicaStream> {
+    let mut out = Vec::new();
+    for cand in candidates {
+        if cand.len() < cfg.min_stream_len {
+            stats.rejected_short += 1;
+            continue;
+        }
+        if cfg.covalidate_prefix && !co_loop_holds(&cand, looped_flags, index, cfg) {
+            stats.rejected_covalidation += 1;
+            continue;
+        }
+        out.push(cand);
+    }
+    out.sort_by_key(|s| (s.start_ns(), s.key.ident));
+    out
+}
+
+/// The co-loop rule for one candidate.
+fn co_loop_holds(
+    cand: &ReplicaStream,
+    looped_flags: &[bool],
+    index: &PrefixIndex,
+    cfg: &DetectorConfig,
+) -> bool {
+    let slack = (cand.mean_spacing_ns() as f64 * cfg.covalidate_slack_spacings) as u64;
+    let from = cand.start_ns().saturating_add(slack);
+    let to = cand.end_ns().saturating_sub(slack);
+    if from > to {
+        return true; // window collapsed: nothing to check
+    }
+    index
+        .in_window(cand.dst_slash24(), from, to)
+        .iter()
+        .all(|(_, idx)| looped_flags[*idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_types::{Packet, TcpFlags};
+    use std::net::Ipv4Addr;
+
+    fn rec(ts: u64, dst: Ipv4Addr, ident: u16) -> TraceRecord {
+        let mut p = Packet::tcp_flags(
+            Ipv4Addr::new(100, 1, 1, 1),
+            dst,
+            1,
+            2,
+            TcpFlags::ACK,
+            &b""[..],
+        );
+        p.ip.ident = ident;
+        p.fill_checksums();
+        TraceRecord::from_packet(ts, &p)
+    }
+
+    #[test]
+    fn index_window_queries() {
+        let d1 = Ipv4Addr::new(203, 0, 113, 1);
+        let d2 = Ipv4Addr::new(198, 51, 100, 1);
+        let records = vec![
+            rec(10, d1, 0),
+            rec(20, d2, 1),
+            rec(30, d1, 2),
+            rec(40, d1, 3),
+            rec(50, d2, 4),
+        ];
+        let idx = PrefixIndex::build(&records);
+        let p1 = Ipv4Prefix::slash24_of(d1);
+        let hits = idx.in_window(p1, 10, 30);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0], (10, 0));
+        assert_eq!(hits[1], (30, 2));
+        // Exclusive outside the range.
+        assert_eq!(idx.in_window(p1, 31, 39).len(), 0);
+        assert_eq!(idx.in_window(p1, 40, 40).len(), 1);
+        // Unknown prefix.
+        assert!(idx
+            .in_window(Ipv4Prefix::slash24_of(Ipv4Addr::new(9, 9, 9, 9)), 0, 100)
+            .is_empty());
+    }
+
+    #[test]
+    fn index_handles_equal_timestamps() {
+        let d = Ipv4Addr::new(203, 0, 113, 1);
+        let records = vec![rec(10, d, 0), rec(10, d, 1), rec(10, d, 2)];
+        let idx = PrefixIndex::build(&records);
+        assert_eq!(idx.in_window(Ipv4Prefix::slash24_of(d), 10, 10).len(), 3);
+    }
+}

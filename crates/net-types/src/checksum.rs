@@ -1,0 +1,210 @@
+//! Internet checksum (RFC 1071) and incremental update (RFC 1624).
+//!
+//! Routers decrementing the TTL do not recompute the IPv4 header checksum
+//! from scratch; they apply the incremental update of RFC 1624 eqn. 3. The
+//! simulator does the same, and the detector uses [`ttl_rewrite`]'s algebra
+//! to verify that a candidate replica's checksum is *consistent* with its
+//! TTL — a structural check the paper gets for free from real router
+//! hardware.
+
+/// Sums a byte slice as 16-bit big-endian words into a 32-bit accumulator
+/// without folding. Odd trailing bytes are padded with a zero byte on the
+/// right, per RFC 1071.
+fn sum_words(data: &[u8]) -> u32 {
+    let mut sum = 0u32;
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    sum
+}
+
+/// Folds a 32-bit accumulator into a 16-bit one's-complement sum.
+fn fold(mut sum: u32) -> u16 {
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    sum as u16
+}
+
+/// Computes the internet checksum of `data`: the one's complement of the
+/// one's-complement sum of all 16-bit words.
+pub fn checksum(data: &[u8]) -> u16 {
+    !fold(sum_words(data))
+}
+
+/// Computes the internet checksum over several byte slices, treated as one
+/// logical message. Each part must have even length except possibly the
+/// last (a requirement all callers in this workspace satisfy: the
+/// pseudo-header and transport headers are even-sized).
+pub fn checksum_parts(parts: &[&[u8]]) -> u16 {
+    debug_assert!(
+        parts.iter().rev().skip(1).all(|p| p.len() % 2 == 0),
+        "only the final part may have odd length"
+    );
+    let mut sum = 0u32;
+    for part in parts {
+        sum += sum_words(part);
+        // Fold eagerly so the u32 cannot overflow on huge inputs.
+        sum = u32::from(fold(sum));
+    }
+    !fold(sum)
+}
+
+/// The IPv4 pseudo-header used by TCP and UDP checksums.
+pub fn pseudo_header(
+    src: std::net::Ipv4Addr,
+    dst: std::net::Ipv4Addr,
+    protocol: u8,
+    transport_len: u16,
+) -> [u8; 12] {
+    let mut ph = [0u8; 12];
+    ph[0..4].copy_from_slice(&src.octets());
+    ph[4..8].copy_from_slice(&dst.octets());
+    ph[8] = 0;
+    ph[9] = protocol;
+    ph[10..12].copy_from_slice(&transport_len.to_be_bytes());
+    ph
+}
+
+/// RFC 1624 incremental checksum update for a single 16-bit field change:
+/// given the old checksum `hc`, the old field value `m`, and the new value
+/// `m'`, returns the new checksum `hc' = ~(~hc + ~m + m')`.
+pub fn update_u16(hc: u16, old: u16, new: u16) -> u16 {
+    let sum = u32::from(!hc) + u32::from(!old) + u32::from(new);
+    !fold(sum)
+}
+
+/// Incrementally updates an IPv4 header checksum for a TTL change.
+///
+/// TTL is the high byte of the word it shares with the protocol field, so
+/// the 16-bit field transition is `(old_ttl, proto)` → `(new_ttl, proto)`.
+pub fn ttl_rewrite(hc: u16, old_ttl: u8, new_ttl: u8, protocol: u8) -> u16 {
+    let old = u16::from_be_bytes([old_ttl, protocol]);
+    let new = u16::from_be_bytes([new_ttl, protocol]);
+    update_u16(hc, old, new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    /// The classic example from RFC 1071 §3.
+    #[test]
+    fn rfc1071_example() {
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        // RFC 1071 computes the unfolded sum 2ddf0 -> folded ddf2.
+        assert_eq!(fold(sum_words(&data)), 0xddf2);
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    /// A well-known worked IPv4 header checksum example (Wikipedia /
+    /// RFC 1071 style): header with checksum field zeroed checksums to
+    /// 0xb861.
+    #[test]
+    fn known_ipv4_header_vector() {
+        let header = [
+            0x45u8, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8,
+            0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
+        ];
+        assert_eq!(checksum(&header), 0xb861);
+    }
+
+    #[test]
+    fn verification_of_valid_header_yields_zero_complement() {
+        let mut header = [
+            0x45u8, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8,
+            0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
+        ];
+        let c = checksum(&header);
+        header[10..12].copy_from_slice(&c.to_be_bytes());
+        // Folding a valid message including its checksum gives 0xffff, so the
+        // complement is zero.
+        assert_eq!(checksum(&header), 0);
+    }
+
+    #[test]
+    fn odd_length_padded() {
+        // 0x01 padded to 0x0100
+        assert_eq!(checksum(&[0x01]), !0x0100u16);
+        assert_eq!(checksum(&[0x00, 0x01, 0x02]), !(0x0001u16 + 0x0200));
+    }
+
+    #[test]
+    fn empty_buffer_checksum() {
+        assert_eq!(checksum(&[]), 0xffff);
+    }
+
+    #[test]
+    fn parts_equal_contiguous() {
+        let whole = [0x12u8, 0x34, 0x56, 0x78, 0x9a, 0xbc];
+        assert_eq!(
+            checksum_parts(&[&whole[..2], &whole[2..4], &whole[4..]]),
+            checksum(&whole)
+        );
+        assert_eq!(checksum_parts(&[&whole, &[]]), checksum(&whole));
+    }
+
+    #[test]
+    fn incremental_update_matches_recompute() {
+        let mut header = [
+            0x45u8, 0x00, 0x00, 0x54, 0xbe, 0xef, 0x40, 0x00, 0x40, 0x06, 0x00, 0x00, 0x0a, 0x00,
+            0x00, 0x01, 0x0a, 0x00, 0x00, 0x02,
+        ];
+        let c0 = checksum(&header);
+        header[10..12].copy_from_slice(&c0.to_be_bytes());
+        // Decrement TTL from 0x40 to 0x3f.
+        let updated = ttl_rewrite(c0, 0x40, 0x3f, 0x06);
+        header[8] = 0x3f;
+        header[10..12].copy_from_slice(&[0, 0]);
+        let recomputed = checksum(&header);
+        assert_eq!(updated, recomputed);
+    }
+
+    #[test]
+    fn incremental_update_chain_of_decrements() {
+        // Simulate a packet looping: many consecutive TTL decrements must
+        // stay consistent with full recomputation at every step.
+        let mut header = [
+            0x45u8, 0x00, 0x05, 0xdc, 0x12, 0x34, 0x00, 0x00, 0x80, 0x11, 0x00, 0x00, 0xc6, 0x33,
+            0x64, 0x01, 0xc0, 0x00, 0x02, 0x02,
+        ];
+        let mut hc = checksum(&header);
+        let proto = header[9];
+        for ttl in (1..0x80u8).rev() {
+            let old_ttl = ttl + 1;
+            hc = ttl_rewrite(hc, old_ttl, ttl, proto);
+            header[8] = ttl;
+            assert_eq!(hc, checksum(&header), "mismatch at ttl {ttl}");
+        }
+    }
+
+    #[test]
+    fn pseudo_header_layout() {
+        let ph = pseudo_header(
+            Ipv4Addr::new(192, 168, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            17,
+            0x1234,
+        );
+        assert_eq!(&ph[0..4], &[192, 168, 0, 1]);
+        assert_eq!(&ph[4..8], &[10, 0, 0, 2]);
+        assert_eq!(ph[8], 0);
+        assert_eq!(ph[9], 17);
+        assert_eq!(&ph[10..12], &[0x12, 0x34]);
+    }
+
+    #[test]
+    fn update_u16_roundtrip() {
+        let hc = checksum(&[0xab, 0xcd, 0x12, 0x34]);
+        let hc2 = update_u16(hc, 0x1234, 0x5678);
+        assert_eq!(hc2, checksum(&[0xab, 0xcd, 0x56, 0x78]));
+        // And back.
+        let hc3 = update_u16(hc2, 0x5678, 0x1234);
+        assert_eq!(hc3, hc);
+    }
+}

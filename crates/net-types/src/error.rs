@@ -1,0 +1,111 @@
+//! Error type shared by all wire-format code.
+
+use std::fmt;
+
+/// Errors raised while parsing or emitting wire formats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The buffer is shorter than the format requires. Carries the number of
+    /// bytes that were needed.
+    Truncated {
+        /// Bytes the format required.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// A version field did not match (e.g. IPv4 version != 4).
+    BadVersion(u8),
+    /// A length field is inconsistent with the buffer (e.g. IHL < 5, or
+    /// total length smaller than the header).
+    BadLength {
+        /// Which length field.
+        field: &'static str,
+        /// The offending value.
+        value: usize,
+    },
+    /// A checksum failed verification.
+    BadChecksum {
+        /// Which checksum.
+        field: &'static str,
+    },
+    /// A field holds a value this implementation cannot represent.
+    BadField {
+        /// Which field.
+        field: &'static str,
+        /// The offending value (widened).
+        value: u64,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Truncated { needed, got } => {
+                write!(f, "truncated buffer: needed {needed} bytes, got {got}")
+            }
+            Error::BadVersion(v) => write!(f, "bad version field: {v}"),
+            Error::BadLength { field, value } => {
+                write!(f, "inconsistent length field {field}: {value}")
+            }
+            Error::BadChecksum { field } => write!(f, "checksum mismatch in {field}"),
+            Error::BadField { field, value } => {
+                write!(f, "unrepresentable value {value} in field {field}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Checks that `buf` holds at least `needed` bytes.
+pub(crate) fn check_len(buf: &[u8], needed: usize) -> Result<()> {
+    if buf.len() < needed {
+        Err(Error::Truncated {
+            needed,
+            got: buf.len(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            Error::Truncated { needed: 20, got: 4 }.to_string(),
+            "truncated buffer: needed 20 bytes, got 4"
+        );
+        assert_eq!(Error::BadVersion(6).to_string(), "bad version field: 6");
+        assert!(Error::BadChecksum { field: "ipv4" }
+            .to_string()
+            .contains("ipv4"));
+        assert!(Error::BadLength {
+            field: "ihl",
+            value: 3
+        }
+        .to_string()
+        .contains("ihl"));
+        assert!(Error::BadField {
+            field: "proto",
+            value: 300
+        }
+        .to_string()
+        .contains("proto"));
+    }
+
+    #[test]
+    fn check_len_boundary() {
+        assert!(check_len(&[0u8; 4], 4).is_ok());
+        assert_eq!(
+            check_len(&[0u8; 3], 4),
+            Err(Error::Truncated { needed: 4, got: 3 })
+        );
+    }
+}

@@ -1,0 +1,239 @@
+//! ICMP header representation.
+//!
+//! The paper observed a high proportion of looped ICMP traffic — echo
+//! requests (hosts pinging when they see loss) and Time Exceeded messages
+//! (routers dropping TTL-expired looping packets), plus one host emitting
+//! packets with *reserved* type values. All three cases are representable
+//! here, and the simulator generates Time Exceeded messages itself.
+
+use crate::checksum;
+use crate::error::{check_len, Result};
+use std::fmt;
+
+/// ICMP header length (type, code, checksum, rest-of-header).
+pub const HEADER_LEN: usize = 8;
+
+/// ICMP message types the analysis distinguishes, with everything else kept
+/// verbatim (including the reserved types the paper saw in the wild).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IcmpType {
+    /// Echo reply (0).
+    EchoReply,
+    /// Destination unreachable (3).
+    DestUnreachable,
+    /// Echo request (8).
+    EchoRequest,
+    /// Time exceeded (11) — generated when a looping packet's TTL expires.
+    TimeExceeded,
+    /// Any other type, including reserved values.
+    Other(u8),
+}
+
+impl IcmpType {
+    /// Converts the wire value.
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            0 => IcmpType::EchoReply,
+            3 => IcmpType::DestUnreachable,
+            8 => IcmpType::EchoRequest,
+            11 => IcmpType::TimeExceeded,
+            other => IcmpType::Other(other),
+        }
+    }
+
+    /// The wire value.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            IcmpType::EchoReply => 0,
+            IcmpType::DestUnreachable => 3,
+            IcmpType::EchoRequest => 8,
+            IcmpType::TimeExceeded => 11,
+            IcmpType::Other(v) => v,
+        }
+    }
+
+    /// True for type values IANA lists as reserved/unassigned in the ranges
+    /// the paper's anomalous host used (1, 2, 7, and 44+).
+    pub fn is_reserved(self) -> bool {
+        matches!(self.as_u8(), 1 | 2 | 7 | 44..=252)
+    }
+}
+
+impl fmt::Display for IcmpType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IcmpType::EchoReply => write!(f, "echo-reply"),
+            IcmpType::DestUnreachable => write!(f, "dest-unreachable"),
+            IcmpType::EchoRequest => write!(f, "echo-request"),
+            IcmpType::TimeExceeded => write!(f, "time-exceeded"),
+            IcmpType::Other(v) => write!(f, "icmp-type-{v}"),
+        }
+    }
+}
+
+/// A parsed ICMP header (the fixed 8 bytes; the variable body is the packet
+/// payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IcmpHeader {
+    /// Message type.
+    pub icmp_type: IcmpType,
+    /// Message code (e.g. 0 = "TTL exceeded in transit" under TimeExceeded).
+    pub code: u8,
+    /// Checksum as on the wire.
+    pub checksum: u16,
+    /// The 4 "rest of header" bytes: identifier+sequence for echo messages,
+    /// unused for Time Exceeded.
+    pub rest: [u8; 4],
+}
+
+impl IcmpHeader {
+    /// Creates a header with zeroed checksum and rest-of-header.
+    pub fn new(icmp_type: IcmpType, code: u8) -> Self {
+        Self {
+            icmp_type,
+            code,
+            checksum: 0,
+            rest: [0; 4],
+        }
+    }
+
+    /// Creates an echo request/reply with identifier and sequence.
+    pub fn echo(request: bool, ident: u16, seq: u16) -> Self {
+        let mut rest = [0u8; 4];
+        rest[0..2].copy_from_slice(&ident.to_be_bytes());
+        rest[2..4].copy_from_slice(&seq.to_be_bytes());
+        Self {
+            icmp_type: if request {
+                IcmpType::EchoRequest
+            } else {
+                IcmpType::EchoReply
+            },
+            code: 0,
+            checksum: 0,
+            rest,
+        }
+    }
+
+    /// Creates a Time Exceeded (TTL expired in transit) header.
+    pub fn time_exceeded() -> Self {
+        Self::new(IcmpType::TimeExceeded, 0)
+    }
+
+    /// Echo identifier (meaningful for echo messages only).
+    pub fn ident(&self) -> u16 {
+        u16::from_be_bytes([self.rest[0], self.rest[1]])
+    }
+
+    /// Echo sequence number (meaningful for echo messages only).
+    pub fn seq(&self) -> u16 {
+        u16::from_be_bytes([self.rest[2], self.rest[3]])
+    }
+
+    /// Parses an ICMP header from the front of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<(Self, usize)> {
+        check_len(buf, HEADER_LEN)?;
+        Ok((
+            Self {
+                icmp_type: IcmpType::from_u8(buf[0]),
+                code: buf[1],
+                checksum: u16::from_be_bytes([buf[2], buf[3]]),
+                rest: [buf[4], buf[5], buf[6], buf[7]],
+            },
+            HEADER_LEN,
+        ))
+    }
+
+    /// Emits the header (stored checksum verbatim).
+    pub fn emit(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; HEADER_LEN];
+        buf[0] = self.icmp_type.as_u8();
+        buf[1] = self.code;
+        buf[2..4].copy_from_slice(&self.checksum.to_be_bytes());
+        buf[4..8].copy_from_slice(&self.rest);
+        buf
+    }
+
+    /// Computes the ICMP checksum over the header and message body (no
+    /// pseudo-header for ICMPv4).
+    pub fn compute_checksum(&self, payload: &[u8]) -> u16 {
+        let mut header = self.emit();
+        header[2] = 0;
+        header[3] = 0;
+        checksum::checksum_parts(&[&header, payload])
+    }
+
+    /// Recomputes and stores the checksum.
+    pub fn fill_checksum(&mut self, payload: &[u8]) {
+        self.checksum = self.compute_checksum(payload);
+    }
+
+    /// True when the stored checksum matches header and body.
+    pub fn verify_checksum(&self, payload: &[u8]) -> bool {
+        self.checksum == self.compute_checksum(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_roundtrips() {
+        for v in 0u8..=255 {
+            assert_eq!(IcmpType::from_u8(v).as_u8(), v);
+        }
+        assert_eq!(IcmpType::from_u8(8), IcmpType::EchoRequest);
+        assert_eq!(IcmpType::from_u8(11), IcmpType::TimeExceeded);
+    }
+
+    #[test]
+    fn reserved_types() {
+        assert!(IcmpType::from_u8(1).is_reserved());
+        assert!(IcmpType::from_u8(100).is_reserved());
+        assert!(!IcmpType::EchoRequest.is_reserved());
+        assert!(!IcmpType::TimeExceeded.is_reserved());
+        assert!(!IcmpType::from_u8(253).is_reserved()); // experimental, not reserved
+    }
+
+    #[test]
+    fn echo_accessors() {
+        let h = IcmpHeader::echo(true, 0xabcd, 42);
+        assert_eq!(h.icmp_type, IcmpType::EchoRequest);
+        assert_eq!(h.ident(), 0xabcd);
+        assert_eq!(h.seq(), 42);
+        let r = IcmpHeader::echo(false, 1, 2);
+        assert_eq!(r.icmp_type, IcmpType::EchoReply);
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let mut h = IcmpHeader::echo(true, 7, 9);
+        h.fill_checksum(b"pingdata");
+        let bytes = h.emit();
+        let (parsed, consumed) = IcmpHeader::parse(&bytes).unwrap();
+        assert_eq!(consumed, 8);
+        assert_eq!(parsed, h);
+        assert!(parsed.verify_checksum(b"pingdata"));
+    }
+
+    #[test]
+    fn parse_rejects_short_buffer() {
+        assert!(IcmpHeader::parse(&[0u8; 7]).is_err());
+    }
+
+    #[test]
+    fn checksum_covers_body() {
+        let mut h = IcmpHeader::time_exceeded();
+        h.fill_checksum(b"original header bytes");
+        assert!(h.verify_checksum(b"original header bytes"));
+        assert!(!h.verify_checksum(b"original header byteZ"));
+    }
+
+    #[test]
+    fn time_exceeded_shape() {
+        let h = IcmpHeader::time_exceeded();
+        assert_eq!(h.icmp_type, IcmpType::TimeExceeded);
+        assert_eq!(h.code, 0);
+        assert_eq!(h.rest, [0; 4]);
+    }
+}

@@ -1,0 +1,336 @@
+//! IPv4 header representation.
+
+use crate::checksum;
+use crate::error::{check_len, Error, Result};
+use crate::proto::IpProtocol;
+use std::net::Ipv4Addr;
+
+/// Minimum (option-less) IPv4 header length in bytes.
+pub const MIN_HEADER_LEN: usize = 20;
+/// Maximum IPv4 header length (IHL = 15).
+pub const MAX_HEADER_LEN: usize = 60;
+
+/// A parsed IPv4 header.
+///
+/// The `checksum` field holds the value as it appears on the wire; it is the
+/// caller's choice whether to trust it ([`Ipv4Header::verify_checksum`]) or
+/// refresh it ([`Ipv4Header::fill_checksum`]). This matters here because the
+/// loop detector treats the header checksum as a *varying* field (it changes
+/// with every TTL decrement) while everything else must match exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Ipv4Header {
+    /// Type of service / DSCP+ECN byte.
+    pub tos: u8,
+    /// Total length of the datagram (header + payload) in bytes.
+    pub total_len: u16,
+    /// Identification field — the key that distinguishes looped replicas
+    /// from ordinary same-flow packets (§IV-A.1).
+    pub ident: u16,
+    /// Don't-fragment flag.
+    pub dont_frag: bool,
+    /// More-fragments flag.
+    pub more_frags: bool,
+    /// Fragment offset in 8-byte units (13 bits).
+    pub frag_offset: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Payload protocol.
+    pub protocol: IpProtocol,
+    /// Header checksum as on the wire.
+    pub checksum: u16,
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Raw option bytes; length must be a multiple of 4, at most 40.
+    pub options: Vec<u8>,
+}
+
+impl Ipv4Header {
+    /// Creates a minimal header with sane defaults (TTL 64, no options,
+    /// checksum zero — call [`fill_checksum`](Self::fill_checksum) after
+    /// setting `total_len`).
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, protocol: IpProtocol) -> Self {
+        Self {
+            tos: 0,
+            total_len: MIN_HEADER_LEN as u16,
+            ident: 0,
+            dont_frag: false,
+            more_frags: false,
+            frag_offset: 0,
+            ttl: 64,
+            protocol,
+            checksum: 0,
+            src,
+            dst,
+            options: Vec::new(),
+        }
+    }
+
+    /// Header length in bytes (20 + options).
+    pub fn header_len(&self) -> usize {
+        MIN_HEADER_LEN + self.options.len()
+    }
+
+    /// Payload length implied by `total_len`.
+    pub fn payload_len(&self) -> usize {
+        (self.total_len as usize).saturating_sub(self.header_len())
+    }
+
+    /// Parses a header from the front of `buf`. Returns the header and the
+    /// number of bytes consumed.
+    ///
+    /// Trailing data beyond the header is ignored (it is the payload).
+    /// The checksum is *not* verified — traces may legitimately contain
+    /// packets captured mid-rewrite; use [`verify_checksum`](Self::verify_checksum).
+    pub fn parse(buf: &[u8]) -> Result<(Self, usize)> {
+        check_len(buf, MIN_HEADER_LEN)?;
+        let version = buf[0] >> 4;
+        if version != 4 {
+            return Err(Error::BadVersion(version));
+        }
+        let ihl = (buf[0] & 0x0f) as usize;
+        let header_len = ihl * 4;
+        if header_len < MIN_HEADER_LEN {
+            return Err(Error::BadLength {
+                field: "ihl",
+                value: ihl,
+            });
+        }
+        check_len(buf, header_len)?;
+        let total_len = u16::from_be_bytes([buf[2], buf[3]]);
+        if (total_len as usize) < header_len {
+            return Err(Error::BadLength {
+                field: "total_len",
+                value: total_len as usize,
+            });
+        }
+        let flags_frag = u16::from_be_bytes([buf[6], buf[7]]);
+        Ok((
+            Self {
+                tos: buf[1],
+                total_len,
+                ident: u16::from_be_bytes([buf[4], buf[5]]),
+                dont_frag: flags_frag & 0x4000 != 0,
+                more_frags: flags_frag & 0x2000 != 0,
+                frag_offset: flags_frag & 0x1fff,
+                ttl: buf[8],
+                protocol: IpProtocol::from_u8(buf[9]),
+                checksum: u16::from_be_bytes([buf[10], buf[11]]),
+                src: Ipv4Addr::new(buf[12], buf[13], buf[14], buf[15]),
+                dst: Ipv4Addr::new(buf[16], buf[17], buf[18], buf[19]),
+                options: buf[MIN_HEADER_LEN..header_len].to_vec(),
+            },
+            header_len,
+        ))
+    }
+
+    /// Emits the header (including the stored `checksum` verbatim) into a
+    /// fresh buffer.
+    ///
+    /// # Panics
+    /// Panics when `options` is malformed (not a multiple of 4 or longer
+    /// than 40 bytes) — constructing such a header is a programming error.
+    pub fn emit(&self) -> Vec<u8> {
+        assert!(
+            self.options.len().is_multiple_of(4) && self.options.len() <= 40,
+            "IPv4 options must be 4-byte aligned and at most 40 bytes"
+        );
+        let header_len = self.header_len();
+        let mut buf = vec![0u8; header_len];
+        let ihl = (header_len / 4) as u8;
+        buf[0] = 0x40 | ihl;
+        buf[1] = self.tos;
+        buf[2..4].copy_from_slice(&self.total_len.to_be_bytes());
+        buf[4..6].copy_from_slice(&self.ident.to_be_bytes());
+        let mut flags_frag = self.frag_offset & 0x1fff;
+        if self.dont_frag {
+            flags_frag |= 0x4000;
+        }
+        if self.more_frags {
+            flags_frag |= 0x2000;
+        }
+        buf[6..8].copy_from_slice(&flags_frag.to_be_bytes());
+        buf[8] = self.ttl;
+        buf[9] = self.protocol.as_u8();
+        buf[10..12].copy_from_slice(&self.checksum.to_be_bytes());
+        buf[12..16].copy_from_slice(&self.src.octets());
+        buf[16..20].copy_from_slice(&self.dst.octets());
+        buf[MIN_HEADER_LEN..].copy_from_slice(&self.options);
+        buf
+    }
+
+    /// Computes the header checksum over the current field values (with the
+    /// checksum field treated as zero).
+    pub fn compute_checksum(&self) -> u16 {
+        let mut bytes = self.emit();
+        bytes[10] = 0;
+        bytes[11] = 0;
+        checksum::checksum(&bytes)
+    }
+
+    /// Recomputes and stores the checksum.
+    pub fn fill_checksum(&mut self) {
+        self.checksum = self.compute_checksum();
+    }
+
+    /// True when the stored checksum matches the header contents.
+    pub fn verify_checksum(&self) -> bool {
+        self.checksum == self.compute_checksum()
+    }
+
+    /// Decrements the TTL the way a forwarding router does: TTL goes down by
+    /// one and the checksum is patched incrementally (RFC 1624) rather than
+    /// recomputed. Returns `false` (and leaves the header untouched) when the
+    /// TTL is already 0 and the packet must not be forwarded.
+    pub fn decrement_ttl(&mut self) -> bool {
+        if self.ttl == 0 {
+            return false;
+        }
+        let old = self.ttl;
+        self.ttl -= 1;
+        self.checksum = checksum::ttl_rewrite(self.checksum, old, self.ttl, self.protocol.as_u8());
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv4Header {
+        let mut h = Ipv4Header::new(
+            Ipv4Addr::new(192, 0, 2, 1),
+            Ipv4Addr::new(198, 51, 100, 2),
+            IpProtocol::Tcp,
+        );
+        h.total_len = 40;
+        h.ident = 0xbeef;
+        h.ttl = 64;
+        h.dont_frag = true;
+        h.fill_checksum();
+        h
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let h = sample();
+        let bytes = h.emit();
+        assert_eq!(bytes.len(), 20);
+        let (parsed, consumed) = Ipv4Header::parse(&bytes).unwrap();
+        assert_eq!(consumed, 20);
+        assert_eq!(parsed, h);
+        assert!(parsed.verify_checksum());
+    }
+
+    #[test]
+    fn parse_rejects_short_buffer() {
+        let err = Ipv4Header::parse(&[0x45; 10]).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Truncated {
+                needed: 20,
+                got: 10
+            }
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_wrong_version() {
+        let mut bytes = sample().emit();
+        bytes[0] = 0x65; // version 6
+        assert_eq!(Ipv4Header::parse(&bytes).unwrap_err(), Error::BadVersion(6));
+    }
+
+    #[test]
+    fn parse_rejects_bad_ihl() {
+        let mut bytes = sample().emit();
+        bytes[0] = 0x43; // IHL 3 -> 12-byte header, invalid
+        assert!(matches!(
+            Ipv4Header::parse(&bytes).unwrap_err(),
+            Error::BadLength { field: "ihl", .. }
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_total_len_below_header() {
+        let mut h = sample();
+        h.total_len = 10;
+        let bytes = h.emit();
+        assert!(matches!(
+            Ipv4Header::parse(&bytes).unwrap_err(),
+            Error::BadLength {
+                field: "total_len",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn options_roundtrip() {
+        let mut h = sample();
+        h.options = vec![0x94, 0x04, 0x00, 0x00]; // router alert
+        h.total_len = 44;
+        h.fill_checksum();
+        let bytes = h.emit();
+        assert_eq!(bytes.len(), 24);
+        assert_eq!(bytes[0] & 0x0f, 6); // IHL 6
+        let (parsed, consumed) = Ipv4Header::parse(&bytes).unwrap();
+        assert_eq!(consumed, 24);
+        assert_eq!(parsed.options, h.options);
+        assert!(parsed.verify_checksum());
+    }
+
+    #[test]
+    #[should_panic(expected = "4-byte aligned")]
+    fn emit_rejects_misaligned_options() {
+        let mut h = sample();
+        h.options = vec![1, 2, 3];
+        let _ = h.emit();
+    }
+
+    #[test]
+    fn flags_and_fragment_offset() {
+        let mut h = sample();
+        h.dont_frag = false;
+        h.more_frags = true;
+        h.frag_offset = 0x1abc;
+        h.fill_checksum();
+        let bytes = h.emit();
+        let (parsed, _) = Ipv4Header::parse(&bytes).unwrap();
+        assert!(!parsed.dont_frag);
+        assert!(parsed.more_frags);
+        assert_eq!(parsed.frag_offset, 0x1abc);
+    }
+
+    #[test]
+    fn ttl_decrement_keeps_checksum_valid() {
+        let mut h = sample();
+        assert!(h.verify_checksum());
+        for expected in (0..64u8).rev() {
+            assert!(h.decrement_ttl());
+            assert_eq!(h.ttl, expected);
+            assert!(h.verify_checksum(), "invalid checksum at ttl {expected}");
+        }
+        // TTL is now 0; forwarding must be refused and state untouched.
+        assert!(!h.decrement_ttl());
+        assert_eq!(h.ttl, 0);
+        assert!(h.verify_checksum());
+    }
+
+    #[test]
+    fn checksum_verification_detects_corruption() {
+        let mut h = sample();
+        h.ident ^= 1;
+        assert!(!h.verify_checksum());
+    }
+
+    #[test]
+    fn payload_len_saturates() {
+        let mut h = sample();
+        h.total_len = 60;
+        assert_eq!(h.payload_len(), 40);
+        h.total_len = 5; // bogus but must not underflow
+        assert_eq!(h.payload_len(), 0);
+    }
+}

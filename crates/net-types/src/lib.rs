@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+//! Wire formats and typed packet views for the routing-loops workspace.
+//!
+//! Modelled after smoltcp's philosophy: explicit, checked wire
+//! representations with no macro tricks. Every header type provides
+//! `parse` / `emit` symmetric with each other, and checksums are first-class
+//! (the paper's detection algorithm keys on the IP header checksum changing
+//! with the TTL while the transport checksum stays fixed).
+//!
+//! * [`ipv4::Ipv4Header`] — IPv4 header with options, RFC 1071 checksum and
+//!   RFC 1624 incremental update on TTL decrement.
+//! * [`tcp::TcpHeader`], [`udp::UdpHeader`], [`icmp::IcmpHeader`] — transport
+//!   headers with pseudo-header checksums.
+//! * [`packet::Packet`] — an owned full packet (IPv4 + transport + payload)
+//!   with builder, emit, parse, and snaplen truncation.
+//! * [`prefix::Ipv4Prefix`] — CIDR prefixes (the detector aggregates replica
+//!   streams by /24, the longest prefix honoured by tier-1 ISPs).
+
+//! ```
+//! use net_types::{Packet, TcpFlags};
+//! use std::net::Ipv4Addr;
+//!
+//! let p = Packet::tcp_flags(
+//!     Ipv4Addr::new(192, 0, 2, 1),
+//!     Ipv4Addr::new(198, 51, 100, 2),
+//!     443, 55000, TcpFlags::SYN | TcpFlags::ACK, &b"hello"[..],
+//! );
+//! // Emit to wire bytes and parse back: lossless.
+//! let bytes = p.emit();
+//! let parsed = Packet::parse(&bytes).unwrap();
+//! assert_eq!(parsed, p);
+//! assert!(parsed.ip.verify_checksum());
+//!
+//! // Forwarding decrements the TTL and patches the checksum incrementally.
+//! let mut hop = parsed.clone();
+//! hop.ip.decrement_ttl();
+//! assert!(hop.ip.verify_checksum());
+//! assert_eq!(hop.transport_checksum(), p.transport_checksum());
+//! ```
+
+pub mod checksum;
+pub mod error;
+pub mod icmp;
+pub mod ipv4;
+pub mod packet;
+pub mod prefix;
+pub mod proto;
+pub mod tcp;
+pub mod udp;
+
+pub use error::{Error, Result};
+pub use icmp::{IcmpHeader, IcmpType};
+pub use ipv4::Ipv4Header;
+pub use packet::{Packet, Transport};
+pub use prefix::Ipv4Prefix;
+pub use proto::IpProtocol;
+pub use tcp::{TcpFlags, TcpHeader};
+pub use udp::UdpHeader;
+
+pub use std::net::Ipv4Addr;

@@ -1,0 +1,380 @@
+//! Owned full packets: IPv4 header + transport header + payload.
+
+use crate::error::Result;
+use crate::icmp::IcmpHeader;
+use crate::ipv4::Ipv4Header;
+use crate::proto::IpProtocol;
+use crate::tcp::{TcpFlags, TcpHeader};
+use crate::udp::UdpHeader;
+use bytes::Bytes;
+use std::net::Ipv4Addr;
+
+/// The transport-layer portion of a packet.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Transport {
+    /// TCP segment header.
+    Tcp(TcpHeader),
+    /// UDP datagram header.
+    Udp(UdpHeader),
+    /// ICMP message header.
+    Icmp(IcmpHeader),
+    /// Any other protocol: the raw bytes following the IP header are kept
+    /// verbatim so parse → emit is lossless. Used for IGMP/multicast and
+    /// the "OTHER" traffic category.
+    Opaque(Vec<u8>),
+}
+
+impl Transport {
+    /// Length in bytes of the transport *header* (for [`Transport::Opaque`]
+    /// all bytes count as header).
+    pub fn header_len(&self) -> usize {
+        match self {
+            Transport::Tcp(h) => h.header_len(),
+            Transport::Udp(_) => crate::udp::HEADER_LEN,
+            Transport::Icmp(_) => crate::icmp::HEADER_LEN,
+            Transport::Opaque(b) => b.len(),
+        }
+    }
+}
+
+/// An owned IPv4 packet.
+///
+/// For [`Transport::Opaque`] the `payload` is always empty (the opaque bytes
+/// subsume everything after the IP header).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Packet {
+    /// Network-layer header.
+    pub ip: Ipv4Header,
+    /// Transport-layer header.
+    pub transport: Transport,
+    /// Transport payload bytes.
+    pub payload: Bytes,
+}
+
+impl Packet {
+    /// Builds a TCP packet with correct lengths and both checksums filled.
+    pub fn tcp(
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        mut tcp: TcpHeader,
+        payload: impl Into<Bytes>,
+    ) -> Self {
+        let payload = payload.into();
+        let mut ip = Ipv4Header::new(src, dst, IpProtocol::Tcp);
+        ip.total_len = (ip.header_len() + tcp.header_len() + payload.len()) as u16;
+        tcp.fill_checksum(src, dst, &payload);
+        ip.fill_checksum();
+        Self {
+            ip,
+            transport: Transport::Tcp(tcp),
+            payload,
+        }
+    }
+
+    /// Builds a UDP packet with correct lengths and both checksums filled.
+    pub fn udp(
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        mut udp: UdpHeader,
+        payload: impl Into<Bytes>,
+    ) -> Self {
+        let payload = payload.into();
+        udp.set_payload_len(payload.len());
+        let mut ip = Ipv4Header::new(src, dst, IpProtocol::Udp);
+        ip.total_len = (ip.header_len() + crate::udp::HEADER_LEN + payload.len()) as u16;
+        udp.fill_checksum(src, dst, &payload);
+        ip.fill_checksum();
+        Self {
+            ip,
+            transport: Transport::Udp(udp),
+            payload,
+        }
+    }
+
+    /// Builds an ICMP packet with correct lengths and both checksums filled.
+    pub fn icmp(
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        mut icmp: IcmpHeader,
+        payload: impl Into<Bytes>,
+    ) -> Self {
+        let payload = payload.into();
+        let mut ip = Ipv4Header::new(src, dst, IpProtocol::Icmp);
+        ip.total_len = (ip.header_len() + crate::icmp::HEADER_LEN + payload.len()) as u16;
+        icmp.fill_checksum(&payload);
+        ip.fill_checksum();
+        Self {
+            ip,
+            transport: Transport::Icmp(icmp),
+            payload,
+        }
+    }
+
+    /// Builds a packet of an arbitrary protocol whose post-IP bytes are
+    /// `body` (e.g. IGMP for the MCAST category).
+    pub fn opaque(src: Ipv4Addr, dst: Ipv4Addr, protocol: IpProtocol, body: Vec<u8>) -> Self {
+        let mut ip = Ipv4Header::new(src, dst, protocol);
+        ip.total_len = (ip.header_len() + body.len()) as u16;
+        ip.fill_checksum();
+        Self {
+            ip,
+            transport: Transport::Opaque(body),
+            payload: Bytes::new(),
+        }
+    }
+
+    /// Convenience: a minimal TCP packet with the given flags (the workload
+    /// generator's workhorse).
+    pub fn tcp_flags(
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        flags: TcpFlags,
+        payload: impl Into<Bytes>,
+    ) -> Self {
+        Self::tcp(src, dst, TcpHeader::new(src_port, dst_port, flags), payload)
+    }
+
+    /// Total on-the-wire length in bytes (equals `ip.total_len` for
+    /// consistently-built packets).
+    pub fn wire_len(&self) -> usize {
+        self.ip.header_len() + self.transport.header_len() + self.payload.len()
+    }
+
+    /// Emits the packet to wire bytes. Stored checksums are emitted
+    /// verbatim; call [`fill_checksums`](Self::fill_checksums) first if
+    /// fields were mutated.
+    pub fn emit(&self) -> Vec<u8> {
+        let mut buf = self.ip.emit();
+        match &self.transport {
+            Transport::Tcp(h) => buf.extend_from_slice(&h.emit()),
+            Transport::Udp(h) => buf.extend_from_slice(&h.emit()),
+            Transport::Icmp(h) => buf.extend_from_slice(&h.emit()),
+            Transport::Opaque(b) => buf.extend_from_slice(b),
+        }
+        buf.extend_from_slice(&self.payload);
+        buf
+    }
+
+    /// Emits at most `snaplen` bytes — the trace-capture truncation used by
+    /// the Sprint monitors (first 40–44 bytes of every packet).
+    pub fn snap(&self, snaplen: usize) -> Vec<u8> {
+        let mut bytes = self.emit();
+        bytes.truncate(snaplen);
+        bytes
+    }
+
+    /// Parses a full (untruncated) packet. The transport header is decoded
+    /// according to the IP protocol field; unknown protocols land in
+    /// [`Transport::Opaque`].
+    pub fn parse(buf: &[u8]) -> Result<Self> {
+        let (ip, ip_len) = Ipv4Header::parse(buf)?;
+        let body = &buf[ip_len..(ip.total_len as usize).min(buf.len())];
+        let (transport, consumed) = match ip.protocol {
+            IpProtocol::Tcp => {
+                let (h, n) = TcpHeader::parse(body)?;
+                (Transport::Tcp(h), n)
+            }
+            IpProtocol::Udp => {
+                let (h, n) = UdpHeader::parse(body)?;
+                (Transport::Udp(h), n)
+            }
+            IpProtocol::Icmp => {
+                let (h, n) = IcmpHeader::parse(body)?;
+                (Transport::Icmp(h), n)
+            }
+            _ => (Transport::Opaque(body.to_vec()), body.len()),
+        };
+        Ok(Self {
+            ip,
+            transport,
+            payload: Bytes::copy_from_slice(&body[consumed..]),
+        })
+    }
+
+    /// Parses a possibly snaplen-truncated capture: the transport header must
+    /// be complete (40 bytes covers IP+TCP without options), but the payload
+    /// may be cut short or absent. This is the entry point used when reading
+    /// trace files.
+    pub fn parse_truncated(buf: &[u8]) -> Result<Self> {
+        Self::parse(buf)
+    }
+
+    /// Refreshes transport and IP checksums and the IP total length to match
+    /// the current contents.
+    pub fn fill_checksums(&mut self) {
+        self.ip.total_len = self.wire_len() as u16;
+        match &mut self.transport {
+            Transport::Tcp(h) => h.fill_checksum(self.ip.src, self.ip.dst, &self.payload),
+            Transport::Udp(h) => {
+                h.set_payload_len(self.payload.len());
+                h.fill_checksum(self.ip.src, self.ip.dst, &self.payload);
+            }
+            Transport::Icmp(h) => h.fill_checksum(&self.payload),
+            Transport::Opaque(_) => {}
+        }
+        self.ip.fill_checksum();
+    }
+
+    /// The transport checksum — the detector's proxy for payload identity
+    /// (§IV-A.1). `None` for opaque transports.
+    pub fn transport_checksum(&self) -> Option<u16> {
+        match &self.transport {
+            Transport::Tcp(h) => Some(h.checksum),
+            Transport::Udp(h) => Some(h.checksum),
+            Transport::Icmp(h) => Some(h.checksum),
+            Transport::Opaque(_) => None,
+        }
+    }
+
+    /// Source/destination ports for TCP/UDP, `None` otherwise.
+    pub fn ports(&self) -> Option<(u16, u16)> {
+        match &self.transport {
+            Transport::Tcp(h) => Some((h.src_port, h.dst_port)),
+            Transport::Udp(h) => Some((h.src_port, h.dst_port)),
+            _ => None,
+        }
+    }
+
+    /// The IP protocol of the packet.
+    pub fn protocol(&self) -> IpProtocol {
+        self.ip.protocol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::icmp::IcmpType;
+
+    fn addrs() -> (Ipv4Addr, Ipv4Addr) {
+        (Ipv4Addr::new(203, 0, 113, 5), Ipv4Addr::new(192, 0, 2, 9))
+    }
+
+    #[test]
+    fn tcp_builder_consistent() {
+        let (src, dst) = addrs();
+        let p = Packet::tcp_flags(src, dst, 1234, 80, TcpFlags::SYN, &b"xyz"[..]);
+        assert_eq!(p.wire_len(), 43);
+        assert_eq!(p.ip.total_len, 43);
+        assert!(p.ip.verify_checksum());
+        if let Transport::Tcp(h) = &p.transport {
+            assert!(h.verify_checksum(src, dst, &p.payload));
+        } else {
+            panic!("wrong transport");
+        }
+    }
+
+    #[test]
+    fn udp_builder_consistent() {
+        let (src, dst) = addrs();
+        let p = Packet::udp(src, dst, UdpHeader::new(53, 53), &b"query"[..]);
+        assert_eq!(p.wire_len(), 20 + 8 + 5);
+        if let Transport::Udp(h) = &p.transport {
+            assert_eq!(h.length, 13);
+            assert!(h.verify_checksum(src, dst, &p.payload));
+        } else {
+            panic!("wrong transport");
+        }
+    }
+
+    #[test]
+    fn icmp_builder_consistent() {
+        let (src, dst) = addrs();
+        let p = Packet::icmp(src, dst, IcmpHeader::echo(true, 1, 1), &b"ping"[..]);
+        assert_eq!(p.protocol(), IpProtocol::Icmp);
+        if let Transport::Icmp(h) = &p.transport {
+            assert!(h.verify_checksum(&p.payload));
+            assert_eq!(h.icmp_type, IcmpType::EchoRequest);
+        } else {
+            panic!("wrong transport");
+        }
+    }
+
+    #[test]
+    fn emit_parse_roundtrip_all_transports() {
+        let (src, dst) = addrs();
+        let packets = vec![
+            Packet::tcp_flags(src, dst, 5, 6, TcpFlags::ACK | TcpFlags::PSH, &b"data"[..]),
+            Packet::udp(src, dst, UdpHeader::new(7, 8), &b"dgram"[..]),
+            Packet::icmp(src, dst, IcmpHeader::time_exceeded(), &b"orig"[..]),
+            Packet::opaque(src, dst, IpProtocol::Igmp, vec![0x16, 0, 0, 0]),
+        ];
+        for p in packets {
+            let bytes = p.emit();
+            assert_eq!(bytes.len(), p.wire_len());
+            let parsed = Packet::parse(&bytes).unwrap();
+            assert_eq!(parsed, p);
+        }
+    }
+
+    #[test]
+    fn snap_truncates_to_40_bytes() {
+        let (src, dst) = addrs();
+        let p = Packet::tcp_flags(src, dst, 1, 2, TcpFlags::ACK, vec![0u8; 1000]);
+        let snapped = p.snap(40);
+        assert_eq!(snapped.len(), 40);
+        // IP + TCP headers survive; parse_truncated succeeds with empty payload.
+        let parsed = Packet::parse_truncated(&snapped).unwrap();
+        assert_eq!(parsed.ip.total_len, 1040);
+        assert!(parsed.payload.is_empty());
+        assert_eq!(
+            parsed.transport_checksum(),
+            p.transport_checksum(),
+            "transport checksum must survive truncation"
+        );
+    }
+
+    #[test]
+    fn snap_longer_than_packet_is_identity() {
+        let (src, dst) = addrs();
+        let p = Packet::udp(src, dst, UdpHeader::new(1, 2), &b""[..]);
+        assert_eq!(p.snap(9000), p.emit());
+    }
+
+    #[test]
+    fn parse_truncated_fails_when_transport_header_cut() {
+        let (src, dst) = addrs();
+        let p = Packet::tcp_flags(src, dst, 1, 2, TcpFlags::SYN, &b""[..]);
+        let snapped = p.snap(30); // cuts into the TCP header
+        assert!(Packet::parse_truncated(&snapped).is_err());
+    }
+
+    #[test]
+    fn ports_accessor() {
+        let (src, dst) = addrs();
+        let t = Packet::tcp_flags(src, dst, 10, 20, TcpFlags::SYN, &b""[..]);
+        assert_eq!(t.ports(), Some((10, 20)));
+        let u = Packet::udp(src, dst, UdpHeader::new(30, 40), &b""[..]);
+        assert_eq!(u.ports(), Some((30, 40)));
+        let i = Packet::icmp(src, dst, IcmpHeader::echo(true, 1, 1), &b""[..]);
+        assert_eq!(i.ports(), None);
+    }
+
+    #[test]
+    fn fill_checksums_after_mutation() {
+        let (src, dst) = addrs();
+        let mut p = Packet::tcp_flags(src, dst, 1, 2, TcpFlags::ACK, &b"aaa"[..]);
+        p.payload = Bytes::from_static(b"bbbbb");
+        p.fill_checksums();
+        assert_eq!(p.ip.total_len, 45);
+        assert!(p.ip.verify_checksum());
+        if let Transport::Tcp(h) = &p.transport {
+            assert!(h.verify_checksum(src, dst, &p.payload));
+        }
+    }
+
+    #[test]
+    fn opaque_keeps_bytes_verbatim() {
+        let (src, dst) = addrs();
+        let body = vec![1u8, 2, 3, 4, 5];
+        let p = Packet::opaque(src, dst, IpProtocol::Other(47), body.clone());
+        let parsed = Packet::parse(&p.emit()).unwrap();
+        match parsed.transport {
+            Transport::Opaque(b) => assert_eq!(b, body),
+            _ => panic!("expected opaque"),
+        }
+        assert!(parsed.payload.is_empty());
+    }
+}

@@ -1,0 +1,231 @@
+//! IPv4 CIDR prefixes.
+//!
+//! The detector merges replicas of packets whose destinations share the same
+//! /24 (§IV-A.2: "24 bits is the longest prefix currently honored by tier-1
+//! ISPs"), and the routing substrate advertises reachability per prefix, so
+//! prefixes show up on both sides of the pipeline.
+
+use crate::error::{Error, Result};
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// An IPv4 prefix in CIDR notation (`addr/len`), canonicalised so that all
+/// host bits are zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ipv4Prefix {
+    network: u32,
+    len: u8,
+}
+
+impl Ipv4Prefix {
+    /// Creates a prefix from an address and length, masking host bits.
+    ///
+    /// # Errors
+    /// Returns [`Error::BadField`] when `len > 32`.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Result<Self> {
+        if len > 32 {
+            return Err(Error::BadField {
+                field: "prefix-len",
+                value: u64::from(len),
+            });
+        }
+        let raw = u32::from(addr);
+        Ok(Self {
+            network: raw & Self::mask_bits(len),
+            len,
+        })
+    }
+
+    /// The all-addresses default route `0.0.0.0/0`.
+    pub fn default_route() -> Self {
+        Self { network: 0, len: 0 }
+    }
+
+    /// The /24 containing `addr` — the aggregation unit of §IV-A.2.
+    pub fn slash24_of(addr: Ipv4Addr) -> Self {
+        Self {
+            network: u32::from(addr) & 0xffff_ff00,
+            len: 24,
+        }
+    }
+
+    fn mask_bits(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - u32::from(len))
+        }
+    }
+
+    /// Network address (host bits zero).
+    pub fn network(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.network)
+    }
+
+    /// Prefix length in bits.
+    #[allow(clippy::len_without_is_empty)] // a prefix has no empty notion
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// The netmask as an address.
+    pub fn netmask(&self) -> Ipv4Addr {
+        Ipv4Addr::from(Self::mask_bits(self.len))
+    }
+
+    /// True when `addr` falls inside this prefix.
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        u32::from(addr) & Self::mask_bits(self.len) == self.network
+    }
+
+    /// True when `other` is fully contained in (or equal to) this prefix.
+    pub fn covers(&self, other: &Ipv4Prefix) -> bool {
+        other.len >= self.len && (other.network & Self::mask_bits(self.len)) == self.network
+    }
+
+    /// Number of addresses in the prefix (2^(32-len)), saturating at
+    /// `u64::MAX` never — a /0 has 2^32 which fits in u64.
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - u32::from(self.len))
+    }
+
+    /// The `i`-th address inside the prefix (wrapping within the prefix) —
+    /// handy for synthetic host assignment.
+    pub fn host(&self, i: u64) -> Ipv4Addr {
+        let offset = (i % self.size()) as u32;
+        Ipv4Addr::from(self.network | offset)
+    }
+
+    /// Raw network bits, for trie keys.
+    pub fn network_bits(&self) -> u32 {
+        self.network
+    }
+}
+
+impl fmt::Display for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+impl FromStr for Ipv4Prefix {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self> {
+        let (addr_s, len_s) = s.split_once('/').ok_or(Error::BadField {
+            field: "prefix",
+            value: 0,
+        })?;
+        let addr: Ipv4Addr = addr_s.parse().map_err(|_| Error::BadField {
+            field: "prefix-addr",
+            value: 0,
+        })?;
+        let len: u8 = len_s.parse().map_err(|_| Error::BadField {
+            field: "prefix-len",
+            value: 0,
+        })?;
+        Ipv4Prefix::new(addr, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn canonicalises_host_bits() {
+        let pfx = Ipv4Prefix::new(Ipv4Addr::new(192, 168, 1, 77), 24).unwrap();
+        assert_eq!(pfx.network(), Ipv4Addr::new(192, 168, 1, 0));
+        assert_eq!(pfx.len(), 24);
+        assert_eq!(pfx.to_string(), "192.168.1.0/24");
+    }
+
+    #[test]
+    fn len_over_32_rejected() {
+        assert!(Ipv4Prefix::new(Ipv4Addr::new(1, 2, 3, 4), 33).is_err());
+    }
+
+    #[test]
+    fn zero_length_default_route_contains_everything() {
+        let d = Ipv4Prefix::default_route();
+        assert!(d.contains(Ipv4Addr::new(0, 0, 0, 0)));
+        assert!(d.contains(Ipv4Addr::new(255, 255, 255, 255)));
+        assert_eq!(d.size(), 1 << 32);
+        assert_eq!(d.to_string(), "0.0.0.0/0");
+    }
+
+    #[test]
+    fn contains_boundaries() {
+        let pfx = p("10.1.2.0/24");
+        assert!(pfx.contains(Ipv4Addr::new(10, 1, 2, 0)));
+        assert!(pfx.contains(Ipv4Addr::new(10, 1, 2, 255)));
+        assert!(!pfx.contains(Ipv4Addr::new(10, 1, 3, 0)));
+        assert!(!pfx.contains(Ipv4Addr::new(10, 1, 1, 255)));
+    }
+
+    #[test]
+    fn slash32_contains_only_itself() {
+        let pfx = p("10.0.0.1/32");
+        assert!(pfx.contains(Ipv4Addr::new(10, 0, 0, 1)));
+        assert!(!pfx.contains(Ipv4Addr::new(10, 0, 0, 2)));
+        assert_eq!(pfx.size(), 1);
+    }
+
+    #[test]
+    fn covers_nested_prefixes() {
+        assert!(p("10.0.0.0/8").covers(&p("10.1.0.0/16")));
+        assert!(p("10.0.0.0/8").covers(&p("10.0.0.0/8")));
+        assert!(!p("10.1.0.0/16").covers(&p("10.0.0.0/8")));
+        assert!(!p("10.0.0.0/8").covers(&p("11.0.0.0/16")));
+    }
+
+    #[test]
+    fn slash24_of_matches_manual() {
+        let pfx = Ipv4Prefix::slash24_of(Ipv4Addr::new(192, 0, 2, 123));
+        assert_eq!(pfx, p("192.0.2.0/24"));
+    }
+
+    #[test]
+    fn host_indexing_wraps() {
+        let pfx = p("10.0.0.0/30");
+        assert_eq!(pfx.host(0), Ipv4Addr::new(10, 0, 0, 0));
+        assert_eq!(pfx.host(3), Ipv4Addr::new(10, 0, 0, 3));
+        assert_eq!(pfx.host(4), Ipv4Addr::new(10, 0, 0, 0)); // wrapped
+    }
+
+    #[test]
+    fn netmask_values() {
+        assert_eq!(p("0.0.0.0/0").netmask(), Ipv4Addr::new(0, 0, 0, 0));
+        assert_eq!(p("10.0.0.0/8").netmask(), Ipv4Addr::new(255, 0, 0, 0));
+        assert_eq!(
+            p("10.0.0.0/30").netmask(),
+            Ipv4Addr::new(255, 255, 255, 252)
+        );
+        assert_eq!(
+            p("10.0.0.1/32").netmask(),
+            Ipv4Addr::new(255, 255, 255, 255)
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("10.0.0.0".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0.0/33".parse::<Ipv4Prefix>().is_err());
+        assert!("banana/8".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0.0/x".parse::<Ipv4Prefix>().is_err());
+    }
+
+    #[test]
+    fn ordering_is_stable_for_btreemap_use() {
+        let a = p("10.0.0.0/8");
+        let b = p("10.0.0.0/16");
+        let c = p("11.0.0.0/8");
+        assert!(a < b); // same network, longer length sorts after
+        assert!(b < c);
+    }
+}

@@ -1,0 +1,101 @@
+//! IP protocol numbers.
+
+use std::fmt;
+
+/// An IP protocol number as carried in the IPv4 `protocol` field.
+///
+/// Only the protocols the paper's traffic analysis distinguishes (TCP, UDP,
+/// ICMP, plus IGMP for the multicast category) get named variants; everything
+/// else is preserved verbatim in [`IpProtocol::Other`] so that parse → emit
+/// is lossless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IpProtocol {
+    /// ICMP (1).
+    Icmp,
+    /// IGMP (2) — stands in for the paper's MCAST traffic category.
+    Igmp,
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// Any other protocol number.
+    Other(u8),
+}
+
+impl IpProtocol {
+    /// Converts the wire value into a protocol.
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            1 => IpProtocol::Icmp,
+            2 => IpProtocol::Igmp,
+            6 => IpProtocol::Tcp,
+            17 => IpProtocol::Udp,
+            other => IpProtocol::Other(other),
+        }
+    }
+
+    /// The wire value.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            IpProtocol::Icmp => 1,
+            IpProtocol::Igmp => 2,
+            IpProtocol::Tcp => 6,
+            IpProtocol::Udp => 17,
+            IpProtocol::Other(v) => v,
+        }
+    }
+}
+
+impl From<u8> for IpProtocol {
+    fn from(v: u8) -> Self {
+        IpProtocol::from_u8(v)
+    }
+}
+
+impl From<IpProtocol> for u8 {
+    fn from(p: IpProtocol) -> u8 {
+        p.as_u8()
+    }
+}
+
+impl fmt::Display for IpProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpProtocol::Icmp => write!(f, "ICMP"),
+            IpProtocol::Igmp => write!(f, "IGMP"),
+            IpProtocol::Tcp => write!(f, "TCP"),
+            IpProtocol::Udp => write!(f, "UDP"),
+            IpProtocol::Other(v) => write!(f, "proto-{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_roundtrips() {
+        for v in [1u8, 2, 6, 17] {
+            assert_eq!(IpProtocol::from_u8(v).as_u8(), v);
+        }
+        assert_eq!(IpProtocol::from_u8(6), IpProtocol::Tcp);
+        assert_eq!(IpProtocol::from_u8(17), IpProtocol::Udp);
+        assert_eq!(IpProtocol::from_u8(1), IpProtocol::Icmp);
+        assert_eq!(IpProtocol::from_u8(2), IpProtocol::Igmp);
+    }
+
+    #[test]
+    fn other_preserves_value() {
+        for v in 0u8..=255 {
+            assert_eq!(IpProtocol::from_u8(v).as_u8(), v);
+        }
+        assert_eq!(IpProtocol::from_u8(47), IpProtocol::Other(47));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(IpProtocol::Tcp.to_string(), "TCP");
+        assert_eq!(IpProtocol::Other(89).to_string(), "proto-89");
+    }
+}

@@ -1,0 +1,179 @@
+//! UDP header representation.
+
+use crate::checksum;
+use crate::error::{check_len, Error, Result};
+use std::net::Ipv4Addr;
+
+/// UDP header length (fixed).
+pub const HEADER_LEN: usize = 8;
+
+/// A parsed UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length of header plus payload.
+    pub length: u16,
+    /// Checksum as on the wire; `0` means "not computed" per RFC 768.
+    pub checksum: u16,
+}
+
+impl UdpHeader {
+    /// Creates a header with the given ports; `length` covers an empty
+    /// payload until [`set_payload_len`](Self::set_payload_len) is called.
+    pub fn new(src_port: u16, dst_port: u16) -> Self {
+        Self {
+            src_port,
+            dst_port,
+            length: HEADER_LEN as u16,
+            checksum: 0,
+        }
+    }
+
+    /// Sets `length` for a payload of `len` bytes.
+    pub fn set_payload_len(&mut self, len: usize) {
+        self.length = (HEADER_LEN + len) as u16;
+    }
+
+    /// Parses a UDP header from the front of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<(Self, usize)> {
+        check_len(buf, HEADER_LEN)?;
+        let length = u16::from_be_bytes([buf[4], buf[5]]);
+        if (length as usize) < HEADER_LEN {
+            return Err(Error::BadLength {
+                field: "udp_length",
+                value: length as usize,
+            });
+        }
+        Ok((
+            Self {
+                src_port: u16::from_be_bytes([buf[0], buf[1]]),
+                dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+                length,
+                checksum: u16::from_be_bytes([buf[6], buf[7]]),
+            },
+            HEADER_LEN,
+        ))
+    }
+
+    /// Emits the header (stored checksum verbatim).
+    pub fn emit(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; HEADER_LEN];
+        buf[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        buf[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        buf[4..6].copy_from_slice(&self.length.to_be_bytes());
+        buf[6..8].copy_from_slice(&self.checksum.to_be_bytes());
+        buf
+    }
+
+    /// Computes the UDP checksum (pseudo-header + header + payload). A
+    /// computed value of zero is transmitted as `0xffff` per RFC 768, since
+    /// zero on the wire means "no checksum".
+    pub fn compute_checksum(&self, src: Ipv4Addr, dst: Ipv4Addr, payload: &[u8]) -> u16 {
+        let ph = checksum::pseudo_header(src, dst, 17, self.length);
+        let mut header = self.emit();
+        header[6] = 0;
+        header[7] = 0;
+        let c = checksum::checksum_parts(&[&ph, &header, payload]);
+        if c == 0 {
+            0xffff
+        } else {
+            c
+        }
+    }
+
+    /// Recomputes and stores the checksum.
+    pub fn fill_checksum(&mut self, src: Ipv4Addr, dst: Ipv4Addr, payload: &[u8]) {
+        self.checksum = self.compute_checksum(src, dst, payload);
+    }
+
+    /// True when the stored checksum is valid (a zero stored checksum is
+    /// "valid" by definition — checksum disabled).
+    pub fn verify_checksum(&self, src: Ipv4Addr, dst: Ipv4Addr, payload: &[u8]) -> bool {
+        self.checksum == 0 || self.checksum == self.compute_checksum(src, dst, payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs() -> (Ipv4Addr, Ipv4Addr) {
+        (Ipv4Addr::new(172, 16, 0, 1), Ipv4Addr::new(172, 16, 0, 2))
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let (src, dst) = addrs();
+        let mut h = UdpHeader::new(5353, 53);
+        h.set_payload_len(11);
+        h.fill_checksum(src, dst, b"hello world");
+        let bytes = h.emit();
+        let (parsed, consumed) = UdpHeader::parse(&bytes).unwrap();
+        assert_eq!(consumed, 8);
+        assert_eq!(parsed, h);
+        assert!(parsed.verify_checksum(src, dst, b"hello world"));
+    }
+
+    #[test]
+    fn parse_rejects_short_buffer() {
+        assert!(matches!(
+            UdpHeader::parse(&[0u8; 7]).unwrap_err(),
+            Error::Truncated { needed: 8, got: 7 }
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_length_below_header() {
+        let mut h = UdpHeader::new(1, 2);
+        h.length = 4;
+        let bytes = h.emit();
+        assert!(matches!(
+            UdpHeader::parse(&bytes).unwrap_err(),
+            Error::BadLength {
+                field: "udp_length",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn zero_checksum_means_disabled() {
+        let (src, dst) = addrs();
+        let h = UdpHeader::new(1000, 2000);
+        assert_eq!(h.checksum, 0);
+        assert!(h.verify_checksum(src, dst, b"anything at all"));
+    }
+
+    #[test]
+    fn computed_zero_transmitted_as_ffff() {
+        // compute_checksum never returns 0.
+        let (src, dst) = addrs();
+        let mut h = UdpHeader::new(0, 0);
+        h.set_payload_len(0);
+        for s in 0..2000u16 {
+            h.src_port = s;
+            let c = h.compute_checksum(src, dst, b"");
+            assert_ne!(c, 0);
+        }
+    }
+
+    #[test]
+    fn checksum_detects_payload_change() {
+        let (src, dst) = addrs();
+        let mut h = UdpHeader::new(9, 9);
+        h.set_payload_len(3);
+        h.fill_checksum(src, dst, b"abc");
+        assert!(h.verify_checksum(src, dst, b"abc"));
+        assert!(!h.verify_checksum(src, dst, b"abd"));
+    }
+
+    #[test]
+    fn length_accounts_for_payload() {
+        let mut h = UdpHeader::new(1, 2);
+        h.set_payload_len(100);
+        assert_eq!(h.length, 108);
+    }
+}

@@ -1,0 +1,213 @@
+//! Property-based tests for wire formats: parse/emit symmetry and checksum
+//! algebra, over arbitrary field values.
+
+use net_types::checksum;
+use net_types::icmp::IcmpHeader;
+use net_types::ipv4::Ipv4Header;
+use net_types::packet::{Packet, Transport};
+use net_types::prefix::Ipv4Prefix;
+use net_types::proto::IpProtocol;
+use net_types::tcp::{TcpFlags, TcpHeader};
+use net_types::udp::UdpHeader;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_addr() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+fn arb_ipv4_header() -> impl Strategy<Value = Ipv4Header> {
+    (
+        arb_addr(),
+        arb_addr(),
+        any::<u8>(),
+        any::<u16>(),
+        any::<u8>(),
+        any::<u8>(),
+        any::<bool>(),
+        any::<bool>(),
+        0u16..0x2000,
+        0usize..=10,
+    )
+        .prop_map(
+            |(src, dst, tos, ident, ttl, proto, df, mf, frag, opt_words)| {
+                let mut h = Ipv4Header::new(src, dst, IpProtocol::from_u8(proto));
+                h.tos = tos;
+                h.ident = ident;
+                h.ttl = ttl;
+                h.dont_frag = df;
+                h.more_frags = mf;
+                h.frag_offset = frag;
+                h.options = vec![0xAB; opt_words * 4];
+                h.total_len = (h.header_len() + 13) as u16;
+                h.fill_checksum();
+                h
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn ipv4_emit_parse_roundtrip(h in arb_ipv4_header()) {
+        let bytes = h.emit();
+        let (parsed, consumed) = Ipv4Header::parse(&bytes).unwrap();
+        prop_assert_eq!(consumed, h.header_len());
+        prop_assert_eq!(&parsed, &h);
+        prop_assert!(parsed.verify_checksum());
+    }
+
+    #[test]
+    fn ttl_decrement_incremental_checksum_matches_full(
+        h in arb_ipv4_header(),
+        steps in 1usize..255,
+    ) {
+        let mut h = h;
+        for _ in 0..steps {
+            if !h.decrement_ttl() {
+                break;
+            }
+            prop_assert!(
+                h.verify_checksum(),
+                "incremental checksum diverged at ttl {}",
+                h.ttl
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_u16_update_matches_recompute(
+        words in proptest::collection::vec(any::<u16>(), 2..20),
+        idx in 0usize..19,
+        new in any::<u16>(),
+    ) {
+        let idx = idx % words.len();
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_be_bytes()).collect();
+        let old_sum = checksum::checksum(&bytes);
+        let updated = checksum::update_u16(old_sum, words[idx], new);
+        let mut words2 = words.clone();
+        words2[idx] = new;
+        let bytes2: Vec<u8> = words2.iter().flat_map(|w| w.to_be_bytes()).collect();
+        let recomputed = checksum::checksum(&bytes2);
+        // One's-complement arithmetic has two representations of zero
+        // (0x0000 and 0xffff); RFC 1624 updates may land on the other one.
+        let canon = |c: u16| if c == 0xffff { 0 } else { c };
+        prop_assert_eq!(canon(updated), canon(recomputed));
+    }
+
+    #[test]
+    fn checksum_parts_equals_contiguous(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        cut in 0usize..512,
+    ) {
+        let cut = (cut % (data.len() + 1)) & !1; // even split point
+        let (a, b) = data.split_at(cut);
+        prop_assert_eq!(checksum::checksum_parts(&[a, b]), checksum::checksum(&data));
+    }
+
+    #[test]
+    fn tcp_emit_parse_roundtrip(
+        sp in any::<u16>(), dp in any::<u16>(),
+        seq in any::<u32>(), ack in any::<u32>(),
+        flags in 0u8..0x40, window in any::<u16>(),
+        urgent in any::<u16>(),
+        opt_words in 0usize..=10,
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        src in arb_addr(), dst in arb_addr(),
+    ) {
+        let mut h = TcpHeader::new(sp, dp, TcpFlags(flags));
+        h.seq = seq;
+        h.ack = ack;
+        h.window = window;
+        h.urgent = urgent;
+        h.options = vec![1u8; opt_words * 4];
+        h.fill_checksum(src, dst, &payload);
+        let bytes = h.emit();
+        let (parsed, consumed) = TcpHeader::parse(&bytes).unwrap();
+        prop_assert_eq!(consumed, h.header_len());
+        prop_assert_eq!(&parsed, &h);
+        prop_assert!(parsed.verify_checksum(src, dst, &payload));
+    }
+
+    #[test]
+    fn udp_emit_parse_roundtrip(
+        sp in any::<u16>(), dp in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        src in arb_addr(), dst in arb_addr(),
+    ) {
+        let mut h = UdpHeader::new(sp, dp);
+        h.set_payload_len(payload.len());
+        h.fill_checksum(src, dst, &payload);
+        let (parsed, _) = UdpHeader::parse(&h.emit()).unwrap();
+        prop_assert_eq!(parsed, h);
+        prop_assert!(parsed.verify_checksum(src, dst, &payload));
+        prop_assert_ne!(parsed.checksum, 0, "filled checksum never 0 on the wire");
+    }
+
+    #[test]
+    fn icmp_emit_parse_roundtrip(
+        ty in any::<u8>(), code in any::<u8>(), rest in any::<[u8; 4]>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut h = IcmpHeader::new(net_types::IcmpType::from_u8(ty), code);
+        h.rest = rest;
+        h.fill_checksum(&payload);
+        let (parsed, _) = IcmpHeader::parse(&h.emit()).unwrap();
+        prop_assert_eq!(parsed, h);
+        prop_assert!(parsed.verify_checksum(&payload));
+    }
+
+    #[test]
+    fn packet_emit_parse_roundtrip(
+        src in arb_addr(), dst in arb_addr(),
+        kind in 0u8..4,
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let p = match kind {
+            0 => Packet::tcp_flags(src, dst, 1, 2, TcpFlags::ACK, payload.clone()),
+            1 => Packet::udp(src, dst, UdpHeader::new(3, 4), payload.clone()),
+            2 => Packet::icmp(src, dst, IcmpHeader::echo(true, 9, 9), payload.clone()),
+            _ => Packet::opaque(src, dst, IpProtocol::Other(47), payload.clone()),
+        };
+        let parsed = Packet::parse(&p.emit()).unwrap();
+        prop_assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn snaplen_truncation_preserves_headers(
+        src in arb_addr(), dst in arb_addr(),
+        payload in proptest::collection::vec(any::<u8>(), 0..1400),
+    ) {
+        let p = Packet::tcp_flags(src, dst, 80, 443, TcpFlags::ACK, payload);
+        let snapped = p.snap(40);
+        let parsed = Packet::parse_truncated(&snapped).unwrap();
+        prop_assert_eq!(parsed.ip.src, p.ip.src);
+        prop_assert_eq!(parsed.ip.dst, p.ip.dst);
+        prop_assert_eq!(parsed.ip.ident, p.ip.ident);
+        prop_assert_eq!(parsed.ip.total_len, p.ip.total_len);
+        prop_assert_eq!(parsed.transport_checksum(), p.transport_checksum());
+        match (&parsed.transport, &p.transport) {
+            (Transport::Tcp(a), Transport::Tcp(b)) => {
+                prop_assert_eq!(a.src_port, b.src_port);
+                prop_assert_eq!(a.seq, b.seq);
+            }
+            _ => prop_assert!(false, "transport type changed by truncation"),
+        }
+    }
+
+    #[test]
+    fn prefix_contains_consistent_with_masking(addr in any::<u32>(), len in 0u8..=32) {
+        let a = Ipv4Addr::from(addr);
+        let pfx = Ipv4Prefix::new(a, len).unwrap();
+        prop_assert!(pfx.contains(a));
+        prop_assert!(pfx.covers(&Ipv4Prefix::new(a, 32).unwrap()));
+        // The network address itself is always inside.
+        prop_assert!(pfx.contains(pfx.network()));
+    }
+
+    #[test]
+    fn slash24_grouping_is_an_equivalence(a in any::<u32>(), b in any::<u32>()) {
+        let pa = Ipv4Prefix::slash24_of(Ipv4Addr::from(a));
+        let pb = Ipv4Prefix::slash24_of(Ipv4Addr::from(b));
+        prop_assert_eq!(pa == pb, a >> 8 == b >> 8);
+    }
+}

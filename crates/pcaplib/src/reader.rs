@@ -1,0 +1,232 @@
+//! Streaming pcap reader.
+
+use crate::format::{FileHeader, PcapError, RecordHeader, FILE_HEADER_LEN, RECORD_HEADER_LEN};
+use crate::CapturedPacket;
+use std::io::Read;
+
+/// An upper bound on per-record capture length used to reject corrupt files
+/// before allocating absurd buffers. Generous enough for jumbo frames and
+/// full-packet captures.
+const MAX_SANE_CAPLEN: u32 = 256 * 1024;
+
+/// Reads a classic pcap file from any [`Read`] source.
+///
+/// Iterate with [`PcapReader::next_packet`] or via the [`Iterator`] impl
+/// (which yields `Result`s).
+pub struct PcapReader<R: Read> {
+    source: R,
+    header: FileHeader,
+    records_read: u64,
+}
+
+impl<R: Read> PcapReader<R> {
+    /// Opens the stream: reads and validates the global header.
+    pub fn new(mut source: R) -> Result<Self, PcapError> {
+        let mut buf = [0u8; FILE_HEADER_LEN];
+        source.read_exact(&mut buf)?;
+        let header = FileHeader::decode(&buf)?;
+        Ok(Self {
+            source,
+            header,
+            records_read: 0,
+        })
+    }
+
+    /// The decoded file header.
+    pub fn header(&self) -> &FileHeader {
+        &self.header
+    }
+
+    /// Number of records read so far.
+    pub fn records_read(&self) -> u64 {
+        self.records_read
+    }
+
+    /// Reads the next packet; `Ok(None)` at clean end-of-file.
+    ///
+    /// A partial record header at EOF is reported as corruption, not EOF —
+    /// a trace cut off mid-record should never be silently accepted.
+    pub fn next_packet(&mut self) -> Result<Option<CapturedPacket>, PcapError> {
+        let mut hdr_buf = [0u8; RECORD_HEADER_LEN];
+        // Distinguish clean EOF (zero bytes available) from mid-header EOF.
+        let mut read_total = 0usize;
+        while read_total < RECORD_HEADER_LEN {
+            let n = self.source.read(&mut hdr_buf[read_total..])?;
+            if n == 0 {
+                return if read_total == 0 {
+                    Ok(None)
+                } else {
+                    Err(PcapError::Corrupt("EOF inside record header"))
+                };
+            }
+            read_total += n;
+        }
+        let rec = RecordHeader::decode(&hdr_buf, self.header.swapped);
+        if rec.incl_len > MAX_SANE_CAPLEN {
+            return Err(PcapError::OversizedRecord(rec.incl_len));
+        }
+        if rec.incl_len > rec.orig_len {
+            return Err(PcapError::Corrupt("incl_len exceeds orig_len"));
+        }
+        let mut data = vec![0u8; rec.incl_len as usize];
+        self.source
+            .read_exact(&mut data)
+            .map_err(|_| PcapError::Corrupt("EOF inside record body"))?;
+        self.records_read += 1;
+        Ok(Some(CapturedPacket {
+            timestamp_ns: rec.timestamp_ns(self.header.resolution),
+            orig_len: rec.orig_len,
+            data,
+        }))
+    }
+
+    /// Reads all remaining packets into a vector.
+    pub fn read_all(&mut self) -> Result<Vec<CapturedPacket>, PcapError> {
+        let mut out = Vec::new();
+        while let Some(p) = self.next_packet()? {
+            out.push(p);
+        }
+        Ok(out)
+    }
+}
+
+impl<R: Read> Iterator for PcapReader<R> {
+    type Item = Result<CapturedPacket, PcapError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_packet().transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::TsResolution;
+    use crate::writer::PcapWriter;
+    use std::io::Cursor;
+
+    fn roundtrip_file(packets: &[(u64, Vec<u8>)], snaplen: u32) -> Vec<CapturedPacket> {
+        let mut w = PcapWriter::new(Vec::new(), FileHeader::raw_ip(snaplen)).unwrap();
+        for (ts, bytes) in packets {
+            w.write_bytes(*ts, bytes).unwrap();
+        }
+        let buf = w.finish().unwrap();
+        let mut r = PcapReader::new(Cursor::new(buf)).unwrap();
+        r.read_all().unwrap()
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let packets = vec![
+            (0u64, vec![1u8, 2, 3]),
+            (999_999_999, vec![4u8; 40]),
+            (5_000_000_000, vec![]),
+        ];
+        let got = roundtrip_file(&packets, 65535);
+        assert_eq!(got.len(), 3);
+        for ((ts, bytes), cap) in packets.iter().zip(&got) {
+            assert_eq!(cap.timestamp_ns, *ts);
+            assert_eq!(&cap.data, bytes);
+            assert!(!cap.is_truncated());
+        }
+    }
+
+    #[test]
+    fn snaplen_truncation_roundtrip() {
+        let got = roundtrip_file(&[(0, vec![7u8; 1500])], 40);
+        assert_eq!(got[0].data.len(), 40);
+        assert_eq!(got[0].orig_len, 1500);
+        assert!(got[0].is_truncated());
+    }
+
+    #[test]
+    fn empty_file_yields_no_packets() {
+        let got = roundtrip_file(&[], 40);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn truncated_record_header_is_corrupt() {
+        let mut w = PcapWriter::new(Vec::new(), FileHeader::raw_ip(40)).unwrap();
+        w.write_bytes(0, &[1, 2, 3]).unwrap();
+        let mut buf = w.finish().unwrap();
+        buf.truncate(buf.len() - 2 - 3); // cut into the record header
+        let mut r = PcapReader::new(Cursor::new(buf)).unwrap();
+        assert!(matches!(
+            r.next_packet(),
+            Err(PcapError::Corrupt("EOF inside record header"))
+        ));
+    }
+
+    #[test]
+    fn truncated_record_body_is_corrupt() {
+        let mut w = PcapWriter::new(Vec::new(), FileHeader::raw_ip(40)).unwrap();
+        w.write_bytes(0, &[1, 2, 3, 4]).unwrap();
+        let mut buf = w.finish().unwrap();
+        buf.truncate(buf.len() - 1);
+        let mut r = PcapReader::new(Cursor::new(buf)).unwrap();
+        assert!(matches!(
+            r.next_packet(),
+            Err(PcapError::Corrupt("EOF inside record body"))
+        ));
+    }
+
+    #[test]
+    fn short_file_header_rejected() {
+        assert!(PcapReader::new(Cursor::new(vec![0u8; 10])).is_err());
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let mut w = PcapWriter::new(Vec::new(), FileHeader::raw_ip(u32::MAX)).unwrap();
+        w.write_bytes(0, &[0u8; 4]).unwrap();
+        let mut buf = w.finish().unwrap();
+        // Forge incl_len and orig_len to huge values.
+        let off = crate::format::FILE_HEADER_LEN;
+        buf[off + 8..off + 12].copy_from_slice(&(10_000_000u32).to_le_bytes());
+        buf[off + 12..off + 16].copy_from_slice(&(10_000_000u32).to_le_bytes());
+        let mut r = PcapReader::new(Cursor::new(buf)).unwrap();
+        assert!(matches!(
+            r.next_packet(),
+            Err(PcapError::OversizedRecord(10_000_000))
+        ));
+    }
+
+    #[test]
+    fn incl_len_gt_orig_len_rejected() {
+        let mut w = PcapWriter::new(Vec::new(), FileHeader::raw_ip(100)).unwrap();
+        w.write_bytes(0, &[0u8; 4]).unwrap();
+        let mut buf = w.finish().unwrap();
+        let off = crate::format::FILE_HEADER_LEN;
+        buf[off + 12..off + 16].copy_from_slice(&(1u32).to_le_bytes()); // orig_len = 1 < incl_len = 4
+        let mut r = PcapReader::new(Cursor::new(buf)).unwrap();
+        assert!(matches!(r.next_packet(), Err(PcapError::Corrupt(_))));
+    }
+
+    #[test]
+    fn iterator_interface() {
+        let mut w = PcapWriter::new(Vec::new(), FileHeader::raw_ip(40)).unwrap();
+        for i in 0..5u8 {
+            w.write_bytes(u64::from(i) * 1000, &[i]).unwrap();
+        }
+        let buf = w.finish().unwrap();
+        let r = PcapReader::new(Cursor::new(buf)).unwrap();
+        let collected: Result<Vec<_>, _> = r.collect();
+        let collected = collected.unwrap();
+        assert_eq!(collected.len(), 5);
+        assert_eq!(collected[4].data, vec![4u8]);
+    }
+
+    #[test]
+    fn microsecond_file_roundtrip() {
+        let mut hdr = FileHeader::raw_ip(40);
+        hdr.resolution = TsResolution::Micro;
+        let mut w = PcapWriter::new(Vec::new(), hdr).unwrap();
+        w.write_bytes(1_000_002_000, &[9]).unwrap(); // 1s + 2µs
+        let buf = w.finish().unwrap();
+        let mut r = PcapReader::new(Cursor::new(buf)).unwrap();
+        assert_eq!(r.header().resolution, TsResolution::Micro);
+        let p = r.next_packet().unwrap().unwrap();
+        assert_eq!(p.timestamp_ns, 1_000_002_000);
+    }
+}

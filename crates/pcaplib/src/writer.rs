@@ -1,0 +1,131 @@
+//! Streaming pcap writer.
+
+use crate::format::{FileHeader, PcapError, RecordHeader};
+use crate::CapturedPacket;
+use std::io::Write;
+
+/// Writes a classic pcap file to any [`Write`] sink.
+///
+/// Records longer than the snap length are truncated on write, with
+/// `orig_len` preserving the true size — exactly the capture semantics of
+/// the Sprint monitors the paper used.
+pub struct PcapWriter<W: Write> {
+    sink: W,
+    header: FileHeader,
+    records_written: u64,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Creates a writer and emits the global header immediately.
+    pub fn new(mut sink: W, header: FileHeader) -> Result<Self, PcapError> {
+        sink.write_all(&header.encode())?;
+        Ok(Self {
+            sink,
+            header,
+            records_written: 0,
+        })
+    }
+
+    /// The file header in force.
+    pub fn header(&self) -> &FileHeader {
+        &self.header
+    }
+
+    /// Number of records written so far.
+    pub fn records_written(&self) -> u64 {
+        self.records_written
+    }
+
+    /// Writes one packet, truncating the stored bytes to the snap length.
+    /// `orig_len` is taken from the packet (it may exceed `data.len()` if
+    /// the caller already truncated).
+    pub fn write_packet(&mut self, pkt: &CapturedPacket) -> Result<(), PcapError> {
+        let capped = (self.header.snaplen as usize).min(pkt.data.len());
+        let res = self.header.resolution;
+        let ts_sec = (pkt.timestamp_ns / 1_000_000_000) as u32;
+        let ts_frac = ((pkt.timestamp_ns % 1_000_000_000) / res.ns_per_unit()) as u32;
+        let rec = RecordHeader {
+            ts_sec,
+            ts_frac,
+            incl_len: capped as u32,
+            orig_len: pkt.orig_len.max(capped as u32),
+        };
+        self.sink.write_all(&rec.encode())?;
+        self.sink.write_all(&pkt.data[..capped])?;
+        self.records_written += 1;
+        Ok(())
+    }
+
+    /// Convenience: write raw wire bytes with a timestamp; `orig_len` is the
+    /// byte length before snaplen truncation.
+    pub fn write_bytes(&mut self, timestamp_ns: u64, bytes: &[u8]) -> Result<(), PcapError> {
+        self.write_packet(&CapturedPacket {
+            timestamp_ns,
+            orig_len: bytes.len() as u32,
+            data: bytes.to_vec(),
+        })
+    }
+
+    /// Flushes and returns the underlying sink.
+    pub fn finish(mut self) -> Result<W, PcapError> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{TsResolution, FILE_HEADER_LEN, RECORD_HEADER_LEN};
+
+    #[test]
+    fn header_written_on_construction() {
+        let w = PcapWriter::new(Vec::new(), FileHeader::raw_ip(40)).unwrap();
+        let buf = w.finish().unwrap();
+        assert_eq!(buf.len(), FILE_HEADER_LEN);
+    }
+
+    #[test]
+    fn snaplen_truncates_stored_bytes() {
+        let mut w = PcapWriter::new(Vec::new(), FileHeader::raw_ip(8)).unwrap();
+        w.write_bytes(1_500, &[0xAAu8; 100]).unwrap();
+        assert_eq!(w.records_written(), 1);
+        let buf = w.finish().unwrap();
+        assert_eq!(buf.len(), FILE_HEADER_LEN + RECORD_HEADER_LEN + 8);
+        // orig_len field records the true length.
+        let rec_bytes: [u8; 16] = buf[FILE_HEADER_LEN..FILE_HEADER_LEN + 16]
+            .try_into()
+            .unwrap();
+        let rec = RecordHeader::decode(&rec_bytes, false);
+        assert_eq!(rec.incl_len, 8);
+        assert_eq!(rec.orig_len, 100);
+    }
+
+    #[test]
+    fn nanosecond_timestamps_preserved() {
+        let mut w = PcapWriter::new(Vec::new(), FileHeader::raw_ip(40)).unwrap();
+        w.write_bytes(3_000_000_123, &[1, 2, 3]).unwrap();
+        let buf = w.finish().unwrap();
+        let rec_bytes: [u8; 16] = buf[FILE_HEADER_LEN..FILE_HEADER_LEN + 16]
+            .try_into()
+            .unwrap();
+        let rec = RecordHeader::decode(&rec_bytes, false);
+        assert_eq!(rec.ts_sec, 3);
+        assert_eq!(rec.ts_frac, 123);
+        assert_eq!(rec.timestamp_ns(TsResolution::Nano), 3_000_000_123);
+    }
+
+    #[test]
+    fn microsecond_resolution_rounds_down() {
+        let mut hdr = FileHeader::raw_ip(40);
+        hdr.resolution = TsResolution::Micro;
+        let mut w = PcapWriter::new(Vec::new(), hdr).unwrap();
+        w.write_bytes(1_000_001_999, &[0]).unwrap(); // 1s + 1.999µs
+        let buf = w.finish().unwrap();
+        let rec_bytes: [u8; 16] = buf[FILE_HEADER_LEN..FILE_HEADER_LEN + 16]
+            .try_into()
+            .unwrap();
+        let rec = RecordHeader::decode(&rec_bytes, false);
+        assert_eq!(rec.ts_frac, 1); // truncated to whole microseconds
+    }
+}

@@ -1,0 +1,48 @@
+//! Property test: write → read identity for arbitrary packet sequences.
+
+use pcaplib::{CapturedPacket, FileHeader, PcapReader, PcapWriter, TsResolution};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+proptest! {
+    #[test]
+    fn write_read_identity(
+        packets in proptest::collection::vec(
+            (any::<u64>().prop_map(|t| t % 10_000_000_000_000),
+             proptest::collection::vec(any::<u8>(), 0..200)),
+            0..50,
+        ),
+        snaplen in 1u32..300,
+    ) {
+        let mut w = PcapWriter::new(Vec::new(), FileHeader::raw_ip(snaplen)).unwrap();
+        for (ts, bytes) in &packets {
+            w.write_bytes(*ts, bytes).unwrap();
+        }
+        let buf = w.finish().unwrap();
+        let mut r = PcapReader::new(Cursor::new(buf)).unwrap();
+        prop_assert_eq!(r.header().snaplen, snaplen);
+        let got = r.read_all().unwrap();
+        prop_assert_eq!(got.len(), packets.len());
+        for ((ts, bytes), cap) in packets.iter().zip(&got) {
+            prop_assert_eq!(cap.timestamp_ns, *ts);
+            prop_assert_eq!(cap.orig_len as usize, bytes.len());
+            let expect = &bytes[..bytes.len().min(snaplen as usize)];
+            prop_assert_eq!(cap.data.as_slice(), expect);
+        }
+    }
+
+    #[test]
+    fn microsecond_resolution_loses_at_most_999ns(
+        ts in any::<u64>().prop_map(|t| t % 10_000_000_000_000),
+    ) {
+        let mut hdr = FileHeader::raw_ip(64);
+        hdr.resolution = TsResolution::Micro;
+        let mut w = PcapWriter::new(Vec::new(), hdr).unwrap();
+        w.write_packet(&CapturedPacket { timestamp_ns: ts, orig_len: 1, data: vec![0] }).unwrap();
+        let buf = w.finish().unwrap();
+        let mut r = PcapReader::new(Cursor::new(buf)).unwrap();
+        let got = r.next_packet().unwrap().unwrap();
+        prop_assert!(got.timestamp_ns <= ts);
+        prop_assert!(ts - got.timestamp_ns < 1_000);
+    }
+}

@@ -1,0 +1,457 @@
+//! Simplified path-vector EGP (BGP-like) dynamics.
+//!
+//! §II-A of the paper lists BGP-specific causes of transient loops: a peer
+//! withdrawing prefixes that are also advertised via other peers, sessions
+//! going down with a link, and a prefix being newly advertised by a
+//! different router where the new route is preferred. All three reduce to
+//! the same forwarding-plane phenomenon: *traffic to a prefix shifts from
+//! one exit router to another, and interior routers make the switch at
+//! different times* (eBGP propagation, iBGP mesh fan-out, MRAI batching,
+//! decision process, FIB write). During the shift, a router that has
+//! switched may forward through one that has not, whose best path runs back
+//! through the first — a loop.
+//!
+//! The model tracks, per external prefix, an ordered list of exit routers
+//! (highest preference first, standing in for local-pref/AS-path length).
+//! Withdrawals and (re-)advertisements generate staggered [`FibUpdate`]s:
+//! every interior router re-routes to the best remaining exit along IGP
+//! shortest paths.
+
+use crate::igp::{FibUpdate, RouteTable};
+use crate::spf::shortest_paths;
+use net_types::Ipv4Prefix;
+use simnet::{NodeId, Route, SimDuration, SimTime, Topology};
+
+/// EGP timing parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EgpConfig {
+    /// Delay from the external event to the attached border router learning
+    /// of it (eBGP session processing).
+    pub ebgp_delay: SimDuration,
+    /// Base delay for an iBGP update from the border router to each
+    /// interior router (full mesh).
+    pub ibgp_delay: SimDuration,
+    /// Maximum extra per-router stagger (MRAI phase, input-queue depth,
+    /// decision-process scheduling), drawn deterministically per
+    /// (seed, node). BGP convergence is *slow* — Labovitz et al. measured
+    /// minutes — so this is typically much larger than the IGP jitter.
+    pub ibgp_jitter_max: SimDuration,
+    /// Decision process + FIB install time after the update is processed.
+    pub decision_delay: SimDuration,
+}
+
+impl Default for EgpConfig {
+    fn default() -> Self {
+        Self {
+            ebgp_delay: SimDuration::from_millis(50),
+            ibgp_delay: SimDuration::from_millis(30),
+            ibgp_jitter_max: SimDuration::from_secs(8),
+            decision_delay: SimDuration::from_millis(100),
+        }
+    }
+}
+
+/// An external prefix with its candidate exit routers in preference order.
+#[derive(Debug, Clone)]
+pub struct EgpPrefix {
+    /// The advertised prefix.
+    pub prefix: Ipv4Prefix,
+    /// Exit routers, highest preference first.
+    pub exits: Vec<NodeId>,
+}
+
+/// An exit being withdrawn (peer session loss, external failure) or
+/// restored.
+#[derive(Debug, Clone, Copy)]
+pub struct EgpWithdrawal {
+    /// When the external event happens.
+    pub time: SimTime,
+    /// Affected prefix.
+    pub prefix: Ipv4Prefix,
+    /// The exit router losing (or regaining) the route.
+    pub exit: NodeId,
+    /// `true` = withdraw, `false` = re-advertise.
+    pub withdraw: bool,
+}
+
+fn node_jitter(seed: u64, salt: u64, node: NodeId, max: SimDuration) -> SimDuration {
+    if max == SimDuration::ZERO {
+        return SimDuration::ZERO;
+    }
+    let mut x = seed
+        .wrapping_mul(0xd129_0d3b_58f9_b6c7)
+        .wrapping_add(salt.rotate_left(23))
+        .wrapping_add(0x1000_0000 + node.0 as u64);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    SimDuration(x % max.as_nanos())
+}
+
+/// The EGP model bound to a topology.
+pub struct Egp<'a> {
+    topo: &'a Topology,
+    costs: Vec<u64>,
+    cfg: EgpConfig,
+    /// Advertised state: per prefix, which exits are currently live
+    /// (subset of the configured candidates, preference order preserved).
+    prefixes: Vec<EgpPrefix>,
+}
+
+impl<'a> Egp<'a> {
+    /// Creates the model; all configured exits start advertised.
+    pub fn new(topo: &'a Topology, cfg: EgpConfig, prefixes: Vec<EgpPrefix>) -> Self {
+        for p in &prefixes {
+            assert!(!p.exits.is_empty(), "prefix {} has no exits", p.prefix);
+        }
+        Self {
+            costs: vec![1; topo.num_links()],
+            topo,
+            cfg,
+            prefixes,
+        }
+    }
+
+    /// Replaces the uniform link costs.
+    pub fn set_costs(&mut self, costs: Vec<u64>) {
+        assert_eq!(costs.len(), self.topo.num_links());
+        self.costs = costs;
+    }
+
+    /// The configured prefixes.
+    pub fn prefixes(&self) -> &[EgpPrefix] {
+        &self.prefixes
+    }
+
+    /// The currently-best (advertised, highest-preference) exit for a
+    /// prefix.
+    pub fn best_exit(&self, prefix: Ipv4Prefix) -> Option<NodeId> {
+        self.prefixes
+            .iter()
+            .find(|p| p.prefix == prefix)
+            .and_then(|p| p.exits.first().copied())
+    }
+
+    /// The route router `node` uses to reach a prefix whose best exit is
+    /// `exit`: local delivery at the exit itself (traffic leaves the AS
+    /// there), otherwise the first hop of the IGP shortest path.
+    pub fn route_via_exit(&self, node: NodeId, exit: NodeId, link_up: &[bool]) -> Option<Route> {
+        if node == exit {
+            return Some(Route::Local);
+        }
+        let spf = shortest_paths(self.topo, &self.costs, link_up, node);
+        spf.first_link_to(exit).map(Route::Link)
+    }
+
+    /// Converged routes for all EGP prefixes with all links up and every
+    /// configured exit advertised — merged into `table`.
+    pub fn initial_routes(&self, table: &mut RouteTable, link_up: &[bool]) {
+        for p in &self.prefixes {
+            let best = p.exits[0];
+            for node_idx in 0..self.topo.num_nodes() {
+                let node = NodeId(node_idx);
+                if let Some(r) = self.route_via_exit(node, best, link_up) {
+                    table.insert((node, p.prefix), r);
+                }
+            }
+        }
+    }
+
+    /// Computes the FIB-update schedule for one withdrawal/re-advertisement
+    /// event. `current` is mutated to the new converged state. The
+    /// advertised-exit state is updated inside the model.
+    pub fn withdrawal_updates(
+        &mut self,
+        ev: &EgpWithdrawal,
+        link_up: &[bool],
+        current: &mut RouteTable,
+        seed: u64,
+    ) -> Vec<FibUpdate> {
+        let Some(pidx) = self.prefixes.iter().position(|p| p.prefix == ev.prefix) else {
+            return Vec::new();
+        };
+        // Update the advertised set.
+        if ev.withdraw {
+            self.prefixes[pidx].exits.retain(|e| *e != ev.exit);
+        } else if !self.prefixes[pidx].exits.contains(&ev.exit) {
+            // Re-advertisement restores the exit at its configured position:
+            // we conservatively append, then rely on preference order being
+            // re-derived by the caller if needed; for the common
+            // withdraw-then-restore scripts, push-front restores primacy.
+            self.prefixes[pidx].exits.insert(0, ev.exit);
+        }
+        let new_best = self.prefixes[pidx].exits.first().copied();
+        let prefix = ev.prefix;
+        let border = ev.exit;
+        let mut updates = Vec::new();
+        for node_idx in 0..self.topo.num_nodes() {
+            let node = NodeId(node_idx);
+            let new_route = new_best.and_then(|b| self.route_via_exit(node, b, link_up));
+            let key = (node, prefix);
+            let old = current.get(&key).copied();
+            if old == new_route {
+                continue;
+            }
+            // Timing: the border router learns first (eBGP); everyone else
+            // waits for the iBGP update plus their own processing stagger.
+            let base = if node == border {
+                ev.time + self.cfg.ebgp_delay
+            } else {
+                ev.time
+                    + self.cfg.ebgp_delay
+                    + self.cfg.ibgp_delay
+                    + node_jitter(seed, ev.time.as_nanos(), node, self.cfg.ibgp_jitter_max)
+            };
+            let t = base + self.cfg.decision_delay;
+            updates.push(FibUpdate {
+                time: t,
+                node,
+                prefix,
+                route: new_route,
+            });
+            match new_route {
+                Some(r) => {
+                    current.insert(key, r);
+                }
+                None => {
+                    current.remove(&key);
+                }
+            }
+        }
+        updates.sort_by_key(|u| (u.time, u.node.0));
+        updates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{LinkId, SimDuration, TopologyBuilder};
+    use std::net::Ipv4Addr;
+
+    fn pfx(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    /// Line of four routers; exits at both ends.
+    ///   e1 -- r1 -- r2 -- e2
+    fn line4() -> (Topology, [NodeId; 4], Vec<LinkId>) {
+        let mut b = TopologyBuilder::new();
+        let e1 = b.node("e1", Ipv4Addr::new(10, 0, 2, 1));
+        let r1 = b.node("r1", Ipv4Addr::new(10, 0, 2, 2));
+        let r2 = b.node("r2", Ipv4Addr::new(10, 0, 2, 3));
+        let e2 = b.node("e2", Ipv4Addr::new(10, 0, 2, 4));
+        let mut links = Vec::new();
+        for (x, y) in [(e1, r1), (r1, r2), (r2, e2)] {
+            let (f, r) = b.duplex(x, y, 100_000_000, SimDuration::from_micros(500));
+            links.push(f);
+            links.push(r);
+        }
+        (b.build(), [e1, r1, r2, e2], links)
+    }
+
+    fn external() -> Ipv4Prefix {
+        pfx("198.18.0.0/24")
+    }
+
+    #[test]
+    fn initial_routes_use_preferred_exit() {
+        let (topo, nodes, links) = line4();
+        let egp = Egp::new(
+            &topo,
+            EgpConfig::default(),
+            vec![EgpPrefix {
+                prefix: external(),
+                exits: vec![nodes[0], nodes[3]], // e1 preferred
+            }],
+        );
+        let mut table = RouteTable::new();
+        egp.initial_routes(&mut table, &vec![true; topo.num_links()]);
+        // e1 delivers locally; r1 points towards e1; r2 points towards r1.
+        assert_eq!(table.get(&(nodes[0], external())), Some(&Route::Local));
+        assert_eq!(
+            table.get(&(nodes[1], external())),
+            Some(&Route::Link(links[1])) // r1 -> e1
+        );
+        assert_eq!(
+            table.get(&(nodes[2], external())),
+            Some(&Route::Link(links[3])) // r2 -> r1
+        );
+    }
+
+    #[test]
+    fn withdrawal_shifts_to_backup_exit() {
+        let (topo, nodes, links) = line4();
+        let mut egp = Egp::new(
+            &topo,
+            EgpConfig::default(),
+            vec![EgpPrefix {
+                prefix: external(),
+                exits: vec![nodes[0], nodes[3]],
+            }],
+        );
+        let up = vec![true; topo.num_links()];
+        let mut table = RouteTable::new();
+        egp.initial_routes(&mut table, &up);
+        let updates = egp.withdrawal_updates(
+            &EgpWithdrawal {
+                time: SimTime::from_secs(5),
+                prefix: external(),
+                exit: nodes[0],
+                withdraw: true,
+            },
+            &up,
+            &mut table,
+            17,
+        );
+        // Every router changes: the whole AS shifts from e1 to e2.
+        assert_eq!(updates.len(), 4);
+        // The border router (e1) moves first.
+        let border_update = updates.iter().find(|u| u.node == nodes[0]).unwrap();
+        for u in &updates {
+            if u.node != nodes[0] {
+                assert!(u.time > border_update.time);
+            }
+        }
+        // Final state: everyone points towards e2.
+        assert_eq!(table.get(&(nodes[3], external())), Some(&Route::Local));
+        assert_eq!(
+            table.get(&(nodes[1], external())),
+            Some(&Route::Link(links[2])) // r1 -> r2
+        );
+        // e1 itself now routes into the AS towards e2.
+        assert_eq!(
+            table.get(&(nodes[0], external())),
+            Some(&Route::Link(links[0])) // e1 -> r1
+        );
+    }
+
+    #[test]
+    fn withdrawing_last_exit_removes_routes() {
+        let (topo, nodes, _links) = line4();
+        let mut egp = Egp::new(
+            &topo,
+            EgpConfig::default(),
+            vec![EgpPrefix {
+                prefix: external(),
+                exits: vec![nodes[0]],
+            }],
+        );
+        let up = vec![true; topo.num_links()];
+        let mut table = RouteTable::new();
+        egp.initial_routes(&mut table, &up);
+        let updates = egp.withdrawal_updates(
+            &EgpWithdrawal {
+                time: SimTime::ZERO,
+                prefix: external(),
+                exit: nodes[0],
+                withdraw: true,
+            },
+            &up,
+            &mut table,
+            17,
+        );
+        assert_eq!(updates.len(), 4);
+        assert!(updates.iter().all(|u| u.route.is_none()));
+        assert!(table.iter().all(|((_, p), _)| *p != external()));
+    }
+
+    #[test]
+    fn readvertisement_restores_primary() {
+        let (topo, nodes, _links) = line4();
+        let mut egp = Egp::new(
+            &topo,
+            EgpConfig::default(),
+            vec![EgpPrefix {
+                prefix: external(),
+                exits: vec![nodes[0], nodes[3]],
+            }],
+        );
+        let up = vec![true; topo.num_links()];
+        let mut table = RouteTable::new();
+        egp.initial_routes(&mut table, &up);
+        let snapshot = table.clone();
+        egp.withdrawal_updates(
+            &EgpWithdrawal {
+                time: SimTime::ZERO,
+                prefix: external(),
+                exit: nodes[0],
+                withdraw: true,
+            },
+            &up,
+            &mut table,
+            17,
+        );
+        egp.withdrawal_updates(
+            &EgpWithdrawal {
+                time: SimTime::from_secs(60),
+                prefix: external(),
+                exit: nodes[0],
+                withdraw: false,
+            },
+            &up,
+            &mut table,
+            17,
+        );
+        assert_eq!(table, snapshot, "restore must return to initial state");
+    }
+
+    #[test]
+    fn staggered_updates_can_create_loop_window() {
+        // During the e1 -> e2 shift, if r2 switches before r1: r2 points at
+        // r1? No — r2's new route is towards e2, away from r1. The loop
+        // forms the other way: r1 switches first, pointing at r2, while r2
+        // still points back at r1. Verify such an interleaving exists for
+        // some seed.
+        let (topo, nodes, _links) = line4();
+        let mut found = false;
+        for seed in 0..50u64 {
+            let mut egp = Egp::new(
+                &topo,
+                EgpConfig::default(),
+                vec![EgpPrefix {
+                    prefix: external(),
+                    exits: vec![nodes[0], nodes[3]],
+                }],
+            );
+            let up = vec![true; topo.num_links()];
+            let mut table = RouteTable::new();
+            egp.initial_routes(&mut table, &up);
+            let updates = egp.withdrawal_updates(
+                &EgpWithdrawal {
+                    time: SimTime::ZERO,
+                    prefix: external(),
+                    exit: nodes[0],
+                    withdraw: true,
+                },
+                &up,
+                &mut table,
+                seed,
+            );
+            let t_r1 = updates.iter().find(|u| u.node == nodes[1]).unwrap().time;
+            let t_r2 = updates.iter().find(|u| u.node == nodes[2]).unwrap().time;
+            if t_r1 < t_r2 {
+                found = true;
+                break;
+            }
+        }
+        assert!(
+            found,
+            "some seed must produce the loop-forming interleaving"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "has no exits")]
+    fn empty_exit_list_rejected() {
+        let (topo, _nodes, _links) = line4();
+        Egp::new(
+            &topo,
+            EgpConfig::default(),
+            vec![EgpPrefix {
+                prefix: external(),
+                exits: vec![],
+            }],
+        );
+    }
+}

@@ -1,0 +1,441 @@
+//! Analytic ground truth: when does the per-prefix forwarding graph contain
+//! a cycle?
+//!
+//! Given the initial routes, the FIB-update schedule, and link up/down
+//! events, this module replays the *control-plane state* over time and
+//! reports every interval during which some set of routers forwards a
+//! prefix in a cycle. The packet-trace detector (the paper's contribution)
+//! is validated against these windows: every merged replica stream must fall
+//! inside one, and every window that carried enough traffic must be found.
+
+use crate::igp::FibUpdate;
+use net_types::Ipv4Prefix;
+use simnet::{NodeId, Route, SimTime, Topology};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A link up/down event as seen by the forwarding plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkStateEvent {
+    /// When the link changed state.
+    pub time: SimTime,
+    /// Which link.
+    pub link: simnet::LinkId,
+    /// New state.
+    pub up: bool,
+}
+
+/// One ground-truth loop window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopWindow {
+    /// The destination prefix whose forwarding graph was cyclic.
+    pub prefix: Ipv4Prefix,
+    /// When the cycle appeared.
+    pub start: SimTime,
+    /// When the cycle disappeared (`None` when still cyclic at the horizon —
+    /// a persistent loop).
+    pub end: Option<SimTime>,
+    /// All routers that were part of the cycle at any point in the window.
+    pub nodes: BTreeSet<NodeId>,
+}
+
+impl LoopWindow {
+    /// Window duration up to `horizon` for still-open windows.
+    pub fn duration_until(&self, horizon: SimTime) -> simnet::SimDuration {
+        self.end.unwrap_or(horizon) - self.start
+    }
+
+    /// True when `t` falls inside the window.
+    pub fn contains(&self, t: SimTime) -> bool {
+        t >= self.start && self.end.is_none_or(|e| t < e)
+    }
+}
+
+/// Finds all routers currently on a forwarding cycle for one prefix.
+///
+/// `next_hops[n]` lists every router that node `n` may forward to (one
+/// entry for a plain route, several under ECMP; empty for local delivery,
+/// blackhole, no route, or down links). A router is "on a cycle" when it
+/// belongs to a strongly connected component with an internal edge — with
+/// ECMP this is the *potential*-loop criterion: some flow-hash outcome
+/// circulates, though other flows may pass through cleanly.
+fn cycle_nodes(next_hops: &[Vec<NodeId>]) -> BTreeSet<NodeId> {
+    // Iterative Tarjan SCC.
+    let n = next_hops.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut on_cycle = BTreeSet::new();
+
+    // Explicit DFS stack: (node, child-iterator position).
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut ci)) = call.last_mut() {
+            if *ci == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *ci < next_hops[v].len() {
+                let w = next_hops[v][*ci].0;
+                *ci += 1;
+                if index[w] == usize::MAX {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                // v is finished.
+                if low[v] == index[v] {
+                    // Root of an SCC: pop it.
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    let cyclic =
+                        comp.len() > 1 || next_hops[comp[0]].iter().any(|nh| nh.0 == comp[0]);
+                    if cyclic {
+                        for w in comp {
+                            on_cycle.insert(NodeId(w));
+                        }
+                    }
+                }
+                call.pop();
+                if let Some(&mut (parent, _)) = call.last_mut() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+            }
+        }
+    }
+    on_cycle
+}
+
+/// Replays control-plane state and returns every loop window, sorted by
+/// `(prefix, start)`.
+///
+/// * `initial` — converged routes at time zero.
+/// * `updates` — the FIB-update schedule (any order).
+/// * `link_events` — physical link transitions (any order).
+/// * `horizon` — end of the replay; cycles still present are reported with
+///   `end == None`.
+pub fn loop_windows(
+    topo: &Topology,
+    initial: &crate::igp::RouteTable,
+    updates: &[FibUpdate],
+    link_events: &[LinkStateEvent],
+    horizon: SimTime,
+) -> Vec<LoopWindow> {
+    // Collect the prefixes in play.
+    let mut prefixes: BTreeSet<Ipv4Prefix> = initial.iter().map(|((_, p), _)| *p).collect();
+    prefixes.extend(updates.iter().map(|u| u.prefix));
+
+    // Merge updates and link events into one timeline.
+    #[derive(Debug)]
+    enum Change {
+        Fib(FibUpdate),
+        Link(LinkStateEvent),
+    }
+    let mut timeline: Vec<(SimTime, Change)> = updates
+        .iter()
+        .map(|u| (u.time, Change::Fib(*u)))
+        .chain(link_events.iter().map(|e| (e.time, Change::Link(*e))))
+        .collect();
+    timeline.sort_by_key(|(t, c)| {
+        // Link events apply before FIB updates at the same instant (the
+        // fibre cut is physical; the FIB write merely reacts).
+        let rank = match c {
+            Change::Link(_) => 0u8,
+            Change::Fib(_) => 1u8,
+        };
+        (*t, rank)
+    });
+
+    let mut routes: BTreeMap<(NodeId, Ipv4Prefix), Route> = initial.clone();
+    let mut link_up = vec![true; topo.num_links()];
+
+    // Per prefix: the currently-open window, if any.
+    let mut open: BTreeMap<Ipv4Prefix, LoopWindow> = BTreeMap::new();
+    let mut closed: Vec<LoopWindow> = Vec::new();
+
+    let next_hops =
+        |routes: &BTreeMap<(NodeId, Ipv4Prefix), Route>, link_up: &[bool], prefix: Ipv4Prefix| {
+            (0..topo.num_nodes())
+                .map(|i| match routes.get(&(NodeId(i), prefix)) {
+                    Some(Route::Link(l)) if link_up[l.0] => vec![topo.link(*l).to],
+                    Some(Route::Ecmp(set)) => set
+                        .links()
+                        .iter()
+                        .filter(|l| link_up[l.0])
+                        .map(|l| topo.link(*l).to)
+                        .collect(),
+                    _ => Vec::new(),
+                })
+                .collect::<Vec<_>>()
+        };
+
+    let check_prefix = |t: SimTime,
+                        prefix: Ipv4Prefix,
+                        routes: &BTreeMap<(NodeId, Ipv4Prefix), Route>,
+                        link_up: &[bool],
+                        open: &mut BTreeMap<Ipv4Prefix, LoopWindow>,
+                        closed: &mut Vec<LoopWindow>| {
+        let nh = next_hops(routes, link_up, prefix);
+        let cyc = cycle_nodes(&nh);
+        match (cyc.is_empty(), open.get_mut(&prefix)) {
+            (true, Some(_)) => {
+                let mut w = open.remove(&prefix).unwrap();
+                w.end = Some(t);
+                closed.push(w);
+            }
+            (false, Some(w)) => {
+                w.nodes.extend(cyc);
+            }
+            (false, None) => {
+                open.insert(
+                    prefix,
+                    LoopWindow {
+                        prefix,
+                        start: t,
+                        end: None,
+                        nodes: cyc,
+                    },
+                );
+            }
+            (true, None) => {}
+        }
+    };
+
+    // Initial state could already be cyclic (a mis-scripted scenario); check
+    // at time zero.
+    for p in &prefixes {
+        check_prefix(SimTime::ZERO, *p, &routes, &link_up, &mut open, &mut closed);
+    }
+
+    for (t, change) in timeline {
+        if t > horizon {
+            break;
+        }
+        match change {
+            Change::Fib(u) => {
+                match u.route {
+                    Some(r) => {
+                        routes.insert((u.node, u.prefix), r);
+                    }
+                    None => {
+                        routes.remove(&(u.node, u.prefix));
+                    }
+                }
+                check_prefix(t, u.prefix, &routes, &link_up, &mut open, &mut closed);
+            }
+            Change::Link(e) => {
+                link_up[e.link.0] = e.up;
+                // A link transition can open/close loops for any prefix.
+                for p in &prefixes {
+                    check_prefix(t, *p, &routes, &link_up, &mut open, &mut closed);
+                }
+            }
+        }
+    }
+
+    closed.extend(open.into_values());
+    closed.sort_by_key(|w| (w.prefix, w.start));
+    closed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{LinkId, SimDuration, TopologyBuilder};
+    use std::net::Ipv4Addr;
+
+    fn pfx(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn triangle() -> (Topology, [NodeId; 3], [LinkId; 6]) {
+        let mut b = TopologyBuilder::new();
+        let a = b.node("a", Ipv4Addr::new(10, 0, 0, 1));
+        let c = b.node("b", Ipv4Addr::new(10, 0, 0, 2));
+        let d = b.node("c", Ipv4Addr::new(10, 0, 0, 3));
+        let (l01, l10) = b.duplex(a, c, 1_000_000, SimDuration::from_millis(1));
+        let (l12, l21) = b.duplex(c, d, 1_000_000, SimDuration::from_millis(1));
+        let (l20, l02) = b.duplex(d, a, 1_000_000, SimDuration::from_millis(1));
+        (b.build(), [a, c, d], [l01, l10, l12, l21, l20, l02])
+    }
+
+    fn nh(v: Vec<Vec<usize>>) -> Vec<Vec<NodeId>> {
+        v.into_iter()
+            .map(|inner| inner.into_iter().map(NodeId).collect())
+            .collect()
+    }
+
+    #[test]
+    fn cycle_nodes_detects_two_cycle() {
+        // 0 -> 1 -> 0, 2 -> terminal
+        let g = nh(vec![vec![1], vec![0], vec![]]);
+        assert_eq!(cycle_nodes(&g), BTreeSet::from([NodeId(0), NodeId(1)]));
+    }
+
+    #[test]
+    fn cycle_nodes_detects_tail_into_cycle() {
+        // 3 -> 0 -> 1 -> 2 -> 1 : cycle is {1, 2}, tail {3, 0} is not.
+        let g = nh(vec![vec![1], vec![2], vec![1], vec![0]]);
+        assert_eq!(cycle_nodes(&g), BTreeSet::from([NodeId(1), NodeId(2)]));
+    }
+
+    #[test]
+    fn cycle_nodes_empty_for_dag() {
+        let g = nh(vec![vec![1], vec![2], vec![], vec![2]]);
+        assert!(cycle_nodes(&g).is_empty());
+    }
+
+    #[test]
+    fn cycle_nodes_self_loop_impossible_but_handled() {
+        // A self next-hop would be a bug elsewhere; the walker still flags it.
+        let g = nh(vec![vec![0], vec![]]);
+        assert_eq!(cycle_nodes(&g), BTreeSet::from([NodeId(0)]));
+    }
+
+    #[test]
+    fn cycle_nodes_ecmp_partial_cycle() {
+        // 0 -> {1, 2}; 1 -> 0 (cycle via one ECMP branch); 2 -> terminal.
+        // The potential-loop criterion flags {0, 1}: some flows circulate.
+        let g = nh(vec![vec![1, 2], vec![0], vec![]]);
+        assert_eq!(cycle_nodes(&g), BTreeSet::from([NodeId(0), NodeId(1)]));
+    }
+
+    #[test]
+    fn cycle_nodes_two_disjoint_cycles() {
+        let g = nh(vec![vec![1], vec![0], vec![3], vec![2], vec![]]);
+        assert_eq!(
+            cycle_nodes(&g),
+            BTreeSet::from([NodeId(0), NodeId(1), NodeId(2), NodeId(3)])
+        );
+    }
+
+    #[test]
+    fn window_opens_and_closes_with_fib_updates() {
+        let (topo, nodes, links) = triangle();
+        let p = pfx("198.51.100.0/24");
+        // Initially consistent: a -> b -> c(local).
+        let mut initial = crate::igp::RouteTable::new();
+        initial.insert((nodes[0], p), Route::Link(links[0])); // a -> b
+        initial.insert((nodes[1], p), Route::Link(links[2])); // b -> c
+        initial.insert((nodes[2], p), Route::Local);
+        // At t=1s, b flips to point back at a (loop!); at t=3s, a repoints
+        // directly to c, healing it.
+        let updates = vec![
+            FibUpdate {
+                time: SimTime::from_secs(1),
+                node: nodes[1],
+                prefix: p,
+                route: Some(Route::Link(links[1])), // b -> a
+            },
+            FibUpdate {
+                time: SimTime::from_secs(3),
+                node: nodes[0],
+                prefix: p,
+                route: Some(Route::Link(links[5])), // a -> c
+            },
+        ];
+        let windows = loop_windows(&topo, &initial, &updates, &[], SimTime::from_secs(10));
+        assert_eq!(windows.len(), 1);
+        let w = &windows[0];
+        assert_eq!(w.prefix, p);
+        assert_eq!(w.start, SimTime::from_secs(1));
+        assert_eq!(w.end, Some(SimTime::from_secs(3)));
+        assert_eq!(w.nodes, BTreeSet::from([nodes[0], nodes[1]]));
+        assert!(w.contains(SimTime::from_secs(2)));
+        assert!(!w.contains(SimTime::from_secs(3)));
+        assert_eq!(
+            w.duration_until(SimTime::from_secs(10)),
+            SimDuration::from_secs(2)
+        );
+    }
+
+    #[test]
+    fn persistent_loop_stays_open() {
+        let (topo, nodes, links) = triangle();
+        let p = pfx("198.51.100.0/24");
+        let mut initial = crate::igp::RouteTable::new();
+        initial.insert((nodes[0], p), Route::Link(links[0]));
+        initial.insert((nodes[1], p), Route::Link(links[1])); // loop from t=0
+        let windows = loop_windows(&topo, &initial, &[], &[], SimTime::from_secs(5));
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].start, SimTime::ZERO);
+        assert_eq!(windows[0].end, None);
+        assert_eq!(
+            windows[0].duration_until(SimTime::from_secs(5)),
+            SimDuration::from_secs(5)
+        );
+    }
+
+    #[test]
+    fn down_link_breaks_cycle() {
+        let (topo, nodes, links) = triangle();
+        let p = pfx("198.51.100.0/24");
+        let mut initial = crate::igp::RouteTable::new();
+        initial.insert((nodes[0], p), Route::Link(links[0]));
+        initial.insert((nodes[1], p), Route::Link(links[1])); // cyclic
+                                                              // The a->b link goes down at t=2: packets now die at `a`, no cycle.
+        let link_events = vec![LinkStateEvent {
+            time: SimTime::from_secs(2),
+            link: links[0],
+            up: false,
+        }];
+        let windows = loop_windows(&topo, &initial, &[], &link_events, SimTime::from_secs(5));
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].end, Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn growing_cycle_unions_nodes() {
+        let (topo, nodes, links) = triangle();
+        let p = pfx("198.51.100.0/24");
+        // Start with a 2-cycle a<->b; then at t=1 b points to c and c points
+        // to a (3-cycle) — the window stays open and the node set grows.
+        let mut initial = crate::igp::RouteTable::new();
+        initial.insert((nodes[0], p), Route::Link(links[0])); // a->b
+        initial.insert((nodes[1], p), Route::Link(links[1])); // b->a
+        let updates = vec![
+            FibUpdate {
+                time: SimTime::from_secs(1),
+                node: nodes[2],
+                prefix: p,
+                route: Some(Route::Link(links[4])), // c->a
+            },
+            FibUpdate {
+                time: SimTime::from_secs(1),
+                node: nodes[1],
+                prefix: p,
+                route: Some(Route::Link(links[2])), // b->c
+            },
+        ];
+        let windows = loop_windows(&topo, &initial, &updates, &[], SimTime::from_secs(5));
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].nodes.len(), 3);
+        assert_eq!(windows[0].end, None);
+    }
+
+    #[test]
+    fn no_updates_no_windows() {
+        let (topo, nodes, links) = triangle();
+        let p = pfx("198.51.100.0/24");
+        let mut initial = crate::igp::RouteTable::new();
+        initial.insert((nodes[0], p), Route::Link(links[0]));
+        initial.insert((nodes[1], p), Route::Link(links[2]));
+        initial.insert((nodes[2], p), Route::Local);
+        assert!(loop_windows(&topo, &initial, &[], &[], SimTime::from_secs(5)).is_empty());
+    }
+}

@@ -1,0 +1,612 @@
+//! Link-state IGP timing model (IS-IS / OSPF style).
+//!
+//! The model does not exchange real protocol packets; what matters for loop
+//! formation is *when each router's FIB changes*, and that is governed by a
+//! pipeline of delays the paper enumerates (§II-B, citing \[6\] and \[7\]):
+//!
+//! 1. **failure detection** at the link endpoints,
+//! 2. **LSP generation** (damping/pacing),
+//! 3. **flooding**, one hop at a time, over the surviving topology,
+//! 4. **SPF recomputation** after receipt, and
+//! 5. **FIB update**, which takes time per prefix and differs across
+//!    routers ("implementation and configuration dependent timer values and
+//!    FIB update times add significantly to the overall convergence time").
+//!
+//! Given a topology change, [`Igp::transition_updates`] returns the exact
+//! [`FibUpdate`] schedule implied by those delays. Feeding that schedule to
+//! the packet engine produces transient micro-loops with the same structure
+//! as the ones the paper measured: most involve two adjacent routers at the
+//! boundary of the update propagation wave (TTL delta 2), occasionally more.
+
+use crate::spf::shortest_paths;
+use net_types::Ipv4Prefix;
+use simnet::{LinkId, NodeId, Route, SimDuration, SimTime, Topology};
+use std::collections::BTreeMap;
+
+/// One scheduled FIB change at one router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FibUpdate {
+    /// When the FIB write completes (the new route takes effect).
+    pub time: SimTime,
+    /// The router whose FIB changes.
+    pub node: NodeId,
+    /// The affected prefix.
+    pub prefix: Ipv4Prefix,
+    /// The new route, or `None` to withdraw the prefix.
+    pub route: Option<Route>,
+}
+
+/// IGP convergence timing parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct IgpConfig {
+    /// Time for a link endpoint to detect the failure (carrier loss is
+    /// milliseconds on point-to-point links; hello timeouts are seconds).
+    pub detect_delay: SimDuration,
+    /// LSP/LSA origination delay (pacing, damping).
+    pub lsp_gen_delay: SimDuration,
+    /// Per-hop flooding delay (propagation + processing + pacing).
+    pub flood_hop_delay: SimDuration,
+    /// Delay from LSP receipt to SPF completion.
+    pub spf_delay: SimDuration,
+    /// FIB write time per changed prefix (updates are serialized through
+    /// the line-card update path).
+    pub fib_update_interval: SimDuration,
+    /// Maximum extra per-router stagger before the FIB batch starts,
+    /// drawn deterministically per (seed, node). This models the
+    /// implementation-dependent spread that \[7\] found dominates convergence
+    /// and is what stretches or shrinks loop windows.
+    pub fib_node_jitter_max: SimDuration,
+    /// Equal-cost multipath: maximum paths installed per prefix (1 = ECMP
+    /// off, the classic single-path FIB).
+    pub ecmp_max_paths: usize,
+}
+
+impl Default for IgpConfig {
+    fn default() -> Self {
+        Self {
+            detect_delay: SimDuration::from_millis(20),
+            lsp_gen_delay: SimDuration::from_millis(10),
+            flood_hop_delay: SimDuration::from_millis(5),
+            spf_delay: SimDuration::from_millis(50),
+            fib_update_interval: SimDuration::from_micros(100),
+            fib_node_jitter_max: SimDuration::from_millis(400),
+            ecmp_max_paths: 1,
+        }
+    }
+}
+
+/// Deterministic per-(node, event) jitter in `[0, max)` — a tiny hash, not
+/// a statistical RNG, so schedules are reproducible and independent of call
+/// order. The salt (the event time) makes the stagger vary from one
+/// convergence event to the next, as real routers' input-queue depths and
+/// timer phases do; without it every failure would open an identical loop
+/// window.
+fn node_jitter(seed: u64, salt: u64, node: NodeId, max: SimDuration) -> SimDuration {
+    if max == SimDuration::ZERO {
+        return SimDuration::ZERO;
+    }
+    let mut x = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(salt.rotate_left(17))
+        .wrapping_add(node.0 as u64);
+    // splitmix64 finalizer.
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    SimDuration(x % max.as_nanos())
+}
+
+/// Per-node FIB-batch jitter used by the update scheduler; exposed so other
+/// control-plane models reusing the IGP timing stay consistent with it.
+pub fn jitter_for(seed: u64, salt: u64, node: NodeId, cfg: &IgpConfig) -> SimDuration {
+    node_jitter(seed, salt, node, cfg.fib_node_jitter_max)
+}
+
+/// Routing state: the route every router holds for every prefix.
+pub type RouteTable = BTreeMap<(NodeId, Ipv4Prefix), Route>;
+
+/// The IGP model bound to a topology.
+pub struct Igp<'a> {
+    topo: &'a Topology,
+    costs: Vec<u64>,
+    cfg: IgpConfig,
+}
+
+impl<'a> Igp<'a> {
+    /// Creates the model with uniform link costs.
+    pub fn new(topo: &'a Topology, cfg: IgpConfig) -> Self {
+        Self {
+            costs: vec![1; topo.num_links()],
+            topo,
+            cfg,
+        }
+    }
+
+    /// Creates the model with explicit per-link costs.
+    pub fn with_costs(topo: &'a Topology, cfg: IgpConfig, costs: Vec<u64>) -> Self {
+        assert_eq!(costs.len(), topo.num_links());
+        Self { costs, topo, cfg }
+    }
+
+    /// The timing configuration.
+    pub fn config(&self) -> &IgpConfig {
+        &self.cfg
+    }
+
+    /// `(prefix, owner)` pairs advertised into the IGP: every local prefix
+    /// of every node.
+    pub fn prefix_owners(&self) -> Vec<(Ipv4Prefix, NodeId)> {
+        let mut out = Vec::new();
+        for (i, n) in self.topo.nodes().iter().enumerate() {
+            for p in &n.local_prefixes {
+                out.push((*p, NodeId(i)));
+            }
+        }
+        out
+    }
+
+    /// The converged routing state for a given link-up vector.
+    pub fn routes_with(&self, link_up: &[bool]) -> RouteTable {
+        if self.cfg.ecmp_max_paths > 1 {
+            return self.routes_with_ecmp(link_up);
+        }
+        let owners = self.prefix_owners();
+        let mut table = RouteTable::new();
+        for node_idx in 0..self.topo.num_nodes() {
+            let node = NodeId(node_idx);
+            let spf = shortest_paths(self.topo, &self.costs, link_up, node);
+            for (prefix, owner) in &owners {
+                if *owner == node {
+                    table.insert((node, *prefix), Route::Local);
+                } else if let Some(link) = spf.first_link_to(*owner) {
+                    table.insert((node, *prefix), Route::Link(link));
+                }
+                // Unreachable prefixes simply have no entry.
+            }
+        }
+        table
+    }
+
+    /// ECMP variant: one reverse SPF per prefix owner yields every router's
+    /// full set of equal-cost first hops; entries with more than one become
+    /// [`Route::Ecmp`].
+    fn routes_with_ecmp(&self, link_up: &[bool]) -> RouteTable {
+        use crate::spf::{ecmp_first_links, reverse_distances};
+        use simnet::fib::EcmpSet;
+        let owners = self.prefix_owners();
+        let mut table = RouteTable::new();
+        for (prefix, owner) in &owners {
+            let rev = reverse_distances(self.topo, &self.costs, link_up, *owner);
+            for node_idx in 0..self.topo.num_nodes() {
+                let node = NodeId(node_idx);
+                if *owner == node {
+                    table.insert((node, *prefix), Route::Local);
+                    continue;
+                }
+                let mut firsts = ecmp_first_links(self.topo, &self.costs, link_up, node, &rev);
+                firsts.truncate(self.cfg.ecmp_max_paths);
+                match firsts.len() {
+                    0 => {}
+                    1 => {
+                        table.insert((node, *prefix), Route::Link(firsts[0]));
+                    }
+                    _ => {
+                        table.insert((node, *prefix), Route::Ecmp(EcmpSet::new(&firsts)));
+                    }
+                }
+            }
+        }
+        table
+    }
+
+    /// Converged state with every link up — the routes installed before the
+    /// simulation starts.
+    pub fn initial_routes(&self) -> RouteTable {
+        self.routes_with(&vec![true; self.topo.num_links()])
+    }
+
+    /// The time each router *learns* about a change to `changed_links`,
+    /// given flooding over the links up in `new_up`. Endpoints of a changed
+    /// link detect it directly; everyone else waits for the flood. `None`
+    /// means the router never learns (partitioned from all detectors).
+    pub fn learn_times(
+        &self,
+        event_time: SimTime,
+        changed_links: &[LinkId],
+        new_up: &[bool],
+    ) -> Vec<Option<SimTime>> {
+        let n = self.topo.num_nodes();
+        let mut learn: Vec<Option<SimTime>> = vec![None; n];
+        // Detectors: endpoints of every changed link.
+        let mut detectors = Vec::new();
+        for l in changed_links {
+            let cfg = self.topo.link(*l);
+            detectors.push(cfg.from);
+            detectors.push(cfg.to);
+        }
+        detectors.sort();
+        detectors.dedup();
+        let detect_at = event_time + self.cfg.detect_delay;
+        for d in &detectors {
+            learn[d.0] = Some(detect_at);
+        }
+        // BFS flood from each detector over the post-change topology.
+        // (An LSP traverses a link regardless of direction in real
+        // flooding; we flood over up links in their forward direction and
+        // rely on duplex modelling for reverse reach.)
+        let lsp_origin = detect_at + self.cfg.lsp_gen_delay;
+        let mut frontier: Vec<NodeId> = detectors.clone();
+        let mut dist: Vec<Option<u32>> = vec![None; n];
+        for d in &detectors {
+            dist[d.0] = Some(0);
+        }
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for node in frontier.drain(..) {
+                let d = dist[node.0].unwrap();
+                for link_id in self.topo.links_from(node) {
+                    if !new_up[link_id.0] {
+                        continue;
+                    }
+                    let to = self.topo.link(link_id).to;
+                    if dist[to.0].is_none() {
+                        dist[to.0] = Some(d + 1);
+                        next.push(to);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        for i in 0..n {
+            if learn[i].is_none() {
+                if let Some(hops) = dist[i] {
+                    learn[i] =
+                        Some(lsp_origin + self.cfg.flood_hop_delay.saturating_mul(hops as u64));
+                }
+            }
+        }
+        learn
+    }
+
+    /// Computes the FIB-update schedule for a topology change at
+    /// `event_time`: links in `changed_links` flipped from `old state` to
+    /// the state in `new_up`. `current` is the routing state actually held
+    /// by routers before the change (mutated in place to the new converged
+    /// state). Returns the updates sorted by time.
+    pub fn transition_updates(
+        &self,
+        event_time: SimTime,
+        changed_links: &[LinkId],
+        new_up: &[bool],
+        current: &mut RouteTable,
+        seed: u64,
+    ) -> Vec<FibUpdate> {
+        let learn = self.learn_times(event_time, changed_links, new_up);
+        let target = self.routes_with(new_up);
+        let owners = self.prefix_owners();
+        let mut updates = Vec::new();
+        #[allow(clippy::needless_range_loop)] // learn is node-indexed by construction
+        for node_idx in 0..self.topo.num_nodes() {
+            let node = NodeId(node_idx);
+            let Some(learned_at) = learn[node_idx] else {
+                continue; // partitioned: this router never converges
+            };
+            let spf_done = learned_at + self.cfg.spf_delay;
+            let jitter = node_jitter(
+                seed,
+                event_time.as_nanos(),
+                node,
+                self.cfg.fib_node_jitter_max,
+            );
+            let batch_start = spf_done + jitter;
+            let mut k: u64 = 0;
+            for (prefix, _) in &owners {
+                let key = (node, *prefix);
+                let old = current.get(&key).copied();
+                let new = target.get(&key).copied();
+                if old == new {
+                    continue;
+                }
+                k += 1;
+                let t = batch_start + self.cfg.fib_update_interval.saturating_mul(k);
+                updates.push(FibUpdate {
+                    time: t,
+                    node,
+                    prefix: *prefix,
+                    route: new,
+                });
+                match new {
+                    Some(r) => {
+                        current.insert(key, r);
+                    }
+                    None => {
+                        current.remove(&key);
+                    }
+                }
+            }
+        }
+        updates.sort_by_key(|u| (u.time, u.node.0));
+        updates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{SimDuration, TopologyBuilder};
+    use std::net::Ipv4Addr;
+
+    fn addr(i: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 1, i)
+    }
+
+    fn pfx(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    /// The paper's Figure 1 network: R has the (only initially-used) exit,
+    /// R2 has a backup exit. R1 sits between them.
+    ///   exitnet -- R -- R1 -- R2 -- exitnet (backup, higher cost)
+    /// Implemented as: ext node owning 203.0.113.0/24 reachable via
+    /// R (cost 1) and via R2 (cost 10).
+    fn figure1() -> (Topology, [NodeId; 4], Vec<LinkId>, Vec<u64>) {
+        let mut b = TopologyBuilder::new();
+        let r = b.node("R", addr(1));
+        let r1 = b.node("R1", addr(2));
+        let r2 = b.node("R2", addr(3));
+        let ext = b.node("ext", addr(4));
+        b.attach_prefix(ext, pfx("203.0.113.0/24"));
+        let mut links = Vec::new();
+        let mut costs = Vec::new();
+        let duplex = |b: &mut TopologyBuilder,
+                      x,
+                      y,
+                      c: u64,
+                      links: &mut Vec<LinkId>,
+                      costs: &mut Vec<u64>| {
+            let (f, rv) = b.duplex(x, y, 100_000_000, SimDuration::from_micros(500));
+            links.push(f);
+            links.push(rv);
+            costs.push(c);
+            costs.push(c);
+        };
+        duplex(&mut b, r, r1, 1, &mut links, &mut costs); // 0,1
+        duplex(&mut b, r1, r2, 1, &mut links, &mut costs); // 2,3
+        duplex(&mut b, r, ext, 1, &mut links, &mut costs); // 4,5  primary exit
+        duplex(&mut b, r2, ext, 10, &mut links, &mut costs); // 6,7 backup exit
+        (b.build(), [r, r1, r2, ext], links, costs)
+    }
+
+    #[test]
+    fn initial_routes_point_to_primary_exit() {
+        let (topo, nodes, links, costs) = figure1();
+        let igp = Igp::with_costs(&topo, IgpConfig::default(), costs);
+        let table = igp.initial_routes();
+        let p = pfx("203.0.113.0/24");
+        // R goes straight out.
+        assert_eq!(table.get(&(nodes[0], p)), Some(&Route::Link(links[4])));
+        // R1 goes via R.
+        assert_eq!(table.get(&(nodes[1], p)), Some(&Route::Link(links[1])));
+        // ext delivers locally.
+        assert_eq!(table.get(&(nodes[3], p)), Some(&Route::Local));
+    }
+
+    #[test]
+    fn learn_times_propagate_outward() {
+        let (topo, nodes, links, costs) = figure1();
+        let igp = Igp::with_costs(&topo, IgpConfig::default(), costs);
+        let mut up = vec![true; topo.num_links()];
+        up[links[4].0] = false;
+        up[links[5].0] = false;
+        let t0 = SimTime::from_secs(10);
+        let learn = igp.learn_times(t0, &[links[4], links[5]], &up);
+        let cfg = igp.config();
+        // Endpoints (R and ext) detect directly.
+        assert_eq!(learn[nodes[0].0], Some(t0 + cfg.detect_delay));
+        assert_eq!(learn[nodes[3].0], Some(t0 + cfg.detect_delay));
+        // R1 is one flooding hop away.
+        assert_eq!(
+            learn[nodes[1].0],
+            Some(t0 + cfg.detect_delay + cfg.lsp_gen_delay + cfg.flood_hop_delay)
+        );
+        // R2 is two hops from R (and one from ext via the backup link).
+        let via_ext = t0 + cfg.detect_delay + cfg.lsp_gen_delay + cfg.flood_hop_delay;
+        assert_eq!(learn[nodes[2].0], Some(via_ext));
+    }
+
+    #[test]
+    fn failure_generates_updates_for_affected_routers_only() {
+        let (topo, nodes, links, costs) = figure1();
+        let igp = Igp::with_costs(&topo, IgpConfig::default(), costs);
+        let mut table = igp.initial_routes();
+        let mut up = vec![true; topo.num_links()];
+        up[links[4].0] = false;
+        up[links[5].0] = false;
+        let updates = igp.transition_updates(
+            SimTime::from_secs(1),
+            &[links[4], links[5]],
+            &up,
+            &mut table,
+            7,
+        );
+        let p = pfx("203.0.113.0/24");
+        // R, R1, R2 all change their route for the prefix (R: via R1 now;
+        // R1: via R2; R2: direct backup — R2's route was via R1->R before).
+        let changed: Vec<NodeId> = updates.iter().map(|u| u.node).collect();
+        assert!(changed.contains(&nodes[0]));
+        assert!(changed.contains(&nodes[1]));
+        assert!(changed.contains(&nodes[2]));
+        // ext keeps delivering locally: no update for it.
+        assert!(!changed.contains(&nodes[3]));
+        // All updates are for our prefix and carry new routes.
+        for u in &updates {
+            assert_eq!(u.prefix, p);
+            assert!(u.route.is_some());
+            assert!(u.time > SimTime::from_secs(1));
+        }
+        // The mutated table now matches the converged post-failure state.
+        assert_eq!(table, igp.routes_with(&up));
+    }
+
+    #[test]
+    fn updates_sorted_by_time() {
+        let (topo, _nodes, links, costs) = figure1();
+        let igp = Igp::with_costs(&topo, IgpConfig::default(), costs);
+        let mut table = igp.initial_routes();
+        let mut up = vec![true; topo.num_links()];
+        up[links[4].0] = false;
+        up[links[5].0] = false;
+        let updates = igp.transition_updates(
+            SimTime::from_secs(1),
+            &[links[4], links[5]],
+            &up,
+            &mut table,
+            7,
+        );
+        assert!(updates.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn recovery_restores_initial_routes() {
+        let (topo, _nodes, links, costs) = figure1();
+        let igp = Igp::with_costs(&topo, IgpConfig::default(), costs);
+        let initial = igp.initial_routes();
+        let mut table = initial.clone();
+        let mut up = vec![true; topo.num_links()];
+        up[links[4].0] = false;
+        up[links[5].0] = false;
+        igp.transition_updates(
+            SimTime::from_secs(1),
+            &[links[4], links[5]],
+            &up,
+            &mut table,
+            7,
+        );
+        // Link comes back.
+        let all_up = vec![true; topo.num_links()];
+        igp.transition_updates(
+            SimTime::from_secs(60),
+            &[links[4], links[5]],
+            &all_up,
+            &mut table,
+            7,
+        );
+        assert_eq!(table, initial);
+    }
+
+    #[test]
+    fn jitter_deterministic_and_bounded() {
+        let max = SimDuration::from_millis(500);
+        for node in 0..64 {
+            let a = node_jitter(99, 5, NodeId(node), max);
+            let b = node_jitter(99, 5, NodeId(node), max);
+            assert_eq!(a, b);
+            assert!(a < max);
+        }
+        // Different seeds give (almost surely) different jitter somewhere.
+        let diff =
+            (0..64).any(|n| node_jitter(1, 5, NodeId(n), max) != node_jitter(2, 5, NodeId(n), max));
+        assert!(diff);
+        assert_eq!(
+            node_jitter(5, 1, NodeId(0), SimDuration::ZERO),
+            SimDuration::ZERO
+        );
+        // Different events (salts) stagger differently somewhere.
+        let salted = (0..64)
+            .any(|n| node_jitter(1, 10, NodeId(n), max) != node_jitter(1, 20, NodeId(n), max));
+        assert!(salted);
+    }
+
+    #[test]
+    fn ecmp_routes_installed_on_equal_cost_paths() {
+        use simnet::TopologyBuilder;
+        // Square: a -> {b, c} -> d, all cost 1. d owns a prefix.
+        let mut bld = TopologyBuilder::new();
+        let na = bld.node("a", addr(10));
+        let nb = bld.node("b", addr(11));
+        let nc = bld.node("c", addr(12));
+        let nd = bld.node("d", addr(13));
+        bld.attach_prefix(nd, pfx("198.51.100.0/24"));
+        let (ab, _) = bld.duplex(na, nb, 1_000_000, SimDuration::from_millis(1));
+        let (ac, _) = bld.duplex(na, nc, 1_000_000, SimDuration::from_millis(1));
+        let (bd, _) = bld.duplex(nb, nd, 1_000_000, SimDuration::from_millis(1));
+        let (cd, _) = bld.duplex(nc, nd, 1_000_000, SimDuration::from_millis(1));
+        let topo = bld.build();
+        let cfg = IgpConfig {
+            ecmp_max_paths: 4,
+            ..IgpConfig::default()
+        };
+        let igp = Igp::new(&topo, cfg);
+        let table = igp.initial_routes();
+        let p = pfx("198.51.100.0/24");
+        // a load-shares over both equal-cost paths.
+        match table.get(&(na, p)) {
+            Some(Route::Ecmp(set)) => {
+                assert_eq!(set.len(), 2);
+                assert!(set.links().contains(&ab));
+                assert!(set.links().contains(&ac));
+            }
+            other => panic!("expected ECMP at a, got {other:?}"),
+        }
+        // b and c have single shortest paths.
+        assert_eq!(table.get(&(nb, p)), Some(&Route::Link(bd)));
+        assert_eq!(table.get(&(nc, p)), Some(&Route::Link(cd)));
+        assert_eq!(table.get(&(nd, p)), Some(&Route::Local));
+        // With ECMP off, a gets a single deterministic path.
+        let single = Igp::new(&topo, IgpConfig::default()).initial_routes();
+        assert!(matches!(single.get(&(na, p)), Some(Route::Link(_))));
+    }
+
+    #[test]
+    fn ecmp_respects_max_paths() {
+        use simnet::TopologyBuilder;
+        // a has 3 parallel equal-cost neighbours to d.
+        let mut bld = TopologyBuilder::new();
+        let na = bld.node("a", addr(20));
+        let mids: Vec<NodeId> = (0..3)
+            .map(|i| bld.node(&format!("m{i}"), addr(21 + i)))
+            .collect();
+        let nd = bld.node("d", addr(29));
+        bld.attach_prefix(nd, pfx("198.51.100.0/24"));
+        for m in &mids {
+            bld.duplex(na, *m, 1_000_000, SimDuration::from_millis(1));
+            bld.duplex(*m, nd, 1_000_000, SimDuration::from_millis(1));
+        }
+        let topo = bld.build();
+        let cfg = IgpConfig {
+            ecmp_max_paths: 2,
+            ..IgpConfig::default()
+        };
+        let table = Igp::new(&topo, cfg).initial_routes();
+        match table.get(&(na, pfx("198.51.100.0/24"))) {
+            Some(Route::Ecmp(set)) => assert_eq!(set.len(), 2, "max-paths cap"),
+            other => panic!("expected ECMP, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn staggered_fib_updates_create_inconsistency_window() {
+        // The heart of the reproduction: after the failure there must exist
+        // a time interval during which R still points at R1's direction
+        // while R1 already points back — or vice versa — i.e. the update
+        // times differ.
+        let (topo, nodes, links, costs) = figure1();
+        let igp = Igp::with_costs(&topo, IgpConfig::default(), costs);
+        let mut table = igp.initial_routes();
+        let mut up = vec![true; topo.num_links()];
+        up[links[4].0] = false;
+        up[links[5].0] = false;
+        let updates = igp.transition_updates(
+            SimTime::from_secs(1),
+            &[links[4], links[5]],
+            &up,
+            &mut table,
+            1234,
+        );
+        let t_r = updates.iter().find(|u| u.node == nodes[0]).unwrap().time;
+        let t_r1 = updates.iter().find(|u| u.node == nodes[1]).unwrap().time;
+        assert_ne!(t_r, t_r1, "updates must be staggered for loops to form");
+    }
+}

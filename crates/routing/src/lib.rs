@@ -1,0 +1,68 @@
+#![warn(missing_docs)]
+//! Routing-protocol dynamics on top of the packet simulator.
+//!
+//! §II of the paper explains how transient loops arise: routing protocols
+//! distribute updates with *delays* (failure detection, LSP generation,
+//! flooding, SPF recomputation, and — per the paper's reference \[7\] —
+//! FIB-update time), so for a window of time routers hold mutually
+//! inconsistent forwarding state. This crate reproduces that mechanism:
+//!
+//! * [`spf`] — Dijkstra shortest paths over the simulated topology.
+//! * [`igp`] — a link-state IGP (IS-IS/OSPF-like) timing model: given a
+//!   link failure or recovery, it computes *when each router's FIB changes*,
+//!   emitting a [`FibUpdate`] schedule for the engine.
+//! * [`egp`] — a simplified path-vector EGP (BGP-like): prefix withdrawals
+//!   propagate over eBGP/iBGP sessions with MRAI batching, shifting traffic
+//!   between exit routers at staggered times.
+//! * [`ground_truth`] — derives, analytically, the exact time windows during
+//!   which the per-prefix forwarding graph contains a cycle. The trace-based
+//!   detector is validated against these windows.
+//! * [`scenario`] — failure scripts: compile a scenario into initial routes,
+//!   a FIB-update schedule, link up/down events, and ground truth; apply it
+//!   to an [`simnet::Engine`].
+//! * [`probe`] — a traceroute-style active prober, the baseline the paper
+//!   argues against (§III: "loop detection using end-to-end tools such as
+//!   traceroute is error-prone … hard to successfully detect transient
+//!   loops").
+
+//! ```
+//! use routing::scenario::{compile, NetEvent, Scenario};
+//! use simnet::{SimTime, TopologyBuilder, SimDuration};
+//! use std::net::Ipv4Addr;
+//!
+//! // A triangle with a prefix at one corner.
+//! let mut b = TopologyBuilder::new();
+//! let r0 = b.node("r0", Ipv4Addr::new(10, 0, 0, 1));
+//! let r1 = b.node("r1", Ipv4Addr::new(10, 0, 0, 2));
+//! let r2 = b.node("r2", Ipv4Addr::new(10, 0, 0, 3));
+//! b.attach_prefix(r2, "203.0.113.0/24".parse().unwrap());
+//! b.duplex(r0, r1, 622_000_000, SimDuration::from_millis(1));
+//! b.duplex(r1, r2, 622_000_000, SimDuration::from_millis(1));
+//! b.duplex(r2, r0, 622_000_000, SimDuration::from_millis(1));
+//! let topo = b.build();
+//!
+//! // Script a failure; compilation yields initial routes, the staggered
+//! // FIB-update schedule, and analytic ground-truth loop windows.
+//! let mut scenario = Scenario::new(SimTime::from_secs(30));
+//! scenario.events.push(NetEvent::LinkFail {
+//!     time: SimTime::from_secs(5),
+//!     // Fail r1 -> r2, the direct path to the prefix owner.
+//!     link: topo.links_from(r1).nth(1).unwrap(),
+//! });
+//! let compiled = compile(&topo, &scenario);
+//! assert!(!compiled.initial_routes.is_empty());
+//! assert!(!compiled.fib_updates.is_empty());
+//! ```
+
+pub mod egp;
+pub mod ground_truth;
+pub mod igp;
+pub mod probe;
+pub mod scenario;
+pub mod spf;
+
+pub use egp::{EgpConfig, EgpPrefix, EgpWithdrawal};
+pub use ground_truth::{loop_windows, LoopWindow};
+pub use igp::{FibUpdate, Igp, IgpConfig};
+pub use probe::{Prober, ProberConfig, TracerouteRun};
+pub use scenario::{CompiledScenario, NetEvent, Scenario};

@@ -1,0 +1,304 @@
+//! Traceroute-style active prober — the baseline the paper argues against.
+//!
+//! §III: "Loop detection using end-to-end tools such as traceroute is
+//! error-prone and cannot help assess the impact on traffic not looped. It
+//! is also hard to successfully detect transient loops with such
+//! techniques." This module implements that baseline honestly so the claim
+//! can be measured: a prober injects TTL-limited UDP probes from a vantage
+//! node, routers return ICMP Time Exceeded, and a loop is inferred when the
+//! same router answers at two TTLs at least two apart (the classic
+//! `A B A B …` traceroute signature).
+//!
+//! The comparison bench (`baseline_traceroute`) shows why this loses to the
+//! passive trace detector on transient loops: a loop is only visible if an
+//! entire probe run overlaps the loop window, so sub-second loops are
+//! essentially invisible at realistic probing rates.
+
+use net_types::{Ipv4Header, Packet, Transport, UdpHeader};
+use simnet::{Engine, NodeId, SimDuration, SimTime, TapRecord};
+use std::net::Ipv4Addr;
+
+/// Prober configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProberConfig {
+    /// Node the probes are injected at.
+    pub vantage: NodeId,
+    /// Source address of the probes; responses (ICMP Time Exceeded) are
+    /// addressed here, so the network must route this address back towards
+    /// the vantage for collection.
+    pub src: Ipv4Addr,
+    /// Destination being probed.
+    pub target: Ipv4Addr,
+    /// Probes per run: TTL 1..=max_ttl.
+    pub max_ttl: u8,
+    /// Gap between successive probes within one run.
+    pub inter_probe: SimDuration,
+    /// Gap between the starts of successive runs.
+    pub run_interval: SimDuration,
+}
+
+impl ProberConfig {
+    fn ident_for(&self, run: u16, ttl: u8) -> u16 {
+        debug_assert!(ttl as u16 <= 63);
+        (run << 6) | u16::from(ttl & 0x3f)
+    }
+
+    fn split_ident(ident: u16) -> (u16, u8) {
+        (ident >> 6, (ident & 0x3f) as u8)
+    }
+}
+
+/// One reconstructed traceroute run.
+#[derive(Debug, Clone)]
+pub struct TracerouteRun {
+    /// Run index.
+    pub run: u16,
+    /// Responding router per TTL (`hops[i]` answers TTL `i + 1`); `None`
+    /// where no response came back (probe lost, looped to death, or the
+    /// target was reached).
+    pub hops: Vec<Option<Ipv4Addr>>,
+}
+
+impl TracerouteRun {
+    /// The traceroute loop heuristic: some router answered at two TTLs at
+    /// least 2 apart (an `A B A` pattern). Adjacent repeats are excluded —
+    /// they arise from routers answering slowly, not loops.
+    pub fn loop_detected(&self) -> bool {
+        for (i, a) in self.hops.iter().enumerate() {
+            let Some(a) = a else { continue };
+            for b in self.hops.iter().skip(i + 2) {
+                if b.as_ref() == Some(a) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// The prober: schedules probes on an engine and reconstructs runs from a
+/// tap placed on the link that carries responses back to the vantage.
+#[derive(Debug, Clone, Copy)]
+pub struct Prober {
+    cfg: ProberConfig,
+}
+
+impl Prober {
+    /// Creates a prober.
+    ///
+    /// # Panics
+    /// Panics when `max_ttl` exceeds 63 (the run/TTL encoding in the IP
+    /// identification field allows 6 bits of TTL).
+    pub fn new(cfg: ProberConfig) -> Self {
+        assert!(
+            cfg.max_ttl > 0 && cfg.max_ttl <= 63,
+            "max_ttl must be 1..=63"
+        );
+        Self { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ProberConfig {
+        &self.cfg
+    }
+
+    /// Schedules probe runs from `start` until `end`; returns the number of
+    /// runs scheduled.
+    pub fn schedule(&self, engine: &mut Engine, start: SimTime, end: SimTime) -> u16 {
+        let mut run: u16 = 0;
+        let mut t = start;
+        while t < end && run < 1023 {
+            for ttl in 1..=self.cfg.max_ttl {
+                let inject_at = t + self.cfg.inter_probe.saturating_mul(u64::from(ttl - 1));
+                let mut udp = UdpHeader::new(33434, 33434 + u16::from(ttl));
+                udp.set_payload_len(0);
+                let mut p = Packet::udp(self.cfg.src, self.cfg.target, udp, Vec::new());
+                p.ip.ttl = ttl;
+                p.ip.ident = self.cfg.ident_for(run, ttl);
+                p.fill_checksums();
+                engine.schedule_inject(inject_at, self.cfg.vantage, p);
+            }
+            run += 1;
+            t += self.cfg.run_interval;
+        }
+        run
+    }
+
+    /// Reconstructs runs from tap records on the response path: every ICMP
+    /// Time Exceeded addressed to the probe source whose embedded header
+    /// matches the probed target.
+    pub fn analyze(&self, records: &[TapRecord]) -> Vec<TracerouteRun> {
+        let mut runs: std::collections::BTreeMap<u16, TracerouteRun> = Default::default();
+        for rec in records {
+            let Transport::Icmp(icmp) = &rec.packet.transport else {
+                continue;
+            };
+            if icmp.icmp_type != net_types::IcmpType::TimeExceeded {
+                continue;
+            }
+            if rec.packet.ip.dst != self.cfg.src {
+                continue;
+            }
+            // The ICMP body embeds the expired probe's IP header.
+            let Ok((inner, _)) = Ipv4Header::parse(&rec.packet.payload) else {
+                continue;
+            };
+            if inner.dst != self.cfg.target || inner.src != self.cfg.src {
+                continue;
+            }
+            let (run, ttl) = ProberConfig::split_ident(inner.ident);
+            if ttl == 0 || ttl > self.cfg.max_ttl {
+                continue;
+            }
+            let entry = runs.entry(run).or_insert_with(|| TracerouteRun {
+                run,
+                hops: vec![None; self.cfg.max_ttl as usize],
+            });
+            entry.hops[usize::from(ttl) - 1] = Some(rec.packet.ip.src);
+        }
+        runs.into_values().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_types::IcmpHeader;
+
+    fn cfg() -> ProberConfig {
+        ProberConfig {
+            vantage: NodeId(0),
+            src: Ipv4Addr::new(172, 31, 0, 1),
+            target: Ipv4Addr::new(198, 51, 100, 9),
+            max_ttl: 8,
+            inter_probe: SimDuration::from_millis(10),
+            run_interval: SimDuration::from_secs(1),
+        }
+    }
+
+    /// Fabricates the ICMP Time Exceeded a router at `router` would send
+    /// for the probe of (run, ttl).
+    fn time_exceeded(c: &ProberConfig, router: Ipv4Addr, run: u16, ttl: u8) -> TapRecord {
+        let mut probe_ip = Ipv4Header::new(c.src, c.target, net_types::IpProtocol::Udp);
+        probe_ip.ident = c.ident_for(run, ttl);
+        probe_ip.ttl = 0;
+        probe_ip.total_len = 28;
+        probe_ip.fill_checksum();
+        let mut body = probe_ip.emit();
+        body.extend_from_slice(&[0u8; 8]);
+        let pkt = Packet::icmp(router, c.src, IcmpHeader::time_exceeded(), body);
+        TapRecord {
+            time: SimTime::from_millis(u64::from(run) * 1000 + u64::from(ttl) * 10),
+            packet: pkt,
+        }
+    }
+
+    #[test]
+    fn ident_encoding_roundtrips() {
+        let c = cfg();
+        for run in [0u16, 1, 500, 1022] {
+            for ttl in [1u8, 7, 63] {
+                let ident = c.ident_for(run, ttl);
+                assert_eq!(ProberConfig::split_ident(ident), (run, ttl));
+            }
+        }
+    }
+
+    #[test]
+    fn analyze_reconstructs_linear_path() {
+        let c = cfg();
+        let prober = Prober::new(c);
+        let r1 = Ipv4Addr::new(10, 0, 0, 1);
+        let r2 = Ipv4Addr::new(10, 0, 0, 2);
+        let r3 = Ipv4Addr::new(10, 0, 0, 3);
+        let records = vec![
+            time_exceeded(&c, r1, 0, 1),
+            time_exceeded(&c, r2, 0, 2),
+            time_exceeded(&c, r3, 0, 3),
+        ];
+        let runs = prober.analyze(&records);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].hops[0], Some(r1));
+        assert_eq!(runs[0].hops[1], Some(r2));
+        assert_eq!(runs[0].hops[2], Some(r3));
+        assert_eq!(runs[0].hops[3], None);
+        assert!(!runs[0].loop_detected());
+    }
+
+    #[test]
+    fn analyze_detects_abab_loop() {
+        let c = cfg();
+        let prober = Prober::new(c);
+        let a = Ipv4Addr::new(10, 0, 0, 1);
+        let b = Ipv4Addr::new(10, 0, 0, 2);
+        let records = vec![
+            time_exceeded(&c, a, 3, 1),
+            time_exceeded(&c, b, 3, 2),
+            time_exceeded(&c, a, 3, 3),
+            time_exceeded(&c, b, 3, 4),
+        ];
+        let runs = prober.analyze(&records);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].run, 3);
+        assert!(runs[0].loop_detected());
+    }
+
+    #[test]
+    fn adjacent_repeat_is_not_a_loop() {
+        let c = cfg();
+        let prober = Prober::new(c);
+        let a = Ipv4Addr::new(10, 0, 0, 1);
+        let b = Ipv4Addr::new(10, 0, 0, 2);
+        let records = vec![
+            time_exceeded(&c, a, 0, 1),
+            time_exceeded(&c, a, 0, 2), // slow router answered twice
+            time_exceeded(&c, b, 0, 3),
+        ];
+        let runs = prober.analyze(&records);
+        assert!(!runs[0].loop_detected());
+    }
+
+    #[test]
+    fn analyze_ignores_foreign_traffic() {
+        let c = cfg();
+        let prober = Prober::new(c);
+        // ICMP to someone else.
+        let mut other = cfg();
+        other.src = Ipv4Addr::new(9, 9, 9, 9);
+        let records = vec![
+            time_exceeded(&other, Ipv4Addr::new(10, 0, 0, 1), 0, 1),
+            // Unrelated TCP packet.
+            TapRecord {
+                time: SimTime::ZERO,
+                packet: Packet::tcp_flags(
+                    c.src,
+                    c.target,
+                    1,
+                    2,
+                    net_types::TcpFlags::SYN,
+                    Vec::new(),
+                ),
+            },
+        ];
+        assert!(prober.analyze(&records).is_empty());
+    }
+
+    #[test]
+    fn missing_responses_leave_gaps() {
+        let c = cfg();
+        let prober = Prober::new(c);
+        let a = Ipv4Addr::new(10, 0, 0, 1);
+        let records = vec![time_exceeded(&c, a, 0, 5)];
+        let runs = prober.analyze(&records);
+        assert_eq!(runs[0].hops[4], Some(a));
+        assert!(runs[0].hops[..4].iter().all(Option::is_none));
+    }
+
+    #[test]
+    #[should_panic(expected = "max_ttl")]
+    fn oversized_ttl_rejected() {
+        let mut c = cfg();
+        c.max_ttl = 64;
+        Prober::new(c);
+    }
+}

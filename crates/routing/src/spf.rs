@@ -1,0 +1,317 @@
+//! Shortest-path-first computation (Dijkstra) over the simulated topology.
+
+use simnet::{LinkId, NodeId, Topology};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The result of one SPF run from a source router: per destination node, the
+/// total path cost and the first-hop link out of the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpfResult {
+    /// `paths[d]` is `Some((cost, first_link))` when destination node `d`
+    /// is reachable; the entry for the source itself is `Some((0, None))`
+    /// conceptually but represented as `None` first link.
+    entries: Vec<Option<SpfEntry>>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SpfEntry {
+    cost: u64,
+    first_link: Option<LinkId>,
+}
+
+impl SpfResult {
+    /// Total cost to reach `dst`, or `None` when unreachable.
+    pub fn cost_to(&self, dst: NodeId) -> Option<u64> {
+        self.entries[dst.0].map(|e| e.cost)
+    }
+
+    /// First-hop link from the source towards `dst`. `None` either when
+    /// unreachable or when `dst` *is* the source (check
+    /// [`SpfResult::cost_to`] to distinguish: the source has cost 0).
+    pub fn first_link_to(&self, dst: NodeId) -> Option<LinkId> {
+        self.entries[dst.0].and_then(|e| e.first_link)
+    }
+
+    /// True when `dst` is reachable.
+    pub fn reaches(&self, dst: NodeId) -> bool {
+        self.entries[dst.0].is_some()
+    }
+}
+
+/// Runs Dijkstra from `source` over links for which `link_up` is true,
+/// using `costs[link]` as the metric. Ties are broken deterministically by
+/// `(cost, node id, link id)` so every router computes reproducible paths —
+/// matching real SPF implementations, which are deterministic per router.
+///
+/// # Panics
+/// Panics when `costs` or `link_up` are not sized to the topology's links.
+pub fn shortest_paths(
+    topo: &Topology,
+    costs: &[u64],
+    link_up: &[bool],
+    source: NodeId,
+) -> SpfResult {
+    assert_eq!(costs.len(), topo.num_links(), "costs length mismatch");
+    assert_eq!(link_up.len(), topo.num_links(), "link_up length mismatch");
+    let n = topo.num_nodes();
+    let mut entries: Vec<Option<SpfEntry>> = vec![None; n];
+    // Heap of (cost, node, first_link) — Reverse for min-heap. The
+    // first_link rides along so each popped node knows how the source
+    // reaches it.
+    let mut heap: BinaryHeap<Reverse<(u64, usize, Option<usize>)>> = BinaryHeap::new();
+    heap.push(Reverse((0, source.0, None)));
+    while let Some(Reverse((cost, node, first_link))) = heap.pop() {
+        if entries[node].is_some() {
+            continue; // already settled with an equal-or-better path
+        }
+        entries[node] = Some(SpfEntry {
+            cost,
+            first_link: first_link.map(LinkId),
+        });
+        for link_id in topo.links_from(NodeId(node)) {
+            if !link_up[link_id.0] {
+                continue;
+            }
+            let link = topo.link(link_id);
+            let next = link.to.0;
+            if entries[next].is_some() {
+                continue;
+            }
+            let next_first = first_link.or(Some(link_id.0));
+            heap.push(Reverse((cost + costs[link_id.0], next, next_first)));
+        }
+    }
+    SpfResult { entries }
+}
+
+/// Dijkstra over the *reversed* graph: `result[n]` is the cost of the
+/// shortest path from node `n` to `target` over up links. One reverse run
+/// per destination yields every router's distance at once — and, combined
+/// with a per-link check, every router's full set of equal-cost first hops
+/// (ECMP):  link `l` from `n` is on a shortest path iff
+/// `cost(l) + result[l.to] == result[n]`.
+pub fn reverse_distances(
+    topo: &Topology,
+    costs: &[u64],
+    link_up: &[bool],
+    target: NodeId,
+) -> Vec<Option<u64>> {
+    assert_eq!(costs.len(), topo.num_links(), "costs length mismatch");
+    assert_eq!(link_up.len(), topo.num_links(), "link_up length mismatch");
+    let n = topo.num_nodes();
+    // Reverse adjacency: for each node, the links that *arrive* at it are
+    // walked backwards.
+    let mut dist: Vec<Option<u64>> = vec![None; n];
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    heap.push(Reverse((0, target.0)));
+    while let Some(Reverse((d, node))) = heap.pop() {
+        if dist[node].is_some() {
+            continue;
+        }
+        dist[node] = Some(d);
+        // Relax links INTO `node`: their source gets a candidate distance.
+        for (idx, link) in topo.links().iter().enumerate() {
+            if link.to.0 == node && link_up[idx] && dist[link.from.0].is_none() {
+                heap.push(Reverse((d + costs[idx], link.from.0)));
+            }
+        }
+    }
+    dist
+}
+
+/// All equal-cost first-hop links from `source` towards `target`, given the
+/// reverse distances for `target`. Empty when unreachable. Results are in
+/// link-id order (deterministic).
+pub fn ecmp_first_links(
+    topo: &Topology,
+    costs: &[u64],
+    link_up: &[bool],
+    source: NodeId,
+    rev_dist: &[Option<u64>],
+) -> Vec<LinkId> {
+    let Some(total) = rev_dist[source.0] else {
+        return Vec::new();
+    };
+    topo.links_from(source)
+        .filter(|l| link_up[l.0])
+        .filter(|l| {
+            let link = topo.link(*l);
+            rev_dist[link.to.0]
+                .map(|d| costs[l.0] + d == total)
+                .unwrap_or(false)
+        })
+        .collect()
+}
+
+/// Convenience: uniform cost 1 on every link, all links up except `down`.
+pub fn shortest_paths_unit(topo: &Topology, down: &[LinkId], source: NodeId) -> SpfResult {
+    let costs = vec![1u64; topo.num_links()];
+    let mut up = vec![true; topo.num_links()];
+    for l in down {
+        up[l.0] = false;
+    }
+    shortest_paths(topo, &costs, &up, source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{SimDuration, TopologyBuilder};
+    use std::net::Ipv4Addr;
+
+    fn addr(i: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, i)
+    }
+
+    /// A square: a—b—d and a—c—d, plus a direct a—d "backbone" link with
+    /// higher cost available via explicit cost vectors.
+    fn square() -> (Topology, [NodeId; 4], Vec<LinkId>) {
+        let mut b = TopologyBuilder::new();
+        let na = b.node("a", addr(1));
+        let nb = b.node("b", addr(2));
+        let nc = b.node("c", addr(3));
+        let nd = b.node("d", addr(4));
+        let mut links = Vec::new();
+        for (x, y) in [(na, nb), (nb, nd), (na, nc), (nc, nd)] {
+            let (f, r) = b.duplex(x, y, 1_000_000, SimDuration::from_millis(1));
+            links.push(f);
+            links.push(r);
+        }
+        (b.build(), [na, nb, nc, nd], links)
+    }
+
+    #[test]
+    fn reaches_all_in_connected_graph() {
+        let (topo, nodes, _) = square();
+        let spf = shortest_paths_unit(&topo, &[], nodes[0]);
+        for n in nodes {
+            assert!(spf.reaches(n));
+        }
+        assert_eq!(spf.cost_to(nodes[0]), Some(0));
+        assert_eq!(spf.first_link_to(nodes[0]), None);
+        assert_eq!(spf.cost_to(nodes[3]), Some(2));
+    }
+
+    #[test]
+    fn tie_break_is_deterministic() {
+        let (topo, nodes, _) = square();
+        // Two equal-cost paths a->b->d and a->c->d; the tie must resolve
+        // the same way every run.
+        let first: Vec<_> = (0..10)
+            .map(|_| shortest_paths_unit(&topo, &[], nodes[0]).first_link_to(nodes[3]))
+            .collect();
+        assert!(first.windows(2).all(|w| w[0] == w[1]));
+        // And it must be one of the two legitimate first hops (a->b or a->c).
+        let l = first[0].unwrap();
+        let cfg = topo.link(l);
+        assert_eq!(cfg.from, nodes[0]);
+        assert!(cfg.to == nodes[1] || cfg.to == nodes[2]);
+    }
+
+    #[test]
+    fn respects_link_costs() {
+        let (topo, nodes, links) = square();
+        let mut costs = vec![1u64; topo.num_links()];
+        // Make the a->b direction expensive; path via c must win.
+        costs[links[0].0] = 10;
+        let up = vec![true; topo.num_links()];
+        let spf = shortest_paths(&topo, &costs, &up, nodes[0]);
+        let first = spf.first_link_to(nodes[3]).unwrap();
+        assert_eq!(topo.link(first).to, nodes[2]); // via c
+        assert_eq!(spf.cost_to(nodes[3]), Some(2));
+    }
+
+    #[test]
+    fn failed_link_reroutes() {
+        let (topo, nodes, links) = square();
+        // Kill a->b (forward direction only is enough for forward SPF).
+        let spf = shortest_paths_unit(&topo, &[links[0]], nodes[0]);
+        let first = spf.first_link_to(nodes[1]).unwrap();
+        // a now reaches b the long way: via c, d.
+        assert_eq!(topo.link(first).to, nodes[2]);
+        assert_eq!(spf.cost_to(nodes[1]), Some(3));
+    }
+
+    #[test]
+    fn partition_is_unreachable() {
+        let (topo, nodes, links) = square();
+        // Cut both of a's outgoing links: a->b (links[0]) and a->c (links[4]).
+        let spf = shortest_paths_unit(&topo, &[links[0], links[4]], nodes[0]);
+        assert!(spf.reaches(nodes[0]));
+        assert!(!spf.reaches(nodes[1]));
+        assert!(!spf.reaches(nodes[3]));
+        assert_eq!(spf.cost_to(nodes[1]), None);
+        assert_eq!(spf.first_link_to(nodes[1]), None);
+    }
+
+    #[test]
+    fn unidirectional_semantics() {
+        // A one-way ring a->b->c->a: a reaches b directly, b reaches a only
+        // the long way around.
+        let mut bld = TopologyBuilder::new();
+        let na = bld.node("a", addr(1));
+        let nb = bld.node("b", addr(2));
+        let nc = bld.node("c", addr(3));
+        bld.link(na, nb, 1_000_000, SimDuration::ZERO);
+        bld.link(nb, nc, 1_000_000, SimDuration::ZERO);
+        bld.link(nc, na, 1_000_000, SimDuration::ZERO);
+        let topo = bld.build();
+        let from_b = shortest_paths_unit(&topo, &[], nb);
+        assert_eq!(from_b.cost_to(na), Some(2));
+        assert_eq!(from_b.cost_to(nc), Some(1));
+    }
+
+    #[test]
+    fn reverse_distances_match_forward() {
+        let (topo, nodes, links) = square();
+        let costs = vec![1u64; topo.num_links()];
+        let up = vec![true; topo.num_links()];
+        for target in nodes {
+            let rev = reverse_distances(&topo, &costs, &up, target);
+            for source in nodes {
+                let fwd = shortest_paths(&topo, &costs, &up, source);
+                assert_eq!(fwd.cost_to(target), rev[source.0], "{source:?}->{target:?}");
+            }
+        }
+        let _ = links;
+    }
+
+    #[test]
+    fn ecmp_finds_both_equal_paths() {
+        let (topo, nodes, _links) = square();
+        let costs = vec![1u64; topo.num_links()];
+        let up = vec![true; topo.num_links()];
+        let rev = reverse_distances(&topo, &costs, &up, nodes[3]);
+        let firsts = ecmp_first_links(&topo, &costs, &up, nodes[0], &rev);
+        // a -> d has two equal-cost first hops: via b and via c.
+        assert_eq!(firsts.len(), 2);
+        let tos: Vec<NodeId> = firsts.iter().map(|l| topo.link(*l).to).collect();
+        assert!(tos.contains(&nodes[1]) && tos.contains(&nodes[2]));
+        // With unequal costs only one survives.
+        let mut costs2 = costs.clone();
+        costs2[firsts[0].0] = 5;
+        let rev2 = reverse_distances(&topo, &costs2, &up, nodes[3]);
+        let firsts2 = ecmp_first_links(&topo, &costs2, &up, nodes[0], &rev2);
+        assert_eq!(firsts2.len(), 1);
+    }
+
+    #[test]
+    fn ecmp_unreachable_is_empty() {
+        let (topo, nodes, links) = square();
+        let costs = vec![1u64; topo.num_links()];
+        let mut up = vec![true; topo.num_links()];
+        up[links[0].0] = false; // a->b
+        up[links[4].0] = false; // a->c
+        let rev = reverse_distances(&topo, &costs, &up, nodes[3]);
+        assert!(ecmp_first_links(&topo, &costs, &up, nodes[0], &rev).is_empty());
+        assert_eq!(rev[nodes[0].0], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "costs length mismatch")]
+    fn wrong_cost_vector_panics() {
+        let (topo, nodes, _) = square();
+        shortest_paths(&topo, &[1, 2], &vec![true; topo.num_links()], nodes[0]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Link-layer fault injection.
+//!
+//! §IV-A.2 of the paper rejects 2-element replica sets because the link
+//! layer itself can duplicate packets — "the sender may fail to drain the
+//! packet in a token ring, or a misconfigured SONET protection layer may
+//! transmit packets on both the working and protection links". To exercise
+//! that validation rule, links can be configured to duplicate a fraction of
+//! the packets they carry (a duplicate has an *unchanged* TTL, unlike a loop
+//! replica). Random drops model line errors.
+
+/// Per-link fault probabilities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that a transmitted packet is delivered twice
+    /// (link-layer duplication).
+    pub duplicate_prob: f64,
+    /// Extra TTL decrements applied to the duplicate copy. Zero models a
+    /// same-segment duplicate (token ring drain failure: identical TTL);
+    /// two models a SONET protection path that traverses a different
+    /// router pair, which is what makes such duplicates *look like*
+    /// 2-element replica streams to a TTL-based detector — the artefact
+    /// §IV-A.2's two-element rule exists to reject. The duplicate's IP
+    /// checksum is patched consistently (RFC 1624), as real routers would.
+    pub duplicate_ttl_skew: u8,
+    /// Probability that a transmitted packet is silently lost.
+    pub drop_prob: f64,
+}
+
+impl FaultConfig {
+    /// No faults (the default).
+    pub fn none() -> Self {
+        Self {
+            duplicate_prob: 0.0,
+            duplicate_ttl_skew: 0,
+            drop_prob: 0.0,
+        }
+    }
+
+    /// Same-TTL duplication faults (token-ring style).
+    pub fn duplicates(p: f64) -> Self {
+        Self {
+            duplicate_prob: p,
+            duplicate_ttl_skew: 0,
+            drop_prob: 0.0,
+        }
+    }
+
+    /// Protection-path duplication: the copy arrives with its TTL lower by
+    /// `skew` (it travelled a longer physical path).
+    pub fn protection_duplicates(p: f64, skew: u8) -> Self {
+        Self {
+            duplicate_prob: p,
+            duplicate_ttl_skew: skew,
+            drop_prob: 0.0,
+        }
+    }
+
+    /// Only random drops.
+    pub fn drops(p: f64) -> Self {
+        Self {
+            duplicate_prob: 0.0,
+            duplicate_ttl_skew: 0,
+            drop_prob: p,
+        }
+    }
+
+    /// True when both probabilities are zero (fast path: skip RNG entirely).
+    pub fn is_none(&self) -> bool {
+        self.duplicate_prob == 0.0 && self.drop_prob == 0.0
+    }
+
+    /// Panics unless both probabilities are valid (`0.0..=1.0`).
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.duplicate_prob),
+            "duplicate_prob out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.drop_prob),
+            "drop_prob out of range"
+        );
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_none() {
+        assert!(FaultConfig::none().is_none());
+        assert!(FaultConfig::default().is_none());
+        assert!(!FaultConfig::duplicates(0.1).is_none());
+        assert!(!FaultConfig::drops(0.1).is_none());
+    }
+
+    #[test]
+    fn validate_accepts_bounds() {
+        FaultConfig::none().validate();
+        FaultConfig::duplicates(1.0).validate();
+        FaultConfig::drops(1.0).validate();
+        FaultConfig::protection_duplicates(0.5, 2).validate();
+    }
+
+    #[test]
+    fn protection_duplicates_carry_skew() {
+        let f = FaultConfig::protection_duplicates(0.1, 2);
+        assert_eq!(f.duplicate_ttl_skew, 2);
+        assert!(!f.is_none());
+        assert_eq!(FaultConfig::duplicates(0.1).duplicate_ttl_skew, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate_prob")]
+    fn validate_rejects_over_one() {
+        FaultConfig::duplicates(1.5).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_prob")]
+    fn validate_rejects_negative() {
+        FaultConfig::drops(-0.1).validate();
+    }
+}

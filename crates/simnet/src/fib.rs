@@ -1,0 +1,334 @@
+//! Forwarding Information Base: longest-prefix-match over a binary trie.
+//!
+//! Each router owns one [`Fib`]. The control plane (the `routing` crate)
+//! installs and withdraws routes over time; staggered updates across routers
+//! are exactly what opens transient-loop windows, so the FIB is deliberately
+//! a *per-router* mutable structure rather than a shared table.
+
+use crate::topology::LinkId;
+use net_types::Ipv4Prefix;
+use std::net::Ipv4Addr;
+
+/// Maximum equal-cost paths an [`Route::Ecmp`] entry can carry (typical
+/// line-card limits are 4–64; four suffices for the topologies here and
+/// keeps `Route` `Copy`).
+pub const MAX_ECMP_PATHS: usize = 4;
+
+/// An equal-cost multipath set: up to [`MAX_ECMP_PATHS`] output links.
+/// Selection is by flow hash, so all packets of one flow take one path
+/// (per-packet spraying would reorder TCP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EcmpSet {
+    links: [LinkId; MAX_ECMP_PATHS],
+    len: u8,
+}
+
+impl EcmpSet {
+    /// Builds a set from up to [`MAX_ECMP_PATHS`] links; extras are
+    /// silently dropped (deterministically: the first N win), mirroring a
+    /// router's max-paths limit.
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn new(links: &[LinkId]) -> Self {
+        assert!(!links.is_empty(), "ECMP set needs at least one link");
+        let mut arr = [LinkId(usize::MAX); MAX_ECMP_PATHS];
+        let len = links.len().min(MAX_ECMP_PATHS);
+        arr[..len].copy_from_slice(&links[..len]);
+        Self {
+            links: arr,
+            len: len as u8,
+        }
+    }
+
+    /// Number of member links.
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// Never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The member links.
+    pub fn links(&self) -> &[LinkId] {
+        &self.links[..usize::from(self.len)]
+    }
+
+    /// Selects the member for a flow hash.
+    pub fn select(&self, flow_hash: u64) -> LinkId {
+        self.links[(flow_hash % u64::from(self.len)) as usize]
+    }
+}
+
+/// A forwarding decision stored in the FIB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Forward out of the given link.
+    Link(LinkId),
+    /// Forward out of one of several equal-cost links, chosen by flow
+    /// hash.
+    Ecmp(EcmpSet),
+    /// Deliver locally (the destination network is attached to this router).
+    Local,
+    /// Explicit null route (discard) — distinct from "no route at all" in
+    /// that the packet is intentionally dropped without ICMP unreachable.
+    Blackhole,
+}
+
+impl Route {
+    /// Resolves the output link for a flow hash (`None` for Local and
+    /// Blackhole).
+    pub fn resolve(&self, flow_hash: u64) -> Option<LinkId> {
+        match self {
+            Route::Link(l) => Some(*l),
+            Route::Ecmp(set) => Some(set.select(flow_hash)),
+            Route::Local | Route::Blackhole => None,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct TrieNode {
+    children: [Option<Box<TrieNode>>; 2],
+    route: Option<Route>,
+}
+
+impl TrieNode {
+    fn is_empty(&self) -> bool {
+        self.route.is_none() && self.children[0].is_none() && self.children[1].is_none()
+    }
+}
+
+/// A longest-prefix-match forwarding table.
+#[derive(Debug, Default)]
+pub struct Fib {
+    root: TrieNode,
+    len: usize,
+}
+
+fn bit(addr_bits: u32, depth: u8) -> usize {
+    ((addr_bits >> (31 - depth)) & 1) as usize
+}
+
+impl Fib {
+    /// Creates an empty FIB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of installed prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no routes are installed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Installs (or replaces) the route for `prefix`. Returns the previous
+    /// route if one existed.
+    pub fn insert(&mut self, prefix: Ipv4Prefix, route: Route) -> Option<Route> {
+        let mut node = &mut self.root;
+        let bits = prefix.network_bits();
+        for depth in 0..prefix.len() {
+            let b = bit(bits, depth);
+            node = node.children[b].get_or_insert_with(Box::default);
+        }
+        let prev = node.route.replace(route);
+        if prev.is_none() {
+            self.len += 1;
+        }
+        prev
+    }
+
+    /// Removes the route for exactly `prefix`. Returns the removed route, or
+    /// `None` when the prefix was not installed. Empty trie branches are
+    /// pruned so memory does not grow monotonically under churn.
+    pub fn remove(&mut self, prefix: Ipv4Prefix) -> Option<Route> {
+        fn rec(node: &mut TrieNode, bits: u32, depth: u8, target: u8) -> Option<Route> {
+            if depth == target {
+                return node.route.take();
+            }
+            let b = bit(bits, depth);
+            let child = node.children[b].as_mut()?;
+            let removed = rec(child, bits, depth + 1, target);
+            if removed.is_some() && child.is_empty() {
+                node.children[b] = None;
+            }
+            removed
+        }
+        let removed = rec(&mut self.root, prefix.network_bits(), 0, prefix.len());
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// Longest-prefix-match lookup for a destination address.
+    pub fn lookup(&self, dst: Ipv4Addr) -> Option<Route> {
+        let bits = u32::from(dst);
+        let mut node = &self.root;
+        let mut best = node.route;
+        for depth in 0..32u8 {
+            let b = bit(bits, depth);
+            match &node.children[b] {
+                Some(child) => {
+                    node = child;
+                    if node.route.is_some() {
+                        best = node.route;
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// The exact route installed for `prefix`, ignoring longer/shorter
+    /// matches (control-plane introspection).
+    pub fn get_exact(&self, prefix: Ipv4Prefix) -> Option<Route> {
+        let bits = prefix.network_bits();
+        let mut node = &self.root;
+        for depth in 0..prefix.len() {
+            let b = bit(bits, depth);
+            node = node.children[b].as_ref()?;
+        }
+        node.route
+    }
+
+    /// Iterates all installed `(prefix, route)` pairs in trie order.
+    pub fn entries(&self) -> Vec<(Ipv4Prefix, Route)> {
+        fn rec(node: &TrieNode, bits: u32, depth: u8, out: &mut Vec<(Ipv4Prefix, Route)>) {
+            if let Some(route) = node.route {
+                let prefix =
+                    Ipv4Prefix::new(Ipv4Addr::from(bits), depth).expect("depth bounded by 32");
+                out.push((prefix, route));
+            }
+            for (b, child) in node.children.iter().enumerate() {
+                if let Some(child) = child {
+                    debug_assert!(depth < 32);
+                    let child_bits = bits | ((b as u32) << (31 - depth));
+                    rec(child, child_bits, depth + 1, out);
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(self.len);
+        rec(&self.root, 0, 0, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn a(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn empty_fib_has_no_routes() {
+        let fib = Fib::new();
+        assert!(fib.is_empty());
+        assert_eq!(fib.lookup(a("1.2.3.4")), None);
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut fib = Fib::new();
+        fib.insert(Ipv4Prefix::default_route(), Route::Link(LinkId(0)));
+        assert_eq!(fib.lookup(a("0.0.0.0")), Some(Route::Link(LinkId(0))));
+        assert_eq!(
+            fib.lookup(a("255.255.255.255")),
+            Some(Route::Link(LinkId(0)))
+        );
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut fib = Fib::new();
+        fib.insert(p("10.0.0.0/8"), Route::Link(LinkId(1)));
+        fib.insert(p("10.1.0.0/16"), Route::Link(LinkId(2)));
+        fib.insert(p("10.1.2.0/24"), Route::Link(LinkId(3)));
+        assert_eq!(fib.lookup(a("10.1.2.3")), Some(Route::Link(LinkId(3))));
+        assert_eq!(fib.lookup(a("10.1.9.9")), Some(Route::Link(LinkId(2))));
+        assert_eq!(fib.lookup(a("10.9.9.9")), Some(Route::Link(LinkId(1))));
+        assert_eq!(fib.lookup(a("11.0.0.1")), None);
+    }
+
+    #[test]
+    fn insert_replaces_and_returns_previous() {
+        let mut fib = Fib::new();
+        assert_eq!(fib.insert(p("10.0.0.0/8"), Route::Local), None);
+        assert_eq!(
+            fib.insert(p("10.0.0.0/8"), Route::Blackhole),
+            Some(Route::Local)
+        );
+        assert_eq!(fib.len(), 1);
+        assert_eq!(fib.lookup(a("10.0.0.1")), Some(Route::Blackhole));
+    }
+
+    #[test]
+    fn remove_restores_shorter_match() {
+        let mut fib = Fib::new();
+        fib.insert(p("10.0.0.0/8"), Route::Link(LinkId(1)));
+        fib.insert(p("10.1.0.0/16"), Route::Link(LinkId(2)));
+        assert_eq!(fib.remove(p("10.1.0.0/16")), Some(Route::Link(LinkId(2))));
+        assert_eq!(fib.len(), 1);
+        assert_eq!(fib.lookup(a("10.1.2.3")), Some(Route::Link(LinkId(1))));
+        assert_eq!(fib.remove(p("10.1.0.0/16")), None);
+    }
+
+    #[test]
+    fn remove_prunes_branches() {
+        let mut fib = Fib::new();
+        fib.insert(p("192.168.55.0/24"), Route::Local);
+        fib.remove(p("192.168.55.0/24"));
+        assert!(fib.root.is_empty(), "trie must be pruned after removal");
+    }
+
+    #[test]
+    fn slash32_host_route() {
+        let mut fib = Fib::new();
+        fib.insert(p("10.0.0.1/32"), Route::Local);
+        fib.insert(p("10.0.0.0/24"), Route::Link(LinkId(7)));
+        assert_eq!(fib.lookup(a("10.0.0.1")), Some(Route::Local));
+        assert_eq!(fib.lookup(a("10.0.0.2")), Some(Route::Link(LinkId(7))));
+    }
+
+    #[test]
+    fn get_exact_distinguishes_lengths() {
+        let mut fib = Fib::new();
+        fib.insert(p("10.0.0.0/8"), Route::Local);
+        assert_eq!(fib.get_exact(p("10.0.0.0/8")), Some(Route::Local));
+        assert_eq!(fib.get_exact(p("10.0.0.0/16")), None);
+        assert_eq!(fib.get_exact(p("10.0.0.0/9")), None);
+    }
+
+    #[test]
+    fn entries_lists_all_routes() {
+        let mut fib = Fib::new();
+        let routes = [
+            (p("0.0.0.0/0"), Route::Link(LinkId(0))),
+            (p("10.0.0.0/8"), Route::Link(LinkId(1))),
+            (p("10.128.0.0/9"), Route::Blackhole),
+            (p("192.168.1.0/24"), Route::Local),
+        ];
+        for (pfx, r) in routes {
+            fib.insert(pfx, r);
+        }
+        let mut entries = fib.entries();
+        entries.sort_by_key(|(p, _)| (p.network_bits(), p.len()));
+        assert_eq!(entries.len(), 4);
+        for (pfx, r) in routes {
+            assert!(entries.contains(&(pfx, r)));
+        }
+    }
+}

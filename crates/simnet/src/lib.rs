@@ -1,0 +1,68 @@
+#![warn(missing_docs)]
+//! Discrete-event packet-level network simulator.
+//!
+//! The paper detects routing loops in traces from a real tier-1 backbone.
+//! We do not have that backbone, so this crate provides the substitute: a
+//! packet-level simulator whose routers forward by longest-prefix match from
+//! per-router FIBs, decrement TTLs (with RFC 1624 incremental checksum
+//! updates, like real hardware), drop packets on queue overflow or TTL
+//! expiry, and emit ICMP Time Exceeded messages. Transient routing loops
+//! arise exactly as in the wild: the control plane (the `routing` crate)
+//! schedules *staggered* per-router FIB updates after a failure, and while
+//! routers disagree, packets ping-pong between them.
+//!
+//! Key pieces:
+//!
+//! * [`topology::Topology`] / [`topology::TopologyBuilder`] — routers and
+//!   unidirectional links (bandwidth, propagation delay, queue capacity).
+//! * [`fib::Fib`] — a binary-trie longest-prefix-match forwarding table.
+//! * [`engine::Engine`] — the event loop: packet injection, forwarding,
+//!   queueing, scheduled FIB updates, link up/down, taps.
+//! * [`tap::TapRecord`] — what a passive monitor on a link sees; converted
+//!   to pcap bytes or analysis records downstream.
+//! * [`fault::FaultConfig`] — link-layer fault injection (duplicates —
+//!   the false-positive source §IV-A.2 guards against — and random drops).
+//!
+//! The simulator is deterministic given a seed: identical runs produce
+//! identical traces, which the test suite leans on heavily.
+//!
+//! ```
+//! use simnet::{Engine, Route, SimConfig, SimDuration, SimTime, TopologyBuilder};
+//! use net_types::{Packet, TcpFlags};
+//! use std::net::Ipv4Addr;
+//!
+//! let mut b = TopologyBuilder::new();
+//! let src = b.node("src", Ipv4Addr::new(10, 0, 0, 1));
+//! let dst = b.node("dst", Ipv4Addr::new(10, 0, 0, 2));
+//! b.attach_prefix(dst, "203.0.113.0/24".parse().unwrap());
+//! let link = b.link(src, dst, 622_000_000, SimDuration::from_millis(2));
+//! let mut engine = Engine::new(b.build(), SimConfig::default());
+//! engine.install_route(src, "203.0.113.0/24".parse().unwrap(), Route::Link(link));
+//!
+//! let p = Packet::tcp_flags(
+//!     Ipv4Addr::new(100, 64, 0, 1),
+//!     Ipv4Addr::new(203, 0, 113, 5),
+//!     4000, 80, TcpFlags::ACK, &b"hi"[..],
+//! );
+//! engine.add_tap(link);
+//! engine.schedule_inject(SimTime::ZERO, src, p);
+//! let report = engine.run();
+//! assert_eq!(report.delivered, 1);
+//! assert_eq!(engine.taps()[0].records.len(), 1);
+//! ```
+
+pub mod engine;
+pub mod fault;
+pub mod fib;
+pub mod link;
+pub mod tap;
+pub mod time;
+pub mod topology;
+
+pub use engine::{DeliveryRecord, DropCause, Engine, LoopEvent, SimConfig, SimReport};
+pub use fault::FaultConfig;
+pub use fib::{Fib, Route};
+pub use link::LinkCounters;
+pub use tap::{Tap, TapRecord};
+pub use time::{SimDuration, SimTime};
+pub use topology::{LinkId, NodeId, Topology, TopologyBuilder};

@@ -1,0 +1,73 @@
+//! Runtime link state: output queue, serializer occupancy, counters.
+
+use crate::time::SimTime;
+
+/// Per-link traffic counters, exported in the simulation report. These feed
+/// Table I (average bandwidth per monitored link) and the loss analysis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkCounters {
+    /// Packets fully serialized onto the wire.
+    pub tx_packets: u64,
+    /// Bytes fully serialized onto the wire.
+    pub tx_bytes: u64,
+    /// Packets dropped because the output queue was full.
+    pub queue_drops: u64,
+    /// Packets dropped by injected link faults.
+    pub fault_drops: u64,
+    /// Packets the link layer duplicated (fault injection).
+    pub duplicates: u64,
+    /// Packets dropped because the link was administratively/physically
+    /// down when the router tried to enqueue.
+    pub down_drops: u64,
+}
+
+/// Mutable state of one link during a run. The queue holds opaque flight
+/// indices managed by the engine (keeping this module engine-agnostic).
+#[derive(Debug)]
+pub struct LinkState {
+    /// Whether the link is up. FIBs may lag reality — that is the whole
+    /// point of this simulator — so routers can and do try to use down
+    /// links.
+    pub up: bool,
+    /// Whether the serializer is currently transmitting.
+    pub busy: bool,
+    /// Output queue of flight slots awaiting serialization.
+    pub queue: std::collections::VecDeque<usize>,
+    /// Counters.
+    pub counters: LinkCounters,
+    /// Time the current transmission completes (diagnostic only).
+    pub busy_until: SimTime,
+}
+
+impl LinkState {
+    /// A fresh, idle, up link.
+    pub fn new() -> Self {
+        Self {
+            up: true,
+            busy: false,
+            queue: std::collections::VecDeque::new(),
+            counters: LinkCounters::default(),
+            busy_until: SimTime::ZERO,
+        }
+    }
+}
+
+impl Default for LinkState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_link_is_idle_and_up() {
+        let l = LinkState::new();
+        assert!(l.up);
+        assert!(!l.busy);
+        assert!(l.queue.is_empty());
+        assert_eq!(l.counters, LinkCounters::default());
+    }
+}

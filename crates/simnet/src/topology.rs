@@ -1,0 +1,296 @@
+//! Network topology: routers and unidirectional links.
+
+use crate::fault::FaultConfig;
+use crate::time::SimDuration;
+use net_types::Ipv4Prefix;
+use std::net::Ipv4Addr;
+
+/// Identifies a router/host node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Identifies one unidirectional link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub usize);
+
+/// Static configuration of a node.
+#[derive(Debug, Clone)]
+pub struct NodeCfg {
+    /// Human-readable name for reports.
+    pub name: String,
+    /// Address used as the source of ICMP messages this router originates.
+    pub address: Ipv4Addr,
+    /// Prefixes delivered locally at this node (stub networks / hosts).
+    pub local_prefixes: Vec<Ipv4Prefix>,
+}
+
+/// Static configuration of a unidirectional link.
+#[derive(Debug, Clone)]
+pub struct LinkCfg {
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Bandwidth in bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way propagation delay.
+    pub prop_delay: SimDuration,
+    /// Output queue capacity in packets (drop-tail beyond this).
+    pub queue_capacity: usize,
+    /// Link-layer fault injection.
+    pub faults: FaultConfig,
+}
+
+/// An immutable network description consumed by the engine.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    nodes: Vec<NodeCfg>,
+    links: Vec<LinkCfg>,
+}
+
+impl Topology {
+    /// All nodes.
+    pub fn nodes(&self) -> &[NodeCfg] {
+        &self.nodes
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[LinkCfg] {
+        &self.links
+    }
+
+    /// Node configuration by id.
+    pub fn node(&self, id: NodeId) -> &NodeCfg {
+        &self.nodes[id.0]
+    }
+
+    /// Link configuration by id.
+    pub fn link(&self, id: LinkId) -> &LinkCfg {
+        &self.links[id.0]
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Links transmitting from `node`.
+    pub fn links_from(&self, node: NodeId) -> impl Iterator<Item = LinkId> + '_ {
+        self.links
+            .iter()
+            .enumerate()
+            .filter(move |(_, l)| l.from == node)
+            .map(|(i, _)| LinkId(i))
+    }
+
+    /// The reverse direction of `link`, if one exists (same endpoints
+    /// swapped). Bidirectional fibre is modelled as two unidirectional
+    /// links; protocol models need the pairing to fail both together.
+    pub fn reverse_of(&self, link: LinkId) -> Option<LinkId> {
+        let l = self.link(link);
+        self.links
+            .iter()
+            .position(|r| r.from == l.to && r.to == l.from)
+            .map(LinkId)
+    }
+
+    /// Looks a node up by name (test/scenario convenience).
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.nodes.iter().position(|n| n.name == name).map(NodeId)
+    }
+}
+
+/// Builder for [`Topology`].
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    nodes: Vec<NodeCfg>,
+    links: Vec<LinkCfg>,
+}
+
+/// Default queue capacity in packets for [`TopologyBuilder::link`]; sized
+/// like a small router line-card buffer.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 512;
+
+impl TopologyBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node; the address doubles as its ICMP source address.
+    pub fn node(&mut self, name: &str, address: Ipv4Addr) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(NodeCfg {
+            name: name.to_string(),
+            address,
+            local_prefixes: Vec::new(),
+        });
+        id
+    }
+
+    /// Attaches a locally-delivered prefix to a node.
+    pub fn attach_prefix(&mut self, node: NodeId, prefix: Ipv4Prefix) -> &mut Self {
+        self.nodes[node.0].local_prefixes.push(prefix);
+        self
+    }
+
+    /// Adds one unidirectional link with default queue capacity and no
+    /// faults.
+    pub fn link(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        bandwidth_bps: u64,
+        prop_delay: SimDuration,
+    ) -> LinkId {
+        self.link_with(
+            from,
+            to,
+            bandwidth_bps,
+            prop_delay,
+            DEFAULT_QUEUE_CAPACITY,
+            FaultConfig::none(),
+        )
+    }
+
+    /// Adds one unidirectional link with full control.
+    pub fn link_with(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        bandwidth_bps: u64,
+        prop_delay: SimDuration,
+        queue_capacity: usize,
+        faults: FaultConfig,
+    ) -> LinkId {
+        assert!(from.0 < self.nodes.len(), "unknown from-node");
+        assert!(to.0 < self.nodes.len(), "unknown to-node");
+        assert_ne!(from, to, "self-links are not allowed");
+        assert!(bandwidth_bps > 0, "bandwidth must be positive");
+        assert!(queue_capacity > 0, "queue capacity must be positive");
+        let id = LinkId(self.links.len());
+        self.links.push(LinkCfg {
+            from,
+            to,
+            bandwidth_bps,
+            prop_delay,
+            queue_capacity,
+            faults,
+        });
+        id
+    }
+
+    /// Adds a bidirectional link: two unidirectional links with identical
+    /// parameters. Returns `(forward, reverse)`.
+    pub fn duplex(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        bandwidth_bps: u64,
+        prop_delay: SimDuration,
+    ) -> (LinkId, LinkId) {
+        let f = self.link(a, b, bandwidth_bps, prop_delay);
+        let r = self.link(b, a, bandwidth_bps, prop_delay);
+        (f, r)
+    }
+
+    /// Finalises the topology.
+    pub fn build(self) -> Topology {
+        Topology {
+            nodes: self.nodes,
+            links: self.links,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(i: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 255, 0, i)
+    }
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let mut b = TopologyBuilder::new();
+        let n0 = b.node("r0", addr(0));
+        let n1 = b.node("r1", addr(1));
+        assert_eq!(n0, NodeId(0));
+        assert_eq!(n1, NodeId(1));
+        let l = b.link(n0, n1, 1_000_000, SimDuration::from_millis(1));
+        assert_eq!(l, LinkId(0));
+        let t = b.build();
+        assert_eq!(t.num_nodes(), 2);
+        assert_eq!(t.num_links(), 1);
+        assert_eq!(t.link(l).from, n0);
+        assert_eq!(t.link(l).to, n1);
+    }
+
+    #[test]
+    fn duplex_creates_reverse_pair() {
+        let mut b = TopologyBuilder::new();
+        let n0 = b.node("a", addr(0));
+        let n1 = b.node("b", addr(1));
+        let (f, r) = b.duplex(n0, n1, 1_000_000, SimDuration::from_millis(2));
+        let t = b.build();
+        assert_eq!(t.reverse_of(f), Some(r));
+        assert_eq!(t.reverse_of(r), Some(f));
+    }
+
+    #[test]
+    fn reverse_of_missing_is_none() {
+        let mut b = TopologyBuilder::new();
+        let n0 = b.node("a", addr(0));
+        let n1 = b.node("b", addr(1));
+        let l = b.link(n0, n1, 1_000_000, SimDuration::ZERO);
+        let t = b.build();
+        assert_eq!(t.reverse_of(l), None);
+    }
+
+    #[test]
+    fn links_from_filters_by_source() {
+        let mut b = TopologyBuilder::new();
+        let n0 = b.node("a", addr(0));
+        let n1 = b.node("b", addr(1));
+        let n2 = b.node("c", addr(2));
+        let l01 = b.link(n0, n1, 1, SimDuration::ZERO);
+        let l02 = b.link(n0, n2, 1, SimDuration::ZERO);
+        let _l12 = b.link(n1, n2, 1, SimDuration::ZERO);
+        let t = b.build();
+        let from0: Vec<LinkId> = t.links_from(n0).collect();
+        assert_eq!(from0, vec![l01, l02]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-links")]
+    fn self_link_rejected() {
+        let mut b = TopologyBuilder::new();
+        let n0 = b.node("a", addr(0));
+        b.link(n0, n0, 1, SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown")]
+    fn dangling_endpoint_rejected() {
+        let mut b = TopologyBuilder::new();
+        let n0 = b.node("a", addr(0));
+        b.link(n0, NodeId(99), 1, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn attach_prefix_and_lookup_by_name() {
+        let mut b = TopologyBuilder::new();
+        let n0 = b.node("edge", addr(0));
+        b.attach_prefix(n0, "192.0.2.0/24".parse().unwrap());
+        let t = b.build();
+        assert_eq!(t.node_by_name("edge"), Some(n0));
+        assert_eq!(t.node_by_name("nope"), None);
+        assert_eq!(t.node(n0).local_prefixes.len(), 1);
+    }
+}

@@ -1,0 +1,201 @@
+//! Engine-level properties under arbitrary — including pathological —
+//! routing states: random topologies, random FIBs (loops, blackholes, and
+//! dead ends included), random traffic. Whatever the chaos, every packet
+//! must be accounted for and runs must be reproducible.
+
+use net_types::{Ipv4Prefix, Packet, TcpFlags};
+use proptest::prelude::*;
+use simnet::{
+    DropCause, Engine, FaultConfig, LinkId, NodeId, Route, SimConfig, SimDuration, SimTime,
+    TopologyBuilder,
+};
+use std::net::Ipv4Addr;
+
+#[derive(Debug, Clone)]
+struct RandomNet {
+    n_nodes: usize,
+    /// (from, to) pairs, deduped, no self-links.
+    links: Vec<(usize, usize)>,
+    /// Per node: route choice encoded as 0 = none, 1 = local, 2 = blackhole,
+    /// 3+k = link k (mod out-degree).
+    route_codes: Vec<u8>,
+    /// (inject node, dst host octet, ttl, ident)
+    packets: Vec<(usize, u8, u8, u16)>,
+    seed: u64,
+    dup_prob: u8,
+    drop_prob: u8,
+}
+
+fn arb_net() -> impl Strategy<Value = RandomNet> {
+    (3usize..8)
+        .prop_flat_map(|n_nodes| {
+            let links = proptest::collection::vec((0..n_nodes, 0..n_nodes), 2..16);
+            let route_codes = proptest::collection::vec(any::<u8>(), n_nodes);
+            let packets =
+                proptest::collection::vec((0..n_nodes, any::<u8>(), 2u8..255, any::<u16>()), 1..60);
+            (
+                Just(n_nodes),
+                links,
+                route_codes,
+                packets,
+                any::<u64>(),
+                0u8..40,
+                0u8..40,
+            )
+        })
+        .prop_map(
+            |(n_nodes, raw_links, route_codes, packets, seed, dup_prob, drop_prob)| {
+                let mut links: Vec<(usize, usize)> =
+                    raw_links.into_iter().filter(|(a, b)| a != b).collect();
+                links.sort();
+                links.dedup();
+                RandomNet {
+                    n_nodes,
+                    links,
+                    route_codes,
+                    packets,
+                    seed,
+                    dup_prob,
+                    drop_prob,
+                }
+            },
+        )
+        .prop_filter("need at least one link", |net| !net.links.is_empty())
+}
+
+fn build_engine(net: &RandomNet) -> Engine {
+    let mut b = TopologyBuilder::new();
+    let nodes: Vec<NodeId> = (0..net.n_nodes)
+        .map(|i| b.node(&format!("n{i}"), Ipv4Addr::new(10, 77, 0, i as u8 + 1)))
+        .collect();
+    // One delivery prefix on node 0 so Local routes and stray packets have
+    // somewhere to land.
+    b.attach_prefix(nodes[0], "198.51.100.0/24".parse().unwrap());
+    let mut link_ids: Vec<LinkId> = Vec::new();
+    for (f, t) in &net.links {
+        link_ids.push(b.link_with(
+            nodes[*f],
+            nodes[*t],
+            100_000_000,
+            SimDuration::from_micros(300),
+            64,
+            FaultConfig {
+                duplicate_prob: f64::from(net.dup_prob) / 100.0,
+                duplicate_ttl_skew: 2,
+                drop_prob: f64::from(net.drop_prob) / 100.0,
+            },
+        ));
+    }
+    let topo = b.build();
+    let mut engine = Engine::new(
+        topo,
+        SimConfig {
+            seed: net.seed,
+            generate_time_exceeded: net.seed.is_multiple_of(2),
+            icmp_min_interval: SimDuration::from_micros(100),
+            record_deliveries: false,
+            max_events: 5_000_000,
+        },
+    );
+    // Arbitrary (potentially looping) routes for the target prefix.
+    let prefix: Ipv4Prefix = "203.0.113.0/24".parse().unwrap();
+    let back: Ipv4Prefix = "198.51.100.0/24".parse().unwrap();
+    for (i, node) in nodes.iter().enumerate() {
+        let out_links: Vec<LinkId> = link_ids
+            .iter()
+            .zip(&net.links)
+            .filter(|(_, (f, _))| *f == i)
+            .map(|(l, _)| *l)
+            .collect();
+        let code = net.route_codes[i];
+        let route = match code % 4 {
+            0 => None,
+            1 => Some(Route::Local),
+            2 => Some(Route::Blackhole),
+            _ => {
+                if out_links.is_empty() {
+                    None
+                } else {
+                    Some(Route::Link(
+                        out_links[usize::from(code / 4) % out_links.len()],
+                    ))
+                }
+            }
+        };
+        if let Some(r) = route {
+            engine.install_route(*node, prefix, r);
+            engine.install_route(*node, back, r);
+        }
+    }
+    // Inject the traffic.
+    for (k, (node, host, ttl, ident)) in net.packets.iter().enumerate() {
+        let mut p = Packet::tcp_flags(
+            Ipv4Addr::new(198, 51, 100, 7),
+            Ipv4Addr::new(203, 0, 113, *host),
+            4000,
+            80,
+            TcpFlags::ACK,
+            vec![0u8; 40],
+        );
+        p.ip.ttl = *ttl;
+        p.ip.ident = *ident;
+        p.fill_checksums();
+        engine.schedule_inject(SimTime(k as u64 * 200_000), nodes[*node], p);
+    }
+    engine
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conservation: injected + generated == delivered + dropped, for any
+    /// routing state — loops expire via TTL, blackholes drop, dead ends
+    /// drop, faults drop, duplicates are accounted.
+    #[test]
+    fn packets_always_conserved(net in arb_net()) {
+        let mut engine = build_engine(&net);
+        let report = engine.run();
+        prop_assert!(!report.truncated, "runaway event loop");
+        prop_assert!(
+            report.is_conserved(),
+            "injected={} icmp={} dups={} delivered={} drops={}",
+            report.injected,
+            report.icmp_generated,
+            report.duplicates_generated,
+            report.delivered,
+            report.total_drops()
+        );
+        prop_assert_eq!(report.injected as usize, net.packets.len());
+    }
+
+    /// Determinism: the same net twice gives byte-identical outcomes.
+    #[test]
+    fn runs_are_deterministic(net in arb_net()) {
+        let r1 = build_engine(&net).run();
+        let r2 = build_engine(&net).run();
+        prop_assert_eq!(r1.delivered, r2.delivered);
+        prop_assert_eq!(r1.total_drops(), r2.total_drops());
+        prop_assert_eq!(r1.events_processed, r2.events_processed);
+        prop_assert_eq!(r1.end_time, r2.end_time);
+        prop_assert_eq!(r1.loop_events.len(), r2.loop_events.len());
+    }
+
+    /// TTL bounds work: every looping packet eventually dies, and no
+    /// packet is forwarded more hops than its initial TTL.
+    #[test]
+    fn loops_always_terminate(net in arb_net()) {
+        let mut engine = build_engine(&net);
+        let report = engine.run();
+        // If ground truth saw loops, TTL expiry must have killed packets
+        // (or a queue/blackhole/fault got them first); either way the
+        // run ended (checked via !truncated) and conservation held.
+        if !report.loop_events.is_empty() {
+            let killed = report.drop_count(DropCause::TtlExpired)
+                + report.drop_count(DropCause::QueueFull)
+                + report.drop_count(DropCause::Fault)
+                + report.drop_count(DropCause::Blackhole);
+            prop_assert!(killed > 0, "loops with no kills: {report:?}");
+        }
+        prop_assert!(!report.truncated);
+    }
+}

@@ -1,0 +1,270 @@
+//! Empirical cumulative distribution functions.
+
+/// An empirical CDF over `f64` samples.
+///
+/// Samples are accumulated with [`Cdf::add`] and the distribution is frozen
+/// lazily on first query. Queries after further insertion re-sort
+/// transparently.
+///
+/// ```
+/// use stats::Cdf;
+/// let mut cdf = Cdf::new();
+/// for v in [1.0, 2.0, 3.0, 4.0] {
+///     cdf.add(v);
+/// }
+/// assert_eq!(cdf.eval(2.0), 0.5);
+/// assert_eq!(cdf.quantile(0.5), Some(2.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Cdf {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Cdf {
+    /// Creates an empty CDF.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a CDF from an iterator of samples.
+    pub fn from_samples<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut cdf = Self::new();
+        for v in iter {
+            cdf.add(v);
+        }
+        cdf
+    }
+
+    /// Adds one sample. Non-finite samples are rejected (dropped) because a
+    /// CDF over NaN/inf is meaningless and would poison sorting.
+    pub fn add(&mut self, v: f64) {
+        if v.is_finite() {
+            self.samples.push(v);
+            self.sorted = false;
+        }
+    }
+
+    /// Merges another CDF's samples into this one.
+    pub fn merge(&mut self, other: &Cdf) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been added.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample rejected on add"));
+            self.sorted = true;
+        }
+    }
+
+    /// Fraction of samples `<= x`; 0.0 for an empty CDF.
+    pub fn eval(&mut self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        // partition_point gives the count of samples <= x.
+        let count = self.samples.partition_point(|&s| s <= x);
+        count as f64 / self.samples.len() as f64
+    }
+
+    /// The q-quantile (`0.0 <= q <= 1.0`) using the nearest-rank method.
+    /// Returns `None` for an empty CDF or out-of-range `q`.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.samples[rank - 1])
+    }
+
+    /// Median shorthand.
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Minimum sample.
+    pub fn min(&mut self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        Some(self.samples[0])
+    }
+
+    /// Maximum sample.
+    pub fn max(&mut self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        Some(*self.samples.last().unwrap())
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+    }
+
+    /// Samples the CDF on a fixed grid of `points` x-values spanning
+    /// `[min, max]`, returning `(x, F(x))` pairs — the series a plotting tool
+    /// would consume to draw the paper's CDF figures.
+    pub fn series(&mut self, points: usize) -> Vec<(f64, f64)> {
+        if self.samples.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let lo = self.samples[0];
+        let hi = *self.samples.last().unwrap();
+        if points == 1 || hi == lo {
+            return vec![(hi, 1.0)];
+        }
+        let step = (hi - lo) / (points - 1) as f64;
+        (0..points)
+            .map(|i| {
+                let x = lo + step * i as f64;
+                let count = self.samples.partition_point(|&s| s <= x);
+                (x, count as f64 / self.samples.len() as f64)
+            })
+            .collect()
+    }
+
+    /// Full step-function representation: every distinct sample value with
+    /// its cumulative probability. Useful for exact comparisons in tests.
+    pub fn steps(&mut self) -> Vec<(f64, f64)> {
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        for (i, &v) in self.samples.iter().enumerate() {
+            let p = (i + 1) as f64 / n as f64;
+            match out.last_mut() {
+                Some(last) if last.0 == v => last.1 = p,
+                _ => out.push((v, p)),
+            }
+        }
+        out
+    }
+
+    /// Read-only access to the (possibly unsorted) raw samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cdf_queries() {
+        let mut cdf = Cdf::new();
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.eval(1.0), 0.0);
+        assert_eq!(cdf.quantile(0.5), None);
+        assert_eq!(cdf.mean(), None);
+        assert_eq!(cdf.min(), None);
+        assert_eq!(cdf.max(), None);
+        assert!(cdf.series(10).is_empty());
+    }
+
+    #[test]
+    fn eval_counts_inclusive() {
+        let mut cdf = Cdf::from_samples([1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(cdf.eval(0.5), 0.0);
+        assert_eq!(cdf.eval(1.0), 0.25);
+        assert_eq!(cdf.eval(2.0), 0.75);
+        assert_eq!(cdf.eval(3.0), 1.0);
+        assert_eq!(cdf.eval(99.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut cdf = Cdf::from_samples([10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(cdf.quantile(0.0), Some(10.0));
+        assert_eq!(cdf.quantile(0.2), Some(10.0));
+        assert_eq!(cdf.quantile(0.21), Some(20.0));
+        assert_eq!(cdf.quantile(0.5), Some(30.0));
+        assert_eq!(cdf.quantile(1.0), Some(50.0));
+        assert_eq!(cdf.quantile(1.5), None);
+        assert_eq!(cdf.quantile(-0.1), None);
+    }
+
+    #[test]
+    fn insertion_after_query_resorts() {
+        let mut cdf = Cdf::from_samples([5.0, 1.0]);
+        assert_eq!(cdf.min(), Some(1.0));
+        cdf.add(0.5);
+        assert_eq!(cdf.min(), Some(0.5));
+        assert_eq!(cdf.max(), Some(5.0));
+    }
+
+    #[test]
+    fn non_finite_samples_rejected() {
+        let mut cdf = Cdf::new();
+        cdf.add(f64::NAN);
+        cdf.add(f64::INFINITY);
+        cdf.add(1.0);
+        assert_eq!(cdf.len(), 1);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = Cdf::from_samples([1.0, 2.0]);
+        let b = Cdf::from_samples([3.0, 4.0]);
+        a.merge(&b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.eval(2.0), 0.5);
+    }
+
+    #[test]
+    fn series_spans_range_and_ends_at_one() {
+        let mut cdf = Cdf::from_samples([0.0, 1.0, 2.0, 3.0, 4.0]);
+        let s = cdf.series(5);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s[0].0, 0.0);
+        assert_eq!(s[4].0, 4.0);
+        assert_eq!(s[4].1, 1.0);
+        // Monotone non-decreasing.
+        for w in s.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn series_degenerate_single_value() {
+        let mut cdf = Cdf::from_samples([7.0, 7.0, 7.0]);
+        assert_eq!(cdf.series(10), vec![(7.0, 1.0)]);
+    }
+
+    #[test]
+    fn steps_collapse_duplicates() {
+        let mut cdf = Cdf::from_samples([1.0, 1.0, 2.0]);
+        let steps = cdf.steps();
+        assert_eq!(steps.len(), 2);
+        assert!((steps[0].1 - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(steps[1], (2.0, 1.0));
+    }
+
+    #[test]
+    fn mean_matches_hand_computation() {
+        let cdf = Cdf::from_samples([1.0, 2.0, 3.0]);
+        assert!((cdf.mean().unwrap() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,165 @@
+//! Two-sample Kolmogorov–Smirnov statistic.
+//!
+//! Used by the experiment harness to quantify how similar two empirical
+//! distributions are — e.g. the Figure 3 stream-size CDFs from two
+//! different seeds, or measured-vs-expected TTL bands. We report the D
+//! statistic and the standard asymptotic p-value approximation; for the
+//! repro's purposes D itself ("the biggest CDF gap") is the interpretable
+//! number.
+
+use crate::cdf::Cdf;
+
+/// Result of a two-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsResult {
+    /// The KS statistic: the supremum distance between the two empirical
+    /// CDFs, in `[0, 1]`.
+    pub d: f64,
+    /// Asymptotic two-sided p-value (Kolmogorov distribution
+    /// approximation; accurate for sample sizes ≳ 25).
+    pub p_value: f64,
+    /// Sample sizes.
+    pub n1: usize,
+    /// Sample sizes.
+    pub n2: usize,
+}
+
+/// Computes the two-sample KS statistic between two sample sets.
+///
+/// Returns `None` when either sample is empty.
+pub fn ks_two_sample(a: &Cdf, b: &Cdf) -> Option<KsResult> {
+    let mut xs: Vec<f64> = a.samples().to_vec();
+    let mut ys: Vec<f64> = b.samples().to_vec();
+    if xs.is_empty() || ys.is_empty() {
+        return None;
+    }
+    xs.sort_by(|p, q| p.partial_cmp(q).expect("finite"));
+    ys.sort_by(|p, q| p.partial_cmp(q).expect("finite"));
+    let (n1, n2) = (xs.len(), ys.len());
+    // Walk both sorted lists; D is the largest |F1 - F2| at any sample.
+    let mut i = 0usize;
+    let mut j = 0usize;
+    let mut d: f64 = 0.0;
+    while i < n1 && j < n2 {
+        let x = xs[i].min(ys[j]);
+        while i < n1 && xs[i] <= x {
+            i += 1;
+        }
+        while j < n2 && ys[j] <= x {
+            j += 1;
+        }
+        let f1 = i as f64 / n1 as f64;
+        let f2 = j as f64 / n2 as f64;
+        d = d.max((f1 - f2).abs());
+    }
+    // Remaining tail always converges to (1, 1); the max is already seen.
+    let en = ((n1 * n2) as f64 / (n1 + n2) as f64).sqrt();
+    let lambda = (en + 0.12 + 0.11 / en) * d;
+    Some(KsResult {
+        d,
+        p_value: kolmogorov_q(lambda),
+        n1,
+        n2,
+    })
+}
+
+/// The Kolmogorov distribution tail `Q(λ) = 2 Σ (-1)^{k-1} e^{-2 k² λ²}`.
+fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0f64;
+    let mut sign = 1.0f64;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64).powi(2) * lambda.powi(2)).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniformish(offset: f64, n: usize) -> Cdf {
+        Cdf::from_samples((0..n).map(|i| offset + i as f64 / n as f64))
+    }
+
+    #[test]
+    fn identical_samples_d_zero() {
+        let a = uniformish(0.0, 200);
+        let b = uniformish(0.0, 200);
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert_eq!(r.d, 0.0);
+        assert!(r.p_value > 0.999);
+    }
+
+    #[test]
+    fn disjoint_samples_d_one() {
+        let a = uniformish(0.0, 100);
+        let b = uniformish(10.0, 100);
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert!((r.d - 1.0).abs() < 1e-12);
+        assert!(r.p_value < 1e-6);
+    }
+
+    #[test]
+    fn shifted_samples_intermediate_d() {
+        let a = uniformish(0.0, 500);
+        let b = uniformish(0.3, 500);
+        let r = ks_two_sample(&a, &b).unwrap();
+        // A 0.3 shift of a unit uniform gives D ≈ 0.3.
+        assert!((r.d - 0.3).abs() < 0.05, "d = {}", r.d);
+        assert!(r.p_value < 0.01);
+    }
+
+    #[test]
+    fn same_distribution_different_samples_high_p() {
+        // Deterministic pseudo-random draws from the same distribution.
+        let gen = |seed: u64, n: usize| {
+            let mut x = seed;
+            Cdf::from_samples((0..n).map(move |_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 11) as f64 / (1u64 << 53) as f64
+            }))
+        };
+        let a = gen(1, 400);
+        let b = gen(2, 400);
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert!(r.d < 0.1, "d = {}", r.d);
+        assert!(r.p_value > 0.05, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn empty_samples_none() {
+        let a = Cdf::new();
+        let b = uniformish(0.0, 10);
+        assert!(ks_two_sample(&a, &b).is_none());
+        assert!(ks_two_sample(&b, &a).is_none());
+    }
+
+    #[test]
+    fn unequal_sizes_supported() {
+        let a = uniformish(0.0, 50);
+        let b = uniformish(0.0, 500);
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert!(r.d < 0.15);
+        assert_eq!(r.n1, 50);
+        assert_eq!(r.n2, 500);
+    }
+
+    #[test]
+    fn kolmogorov_q_bounds() {
+        assert_eq!(kolmogorov_q(0.0), 1.0);
+        assert!(kolmogorov_q(0.5) > 0.9);
+        assert!(kolmogorov_q(2.0) < 0.001);
+        let qs: Vec<f64> = (1..30).map(|i| kolmogorov_q(i as f64 / 10.0)).collect();
+        assert!(qs.windows(2).all(|w| w[1] <= w[0] + 1e-12), "monotone");
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! Small statistics toolkit used throughout the routing-loops workspace.
+//!
+//! The paper's evaluation section reports empirical CDFs (Figures 3, 4, 8, 9),
+//! categorical distributions (Figures 2, 5, 6), a time-series scatter
+//! (Figure 7), and tables (Tables I and II). This crate provides the
+//! corresponding building blocks:
+//!
+//! * [`Cdf`] — empirical cumulative distribution functions with quantile and
+//!   evaluation queries, plus fixed-grid sampling for plotting.
+//! * [`Histogram`] — integer-bucketed histograms and categorical counters.
+//! * [`TimeSeries`] — fixed-width time-bucketed counters (per-minute loss
+//!   rates, Figure 7 scatter support).
+//! * [`Summary`] — running min/max/mean/variance without storing samples.
+//! * [`table`] — plain-text table rendering for the repro harness.
+//!
+//! Everything here is deterministic and allocation-light; the heavy lifting
+//! (trace generation, detection) happens in the other crates.
+
+pub mod cdf;
+pub mod histogram;
+pub mod ks;
+pub mod summary;
+pub mod table;
+pub mod timeseries;
+
+pub use cdf::Cdf;
+pub use histogram::{CategoricalDist, Histogram};
+pub use ks::{ks_two_sample, KsResult};
+pub use summary::Summary;
+pub use timeseries::TimeSeries;

@@ -1,0 +1,201 @@
+//! Plain-text table rendering for the repro harness.
+//!
+//! The harness prints the same rows the paper's tables report; this module
+//! keeps the formatting in one place so every experiment output looks alike.
+
+/// A simple column-aligned text table.
+///
+/// ```
+/// use stats::table::Table;
+/// let mut t = Table::new(&["Trace", "Packets"]);
+/// t.row(&["Backbone 1", "893M"]);
+/// let s = t.render();
+/// assert!(s.contains("Backbone 1"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Sets an optional title rendered above the table.
+    pub fn with_title(mut self, title: &str) -> Self {
+        self.title = Some(title.to_string());
+        self
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with empty
+    /// cells; longer rows panic (a schema bug).
+    pub fn row(&mut self, cells: &[&str]) {
+        assert!(
+            cells.len() <= self.header.len(),
+            "row has {} cells but table has {} columns",
+            cells.len(),
+            self.header.len()
+        );
+        let mut row: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Appends a row of already-owned cells.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert!(cells.len() <= self.header.len());
+        let mut row = cells;
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if let Some(title) = &self.title {
+            out.push_str(title);
+            out.push('\n');
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                line.push_str(cell);
+                // Pad all but the last column.
+                if i + 1 < ncols {
+                    line.push_str(&" ".repeat(widths[i] - cell.len()));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        let rule_len = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a count with thousands separators (e.g. `1_234_567` → "1,234,567").
+pub fn fmt_count(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    let offset = digits.len() % 3;
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0
+            && (i + digits.len() - offset) % 3 == offset % 3
+            && (digits.len() - i).is_multiple_of(3)
+        {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn fmt_pct(f: f64) -> String {
+    format!("{:.2}%", f * 100.0)
+}
+
+/// Formats a duration given in nanoseconds with an adaptive unit.
+pub fn fmt_duration_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["A", "Long header"]);
+        t.row(&["xxxx", "1"]);
+        t.row(&["y", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4); // header, rule, two rows
+        assert!(lines[0].starts_with("A   "));
+        assert!(lines[2].starts_with("xxxx"));
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = Table::new(&["A", "B", "C"]);
+        t.row(&["1"]);
+        assert_eq!(t.num_rows(), 1);
+        assert!(t.render().contains('1'));
+    }
+
+    #[test]
+    #[should_panic]
+    fn long_rows_panic() {
+        let mut t = Table::new(&["A"]);
+        t.row(&["1", "2"]);
+    }
+
+    #[test]
+    fn title_rendered_first() {
+        let t = Table::new(&["X"]).with_title("TABLE I");
+        assert!(t.render().starts_with("TABLE I\n"));
+    }
+
+    #[test]
+    fn fmt_count_separators() {
+        assert_eq!(fmt_count(0), "0");
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(1_000), "1,000");
+        assert_eq!(fmt_count(1_234_567), "1,234,567");
+        assert_eq!(fmt_count(1_000_000_000), "1,000,000,000");
+    }
+
+    #[test]
+    fn fmt_pct_rounds() {
+        assert_eq!(fmt_pct(0.5), "50.00%");
+        assert_eq!(fmt_pct(0.123456), "12.35%");
+    }
+
+    #[test]
+    fn fmt_duration_adaptive_units() {
+        assert_eq!(fmt_duration_ns(500), "500 ns");
+        assert_eq!(fmt_duration_ns(1_500), "1.50 us");
+        assert_eq!(fmt_duration_ns(2_500_000), "2.50 ms");
+        assert_eq!(fmt_duration_ns(3_000_000_000), "3.00 s");
+    }
+}

@@ -1,0 +1,173 @@
+//! Fixed-width time-bucketed counters.
+//!
+//! The paper reports per-minute loss contributions (§VI) and a time-series
+//! scatter of looped destination addresses (Figure 7). [`TimeSeries`] covers
+//! the bucketed-counter half; the scatter needs no aggregation and is emitted
+//! directly by `loopscope`.
+
+/// A counter series over fixed-width time buckets starting at time zero.
+///
+/// Timestamps are in arbitrary integer units (the workspace uses
+/// nanoseconds); the bucket width is chosen at construction.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    bucket_width: u64,
+    buckets: Vec<u64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with the given bucket width.
+    ///
+    /// # Panics
+    /// Panics when `bucket_width` is zero.
+    pub fn new(bucket_width: u64) -> Self {
+        assert!(bucket_width > 0, "bucket width must be positive");
+        Self {
+            bucket_width,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Bucket width in time units.
+    pub fn bucket_width(&self) -> u64 {
+        self.bucket_width
+    }
+
+    /// Adds `n` to the bucket containing `timestamp`.
+    pub fn add(&mut self, timestamp: u64, n: u64) {
+        let idx = (timestamp / self.bucket_width) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += n;
+    }
+
+    /// Count in the bucket containing `timestamp` (0 for untouched buckets).
+    pub fn at(&self, timestamp: u64) -> u64 {
+        let idx = (timestamp / self.bucket_width) as usize;
+        self.buckets.get(idx).copied().unwrap_or(0)
+    }
+
+    /// Number of buckets from time zero through the last touched bucket.
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Iterates `(bucket_start_time, count)` for all buckets, including
+    /// interior zeros.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(move |(i, c)| (i as u64 * self.bucket_width, *c))
+    }
+
+    /// Total across all buckets.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Largest bucket value (0 when empty).
+    pub fn peak(&self) -> u64 {
+        self.buckets.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Per-bucket ratio of this series over `denom` — e.g. loop-caused losses
+    /// over total losses per minute. Buckets where `denom` is zero yield
+    /// `None` in that slot.
+    ///
+    /// # Panics
+    /// Panics when bucket widths differ.
+    pub fn ratio(&self, denom: &TimeSeries) -> Vec<(u64, Option<f64>)> {
+        assert_eq!(
+            self.bucket_width, denom.bucket_width,
+            "bucket width mismatch"
+        );
+        let n = self.buckets.len().max(denom.buckets.len());
+        (0..n)
+            .map(|i| {
+                let t = i as u64 * self.bucket_width;
+                let num = self.buckets.get(i).copied().unwrap_or(0);
+                let den = denom.buckets.get(i).copied().unwrap_or(0);
+                let r = (den > 0).then(|| num as f64 / den as f64);
+                (t, r)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "bucket width must be positive")]
+    fn zero_width_panics() {
+        TimeSeries::new(0);
+    }
+
+    #[test]
+    fn bucketing_boundaries() {
+        let mut ts = TimeSeries::new(60);
+        ts.add(0, 1);
+        ts.add(59, 1);
+        ts.add(60, 1);
+        assert_eq!(ts.at(0), 2);
+        assert_eq!(ts.at(59), 2);
+        assert_eq!(ts.at(60), 1);
+        assert_eq!(ts.at(3600), 0);
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    fn iter_includes_interior_zeros() {
+        let mut ts = TimeSeries::new(10);
+        ts.add(0, 5);
+        ts.add(35, 7);
+        let v: Vec<_> = ts.iter().collect();
+        assert_eq!(v, vec![(0, 5), (10, 0), (20, 0), (30, 7)]);
+    }
+
+    #[test]
+    fn total_and_peak() {
+        let mut ts = TimeSeries::new(10);
+        ts.add(5, 3);
+        ts.add(15, 9);
+        ts.add(15, 1);
+        assert_eq!(ts.total(), 13);
+        assert_eq!(ts.peak(), 10);
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        let mut num = TimeSeries::new(10);
+        num.add(0, 3);
+        num.add(10, 1);
+        let mut den = TimeSeries::new(10);
+        den.add(0, 6);
+        let r = num.ratio(&den);
+        assert_eq!(r[0], (0, Some(0.5)));
+        assert_eq!(r[1], (10, None));
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width mismatch")]
+    fn ratio_width_mismatch_panics() {
+        let a = TimeSeries::new(10);
+        let b = TimeSeries::new(20);
+        a.ratio(&b);
+    }
+
+    #[test]
+    fn empty_series() {
+        let ts = TimeSeries::new(10);
+        assert!(ts.is_empty());
+        assert_eq!(ts.peak(), 0);
+        assert_eq!(ts.total(), 0);
+    }
+}

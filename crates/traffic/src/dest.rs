@@ -1,0 +1,217 @@
+//! Destination address selection.
+//!
+//! Figure 7 shows looped replica streams spread across the address space
+//! with a concentration in class C (192.0.0.0–223.255.255.255), "either due
+//! to this portion of the address space being more highly utilized, or to
+//! link-specific traffic dynamics". The pool models both: destinations are
+//! drawn from a set of /24s with Zipf popularity, and the pool builder can
+//! weight class-C prefixes up.
+
+use net_types::Ipv4Prefix;
+use rand::Rng;
+use std::net::Ipv4Addr;
+
+/// A weighted pool of destination /24 prefixes.
+#[derive(Debug, Clone)]
+pub struct DestPool {
+    prefixes: Vec<Ipv4Prefix>,
+    /// Cumulative weights for binary-search sampling.
+    cumulative: Vec<f64>,
+}
+
+impl DestPool {
+    /// Builds a pool with Zipf(`exponent`) popularity over `prefixes` in
+    /// the given order (first = most popular).
+    ///
+    /// # Panics
+    /// Panics on an empty prefix list or a non-positive exponent... rather,
+    /// exponent 0 is allowed (uniform).
+    pub fn zipf(prefixes: Vec<Ipv4Prefix>, exponent: f64) -> Self {
+        assert!(!prefixes.is_empty(), "destination pool must not be empty");
+        assert!(exponent >= 0.0, "Zipf exponent must be non-negative");
+        let mut cumulative = Vec::with_capacity(prefixes.len());
+        let mut acc = 0.0;
+        for i in 0..prefixes.len() {
+            acc += 1.0 / ((i + 1) as f64).powf(exponent);
+            cumulative.push(acc);
+        }
+        Self {
+            prefixes,
+            cumulative,
+        }
+    }
+
+    /// Uniform popularity.
+    pub fn uniform(prefixes: Vec<Ipv4Prefix>) -> Self {
+        Self::zipf(prefixes, 0.0)
+    }
+
+    /// The prefixes in popularity order.
+    pub fn prefixes(&self) -> &[Ipv4Prefix] {
+        &self.prefixes
+    }
+
+    /// Number of prefixes.
+    pub fn len(&self) -> usize {
+        self.prefixes.len()
+    }
+
+    /// Always false (construction forbids empty pools); provided for
+    /// clippy-friendliness.
+    pub fn is_empty(&self) -> bool {
+        self.prefixes.is_empty()
+    }
+
+    /// Draws a destination prefix.
+    pub fn sample_prefix<R: Rng>(&self, rng: &mut R) -> Ipv4Prefix {
+        let total = *self.cumulative.last().unwrap();
+        let u = rng.gen_range(0.0..total);
+        let idx = self.cumulative.partition_point(|&c| c <= u);
+        self.prefixes[idx.min(self.prefixes.len() - 1)]
+    }
+
+    /// Draws a host address inside a drawn prefix (avoiding .0 and .255 in
+    /// /24s, as real hosts do).
+    pub fn sample_addr<R: Rng>(&self, rng: &mut R) -> Ipv4Addr {
+        let prefix = self.sample_prefix(rng);
+        let size = prefix.size();
+        if size <= 2 {
+            return prefix.network();
+        }
+        let host = rng.gen_range(1..size - 1);
+        prefix.host(host)
+    }
+}
+
+/// Convenience: a synthetic pool of `n` /24s, `class_c_fraction` of them
+/// drawn from class C space (192.x.y.0/24) and the rest spread over class A
+/// and B space — matching Figure 7's address spread.
+pub fn synthetic_pool(n: usize, class_c_fraction: f64, zipf_exponent: f64) -> DestPool {
+    assert!(n > 0);
+    assert!((0.0..=1.0).contains(&class_c_fraction));
+    let n_c = (n as f64 * class_c_fraction).round() as usize;
+    let mut prefixes = Vec::with_capacity(n);
+    for i in 0..n {
+        // Interleave class-C and other prefixes so popularity rank is not
+        // correlated with address class.
+        let make_class_c = if class_c_fraction >= 1.0 {
+            true
+        } else if class_c_fraction <= 0.0 {
+            false
+        } else {
+            (i * n_c) % n < n_c
+        };
+        let prefix = if make_class_c {
+            // 192–223 . x . y . 0/24
+            let a = 192 + ((i / 256 / 256) % 32) as u8;
+            let b = ((i / 256) % 256) as u8;
+            let c = (i % 256) as u8;
+            Ipv4Prefix::new(Ipv4Addr::new(a, b, c, 0), 24).unwrap()
+        } else {
+            // 16–126 . x . y . 0/24 (class A/B space, avoiding 10/8 which
+            // the simulator uses for router addresses and 0/127 specials).
+            let a = 16 + ((i / 256 / 256) % 96) as u8;
+            let a = if a == 10 { 11 } else { a };
+            let b = ((i / 256) % 256) as u8;
+            let c = (i % 256) as u8;
+            Ipv4Prefix::new(Ipv4Addr::new(a, b, c, 0), 24).unwrap()
+        };
+        prefixes.push(prefix);
+    }
+    prefixes.dedup();
+    DestPool::zipf(prefixes, zipf_exponent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn zipf_prefers_head() {
+        let pool = DestPool::zipf(vec![p("1.1.1.0/24"), p("2.2.2.0/24"), p("3.3.3.0/24")], 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            let pfx = pool.sample_prefix(&mut rng);
+            let idx = pool.prefixes().iter().position(|x| *x == pfx).unwrap();
+            counts[idx] += 1;
+        }
+        assert!(counts[0] > counts[1] && counts[1] > counts[2]);
+        // Zipf(1): weights 1, 1/2, 1/3 -> head ~ 6/11.
+        let head = f64::from(counts[0]) / 30_000.0;
+        assert!((0.50..0.60).contains(&head), "head {head}");
+    }
+
+    #[test]
+    fn uniform_is_flat() {
+        let pool = DestPool::uniform(vec![p("1.1.1.0/24"), p("2.2.2.0/24")]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut first = 0u32;
+        for _ in 0..10_000 {
+            if pool.sample_prefix(&mut rng) == p("1.1.1.0/24") {
+                first += 1;
+            }
+        }
+        let frac = f64::from(first) / 10_000.0;
+        assert!((0.47..0.53).contains(&frac), "frac {frac}");
+    }
+
+    #[test]
+    fn sampled_addr_inside_prefix_avoiding_edges() {
+        let pool = DestPool::uniform(vec![p("203.0.113.0/24")]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let a = pool.sample_addr(&mut rng);
+            assert!(p("203.0.113.0/24").contains(a));
+            let last = a.octets()[3];
+            assert!(last != 0 && last != 255);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_pool_rejected() {
+        DestPool::uniform(vec![]);
+    }
+
+    #[test]
+    fn synthetic_pool_class_c_fraction() {
+        let pool = synthetic_pool(200, 0.6, 1.0);
+        let class_c = pool
+            .prefixes()
+            .iter()
+            .filter(|pfx| (192..=223).contains(&pfx.network().octets()[0]))
+            .count();
+        let frac = class_c as f64 / pool.len() as f64;
+        assert!((0.55..0.65).contains(&frac), "class C fraction {frac}");
+    }
+
+    #[test]
+    fn synthetic_pool_all_slash24() {
+        let pool = synthetic_pool(50, 0.5, 1.0);
+        assert!(pool.prefixes().iter().all(|p| p.len() == 24));
+        // All distinct.
+        let mut set = std::collections::BTreeSet::new();
+        for p in pool.prefixes() {
+            assert!(set.insert(*p), "duplicate prefix {p}");
+        }
+    }
+
+    #[test]
+    fn synthetic_pool_extremes() {
+        assert!(synthetic_pool(10, 1.0, 0.0)
+            .prefixes()
+            .iter()
+            .all(|pfx| pfx.network().octets()[0] >= 192));
+        assert!(synthetic_pool(10, 0.0, 0.0)
+            .prefixes()
+            .iter()
+            .all(|pfx| pfx.network().octets()[0] < 192));
+    }
+}

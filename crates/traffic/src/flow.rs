@@ -1,0 +1,394 @@
+//! Flow-level packet sequence construction.
+//!
+//! A backbone monitor sees each flow one-directionally, so a "flow" here is
+//! a one-way packet train: SYN → data → FIN/RST for TCP, a datagram run for
+//! UDP, an echo train for ICMP, single reports for IGMP/other.
+
+use crate::mix::{FlowClass, MixConfig};
+use net_types::{IcmpHeader, IcmpType, IpProtocol, Packet, TcpFlags, TcpHeader, UdpHeader};
+use rand::Rng;
+use simnet::{SimDuration, SimTime};
+use std::net::Ipv4Addr;
+
+/// Shared all-zero payload backing store; payload *content* never matters
+/// (traces are 40-byte snaplen), only lengths and the checksums derived
+/// from them.
+static ZEROS: [u8; 1460] = [0; 1460];
+
+fn payload(n: usize) -> bytes::Bytes {
+    bytes::Bytes::from_static(&ZEROS[..n])
+}
+
+/// Parameters of one flow.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowParams {
+    /// Protocol class.
+    pub class: FlowClass,
+    /// Source host.
+    pub src: Ipv4Addr,
+    /// Destination host.
+    pub dst: Ipv4Addr,
+    /// Ephemeral source port (TCP/UDP).
+    pub src_port: u16,
+    /// Service destination port (TCP/UDP).
+    pub dst_port: u16,
+    /// TTL as observed at the monitored region's ingress.
+    pub ttl: u8,
+    /// Number of packets in the train (>= 1; TCP adds SYN/FIN around data).
+    pub n_pkts: u32,
+    /// First packet time.
+    pub start: SimTime,
+    /// Mean gap between packets (exponential).
+    pub gap_mean: SimDuration,
+}
+
+/// Draws an exponential inter-packet gap with the given mean.
+fn exp_gap<R: Rng>(rng: &mut R, mean: SimDuration) -> SimDuration {
+    if mean == SimDuration::ZERO {
+        return SimDuration::ZERO;
+    }
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    SimDuration((-u.ln() * mean.as_nanos() as f64) as u64)
+}
+
+/// Draws a common packet payload size (for TCP data segments).
+fn data_len<R: Rng>(rng: &mut R) -> usize {
+    // Classic trimodal Internet packet-size mix: 40 (pure ack), 576, 1500.
+    match rng.gen_range(0..10) {
+        0..=4 => 0,   // pure ACK, 40-byte packet
+        5..=6 => 536, // 576-byte packet
+        _ => 1460,    // full MSS, 1500-byte packet
+    }
+}
+
+/// Expands a flow into its timestamped packets, advancing the shared IP
+/// identification counter per packet (hosts increment the ident per sent
+/// datagram, which is what lets the detector tell replicas from fresh
+/// same-flow packets — §IV-A.1).
+pub fn flow_packets<R: Rng>(
+    p: &FlowParams,
+    mix: &MixConfig,
+    rng: &mut R,
+    ident: &mut u16,
+) -> Vec<(SimTime, Packet)> {
+    let mut out = Vec::new();
+    let mut t = p.start;
+    let mut next_ident = || {
+        let i = *ident;
+        *ident = ident.wrapping_add(1);
+        i
+    };
+    let stamp = |pkt: &mut Packet, ident: u16, ttl: u8| {
+        pkt.ip.ident = ident;
+        pkt.ip.ttl = ttl;
+        pkt.fill_checksums();
+    };
+    match p.class {
+        FlowClass::Tcp => {
+            let mut seq: u32 = rng.gen();
+            // SYN
+            let mut tcp = TcpHeader::new(p.src_port, p.dst_port, TcpFlags::SYN);
+            tcp.seq = seq;
+            tcp.window = 65535;
+            seq = seq.wrapping_add(1);
+            let mut pkt = Packet::tcp(p.src, p.dst, tcp, payload(0));
+            stamp(&mut pkt, next_ident(), p.ttl);
+            out.push((t, pkt));
+            // Data
+            for _ in 0..p.n_pkts {
+                t += exp_gap(rng, p.gap_mean);
+                let len = data_len(rng);
+                let mut flags = TcpFlags::ACK;
+                if len > 0 && rng.gen_bool(mix.psh_prob) {
+                    flags |= TcpFlags::PSH;
+                }
+                if rng.gen_bool(mix.urg_prob) {
+                    flags |= TcpFlags::URG;
+                }
+                let mut tcp = TcpHeader::new(p.src_port, p.dst_port, flags);
+                tcp.seq = seq;
+                tcp.ack = 1;
+                tcp.window = 65535;
+                seq = seq.wrapping_add(len as u32);
+                let mut pkt = Packet::tcp(p.src, p.dst, tcp, payload(len));
+                stamp(&mut pkt, next_ident(), p.ttl);
+                out.push((t, pkt));
+            }
+            // Teardown: FIN-ACK normally, RST on aborts.
+            t += exp_gap(rng, p.gap_mean);
+            let flags = if rng.gen_bool(mix.rst_prob) {
+                TcpFlags::RST
+            } else {
+                TcpFlags::FIN | TcpFlags::ACK
+            };
+            let mut tcp = TcpHeader::new(p.src_port, p.dst_port, flags);
+            tcp.seq = seq;
+            tcp.ack = 1;
+            let mut pkt = Packet::tcp(p.src, p.dst, tcp, payload(0));
+            stamp(&mut pkt, next_ident(), p.ttl);
+            out.push((t, pkt));
+        }
+        FlowClass::Udp => {
+            for _ in 0..p.n_pkts.max(1) {
+                let len = match rng.gen_range(0..10) {
+                    0..=6 => rng.gen_range(20..200),
+                    _ => rng.gen_range(200..1200),
+                };
+                let mut pkt = Packet::udp(
+                    p.src,
+                    p.dst,
+                    UdpHeader::new(p.src_port, p.dst_port),
+                    payload(len),
+                );
+                stamp(&mut pkt, next_ident(), p.ttl);
+                out.push((t, pkt));
+                t += exp_gap(rng, p.gap_mean);
+            }
+        }
+        FlowClass::IcmpEcho => {
+            let echo_ident: u16 = rng.gen();
+            for seq in 0..p.n_pkts.max(1) as u16 {
+                let mut pkt = Packet::icmp(
+                    p.src,
+                    p.dst,
+                    IcmpHeader::echo(true, echo_ident, seq),
+                    payload(56),
+                );
+                stamp(&mut pkt, next_ident(), p.ttl);
+                out.push((t, pkt));
+                t += exp_gap(rng, p.gap_mean);
+            }
+        }
+        FlowClass::Mcast => {
+            // An IGMPv2 membership report (8 opaque bytes).
+            let mut pkt = Packet::opaque(
+                p.src,
+                p.dst,
+                IpProtocol::Igmp,
+                vec![0x16, 0x00, 0x00, 0x00, 224, 1, 2, 3],
+            );
+            stamp(&mut pkt, next_ident(), p.ttl);
+            out.push((t, pkt));
+        }
+        FlowClass::Other => {
+            // A GRE-ish packet: protocol 47, small opaque body.
+            let mut pkt = Packet::opaque(p.src, p.dst, IpProtocol::Other(47), vec![0u8; 16]);
+            stamp(&mut pkt, next_ident(), p.ttl);
+            out.push((t, pkt));
+        }
+    }
+    out
+}
+
+/// A packet train from the paper's anomalous host: ICMP messages with
+/// reserved type values ("one host that generates ICMP packets … with
+/// multiple reserved type fields. Although this is unusual behavior, we are
+/// confident that the corresponding replicas are due to loops").
+#[allow(clippy::too_many_arguments)] // a flat parameter list reads best here
+pub fn reserved_icmp_train<R: Rng>(
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    ttl: u8,
+    n: u32,
+    start: SimTime,
+    gap_mean: SimDuration,
+    rng: &mut R,
+    ident: &mut u16,
+) -> Vec<(SimTime, Packet)> {
+    let reserved_types: [u8; 4] = [1, 2, 7, 44];
+    let mut out = Vec::new();
+    let mut t = start;
+    for k in 0..n {
+        let ty = reserved_types[k as usize % reserved_types.len()];
+        let mut hdr = IcmpHeader::new(IcmpType::from_u8(ty), 0);
+        hdr.rest = rng.gen();
+        let mut pkt = Packet::icmp(src, dst, hdr, payload(32));
+        pkt.ip.ident = *ident;
+        *ident = ident.wrapping_add(1);
+        pkt.ip.ttl = ttl;
+        pkt.fill_checksums();
+        out.push((t, pkt));
+        t += exp_gap(rng, gap_mean);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_types::Transport;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params(class: FlowClass, n: u32) -> FlowParams {
+        FlowParams {
+            class,
+            src: Ipv4Addr::new(100, 1, 2, 3),
+            dst: Ipv4Addr::new(203, 0, 113, 7),
+            src_port: 40000,
+            dst_port: 80,
+            ttl: 60,
+            n_pkts: n,
+            start: SimTime::from_secs(1),
+            gap_mean: SimDuration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn tcp_flow_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ident = 100;
+        let pkts = flow_packets(
+            &params(FlowClass::Tcp, 10),
+            &MixConfig::default(),
+            &mut rng,
+            &mut ident,
+        );
+        assert_eq!(pkts.len(), 12); // SYN + 10 data + FIN/RST
+        let first = &pkts[0].1;
+        let last = &pkts[11].1;
+        match (&first.transport, &last.transport) {
+            (Transport::Tcp(syn), Transport::Tcp(fin)) => {
+                assert!(syn.flags.contains(TcpFlags::SYN));
+                assert!(fin.flags.contains(TcpFlags::FIN) || fin.flags.contains(TcpFlags::RST));
+            }
+            _ => panic!("not tcp"),
+        }
+        // Idents increment monotonically; timestamps non-decreasing.
+        for w in pkts.windows(2) {
+            assert_eq!(
+                w[1].1.ip.ident,
+                w[0].1.ip.ident.wrapping_add(1),
+                "per-packet ident increment"
+            );
+            assert!(w[1].0 >= w[0].0);
+        }
+        assert_eq!(ident, 112);
+        // All checksums valid.
+        for (_, p) in &pkts {
+            assert!(p.ip.verify_checksum());
+        }
+    }
+
+    #[test]
+    fn udp_flow_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ident = 0;
+        let pkts = flow_packets(
+            &params(FlowClass::Udp, 5),
+            &MixConfig::default(),
+            &mut rng,
+            &mut ident,
+        );
+        assert_eq!(pkts.len(), 5);
+        assert!(pkts
+            .iter()
+            .all(|(_, p)| matches!(p.transport, Transport::Udp(_))));
+    }
+
+    #[test]
+    fn icmp_echo_train_shares_echo_ident() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ident = 0;
+        let pkts = flow_packets(
+            &params(FlowClass::IcmpEcho, 4),
+            &MixConfig::default(),
+            &mut rng,
+            &mut ident,
+        );
+        assert_eq!(pkts.len(), 4);
+        let ids: Vec<u16> = pkts
+            .iter()
+            .map(|(_, p)| match &p.transport {
+                Transport::Icmp(h) => h.ident(),
+                _ => panic!("not icmp"),
+            })
+            .collect();
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+        let seqs: Vec<u16> = pkts
+            .iter()
+            .map(|(_, p)| match &p.transport {
+                Transport::Icmp(h) => h.seq(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn mcast_and_other_single_packets() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut ident = 0;
+        let m = flow_packets(
+            &params(FlowClass::Mcast, 9),
+            &MixConfig::default(),
+            &mut rng,
+            &mut ident,
+        );
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].1.protocol(), IpProtocol::Igmp);
+        let o = flow_packets(
+            &params(FlowClass::Other, 9),
+            &MixConfig::default(),
+            &mut rng,
+            &mut ident,
+        );
+        assert_eq!(o.len(), 1);
+        assert_eq!(o[0].1.protocol(), IpProtocol::Other(47));
+    }
+
+    #[test]
+    fn ttl_applied_to_every_packet() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ident = 0;
+        for class in [FlowClass::Tcp, FlowClass::Udp, FlowClass::IcmpEcho] {
+            let pkts = flow_packets(
+                &params(class, 3),
+                &MixConfig::default(),
+                &mut rng,
+                &mut ident,
+            );
+            assert!(pkts.iter().all(|(_, p)| p.ip.ttl == 60));
+        }
+    }
+
+    #[test]
+    fn reserved_icmp_train_uses_reserved_types() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut ident = 0;
+        let pkts = reserved_icmp_train(
+            Ipv4Addr::new(100, 9, 9, 9),
+            Ipv4Addr::new(203, 0, 113, 20),
+            55,
+            8,
+            SimTime::ZERO,
+            SimDuration::from_millis(1),
+            &mut rng,
+            &mut ident,
+        );
+        assert_eq!(pkts.len(), 8);
+        for (_, p) in &pkts {
+            match &p.transport {
+                Transport::Icmp(h) => assert!(h.icmp_type.is_reserved()),
+                _ => panic!("not icmp"),
+            }
+        }
+    }
+
+    #[test]
+    fn exp_gap_zero_mean_is_zero() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(exp_gap(&mut rng, SimDuration::ZERO), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn exp_gap_mean_roughly_respected() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mean = SimDuration::from_millis(10);
+        let n = 5000;
+        let total: u64 = (0..n).map(|_| exp_gap(&mut rng, mean).as_nanos()).sum();
+        let avg = total as f64 / n as f64;
+        let expect = mean.as_nanos() as f64;
+        assert!((avg - expect).abs() / expect < 0.1, "avg {avg}");
+    }
+}

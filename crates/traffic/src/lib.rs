@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+//! Calibrated backbone workload generation.
+//!
+//! The paper's figures depend on properties of the *offered traffic*:
+//! protocol mix (Figure 5: >80% TCP, 5–15% UDP, <1% SYN/FIN, a little ICMP
+//! and multicast), initial TTL values (64 for Linux, 128 for Windows — the
+//! cause of the CDF steps in Figures 3, 4, and 8), destination popularity
+//! (Figure 7's class-C concentration), and arrival dynamics. This crate
+//! generates flow-structured traffic with those properties as explicit,
+//! documented parameters:
+//!
+//! * [`mix::MixConfig`] — protocol and TCP-flag mix, default calibrated to
+//!   Figure 5.
+//! * [`ttl::TtlConfig`] — initial-TTL distribution minus upstream hop
+//!   counts (the monitored link is in the middle of the Internet, so TTLs
+//!   arrive already decremented).
+//! * [`dest::DestPool`] — Zipf-popular destination prefixes.
+//! * [`flow`] — flow-level packet sequences (one-directional, as seen on a
+//!   unidirectional backbone link): SYN, data, FIN for TCP; datagram runs
+//!   for UDP; echo trains for ICMP.
+//! * [`generator::TrafficGenerator`] — Poisson flow arrivals, deterministic
+//!   per seed, streamed in timestamp order.
+
+//! ```
+//! use traffic::dest::synthetic_pool;
+//! use traffic::{GeneratorConfig, TrafficGenerator};
+//! use simnet::SimTime;
+//!
+//! let pool = synthetic_pool(32, 0.5, 1.0);
+//! let cfg = GeneratorConfig::new(7, SimTime::ZERO, SimTime::from_secs(5), 10.0);
+//! let packets = TrafficGenerator::new(cfg, pool).generate();
+//! assert!(!packets.is_empty());
+//! // Sorted by time, checksums valid.
+//! assert!(packets.windows(2).all(|w| w[0].0 <= w[1].0));
+//! assert!(packets.iter().all(|(_, p)| p.ip.verify_checksum()));
+//! ```
+
+pub mod dest;
+pub mod flow;
+pub mod generator;
+pub mod mix;
+pub mod ttl;
+
+pub use dest::DestPool;
+pub use generator::{ArrivalModel, CbrConfig, GeneratorConfig, TrafficGenerator};
+pub use mix::MixConfig;
+pub use ttl::TtlConfig;

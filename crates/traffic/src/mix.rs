@@ -1,0 +1,202 @@
+//! Protocol and flag mix configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Fractions of *flows* by protocol class. TCP flows are long (many
+/// packets), so packet-level fractions skew further towards TCP; the
+/// defaults are chosen so the resulting packet mix matches Figure 5.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MixConfig {
+    /// TCP flow fraction.
+    pub tcp: f64,
+    /// UDP flow fraction.
+    pub udp: f64,
+    /// ICMP echo-train fraction.
+    pub icmp: f64,
+    /// Multicast/IGMP fraction (the paper's MCAST category).
+    pub mcast: f64,
+    /// Other-protocol fraction (GRE, OSPF, …: the OTHER category).
+    pub other: f64,
+    /// Mean TCP flow length in packets (geometric). Figure 5 shows SYN and
+    /// FIN each below 1% of *all* packets, which pins the mean flow length
+    /// near 10²: with TCP at ~85% of packets, SYN ≈ 0.85/mean.
+    pub mean_tcp_flow_pkts: f64,
+    /// Mean UDP burst length in datagrams.
+    pub mean_udp_burst: f64,
+    /// Mean ICMP echo-train length.
+    pub mean_icmp_train: f64,
+    /// Probability a TCP data packet carries PSH.
+    pub psh_prob: f64,
+    /// Probability a flow is aborted with RST instead of FIN.
+    pub rst_prob: f64,
+    /// Probability a TCP data packet carries URG (vanishingly rare).
+    pub urg_prob: f64,
+}
+
+impl Default for MixConfig {
+    fn default() -> Self {
+        Self {
+            tcp: 0.62,
+            udp: 0.27,
+            icmp: 0.06,
+            mcast: 0.02,
+            other: 0.03,
+            mean_tcp_flow_pkts: 90.0,
+            mean_udp_burst: 20.0,
+            mean_icmp_train: 4.0,
+            psh_prob: 0.25,
+            rst_prob: 0.02,
+            urg_prob: 0.001,
+        }
+    }
+}
+
+impl MixConfig {
+    /// Checks that the flow fractions sum to ~1 and all parameters are in
+    /// range.
+    pub fn validate(&self) -> Result<(), String> {
+        let sum = self.tcp + self.udp + self.icmp + self.mcast + self.other;
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(format!("flow fractions sum to {sum}, expected 1.0"));
+        }
+        for (name, v) in [
+            ("tcp", self.tcp),
+            ("udp", self.udp),
+            ("icmp", self.icmp),
+            ("mcast", self.mcast),
+            ("other", self.other),
+            ("psh_prob", self.psh_prob),
+            ("rst_prob", self.rst_prob),
+            ("urg_prob", self.urg_prob),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} = {v} out of [0, 1]"));
+            }
+        }
+        for (name, v) in [
+            ("mean_tcp_flow_pkts", self.mean_tcp_flow_pkts),
+            ("mean_udp_burst", self.mean_udp_burst),
+            ("mean_icmp_train", self.mean_icmp_train),
+        ] {
+            if v < 1.0 {
+                return Err(format!("{name} = {v} must be >= 1"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Expected packets per flow across protocol classes.
+    pub fn mean_flow_pkts(&self) -> f64 {
+        // TCP flows carry SYN + data + FIN; the +2 is absorbed into the
+        // geometric mean for estimation purposes.
+        self.tcp * self.mean_tcp_flow_pkts
+            + self.udp * self.mean_udp_burst
+            + self.icmp * self.mean_icmp_train
+            + self.mcast * 1.0
+            + self.other * 1.0
+    }
+}
+
+/// Protocol class of one flow, drawn from the mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowClass {
+    /// A TCP connection (one direction).
+    Tcp,
+    /// A UDP datagram burst.
+    Udp,
+    /// An ICMP echo train (ping).
+    IcmpEcho,
+    /// An IGMP report (multicast).
+    Mcast,
+    /// A single packet of an uncommon protocol.
+    Other,
+}
+
+impl MixConfig {
+    /// Maps a uniform sample in `[0, 1)` to a flow class.
+    pub fn classify(&self, u: f64) -> FlowClass {
+        let mut acc = self.tcp;
+        if u < acc {
+            return FlowClass::Tcp;
+        }
+        acc += self.udp;
+        if u < acc {
+            return FlowClass::Udp;
+        }
+        acc += self.icmp;
+        if u < acc {
+            return FlowClass::IcmpEcho;
+        }
+        acc += self.mcast;
+        if u < acc {
+            return FlowClass::Mcast;
+        }
+        FlowClass::Other
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mix_is_valid() {
+        MixConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_sum_rejected() {
+        let mut m = MixConfig::default();
+        m.tcp = 0.9;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn out_of_range_prob_rejected() {
+        let mut m = MixConfig::default();
+        m.psh_prob = 1.5;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn short_flows_rejected() {
+        let mut m = MixConfig::default();
+        m.mean_tcp_flow_pkts = 0.5;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn classify_covers_all_classes() {
+        let m = MixConfig::default();
+        assert_eq!(m.classify(0.0), FlowClass::Tcp);
+        assert_eq!(m.classify(m.tcp + 0.001), FlowClass::Udp);
+        assert_eq!(m.classify(m.tcp + m.udp + 0.001), FlowClass::IcmpEcho);
+        assert_eq!(m.classify(m.tcp + m.udp + m.icmp + 0.001), FlowClass::Mcast);
+        assert_eq!(m.classify(0.9999), FlowClass::Other);
+    }
+
+    #[test]
+    fn mean_flow_pkts_dominated_by_tcp() {
+        let m = MixConfig::default();
+        let mean = m.mean_flow_pkts();
+        assert!(mean > 50.0 && mean < 120.0, "mean {mean}");
+    }
+
+    #[test]
+    fn packet_level_tcp_share_exceeds_80_percent() {
+        // The flow mix is chosen so the *packet* mix hits Figure 5's TCP
+        // share: tcp_flows×len / total_pkts > 0.8.
+        let m = MixConfig::default();
+        let tcp_pkts = m.tcp * m.mean_tcp_flow_pkts;
+        assert!(tcp_pkts / m.mean_flow_pkts() > 0.80);
+    }
+
+    #[test]
+    fn syn_share_below_one_percent() {
+        let m = MixConfig::default();
+        // One SYN per TCP flow.
+        let syn_share = m.tcp / m.mean_flow_pkts();
+        assert!(syn_share < 0.015, "syn share {syn_share}");
+    }
+}

@@ -1,0 +1,157 @@
+//! Initial-TTL modelling.
+//!
+//! Figure 3's CDF jumps at ~31 and ~63 replicas because packets enter loops
+//! with TTLs near 64 and 128 (Linux and Windows 2000 defaults) and a
+//! TTL-delta-2 loop burns 2 per traversal. The monitored link sits in the
+//! middle of the Internet, so observed TTLs are the OS default minus the
+//! hops already travelled.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Distribution of initial TTLs and upstream path lengths.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TtlConfig {
+    /// `(initial_ttl, weight)` pairs. Defaults: 64 (Linux/macOS), 128
+    /// (Windows), 255 (Solaris, routers, some UDP stacks).
+    pub initials: Vec<(u8, f64)>,
+    /// Minimum hops already travelled before the monitored link.
+    pub upstream_hops_min: u8,
+    /// Maximum hops already travelled (inclusive).
+    pub upstream_hops_max: u8,
+}
+
+impl Default for TtlConfig {
+    fn default() -> Self {
+        Self {
+            initials: vec![(64, 0.55), (128, 0.40), (255, 0.05)],
+            upstream_hops_min: 3,
+            upstream_hops_max: 18,
+        }
+    }
+}
+
+impl TtlConfig {
+    /// Validates weights and hop bounds.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.initials.is_empty() {
+            return Err("initials must not be empty".into());
+        }
+        if self.initials.iter().any(|(_, w)| *w < 0.0) {
+            return Err("negative weight".into());
+        }
+        let total: f64 = self.initials.iter().map(|(_, w)| w).sum();
+        if total <= 0.0 {
+            return Err("weights sum to zero".into());
+        }
+        if self.upstream_hops_min > self.upstream_hops_max {
+            return Err("upstream hop bounds inverted".into());
+        }
+        if let Some((ttl, _)) = self
+            .initials
+            .iter()
+            .find(|(t, _)| *t <= self.upstream_hops_max)
+        {
+            return Err(format!(
+                "initial TTL {ttl} not above max upstream hops {}",
+                self.upstream_hops_max
+            ));
+        }
+        Ok(())
+    }
+
+    /// Draws the TTL as observed entering the monitored region: a weighted
+    /// initial value minus a uniform upstream hop count.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u8 {
+        let total: f64 = self.initials.iter().map(|(_, w)| w).sum();
+        let mut u = rng.gen_range(0.0..total);
+        let mut initial = self.initials.last().unwrap().0;
+        for (ttl, w) in &self.initials {
+            if u < *w {
+                initial = *ttl;
+                break;
+            }
+            u -= *w;
+        }
+        let hops = rng.gen_range(self.upstream_hops_min..=self.upstream_hops_max);
+        initial - hops
+    }
+
+    /// The distinct initial values (for assertions in tests/benches).
+    pub fn initial_values(&self) -> Vec<u8> {
+        self.initials.iter().map(|(t, _)| *t).collect()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_valid() {
+        TtlConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let mut c = TtlConfig::default();
+        c.initials.clear();
+        assert!(c.validate().is_err());
+
+        let mut c = TtlConfig::default();
+        c.initials = vec![(64, -1.0)];
+        assert!(c.validate().is_err());
+
+        let mut c = TtlConfig::default();
+        c.upstream_hops_min = 20;
+        c.upstream_hops_max = 10;
+        assert!(c.validate().is_err());
+
+        let mut c = TtlConfig::default();
+        c.initials = vec![(10, 1.0)]; // below max upstream hops
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn samples_within_expected_bands() {
+        let c = TtlConfig::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let ttl = c.sample(&mut rng);
+            let band = c.initial_values().iter().any(|&init| {
+                ttl <= init - c.upstream_hops_min && ttl >= init - c.upstream_hops_max
+            });
+            assert!(band, "ttl {ttl} outside all bands");
+        }
+    }
+
+    #[test]
+    fn weights_respected_roughly() {
+        let c = TtlConfig::default();
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 20_000;
+        let mut linuxish = 0u32;
+        for _ in 0..n {
+            let ttl = c.sample(&mut rng);
+            if ttl <= 64 {
+                linuxish += 1;
+            }
+        }
+        let frac = f64::from(linuxish) / f64::from(n);
+        assert!((0.50..0.60).contains(&frac), "frac {frac}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = TtlConfig::default();
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..50).map(|_| c.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(5), draw(5));
+        assert_ne!(draw(5), draw(6));
+    }
+}

@@ -1,0 +1,229 @@
+//! Loop cause attribution — the paper's stated future work.
+//!
+//! §VI: "Although our verification of loops provided plausible mechanisms
+//! to correlate replica streams, the routing behaviors behind the loops
+//! remain unknown. In further work, we are extending our data collection
+//! techniques to include complete BGP and IS-IS routing data. This will
+//! enable a more detailed analysis … and allow us to provide explanations
+//! of the causes and effects of routing loops."
+//!
+//! In the simulated reproduction we *have* the complete routing data: the
+//! compiled scenario retains the event script and the exact FIB-update
+//! schedule. This module joins detected loops against that record,
+//! attributing each loop to the control-plane event that opened it.
+
+use loopscope::RoutingLoop;
+use routing::scenario::{CompiledScenario, NetEvent};
+use simnet::{SimDuration, SimTime};
+
+/// Why a detected loop happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopCause {
+    /// Reconvergence after an IGP link failure.
+    IgpFailure,
+    /// Reconvergence after an IGP link recovery.
+    IgpRecovery,
+    /// Reconvergence after a one-way (maintenance) outage or its end.
+    Maintenance,
+    /// An EGP withdrawal shifting traffic between exits.
+    EgpWithdrawal,
+    /// An EGP re-advertisement shifting traffic back.
+    EgpReadvertisement,
+    /// A static-route misconfiguration (persistent until repaired).
+    Misconfiguration,
+    /// The operator repairing a misconfiguration.
+    Repair,
+}
+
+impl LoopCause {
+    /// Human-readable label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LoopCause::IgpFailure => "igp-failure",
+            LoopCause::IgpRecovery => "igp-recovery",
+            LoopCause::Maintenance => "maintenance",
+            LoopCause::EgpWithdrawal => "egp-withdrawal",
+            LoopCause::EgpReadvertisement => "egp-readvertisement",
+            LoopCause::Misconfiguration => "misconfiguration",
+            LoopCause::Repair => "repair",
+        }
+    }
+}
+
+/// One attributed loop.
+#[derive(Debug, Clone, Copy)]
+pub struct Attribution {
+    /// Index into the detection result's loop list.
+    pub loop_index: usize,
+    /// The inferred cause, when one fits.
+    pub cause: Option<LoopCause>,
+    /// Time from the causal event to the first replica (the convergence
+    /// lag the loop rode on).
+    pub lag: Option<SimDuration>,
+    /// The causal event's time.
+    pub event_time: Option<SimTime>,
+}
+
+fn classify(ev: &NetEvent) -> LoopCause {
+    match ev {
+        NetEvent::LinkFail { .. } => LoopCause::IgpFailure,
+        NetEvent::LinkRecover { .. } => LoopCause::IgpRecovery,
+        NetEvent::LinkFailOneway { .. } | NetEvent::LinkRecoverOneway { .. } => {
+            LoopCause::Maintenance
+        }
+        NetEvent::EgpWithdraw { .. } => LoopCause::EgpWithdrawal,
+        NetEvent::EgpAdvertise { .. } => LoopCause::EgpReadvertisement,
+        NetEvent::Misconfigure { .. } => LoopCause::Misconfiguration,
+        NetEvent::ClearMisconfiguration { .. } => LoopCause::Repair,
+    }
+}
+
+/// True when the event could plausibly affect the loop's prefix: EGP
+/// events carry an explicit prefix; topology events can affect anything.
+fn event_matches_prefix(ev: &NetEvent, loop_prefix: net_types::Ipv4Prefix) -> bool {
+    match ev {
+        NetEvent::EgpWithdraw { prefix, .. }
+        | NetEvent::EgpAdvertise { prefix, .. }
+        | NetEvent::Misconfigure { prefix, .. }
+        | NetEvent::ClearMisconfiguration { prefix, .. } => *prefix == loop_prefix,
+        _ => true,
+    }
+}
+
+/// True when the event names the prefix explicitly — stronger evidence
+/// than a topology event that merely precedes the loop.
+fn event_is_prefix_specific(ev: &NetEvent) -> bool {
+    matches!(
+        ev,
+        NetEvent::EgpWithdraw { .. }
+            | NetEvent::EgpAdvertise { .. }
+            | NetEvent::Misconfigure { .. }
+            | NetEvent::ClearMisconfiguration { .. }
+    )
+}
+
+/// Attributes each detected loop to the latest scripted event that precedes
+/// it within `horizon` (the maximum credible convergence lag — detection,
+/// flooding, SPF, and the FIB stagger ceiling).
+pub fn attribute(
+    loops: &[RoutingLoop],
+    compiled: &CompiledScenario,
+    horizon: SimDuration,
+) -> Vec<Attribution> {
+    loops
+        .iter()
+        .enumerate()
+        .map(|(loop_index, l)| {
+            let start = SimTime(l.start_ns);
+            // Prefer the latest prefix-specific event; fall back to the
+            // latest topology event. A misconfiguration of this very
+            // prefix outranks a coincidental link flap.
+            let candidates = || {
+                compiled
+                    .events
+                    .iter()
+                    .filter(|ev| ev.time() <= start)
+                    .filter(|ev| start.since(ev.time()) <= horizon)
+                    .filter(|ev| event_matches_prefix(ev, l.prefix))
+            };
+            let best = candidates()
+                .filter(|ev| event_is_prefix_specific(ev))
+                .max_by_key(|ev| ev.time())
+                .or_else(|| candidates().max_by_key(|ev| ev.time()));
+            match best {
+                Some(ev) => Attribution {
+                    loop_index,
+                    cause: Some(classify(ev)),
+                    lag: Some(start.since(ev.time())),
+                    event_time: Some(ev.time()),
+                },
+                None => Attribution {
+                    loop_index,
+                    cause: None,
+                    lag: None,
+                    event_time: None,
+                },
+            }
+        })
+        .collect()
+}
+
+/// Summary counts per cause (plus unattributed), for the report table.
+pub fn cause_counts(attributions: &[Attribution]) -> Vec<(&'static str, usize)> {
+    let mut counts: std::collections::BTreeMap<&'static str, usize> = Default::default();
+    for a in attributions {
+        let label = a.cause.map(LoopCause::as_str).unwrap_or("unattributed");
+        *counts.entry(label).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backbone::{paper_backbones, run_backbone};
+    use loopscope::{Detector, DetectorConfig};
+
+    #[test]
+    fn backbone_loops_attribute_to_scripted_events() {
+        let mut spec = paper_backbones(0.15).remove(0);
+        spec.name = "attr-test".into();
+        let run = run_backbone(&spec);
+        let detection = Detector::new(DetectorConfig::default()).run(&run.records);
+        assert!(!detection.loops.is_empty(), "need loops to attribute");
+        // Horizon: the full convergence pipeline incl. the EGP stagger.
+        let horizon = SimDuration::from_secs(40);
+        let attrs = attribute(&detection.loops, &run.compiled, horizon);
+        assert_eq!(attrs.len(), detection.loops.len());
+        let attributed = attrs.iter().filter(|a| a.cause.is_some()).count();
+        assert!(
+            attributed == attrs.len(),
+            "every loop should find its causal event: {attributed}/{}",
+            attrs.len()
+        );
+        // Lags are plausible: at least the failure-detection delay, at most
+        // the horizon.
+        for a in &attrs {
+            let lag = a.lag.unwrap();
+            assert!(lag <= horizon);
+        }
+        // The summary covers every loop.
+        let counts = cause_counts(&attrs);
+        let total: usize = counts.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, attrs.len());
+    }
+
+    #[test]
+    fn egp_loops_attribute_to_egp_events() {
+        let mut spec = paper_backbones(0.15).remove(0);
+        spec.igp_failures = 0; // only EGP events in the script
+        spec.name = "attr-egp".into();
+        spec.return_maintenance = None;
+        let run = run_backbone(&spec);
+        let detection = Detector::new(DetectorConfig::default()).run(&run.records);
+        let attrs = attribute(&detection.loops, &run.compiled, SimDuration::from_secs(40));
+        for a in attrs.iter().filter(|a| a.cause.is_some()) {
+            assert!(
+                matches!(
+                    a.cause.unwrap(),
+                    LoopCause::EgpWithdrawal | LoopCause::EgpReadvertisement
+                ),
+                "IGP-free scenario must attribute to EGP: {a:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unattributed_when_no_event_fits() {
+        let mut spec = paper_backbones(0.15).remove(0);
+        spec.name = "attr-none".into();
+        let run = run_backbone(&spec);
+        let detection = Detector::new(DetectorConfig::default()).run(&run.records);
+        if detection.loops.is_empty() {
+            return;
+        }
+        // Zero horizon: nothing can be attributed.
+        let attrs = attribute(&detection.loops, &run.compiled, SimDuration::ZERO);
+        assert!(attrs.iter().all(|a| a.cause.is_none()));
+    }
+}

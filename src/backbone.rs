@@ -1,0 +1,780 @@
+//! Synthetic "backbone link" construction — the substitute for the four
+//! Sprint OC-12 traces of Table I.
+//!
+//! Each backbone is a small POP-like network with one monitored
+//! unidirectional core link, edge routers owning the destination /24s, a
+//! backup path, and a scripted schedule of link failures / recoveries and
+//! EGP withdrawals. Transient loops form across the monitored link during
+//! reconvergence, exactly as in the paper's Figure 1, and the loop's hop
+//! count is controlled by the return-path structure:
+//!
+//! * **direct return** (`indirect_return = false`): the core link has a
+//!   direct reverse link, so micro-loops are two-router loops — TTL delta 2
+//!   (the dominant case in the paper's Backbones 1–3);
+//! * **indirect return** (`indirect_return = true`): the reverse direction
+//!   is cheaper via a middle router, so loops span three routers — TTL
+//!   delta 3 (Backbone 4's ~35% delta-3 population).
+//!
+//! Topology sketch (arrows = unidirectional links, costs annotated):
+//!
+//! ```text
+//!   src ── c1 ══monitored══▶ c2 ──(1)── e_i   (primary to edge prefixes)
+//!           ▲      ◀──direct(1 or 10)──┘
+//!           └──(1)── m ◀──(1)── c2          (detour return)
+//!   c1 ──(1)── c3 ──(4)── e_i               (backup path)
+//!   c3 ──(1)── x2                           (EGP backup exit)
+//! ```
+
+use loopscope::TraceRecord;
+use net_types::Ipv4Prefix;
+use routing::scenario::{compile, CompiledScenario, NetEvent, Scenario};
+use routing::{EgpConfig, EgpPrefix, IgpConfig};
+use simnet::{
+    Engine, FaultConfig, LinkId, NodeId, SimConfig, SimDuration, SimReport, SimTime, Topology,
+    TopologyBuilder,
+};
+use std::net::Ipv4Addr;
+use traffic::dest::synthetic_pool;
+use traffic::generator::CbrConfig;
+use traffic::{ArrivalModel, GeneratorConfig, MixConfig, TrafficGenerator, TtlConfig};
+
+/// Parameters of one synthetic backbone trace.
+#[derive(Debug, Clone)]
+pub struct BackboneSpec {
+    /// Display name ("Backbone 1" …).
+    pub name: String,
+    /// Master seed: topology staggers, traffic, and faults derive from it.
+    pub seed: u64,
+    /// Trace duration.
+    pub duration: SimDuration,
+    /// Mean flow arrivals per second (controls utilisation; Table I's
+    /// bandwidth column).
+    pub flow_rate: f64,
+    /// Destination /24 count.
+    pub n_prefixes: usize,
+    /// Edge routers sharing the prefixes.
+    pub n_edges: usize,
+    /// Scripted IGP link failures (each with a later recovery).
+    pub igp_failures: usize,
+    /// Scripted EGP withdrawals (each with a later re-advertisement).
+    pub egp_withdrawals: usize,
+    /// Per-router FIB-update jitter ceiling — the knob that stretches loop
+    /// windows (Backbones 1–2 in the paper showed markedly longer loops).
+    pub fib_jitter: SimDuration,
+    /// iBGP per-router stagger ceiling (EGP loops; BGP convergence is slow,
+    /// so this dominates the long-loop tail on Backbones 1–2).
+    pub egp_jitter: SimDuration,
+    /// One-way propagation delay of the core links. Sets the loop
+    /// round-trip and therefore the inter-replica spacing of Figure 4.
+    pub core_prop: SimDuration,
+    /// Build the detour return path (TTL delta 3) instead of the direct
+    /// one (delta 2) for the whole trace.
+    pub indirect_return: bool,
+    /// A one-way maintenance outage of the direct return link, as a
+    /// fraction-of-duration window `(start, end)`. While it is in force the
+    /// return path detours via the middle router, so failures inside the
+    /// window produce TTL-delta-3 loops — the mechanism behind the paper's
+    /// within-trace delta mixtures (Backbone 4's ~35% delta-3 share).
+    pub return_maintenance: Option<(f64, f64)>,
+    /// Include the anomalous reserved-type ICMP host.
+    pub reserved_icmp: bool,
+    /// Link-layer duplication probability on the monitored link (exercises
+    /// the 2-element-stream rejection).
+    pub dup_fault_prob: f64,
+    /// Initial-TTL model.
+    pub ttl: TtlConfig,
+    /// Protocol mix.
+    pub mix: MixConfig,
+    /// Flow arrival process (Poisson or bursty ON/OFF).
+    pub arrivals: ArrivalModel,
+    /// Optional constant-bit-rate UDP trunk (RTP-like). Long trunks wrap
+    /// the sender's IP ident counter — the workload behind the key
+    /// ablation.
+    pub cbr_trunk: Option<CbrConfig>,
+    /// Optional static-route misconfiguration window `(start, end)` as
+    /// fractions of the duration: c2's route for one edge prefix is
+    /// overwritten to point back across the monitored link, creating a
+    /// *persistent* loop (§I) until the scripted repair.
+    pub misconfig_window: Option<(f64, f64)>,
+    /// Fraction of destination prefixes in class C space.
+    pub class_c_fraction: f64,
+}
+
+/// The four paper-shaped backbones, scaled by `scale` (1.0 ≈ a 5-minute,
+/// hundreds-of-thousands-of-packets trace per backbone; the paper's
+/// multi-hour billions-of-packets traces are out of reach for a repro run,
+/// and every reported statistic is a distribution, not a raw count).
+pub fn paper_backbones(scale: f64) -> Vec<BackboneSpec> {
+    assert!(scale > 0.0);
+    let dur = |s: f64| SimDuration((s * scale * 1e9) as u64);
+    vec![
+        // Backbone 1: moderate load, slow FIB convergence -> long loops,
+        // anomalous ICMP host present.
+        BackboneSpec {
+            name: "Backbone 1".into(),
+            seed: 101,
+            duration: dur(300.0),
+            flow_rate: 10.0,
+            n_prefixes: 48,
+            n_edges: 4,
+            igp_failures: 4,
+            egp_withdrawals: 2,
+            fib_jitter: SimDuration::from_millis(2_500),
+            egp_jitter: SimDuration::from_secs(20),
+            core_prop: SimDuration::from_millis(2),
+            indirect_return: false,
+            return_maintenance: Some((0.48, 0.72)),
+            reserved_icmp: true,
+            dup_fault_prob: 5e-4,
+            ttl: TtlConfig::default(),
+            mix: MixConfig::default(),
+            arrivals: ArrivalModel::Poisson,
+            cbr_trunk: None,
+            misconfig_window: None,
+            class_c_fraction: 0.55,
+        },
+        // Backbone 2: the high-bandwidth link (Table I's 243 Mbps one),
+        // also slow-converging.
+        BackboneSpec {
+            name: "Backbone 2".into(),
+            seed: 202,
+            duration: dur(300.0),
+            flow_rate: 40.0,
+            n_prefixes: 64,
+            n_edges: 4,
+            igp_failures: 4,
+            egp_withdrawals: 2,
+            fib_jitter: SimDuration::from_millis(2_000),
+            egp_jitter: SimDuration::from_secs(15),
+            core_prop: SimDuration::from_micros(1_500),
+            indirect_return: false,
+            return_maintenance: Some((0.80, 0.95)),
+            reserved_icmp: true,
+            dup_fault_prob: 1e-4,
+            ttl: TtlConfig::default(),
+            // Part of the UDP share rides the CBR trunk, so the flow-level
+            // UDP fraction is trimmed to keep Figure 5 in the paper's band.
+            mix: MixConfig {
+                tcp: 0.67,
+                udp: 0.22,
+                ..MixConfig::default()
+            },
+            arrivals: ArrivalModel::Poisson,
+            // ~230 pps for the whole trace: enough to wrap the 16-bit
+            // ident counter and exercise the payload-identity proxy.
+            cbr_trunk: Some(CbrConfig {
+                pps: 230.0,
+                payload_len: 160,
+                dst_port: 5004,
+                ident_start: 0,
+            }),
+            misconfig_window: None,
+            class_c_fraction: 0.6,
+        },
+        // Backbone 3: lightly loaded, fast convergence -> short loops.
+        BackboneSpec {
+            name: "Backbone 3".into(),
+            seed: 303,
+            duration: dur(300.0),
+            flow_rate: 6.0,
+            n_prefixes: 32,
+            n_edges: 4,
+            igp_failures: 6,
+            egp_withdrawals: 0,
+            fib_jitter: SimDuration::from_millis(2_500),
+            egp_jitter: SimDuration::from_secs(1),
+            core_prop: SimDuration::from_millis(4),
+            indirect_return: false,
+            return_maintenance: None,
+            reserved_icmp: false,
+            dup_fault_prob: 0.0,
+            ttl: TtlConfig::default(),
+            mix: MixConfig::default(),
+            arrivals: ArrivalModel::Poisson,
+            cbr_trunk: None,
+            misconfig_window: None,
+            class_c_fraction: 0.5,
+        },
+        // Backbone 4: the odd one out — three dominant initial TTLs and a
+        // sizeable TTL-delta-3 population via the detour return path.
+        BackboneSpec {
+            name: "Backbone 4".into(),
+            seed: 407,
+            duration: dur(300.0),
+            flow_rate: 8.0,
+            n_prefixes: 40,
+            n_edges: 4,
+            igp_failures: 6,
+            egp_withdrawals: 1,
+            fib_jitter: SimDuration::from_millis(2_200),
+            egp_jitter: SimDuration::from_secs(3),
+            core_prop: SimDuration::from_millis(4),
+            indirect_return: false,
+            return_maintenance: Some((0.55, 0.88)),
+            reserved_icmp: false,
+            dup_fault_prob: 0.0,
+            ttl: TtlConfig {
+                initials: vec![(64, 0.45), (128, 0.35), (255, 0.20)],
+                ..TtlConfig::default()
+            },
+            mix: MixConfig::default(),
+            arrivals: ArrivalModel::Poisson,
+            cbr_trunk: None,
+            misconfig_window: None,
+            class_c_fraction: 0.5,
+        },
+    ]
+}
+
+/// Everything a backbone run produces.
+pub struct BackboneRun {
+    /// The spec that produced it.
+    pub spec: BackboneSpec,
+    /// The monitored link's trace, detector-ready and time-sorted.
+    pub records: Vec<TraceRecord>,
+    /// The raw tap (full packets) behind `records` — export it with
+    /// [`crate::convert::write_tap_to_pcap`] to produce a real trace file.
+    pub tap: simnet::Tap,
+    /// The packet engine's report (ground truth for loss/escape).
+    pub report: SimReport,
+    /// The compiled control-plane schedule and analytic loop windows.
+    pub compiled: CompiledScenario,
+    /// The monitored link.
+    pub monitored_link: LinkId,
+    /// Nominal bandwidth of the monitored link (bps).
+    pub monitored_bandwidth_bps: u64,
+}
+
+struct Built {
+    topo: Topology,
+    costs: Vec<u64>,
+    monitored: LinkId,
+    direct_return: LinkId,
+    src: NodeId,
+    c2: NodeId,
+    edge_fail_links: Vec<LinkId>,
+    egp_exit_primary: NodeId,
+    egp_exit_backup: NodeId,
+    edge_prefixes: Vec<Ipv4Prefix>,
+    egp_prefixes: Vec<Ipv4Prefix>,
+}
+
+const CORE_BW: u64 = 622_000_000; // OC-12
+const EDGE_BW: u64 = 1_000_000_000;
+
+fn build_topology(spec: &BackboneSpec) -> Built {
+    let mut b = TopologyBuilder::new();
+    let mut costs: Vec<u64> = Vec::new();
+    // Edge/access links are metro-short; core links span the backbone and
+    // carry the spec's propagation delay (which sets loop RTTs).
+    let edge_d = SimDuration::from_micros(250);
+    let core_d = spec.core_prop;
+    let link = |b: &mut TopologyBuilder,
+                costs: &mut Vec<u64>,
+                from: NodeId,
+                to: NodeId,
+                bw: u64,
+                cost: u64,
+                d: SimDuration,
+                faults: FaultConfig|
+     -> LinkId {
+        let id = b.link_with(from, to, bw, d, 2048, faults);
+        costs.push(cost);
+        id
+    };
+
+    let src = b.node("src", Ipv4Addr::new(10, 99, 0, 1));
+    let c1 = b.node("c1", Ipv4Addr::new(10, 99, 0, 2));
+    let c2 = b.node("c2", Ipv4Addr::new(10, 99, 0, 3));
+    let m = b.node("m", Ipv4Addr::new(10, 99, 0, 4));
+    let c3 = b.node("c3", Ipv4Addr::new(10, 99, 0, 5));
+    let x2 = b.node("x2", Ipv4Addr::new(10, 99, 0, 6));
+
+    // Source prefix lives at the ingress.
+    b.attach_prefix(src, "100.64.0.0/12".parse().unwrap());
+
+    // Ingress.
+    link(
+        &mut b,
+        &mut costs,
+        src,
+        c1,
+        EDGE_BW,
+        1,
+        edge_d,
+        FaultConfig::none(),
+    );
+    link(
+        &mut b,
+        &mut costs,
+        c1,
+        src,
+        EDGE_BW,
+        1,
+        edge_d,
+        FaultConfig::none(),
+    );
+
+    // Monitored core link with optional protection-path duplication
+    // faults (the copy arrives 2 TTL lower — §IV-A.2's false-positive
+    // source).
+    let monitored = link(
+        &mut b,
+        &mut costs,
+        c1,
+        c2,
+        CORE_BW,
+        1,
+        core_d,
+        if spec.dup_fault_prob > 0.0 {
+            FaultConfig::protection_duplicates(spec.dup_fault_prob, 2)
+        } else {
+            FaultConfig::none()
+        },
+    );
+    // Direct return: cost 1 normally; expensive when the detour should win.
+    let direct_return_cost = if spec.indirect_return { 10 } else { 1 };
+    let direct_return = link(
+        &mut b,
+        &mut costs,
+        c2,
+        c1,
+        CORE_BW,
+        direct_return_cost,
+        core_d,
+        FaultConfig::none(),
+    );
+    // Detour return c2 -> m -> c1 (and forward c1 -> m so flooding reaches
+    // m from c1's side as well).
+    link(
+        &mut b,
+        &mut costs,
+        c2,
+        m,
+        CORE_BW,
+        1,
+        core_d,
+        FaultConfig::none(),
+    );
+    link(
+        &mut b,
+        &mut costs,
+        m,
+        c1,
+        CORE_BW,
+        1,
+        core_d,
+        FaultConfig::none(),
+    );
+    link(
+        &mut b,
+        &mut costs,
+        c1,
+        m,
+        CORE_BW,
+        1,
+        core_d,
+        FaultConfig::none(),
+    );
+    // m prefers reaching the edges via c1, so that when c2 detours through
+    // m the resulting transient is the three-router cycle c1 -> c2 -> m ->
+    // c1 (crossing the monitored link), not an invisible c2 <-> m pair.
+    link(
+        &mut b,
+        &mut costs,
+        m,
+        c2,
+        CORE_BW,
+        20,
+        core_d,
+        FaultConfig::none(),
+    );
+
+    // Backup spine c1 <-> c3.
+    link(
+        &mut b,
+        &mut costs,
+        c1,
+        c3,
+        CORE_BW,
+        1,
+        core_d,
+        FaultConfig::none(),
+    );
+    link(
+        &mut b,
+        &mut costs,
+        c3,
+        c1,
+        CORE_BW,
+        1,
+        core_d,
+        FaultConfig::none(),
+    );
+
+    // EGP backup exit off c3.
+    link(
+        &mut b,
+        &mut costs,
+        c3,
+        x2,
+        EDGE_BW,
+        1,
+        edge_d,
+        FaultConfig::none(),
+    );
+    link(
+        &mut b,
+        &mut costs,
+        x2,
+        c3,
+        EDGE_BW,
+        1,
+        edge_d,
+        FaultConfig::none(),
+    );
+
+    // Edge routers: primary via c2 (cost 1), backup via c3 (cost 4).
+    let pool = synthetic_pool(spec.n_prefixes, spec.class_c_fraction, 1.0);
+    let all_prefixes: Vec<Ipv4Prefix> = pool.prefixes().to_vec();
+    let n_egp = if spec.egp_withdrawals > 0 {
+        (all_prefixes.len() / 10).max(1)
+    } else {
+        0
+    };
+    // EGP prefixes take the head of the Zipf pool: externally-learned
+    // routes cover the most popular destinations on a real backbone, and
+    // their slow (BGP-scale) convergence is what produces the long-loop
+    // tail of Figure 9 on Backbones 1-2 — which needs enough traffic to be
+    // observable.
+    let (egp_prefixes, edge_prefixes) = all_prefixes.split_at(n_egp);
+
+    let mut edges = Vec::new();
+    let mut edge_fail_links = Vec::new();
+    for i in 0..spec.n_edges {
+        let e = b.node(&format!("e{i}"), Ipv4Addr::new(10, 99, 1, i as u8 + 1));
+        let fail = link(
+            &mut b,
+            &mut costs,
+            c2,
+            e,
+            EDGE_BW,
+            1,
+            edge_d,
+            FaultConfig::none(),
+        );
+        link(
+            &mut b,
+            &mut costs,
+            e,
+            c2,
+            EDGE_BW,
+            1,
+            edge_d,
+            FaultConfig::none(),
+        );
+        link(
+            &mut b,
+            &mut costs,
+            c3,
+            e,
+            EDGE_BW,
+            4,
+            edge_d,
+            FaultConfig::none(),
+        );
+        link(
+            &mut b,
+            &mut costs,
+            e,
+            c3,
+            EDGE_BW,
+            4,
+            edge_d,
+            FaultConfig::none(),
+        );
+        edges.push(e);
+        edge_fail_links.push(fail);
+    }
+    for (k, prefix) in edge_prefixes.iter().enumerate() {
+        b.attach_prefix(edges[k % edges.len()], *prefix);
+    }
+
+    Built {
+        topo: b.build(),
+        costs,
+        monitored,
+        direct_return,
+        c2,
+        src,
+        edge_fail_links,
+        egp_exit_primary: edges[0],
+        egp_exit_backup: x2,
+        edge_prefixes: edge_prefixes.to_vec(),
+        egp_prefixes: egp_prefixes.to_vec(),
+    }
+}
+
+/// Builds, simulates, and traces one backbone.
+pub fn run_backbone(spec: &BackboneSpec) -> BackboneRun {
+    let built = build_topology(spec);
+    let horizon = SimTime::ZERO + spec.duration + SimDuration::from_secs(60);
+
+    // --- Control plane -------------------------------------------------
+    let mut scenario = Scenario::new(horizon);
+    scenario.seed = spec.seed;
+    scenario.costs = Some(built.costs.clone());
+    scenario.igp = IgpConfig {
+        fib_node_jitter_max: spec.fib_jitter,
+        ..IgpConfig::default()
+    };
+    scenario.egp = EgpConfig {
+        ibgp_jitter_max: spec.egp_jitter,
+        ..EgpConfig::default()
+    };
+    scenario.egp_prefixes = built
+        .egp_prefixes
+        .iter()
+        .map(|p| EgpPrefix {
+            prefix: *p,
+            exits: vec![built.egp_exit_primary, built.egp_exit_backup],
+        })
+        .collect();
+
+    // Optional maintenance outage of the direct return link: failures
+    // inside this window form three-router (delta-3) loops via the detour.
+    if let Some((f0, f1)) = spec.return_maintenance {
+        assert!((0.0..=1.0).contains(&f0) && f0 < f1 && f1 <= 1.0);
+        let t0 = SimTime((spec.duration.as_nanos() as f64 * f0) as u64);
+        let t1 = SimTime((spec.duration.as_nanos() as f64 * f1) as u64);
+        scenario.events.push(NetEvent::LinkFailOneway {
+            time: t0,
+            link: built.direct_return,
+        });
+        scenario.events.push(NetEvent::LinkRecoverOneway {
+            time: t1,
+            link: built.direct_return,
+        });
+    }
+
+    // Optional persistent-loop misconfiguration.
+    if let Some((f0, f1)) = spec.misconfig_window {
+        assert!((0.0..=1.0).contains(&f0) && f0 < f1 && f1 <= 1.0);
+        // Use the most popular edge prefix so the loop is well sampled.
+        let prefix = *built.edge_prefixes.first().expect("edge prefixes");
+        let t0 = SimTime((spec.duration.as_nanos() as f64 * f0) as u64);
+        let t1 = SimTime((spec.duration.as_nanos() as f64 * f1) as u64);
+        // c2's static route points back at c1 while c1 keeps forwarding
+        // via c2: a hard two-router loop on the monitored link that no
+        // protocol will heal.
+        scenario.events.push(NetEvent::Misconfigure {
+            time: t0,
+            node: built.c2,
+            prefix,
+            route: simnet::Route::Link(built.direct_return),
+        });
+        scenario.events.push(NetEvent::ClearMisconfiguration {
+            time: t1,
+            node: built.c2,
+            prefix,
+        });
+    }
+
+    // Failure schedule: spread events through the middle of the window.
+    let slot = spec.duration.as_nanos()
+        / (spec.igp_failures as u64 + spec.egp_withdrawals as u64 + 1).max(1);
+    let mut t = SimTime(slot / 2);
+    for k in 0..spec.igp_failures {
+        let target = built.edge_fail_links[k % built.edge_fail_links.len()];
+        scenario.events.push(NetEvent::LinkFail {
+            time: t,
+            link: target,
+        });
+        let recover_at = t + SimDuration(slot / 2);
+        scenario.events.push(NetEvent::LinkRecover {
+            time: recover_at,
+            link: target,
+        });
+        t += SimDuration(slot);
+    }
+    for k in 0..spec.egp_withdrawals {
+        let prefix = built.egp_prefixes[k % built.egp_prefixes.len().max(1)];
+        scenario.events.push(NetEvent::EgpWithdraw {
+            time: t,
+            prefix,
+            exit: built.egp_exit_primary,
+        });
+        scenario.events.push(NetEvent::EgpAdvertise {
+            time: t + SimDuration(slot / 2),
+            prefix,
+            exit: built.egp_exit_primary,
+        });
+        t += SimDuration(slot);
+    }
+    let compiled = compile(&built.topo, &scenario);
+
+    // --- Data plane ----------------------------------------------------
+    let mut engine = Engine::new(
+        built.topo.clone(),
+        SimConfig {
+            seed: spec.seed ^ 0xdead_beef,
+            generate_time_exceeded: true,
+            icmp_min_interval: SimDuration::from_micros(500),
+            record_deliveries: true,
+            max_events: 2_000_000_000,
+        },
+    );
+    compiled.apply(&mut engine);
+    engine.add_tap(built.monitored);
+
+    // --- Workload ------------------------------------------------------
+    let mut gen_cfg = GeneratorConfig::new(
+        spec.seed ^ 0x5eed,
+        SimTime::ZERO,
+        SimTime::ZERO + spec.duration,
+        spec.flow_rate,
+    );
+    gen_cfg.ttl = spec.ttl.clone();
+    gen_cfg.mix = spec.mix;
+    gen_cfg.arrivals = spec.arrivals;
+    gen_cfg.cbr_trunk = spec.cbr_trunk;
+    if spec.reserved_icmp {
+        gen_cfg.reserved_icmp_host = Some(Ipv4Addr::new(100, 66, 6, 6));
+    }
+    let pool = traffic::DestPool::zipf(
+        built
+            .edge_prefixes
+            .iter()
+            .chain(built.egp_prefixes.iter())
+            .copied()
+            .collect(),
+        1.0,
+    );
+    let mut generator = TrafficGenerator::new(gen_cfg, pool);
+    generator.inject_into(&mut engine, built.src);
+
+    // --- Run and collect -----------------------------------------------
+    let report = engine.run();
+    let mut taps = engine.take_taps();
+    let tap = taps.remove(0);
+    let records = crate::convert::records_from_tap(&tap);
+    BackboneRun {
+        spec: spec.clone(),
+        records,
+        tap,
+        report,
+        compiled,
+        monitored_link: built.monitored,
+        monitored_bandwidth_bps: CORE_BW,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopscope::{Detector, DetectorConfig};
+
+    /// A miniature backbone for fast tests.
+    fn tiny_spec() -> BackboneSpec {
+        BackboneSpec {
+            name: "tiny".into(),
+            seed: 7,
+            duration: SimDuration::from_secs(30),
+            flow_rate: 4.0,
+            n_prefixes: 12,
+            n_edges: 2,
+            igp_failures: 2,
+            egp_withdrawals: 1,
+            fib_jitter: SimDuration::from_millis(800),
+            egp_jitter: SimDuration::from_secs(2),
+            core_prop: SimDuration::from_millis(1),
+            indirect_return: false,
+            return_maintenance: None,
+            reserved_icmp: false,
+            dup_fault_prob: 0.0,
+            ttl: TtlConfig::default(),
+            mix: MixConfig::default(),
+            arrivals: ArrivalModel::Poisson,
+            cbr_trunk: None,
+            misconfig_window: None,
+            class_c_fraction: 0.5,
+        }
+    }
+
+    #[test]
+    fn backbone_produces_a_trace_with_loops() {
+        let run = run_backbone(&tiny_spec());
+        assert!(run.report.is_conserved(), "packet conservation");
+        assert!(
+            run.records.len() > 1_000,
+            "trace too small: {}",
+            run.records.len()
+        );
+        assert!(
+            !run.compiled.windows.is_empty(),
+            "scenario must open loop windows"
+        );
+        // The detector finds loops in the tapped trace.
+        let result = Detector::new(DetectorConfig::default()).run(&run.records);
+        assert!(
+            !result.streams.is_empty(),
+            "detector must find replica streams"
+        );
+        assert!(!result.loops.is_empty());
+        // Dominant TTL delta is 2 on a direct-return backbone.
+        let h = loopscope::analysis::ttl_delta_distribution(&result.streams);
+        assert_eq!(h.mode(), Some(2));
+    }
+
+    #[test]
+    fn indirect_return_yields_delta_three() {
+        let mut spec = tiny_spec();
+        spec.indirect_return = true;
+        spec.egp_withdrawals = 0;
+        spec.igp_failures = 3;
+        let run = run_backbone(&spec);
+        let result = Detector::new(DetectorConfig::default()).run(&run.records);
+        assert!(!result.streams.is_empty());
+        let h = loopscope::analysis::ttl_delta_distribution(&result.streams);
+        assert!(
+            h.count(3) > 0,
+            "detour return must produce TTL-delta-3 streams (got {:?})",
+            h.fractions()
+        );
+    }
+
+    #[test]
+    fn detected_streams_fall_inside_ground_truth_windows() {
+        let run = run_backbone(&tiny_spec());
+        let result = Detector::new(DetectorConfig::default()).run(&run.records);
+        let slack = 200_000_000u64; // propagation + loop RTT slack
+        for s in &result.streams {
+            let inside = run.compiled.windows.iter().any(|w| {
+                let wstart = w.start.as_nanos().saturating_sub(slack);
+                let wend = w.end.map(|e| e.as_nanos() + slack).unwrap_or(u64::MAX);
+                s.start_ns() >= wstart && s.end_ns() <= wend
+            });
+            assert!(
+                inside,
+                "stream at [{}, {}] ns to {} outside all ground-truth windows",
+                s.start_ns(),
+                s.end_ns(),
+                s.key.dst
+            );
+        }
+    }
+
+    #[test]
+    fn paper_backbones_shape() {
+        let specs = paper_backbones(1.0);
+        assert_eq!(specs.len(), 4);
+        assert!(specs[1].flow_rate > specs[0].flow_rate * 2.0);
+        // Backbone 4 spends a large share of the trace on the detour
+        // return (delta-3 loops).
+        let (f0, f1) = specs[3].return_maintenance.unwrap();
+        assert!(f1 - f0 > 0.3);
+        assert!(specs[0].reserved_icmp && specs[1].reserved_icmp);
+        assert!(specs[0].egp_jitter > specs[2].egp_jitter);
+        assert_eq!(specs[3].ttl.initials.len(), 3);
+    }
+}

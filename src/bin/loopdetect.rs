@@ -1,0 +1,253 @@
+//! `loopdetect` — detect routing loops in a pcap trace.
+//!
+//! The operational face of the library: point it at a 40-byte-snaplen (or
+//! longer) capture of one unidirectional link and get the paper's §IV
+//! analysis: validated replica streams, merged routing loops, and the
+//! summary statistics of §V.
+//!
+//! ```text
+//! loopdetect trace.pcap                      # human-readable report
+//! loopdetect trace.pcap --csv loops          # machine-readable loops
+//! loopdetect trace.pcap --csv streams        # machine-readable streams
+//! loopdetect trace.pcap --merge-gap-min 5    # A1 ablation gap
+//! loopdetect trace.pcap --no-validate        # A2 ablation (raw candidates)
+//! loopdetect trace.pcap --streaming          # bounded-memory single pass
+//! loopdetect trace.pcap --persistent-s 60    # persistence threshold
+//! ```
+
+use routing_loops::convert::records_from_pcap;
+use routing_loops::loopscope::merge::LoopKind;
+use routing_loops::loopscope::online::{run_streaming, OnlineEvent};
+use routing_loops::loopscope::{analysis, impact, Detector, DetectorConfig};
+use std::fs::File;
+use std::io::BufReader;
+use std::process::exit;
+
+const USAGE: &str = "\
+loopdetect — detect routing loops in a packet trace (IMC 2002 algorithm)
+
+USAGE: loopdetect <trace.pcap> [OPTIONS]
+
+OPTIONS
+  --csv <loops|streams|summary>  CSV output instead of the text report
+  --merge-gap-min <N>            stream merge gap in minutes (default 1)
+  --no-validate                  skip step-2 validation (raw replica sets)
+  --no-checksum-verify           skip RFC 1624 consistency verification
+  --streaming                    use the single-pass bounded-memory detector
+  --persistent-s <N>             persistence threshold in seconds (default 60)
+  -h, --help                     this text
+";
+
+struct Args {
+    path: String,
+    csv: Option<String>,
+    cfg: DetectorConfig,
+    streaming: bool,
+    persistent_s: u64,
+}
+
+fn parse_args() -> Args {
+    let mut path = None;
+    let mut csv = None;
+    let mut cfg = DetectorConfig::default();
+    let mut streaming = false;
+    let mut persistent_s = 60;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                exit(0);
+            }
+            "--csv" => {
+                let v = it.next().unwrap_or_else(|| die("--csv needs a value"));
+                if !["loops", "streams", "summary"].contains(&v.as_str()) {
+                    die("--csv must be loops, streams, or summary");
+                }
+                csv = Some(v.clone());
+            }
+            "--merge-gap-min" => {
+                let v: u64 = it
+                    .next()
+                    .unwrap_or_else(|| die("--merge-gap-min needs a value"))
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --merge-gap-min"));
+                cfg = cfg.with_merge_gap_minutes(v);
+            }
+            "--no-validate" => {
+                cfg.covalidate_prefix = false;
+                cfg.min_stream_len = 2;
+            }
+            "--no-checksum-verify" => cfg.verify_checksum_consistency = false,
+            "--streaming" => streaming = true,
+            "--persistent-s" => {
+                persistent_s = it
+                    .next()
+                    .unwrap_or_else(|| die("--persistent-s needs a value"))
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --persistent-s"));
+            }
+            other if !other.starts_with('-') && path.is_none() => {
+                path = Some(other.to_string());
+            }
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+    Args {
+        path: path.unwrap_or_else(|| die("missing trace path")),
+        csv,
+        cfg,
+        streaming,
+        persistent_s,
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    exit(2)
+}
+
+fn main() {
+    let args = parse_args();
+    let file = File::open(&args.path).unwrap_or_else(|e| {
+        eprintln!("error: cannot open {}: {e}", args.path);
+        exit(1);
+    });
+    let (records, skipped) = records_from_pcap(BufReader::new(file)).unwrap_or_else(|e| {
+        eprintln!("error: cannot parse {}: {e}", args.path);
+        exit(1);
+    });
+    if records.is_empty() {
+        eprintln!("error: no parseable IPv4 records in {}", args.path);
+        exit(1);
+    }
+
+    // Both paths produce (streams, loops, stats-ish).
+    let (streams, loops) = if args.streaming {
+        let (events, _stats) = run_streaming(args.cfg, &records);
+        let mut streams = Vec::new();
+        let mut loops = Vec::new();
+        for e in events {
+            match e {
+                OnlineEvent::Stream(s) => streams.push(s),
+                OnlineEvent::Loop(l) => loops.push(l),
+            }
+        }
+        loops.sort_by_key(|l| (l.prefix, l.start_ns));
+        (streams, loops)
+    } else {
+        let result = Detector::new(args.cfg).run(&records);
+        (result.streams, result.loops)
+    };
+
+    match args.csv.as_deref() {
+        Some("loops") => {
+            println!("prefix,start_s,end_s,duration_s,streams,replicas,ttl_delta,class");
+            let trace_end = records.last().unwrap().timestamp_ns;
+            for l in &loops {
+                let class = match l.classify(args.persistent_s * 1_000_000_000) {
+                    LoopKind::Transient => "transient",
+                    LoopKind::Persistent => "persistent",
+                };
+                let open = if l.is_open_ended(trace_end, 2_000_000_000) {
+                    "+open"
+                } else {
+                    ""
+                };
+                println!(
+                    "{},{:.6},{:.6},{:.6},{},{},{},{}{}",
+                    l.prefix,
+                    l.start_ns as f64 / 1e9,
+                    l.end_ns as f64 / 1e9,
+                    l.duration_ns() as f64 / 1e9,
+                    l.num_streams(),
+                    l.replica_count(),
+                    l.ttl_delta(),
+                    class,
+                    open,
+                );
+            }
+        }
+        Some("streams") => {
+            println!("dst,ident,first_ttl,last_ttl,ttl_delta,replicas,start_s,duration_ms,mean_spacing_ms");
+            for s in &streams {
+                println!(
+                    "{},{},{},{},{},{},{:.6},{:.3},{:.3}",
+                    s.key.dst,
+                    s.key.ident,
+                    s.first_ttl(),
+                    s.last_ttl(),
+                    s.ttl_delta(),
+                    s.len(),
+                    s.start_ns() as f64 / 1e9,
+                    s.duration_ns() as f64 / 1e6,
+                    s.mean_spacing_ns() as f64 / 1e6,
+                );
+            }
+        }
+        Some("summary") => {
+            println!("metric,value");
+            println!("records,{}", records.len());
+            println!("skipped,{skipped}");
+            println!("streams,{}", streams.len());
+            println!("loops,{}", loops.len());
+            println!(
+                "looped_sightings,{}",
+                streams.iter().map(|s| s.len()).sum::<usize>()
+            );
+            let est = impact::escape_estimate(&streams);
+            println!("died_in_loop,{}", est.died);
+            println!("may_have_escaped,{}", est.may_have_escaped);
+        }
+        Some(_) => unreachable!("validated in parse_args"),
+        None => {
+            let duration_s = (records.last().unwrap().timestamp_ns
+                - records.first().unwrap().timestamp_ns) as f64
+                / 1e9;
+            println!(
+                "{}: {} records over {:.1} s ({} skipped)",
+                args.path,
+                records.len(),
+                duration_s,
+                skipped
+            );
+            let h = analysis::ttl_delta_distribution(&streams);
+            println!(
+                "{} validated replica streams (modal TTL delta {:?}), {} routing loops",
+                streams.len(),
+                h.mode(),
+                loops.len()
+            );
+            let trace_end = records.last().unwrap().timestamp_ns;
+            for (i, l) in loops.iter().enumerate() {
+                let class = match l.classify(args.persistent_s * 1_000_000_000) {
+                    LoopKind::Transient => "transient",
+                    LoopKind::Persistent => "PERSISTENT",
+                };
+                println!(
+                    "  loop {i}: {} [{:.3} s .. {:.3} s] {} — {} streams, {} replicas, delta {}{}",
+                    l.prefix,
+                    l.start_ns as f64 / 1e9,
+                    l.end_ns as f64 / 1e9,
+                    class,
+                    l.num_streams(),
+                    l.replica_count(),
+                    l.ttl_delta(),
+                    if l.is_open_ended(trace_end, 2_000_000_000) {
+                        " (still active at trace end)"
+                    } else {
+                        ""
+                    },
+                );
+            }
+            let est = impact::escape_estimate(&streams);
+            if est.total_streams > 0 {
+                println!(
+                    "impact: {} looping packets died on trace evidence, {} may have escaped",
+                    est.died, est.may_have_escaped
+                );
+            }
+        }
+    }
+}

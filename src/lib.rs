@@ -1,0 +1,32 @@
+//! # routing-loops
+//!
+//! Facade crate for the reproduction of *"Detection and Analysis of Routing
+//! Loops in Packet Traces"* (Hengartner, Moon, Mortier, Diot — IMC 2002).
+//!
+//! This crate re-exports the workspace's public surface so examples,
+//! integration tests, and downstream users can depend on a single crate:
+//!
+//! * [`net_types`] — IPv4/TCP/UDP/ICMP wire formats, prefixes, checksums.
+//! * [`pcaplib`] — classic libpcap trace files.
+//! * [`simnet`] — discrete-event packet-level network simulator.
+//! * [`routing`] — IGP/EGP convergence dynamics producing transient loops.
+//! * [`traffic`] — calibrated backbone workload generation.
+//! * [`loopscope`] — the paper's loop-detection algorithm and analysis.
+//! * [`stats`] — CDFs, histograms, and table rendering.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for the end-to-end pipeline: build a small
+//! topology, fail a link, capture the tapped trace, and run the detector.
+
+pub mod attribution;
+pub mod backbone;
+pub mod convert;
+
+pub use loopscope;
+pub use net_types;
+pub use pcaplib;
+pub use routing;
+pub use simnet;
+pub use stats;
+pub use traffic;

@@ -1,0 +1,122 @@
+//! End-to-end test of the `loopdetect` binary: generate a trace, write it
+//! to a pcap file, and drive the CLI the way a user would.
+
+use routing_loops::backbone::{paper_backbones, run_backbone};
+use routing_loops::convert::{write_tap_to_pcap, PAPER_SNAPLEN};
+use std::process::Command;
+
+fn loopdetect() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_loopdetect"))
+}
+
+fn demo_pcap() -> std::path::PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("loopdetect_cli_test_{}.pcap", std::process::id()));
+    let mut spec = paper_backbones(0.08).remove(2);
+    spec.name = "cli-test".into();
+    let run = run_backbone(&spec);
+    let file = std::fs::File::create(&path).expect("create pcap");
+    write_tap_to_pcap(&run.tap, PAPER_SNAPLEN, std::io::BufWriter::new(file)).expect("write pcap");
+    path
+}
+
+#[test]
+fn text_report_and_csv_agree() {
+    let pcap = demo_pcap();
+
+    let text = loopdetect().arg(&pcap).output().expect("run loopdetect");
+    assert!(text.status.success(), "{:?}", text);
+    let text_out = String::from_utf8(text.stdout).unwrap();
+    assert!(text_out.contains("replica streams"), "{text_out}");
+    assert!(text_out.contains("routing loops"), "{text_out}");
+
+    let csv = loopdetect()
+        .arg(&pcap)
+        .args(["--csv", "loops"])
+        .output()
+        .expect("run loopdetect --csv loops");
+    assert!(csv.status.success());
+    let csv_out = String::from_utf8(csv.stdout).unwrap();
+    let mut lines = csv_out.lines();
+    assert_eq!(
+        lines.next().unwrap(),
+        "prefix,start_s,end_s,duration_s,streams,replicas,ttl_delta,class"
+    );
+    let n_loops_csv = lines.count();
+
+    // The text report names the same number of loops.
+    let n_loops_text = text_out
+        .lines()
+        .filter(|l| l.trim_start().starts_with("loop "))
+        .count();
+    assert_eq!(n_loops_csv, n_loops_text);
+
+    // Summary CSV has the core metrics.
+    let summary = loopdetect()
+        .arg(&pcap)
+        .args(["--csv", "summary"])
+        .output()
+        .unwrap();
+    let summary_out = String::from_utf8(summary.stdout).unwrap();
+    assert!(summary_out.starts_with("metric,value"));
+    for key in ["records,", "streams,", "loops,", "died_in_loop,"] {
+        assert!(summary_out.contains(key), "missing {key} in {summary_out}");
+    }
+
+    let _ = std::fs::remove_file(&pcap);
+}
+
+#[test]
+fn streaming_mode_matches_offline() {
+    let pcap = demo_pcap();
+    let offline = loopdetect()
+        .arg(&pcap)
+        .args(["--csv", "loops"])
+        .output()
+        .unwrap();
+    let streaming = loopdetect()
+        .arg(&pcap)
+        .args(["--csv", "loops", "--streaming"])
+        .output()
+        .unwrap();
+    assert!(offline.status.success() && streaming.status.success());
+    assert_eq!(
+        String::from_utf8(offline.stdout).unwrap(),
+        String::from_utf8(streaming.stdout).unwrap(),
+        "streaming output must be identical to offline"
+    );
+    let _ = std::fs::remove_file(&pcap);
+}
+
+#[test]
+fn bad_arguments_fail_cleanly() {
+    let out = loopdetect().arg("--nonsense").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("USAGE"), "{err}");
+
+    let out = loopdetect()
+        .arg("/nonexistent/trace.pcap")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn no_validate_reports_more_or_equal_streams() {
+    let pcap = demo_pcap();
+    let strict = loopdetect()
+        .arg(&pcap)
+        .args(["--csv", "streams"])
+        .output()
+        .unwrap();
+    let lax = loopdetect()
+        .arg(&pcap)
+        .args(["--csv", "streams", "--no-validate"])
+        .output()
+        .unwrap();
+    let strict_n = String::from_utf8(strict.stdout).unwrap().lines().count();
+    let lax_n = String::from_utf8(lax.stdout).unwrap().lines().count();
+    assert!(lax_n >= strict_n, "lax {lax_n} < strict {strict_n}");
+    let _ = std::fs::remove_file(&pcap);
+}
