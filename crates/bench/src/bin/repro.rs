@@ -9,6 +9,37 @@
 
 use bench::experiments;
 
+/// Prints the per-stage timing table accumulated by the telemetry layer
+/// over everything this invocation ran (stderr, like the other progress
+/// output, so piped artifact text stays clean).
+fn print_stage_timings() {
+    let snap = telemetry::global().snapshot();
+    if snap.timers.is_empty() {
+        return;
+    }
+    eprintln!();
+    eprintln!("per-stage timing (accumulated over all runs)");
+    eprintln!(
+        "{:<16} {:>8} {:>12} {:>12} {:>12}",
+        "stage", "calls", "total ms", "mean ms", "max ms"
+    );
+    for (name, t) in &snap.timers {
+        let mean_ms = if t.calls > 0 {
+            t.total_ns as f64 / t.calls as f64 / 1e6
+        } else {
+            0.0
+        };
+        eprintln!(
+            "{:<16} {:>8} {:>12.3} {:>12.3} {:>12.3}",
+            name,
+            t.calls,
+            t.total_ns as f64 / 1e6,
+            mean_ms,
+            t.max_ns as f64 / 1e6,
+        );
+    }
+}
+
 const USAGE: &str = "\
 repro — regenerate the paper's tables and figures
 
@@ -88,6 +119,7 @@ fn main() {
 
     if wanted.is_empty() {
         print!("{}", experiments::all(&data));
+        print_stage_timings();
         return;
     }
     for w in &wanted {
@@ -115,4 +147,5 @@ fn main() {
             }
         }
     }
+    print_stage_timings();
 }

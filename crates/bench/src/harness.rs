@@ -38,17 +38,16 @@ fn build_one(spec: &BackboneSpec) -> BackboneData {
 /// five simulated minutes per backbone); integration tests use `0.1`.
 pub fn collect(scale: f64) -> ExperimentData {
     let specs = paper_backbones(scale);
-    let backbones = crossbeam::thread::scope(|s| {
+    let backbones = std::thread::scope(|s| {
         let handles: Vec<_> = specs
             .iter()
-            .map(|spec| s.spawn(move |_| build_one(spec)))
+            .map(|spec| s.spawn(move || build_one(spec)))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("backbone worker panicked"))
             .collect::<Vec<_>>()
-    })
-    .expect("scope");
+    });
     ExperimentData { backbones, scale }
 }
 

@@ -1,11 +1,9 @@
 //! Detector configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// Tunables of the three-step detection algorithm. Defaults reproduce the
 /// paper; the extra switches exist for the ablation experiments (A1, A2 in
 /// DESIGN.md).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct DetectorConfig {
     /// Minimum TTL decrease between successive replicas (§IV-A.1: "their
     /// TTL values differ by at least two").

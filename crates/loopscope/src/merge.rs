@@ -14,6 +14,11 @@ use crate::stream::ReplicaStream;
 use crate::validate::PrefixIndex;
 use net_types::Ipv4Prefix;
 use std::collections::BTreeMap;
+use telemetry::{tm_debug, LazyCounter};
+
+static TM_LOOPS_TOTAL: LazyCounter = LazyCounter::new("merge.loops_total");
+static TM_MERGE_DECISIONS: LazyCounter = LazyCounter::new("merge.merge_decisions");
+static TM_GAP_CLOSURES: LazyCounter = LazyCounter::new("merge.gap_closures");
 
 /// Transient-vs-persistent classification (§I–II: transient loops resolve
 /// as routing converges; persistent loops — typically misconfiguration —
@@ -132,10 +137,16 @@ pub fn merge(
                 true
             } else {
                 let gap = s.start_ns() - current.end_ns;
-                gap <= cfg.merge_gap_ns
-                    && gap_is_clean(prefix, current.end_ns, s.start_ns(), looped_flags, index)
+                let bridged = gap <= cfg.merge_gap_ns
+                    && gap_is_clean(prefix, current.end_ns, s.start_ns(), looped_flags, index);
+                if bridged {
+                    TM_GAP_CLOSURES.inc();
+                    tm_debug!("bridged a {} ns gap for {}", gap, prefix);
+                }
+                bridged
             };
             if merged {
+                TM_MERGE_DECISIONS.inc();
                 current.absorb(s);
             } else {
                 out.push(std::mem::replace(&mut current, RoutingLoop::from_stream(s)));
@@ -143,6 +154,7 @@ pub fn merge(
         }
         out.push(current);
     }
+    TM_LOOPS_TOTAL.add(out.len() as u64);
     out.sort_by_key(|l| (l.prefix, l.start_ns));
     out
 }

@@ -21,6 +21,12 @@ use crate::merge::RoutingLoop;
 use crate::record::TraceRecord;
 use crate::stream::{Observation, ReplicaStream};
 use std::collections::{HashMap, VecDeque};
+use telemetry::{tm_trace, LazyCounter, LazyGauge};
+
+static TM_OPEN_CANDIDATES: LazyGauge = LazyGauge::new("online.open_candidates");
+static TM_PREFIX_HISTORY: LazyGauge = LazyGauge::new("online.prefix_history");
+static TM_STREAMS_EMITTED: LazyCounter = LazyCounter::new("online.streams_emitted");
+static TM_LOOPS_EMITTED: LazyCounter = LazyCounter::new("online.loops_emitted");
 
 /// Events emitted by the streaming detector.
 #[derive(Debug, Clone, PartialEq)]
@@ -153,6 +159,7 @@ impl OnlineDetector {
         let prefix = rec.dst_slash24();
         let pstate = self.prefixes.entry(prefix).or_default();
         pstate.history.push_back((rec.timestamp_ns, seq));
+        TM_PREFIX_HISTORY.add(1);
 
         // Step 1 (incremental): candidate join / split.
         let key = ReplicaKey::of(rec);
@@ -208,6 +215,7 @@ impl OnlineDetector {
                     .insert(key, rec.timestamp_ns);
             }
         }
+        TM_OPEN_CANDIDATES.set(self.open.len() as i64);
         events
     }
 
@@ -263,6 +271,7 @@ impl OnlineDetector {
             while state.history.front().is_some_and(|(t, _)| *t < h_cutoff) {
                 let (_, old_seq) = state.history.pop_front().unwrap();
                 self.looped_seqs.remove(&old_seq);
+                TM_PREFIX_HISTORY.add(-1);
             }
         }
     }
@@ -320,6 +329,13 @@ impl OnlineDetector {
             let is_final = force || l.end_ns.saturating_add(self.cfg.merge_gap_ns) < barrier;
             if is_final {
                 self.stats.loops_emitted += 1;
+                TM_LOOPS_EMITTED.inc();
+                tm_trace!(
+                    "loop finalised for {}: {} streams over {} ns",
+                    l.prefix,
+                    l.streams.len(),
+                    l.end_ns - l.start_ns
+                );
                 events.push(OnlineEvent::Loop(l));
             } else {
                 remaining.extend(l.streams);
@@ -380,6 +396,7 @@ impl OnlineDetector {
             return;
         }
         self.stats.streams_emitted += 1;
+        TM_STREAMS_EMITTED.inc();
         events.push(OnlineEvent::Stream(stream.clone()));
         // Step 3 is deferred: the stream joins the prefix's pending set and
         // loops are emitted once their composition is final.

@@ -7,6 +7,12 @@ use crate::record::TraceRecord;
 use crate::stream::{Observation, ReplicaStream};
 use crate::validate::{self, PrefixIndex};
 use std::collections::HashMap;
+use telemetry::{tm_debug, tm_info, LazyCounter};
+
+static TM_RECORDS_SCANNED: LazyCounter = LazyCounter::new("replica.records_scanned");
+static TM_CANDIDATES_OPENED: LazyCounter = LazyCounter::new("replica.candidates_opened");
+static TM_CANDIDATES_DISCARDED: LazyCounter = LazyCounter::new("replica.candidates_discarded");
+static TM_CHECKSUM_SPLITS: LazyCounter = LazyCounter::new("replica.checksum_splits");
 
 /// Counters describing what each pipeline stage did — the raw material of
 /// Table II and the A2 ablation.
@@ -102,8 +108,19 @@ impl Detector {
             total_records: records.len() as u64,
             ..Default::default()
         };
-        let candidates = self.find_candidates(records, &mut stats);
+        TM_RECORDS_SCANNED.add(records.len() as u64);
+        let candidates = {
+            let _t = telemetry::span("replica.detect");
+            self.find_candidates(records, &mut stats)
+        };
         stats.raw_candidates = candidates.len() as u64;
+        TM_CHECKSUM_SPLITS.add(stats.checksum_splits);
+        tm_debug!(
+            "step 1: {} records -> {} raw candidates ({} checksum splits)",
+            records.len(),
+            candidates.len(),
+            stats.checksum_splits
+        );
 
         // Per-record "is looped" flags from raw candidates: any packet with
         // at least one replica counts as looped for the co-loop rule (§IV-
@@ -117,19 +134,31 @@ impl Detector {
         }
 
         let index = PrefixIndex::build(records);
-        let validated = validate::validate(
-            records,
-            candidates,
-            &looped_flags,
-            &index,
-            &self.cfg,
-            &mut stats,
-        );
+        let validated = {
+            let _t = telemetry::span("validate");
+            validate::validate(
+                records,
+                candidates,
+                &looped_flags,
+                &index,
+                &self.cfg,
+                &mut stats,
+            )
+        };
         stats.validated_streams = validated.len() as u64;
         stats.looped_sightings = validated.iter().map(|s| s.len() as u64).sum();
 
-        let loops = merge::merge(records, validated.clone(), &looped_flags, &index, &self.cfg);
+        let loops = {
+            let _t = telemetry::span("merge");
+            merge::merge(records, validated.clone(), &looped_flags, &index, &self.cfg)
+        };
         stats.routing_loops = loops.len() as u64;
+        tm_info!(
+            "detection complete: {} records, {} validated streams, {} routing loops",
+            stats.total_records,
+            stats.validated_streams,
+            stats.routing_loops
+        );
 
         DetectionResult {
             streams: validated,
@@ -148,13 +177,17 @@ impl Detector {
     ) -> Vec<ReplicaStream> {
         let mut open: HashMap<ReplicaKey, OpenCandidate> = HashMap::new();
         let mut done: Vec<ReplicaStream> = Vec::new();
-        let close = |key: ReplicaKey, cand: OpenCandidate, done: &mut Vec<ReplicaStream>| {
+        let mut opened = 0u64;
+        let mut discarded = 0u64;
+        let mut close = |key: ReplicaKey, cand: OpenCandidate, done: &mut Vec<ReplicaStream>| {
             if cand.observations.len() >= 2 {
                 done.push(ReplicaStream {
                     key,
                     observations: cand.observations,
                     record_indices: cand.record_indices,
                 });
+            } else {
+                discarded += 1;
             }
         };
         for (idx, rec) in records.iter().enumerate() {
@@ -194,16 +227,20 @@ impl Detector {
                         let cand = open.remove(&key).unwrap();
                         close(key, cand, &mut done);
                         open.insert(key, OpenCandidate::new(rec, idx));
+                        opened += 1;
                     }
                 }
                 None => {
                     open.insert(key, OpenCandidate::new(rec, idx));
+                    opened += 1;
                 }
             }
         }
         for (key, cand) in open.drain() {
             close(key, cand, &mut done);
         }
+        TM_CANDIDATES_OPENED.add(opened);
+        TM_CANDIDATES_DISCARDED.add(discarded);
         // HashMap drain order is nondeterministic; normalise.
         done.sort_by_key(|s| (s.start_ns(), s.record_indices[0]));
         done

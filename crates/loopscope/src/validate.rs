@@ -22,6 +22,11 @@ use crate::replica::DetectionStats;
 use crate::stream::ReplicaStream;
 use net_types::Ipv4Prefix;
 use std::collections::HashMap;
+use telemetry::{tm_debug, LazyCounter};
+
+static TM_STREAMS_KEPT: LazyCounter = LazyCounter::new("validate.streams_kept");
+static TM_REJECTED_SHORT: LazyCounter = LazyCounter::new("validate.rejected_short");
+static TM_REJECTED_COVALIDATION: LazyCounter = LazyCounter::new("validate.rejected_covalidation");
 
 /// Per-/24 index of record positions, for windowed queries.
 #[derive(Debug, Default)]
@@ -68,14 +73,26 @@ pub fn validate(
     for cand in candidates {
         if cand.len() < cfg.min_stream_len {
             stats.rejected_short += 1;
+            TM_REJECTED_SHORT.inc();
+            tm_debug!(
+                "rejected short candidate to {} ({} sightings)",
+                cand.dst_slash24(),
+                cand.len()
+            );
             continue;
         }
         if cfg.covalidate_prefix && !co_loop_holds(&cand, looped_flags, index, cfg) {
             stats.rejected_covalidation += 1;
+            TM_REJECTED_COVALIDATION.inc();
+            tm_debug!(
+                "rejected candidate to {} by the co-loop rule",
+                cand.dst_slash24()
+            );
             continue;
         }
         out.push(cand);
     }
+    TM_STREAMS_KEPT.add(out.len() as u64);
     out.sort_by_key(|s| (s.start_ns(), s.key.ident));
     out
 }

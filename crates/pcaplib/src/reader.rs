@@ -3,6 +3,11 @@
 use crate::format::{FileHeader, PcapError, RecordHeader, FILE_HEADER_LEN, RECORD_HEADER_LEN};
 use crate::CapturedPacket;
 use std::io::Read;
+use telemetry::{tm_warn, LazyCounter};
+
+static TM_RECORDS_TOTAL: LazyCounter = LazyCounter::new("pcap.records_total");
+static TM_TRUNCATED: LazyCounter = LazyCounter::new("pcap.truncated_records");
+static TM_MALFORMED: LazyCounter = LazyCounter::new("pcap.malformed_records");
 
 /// An upper bound on per-record capture length used to reject corrupt files
 /// before allocating absurd buffers. Generous enough for jumbo frames and
@@ -56,6 +61,11 @@ impl<R: Read> PcapReader<R> {
                 return if read_total == 0 {
                     Ok(None)
                 } else {
+                    TM_MALFORMED.inc();
+                    tm_warn!(
+                        "EOF inside record header after {} records",
+                        self.records_read
+                    );
                     Err(PcapError::Corrupt("EOF inside record header"))
                 };
             }
@@ -63,16 +73,24 @@ impl<R: Read> PcapReader<R> {
         }
         let rec = RecordHeader::decode(&hdr_buf, self.header.swapped);
         if rec.incl_len > MAX_SANE_CAPLEN {
+            TM_MALFORMED.inc();
+            tm_warn!("oversized record ({} bytes) rejected", rec.incl_len);
             return Err(PcapError::OversizedRecord(rec.incl_len));
         }
         if rec.incl_len > rec.orig_len {
+            TM_MALFORMED.inc();
             return Err(PcapError::Corrupt("incl_len exceeds orig_len"));
         }
         let mut data = vec![0u8; rec.incl_len as usize];
-        self.source
-            .read_exact(&mut data)
-            .map_err(|_| PcapError::Corrupt("EOF inside record body"))?;
+        self.source.read_exact(&mut data).map_err(|_| {
+            TM_MALFORMED.inc();
+            PcapError::Corrupt("EOF inside record body")
+        })?;
         self.records_read += 1;
+        TM_RECORDS_TOTAL.inc();
+        if rec.incl_len < rec.orig_len {
+            TM_TRUNCATED.inc();
+        }
         Ok(Some(CapturedPacket {
             timestamp_ns: rec.timestamp_ns(self.header.resolution),
             orig_len: rec.orig_len,

@@ -11,6 +11,11 @@ use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::net::Ipv4Addr;
+use telemetry::{LazyCounter, LazyGauge};
+
+static TM_EVENTS_PROCESSED: LazyCounter = LazyCounter::new("simnet.events_processed");
+static TM_TAP_EMITS: LazyCounter = LazyCounter::new("simnet.tap_emits");
+static TM_QUEUE_DEPTH: LazyGauge = LazyGauge::new("simnet.queue_depth");
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -457,6 +462,7 @@ impl Engine {
             }
         }
         self.report.end_time = self.now;
+        TM_EVENTS_PROCESSED.add(self.report.events_processed);
         for (i, l) in self.links.iter().enumerate() {
             self.report.link_counters[i] = l.counters;
         }
@@ -605,6 +611,7 @@ impl Engine {
         let slot = self.alloc(flight);
         let link = &mut self.links[link_id.0];
         link.queue.push_back(slot);
+        TM_QUEUE_DEPTH.add(1);
         if !link.busy {
             link.busy = true;
             self.push_event(self.now, EventKind::Dequeue { link: link_id });
@@ -624,6 +631,7 @@ impl Engine {
             state.busy = false;
             return;
         };
+        TM_QUEUE_DEPTH.add(-1);
         let flight = self.take(slot);
         let wire_len = flight.packet.wire_len();
         let packet_copy = flight.packet.clone();
@@ -644,6 +652,7 @@ impl Engine {
         // The monitor sees the packet as it hits the wire.
         if let Some(tap_idx) = self.tap_of_link[link_id.0] {
             self.taps[tap_idx].record(self.now, flight.packet.clone());
+            TM_TAP_EMITS.inc();
         }
         let mut next_free = self.now + ser;
         if corrupt {
@@ -670,6 +679,7 @@ impl Engine {
             }
             if let Some(tap_idx) = self.tap_of_link[link_id.0] {
                 self.taps[tap_idx].record(self.now + ser, packet_copy.clone());
+                TM_TAP_EMITS.inc();
             }
             let dup_flight = Flight {
                 packet: packet_copy,
@@ -696,6 +706,7 @@ impl Engine {
         let state = &mut self.links[link_id.0];
         state.up = false;
         let queued: Vec<usize> = state.queue.drain(..).collect();
+        TM_QUEUE_DEPTH.add(-(queued.len() as i64));
         for slot in queued {
             let flight = self.take(slot);
             self.links[link_id.0].counters.down_drops += 1;

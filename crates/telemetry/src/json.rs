@@ -1,0 +1,152 @@
+//! A minimal hand-rolled JSON writer for metric snapshots.
+//!
+//! Emits compact (no-whitespace) JSON with correctly escaped strings. The
+//! writer tracks nesting so callers never manage commas; keys and values
+//! are emitted in call order.
+
+/// Incremental JSON document builder.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    // Whether the current container already holds an element (comma needed).
+    stack: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn before_element(&mut self) {
+        if let Some(has_elem) = self.stack.last_mut() {
+            if *has_elem {
+                self.out.push(',');
+            }
+            *has_elem = true;
+        }
+    }
+
+    /// Opens an object (`{`).
+    pub fn begin_object(&mut self) {
+        self.before_element();
+        self.out.push('{');
+        self.stack.push(false);
+    }
+
+    /// Closes the innermost object (`}`).
+    pub fn end_object(&mut self) {
+        self.stack.pop();
+        self.out.push('}');
+    }
+
+    /// Opens an array (`[`).
+    pub fn begin_array(&mut self) {
+        self.before_element();
+        self.out.push('[');
+        self.stack.push(false);
+    }
+
+    /// Closes the innermost array (`]`).
+    pub fn end_array(&mut self) {
+        self.stack.pop();
+        self.out.push(']');
+    }
+
+    /// Emits an object key; the next emitted value belongs to it.
+    pub fn key(&mut self, k: &str) {
+        self.before_element();
+        self.write_string(k);
+        self.out.push(':');
+        // The value that follows must not emit a comma of its own.
+        if let Some(has_elem) = self.stack.last_mut() {
+            *has_elem = false;
+        }
+    }
+
+    /// Emits an unsigned integer value.
+    pub fn u64(&mut self, v: u64) {
+        self.before_element();
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Emits a signed integer value.
+    pub fn i64(&mut self, v: i64) {
+        self.before_element();
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Emits a string value.
+    #[cfg(test)]
+    pub fn string(&mut self, s: &str) {
+        self.before_element();
+        self.write_string(s);
+    }
+
+    fn write_string(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    /// Consumes the writer and returns the document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_objects_and_arrays() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a");
+        w.u64(1);
+        w.key("b");
+        w.begin_array();
+        w.u64(2);
+        w.u64(3);
+        w.begin_object();
+        w.key("c");
+        w.i64(-4);
+        w.end_object();
+        w.end_array();
+        w.key("s");
+        w.string("x");
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"a":1,"b":[2,3,{"c":-4}],"s":"x"}"#);
+    }
+
+    #[test]
+    fn escapes_control_and_quote_chars() {
+        let mut w = JsonWriter::new();
+        w.string("a\"b\\c\nd\u{1}");
+        assert_eq!(w.finish(), r#""a\"b\\c\nd\u0001""#);
+    }
+
+    #[test]
+    fn empty_containers() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("e");
+        w.begin_array();
+        w.end_array();
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"e":[]}"#);
+    }
+}

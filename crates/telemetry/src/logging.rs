@@ -1,0 +1,346 @@
+//! Leveled logging to stderr, gated by the `LOOPSCOPE_LOG` env filter.
+//!
+//! # Filter syntax
+//!
+//! `LOOPSCOPE_LOG` is a comma-separated list of directives:
+//!
+//! - a bare level (`error`, `warn`, `info`, `debug`, `trace`, or `off`)
+//!   sets the default maximum level;
+//! - `target=level` overrides the level for one module-path prefix, e.g.
+//!   `LOOPSCOPE_LOG=warn,loopscope::online=trace` keeps everything at
+//!   `warn` except the online detector.
+//!
+//! Targets match by module-path prefix at a `::` boundary: the directive
+//! `loopscope` covers `loopscope::validate`; `loop` does not. The most
+//! specific (longest) matching directive wins. Unknown level names and
+//! malformed directives are ignored rather than fatal — a typo in an env
+//! var must never take down a detector run.
+//!
+//! Precedence per message target:
+//! 1. the longest matching `target=level` directive,
+//! 2. the programmatic default set by [`set_default_level`] (the CLI's
+//!    `-v`/`-vv`/`-q` flags),
+//! 3. the bare level in `LOOPSCOPE_LOG`,
+//! 4. [`Level::Warn`].
+//!
+//! Messages go to **stderr** (stdout carries report/CSV output), one line
+//! each: `[LEVEL target] message`.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Message severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The run cannot proceed correctly.
+    Error,
+    /// Something suspicious that does not stop the run.
+    Warn,
+    /// Progress and summary information.
+    Info,
+    /// Per-stage diagnostic detail.
+    Debug,
+    /// Per-record firehose.
+    Trace,
+}
+
+impl Level {
+    /// The label printed in log lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Option<Level>> {
+        // Outer None = unrecognised; inner None = "off".
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Some(Level::Error)),
+            "warn" | "warning" => Some(Some(Level::Warn)),
+            "info" => Some(Some(Level::Info)),
+            "debug" => Some(Some(Level::Debug)),
+            "trace" => Some(Some(Level::Trace)),
+            "off" | "none" => Some(None),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed `LOOPSCOPE_LOG` filter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Filter {
+    /// Bare default level from the env var (`None` = not given or `off`).
+    default: Option<Level>,
+    /// Whether a bare directive appeared at all (distinguishes "unset"
+    /// from an explicit `off`).
+    default_given: bool,
+    /// `(target-prefix, max level)`; `None` level silences the target.
+    directives: Vec<(String, Option<Level>)>,
+}
+
+impl Filter {
+    /// Parses a filter string (the `LOOPSCOPE_LOG` value).
+    pub fn parse(spec: &str) -> Self {
+        let mut f = Filter::default();
+        for item in spec.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            if let Some((target, level)) = item.split_once('=') {
+                if let Some(level) = Level::parse(level) {
+                    let target = target.trim();
+                    if !target.is_empty() {
+                        f.directives.push((target.to_string(), level));
+                    }
+                }
+            } else if let Some(level) = Level::parse(item) {
+                f.default = level;
+                f.default_given = true;
+            }
+        }
+        // Longest prefix first so the first match is the most specific.
+        f.directives.sort_by_key(|d| std::cmp::Reverse(d.0.len()));
+        f
+    }
+
+    /// The maximum level enabled for `target`; a `None` result silences
+    /// the target entirely. `programmatic` is the process default from
+    /// [`set_default_level`] (`None` = never set, `Some(None)` =
+    /// explicitly silenced); it sits between per-target directives and
+    /// the bare env level in precedence.
+    pub fn max_level(&self, target: &str, programmatic: Option<Option<Level>>) -> Option<Level> {
+        for (prefix, level) in &self.directives {
+            if target == prefix
+                || (target.len() > prefix.len()
+                    && target.starts_with(prefix.as_str())
+                    && target[prefix.len()..].starts_with("::"))
+            {
+                return *level;
+            }
+        }
+        if let Some(p) = programmatic {
+            return p;
+        }
+        if self.default_given {
+            return self.default;
+        }
+        Some(Level::Warn)
+    }
+}
+
+fn env_filter() -> &'static Filter {
+    static FILTER: OnceLock<Filter> = OnceLock::new();
+    FILTER.get_or_init(|| {
+        std::env::var("LOOPSCOPE_LOG")
+            .map(|v| Filter::parse(&v))
+            .unwrap_or_default()
+    })
+}
+
+// 0 = unset, 1..=5 = Error..=Trace, 6 = explicitly off (-q -q).
+static PROGRAMMATIC: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the process-wide default level (the CLI maps `-q` to
+/// `Some(Level::Error)`, `-v` to `Some(Level::Info)`, `-vv` to
+/// `Some(Level::Debug)`). Per-target `LOOPSCOPE_LOG` directives still
+/// override it; the bare env level does not.
+pub fn set_default_level(level: Option<Level>) {
+    let raw = match level {
+        None => 6,
+        Some(Level::Error) => 1,
+        Some(Level::Warn) => 2,
+        Some(Level::Info) => 3,
+        Some(Level::Debug) => 4,
+        Some(Level::Trace) => 5,
+    };
+    PROGRAMMATIC.store(raw, Ordering::Relaxed);
+}
+
+fn programmatic_level() -> Option<Option<Level>> {
+    match PROGRAMMATIC.load(Ordering::Relaxed) {
+        0 => None,
+        1 => Some(Some(Level::Error)),
+        2 => Some(Some(Level::Warn)),
+        3 => Some(Some(Level::Info)),
+        4 => Some(Some(Level::Debug)),
+        5 => Some(Some(Level::Trace)),
+        _ => Some(None),
+    }
+}
+
+/// Whether a message at `level` for `target` would be printed.
+pub fn enabled(level: Level, target: &str) -> bool {
+    match env_filter().max_level(target, programmatic_level()) {
+        Some(max) => level <= max,
+        None => false,
+    }
+}
+
+/// Prints one log line to stderr (the macros call this; prefer them).
+pub fn log(level: Level, target: &str, args: std::fmt::Arguments<'_>) {
+    if enabled(level, target) {
+        eprintln!("[{} {}] {}", level.name(), target, args);
+    }
+}
+
+/// Logs at [`Level::Error`].
+#[macro_export]
+macro_rules! tm_error {
+    ($($arg:tt)*) => {
+        $crate::logging::log(
+            $crate::logging::Level::Error,
+            module_path!(),
+            format_args!($($arg)*),
+        )
+    };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! tm_warn {
+    ($($arg:tt)*) => {
+        $crate::logging::log(
+            $crate::logging::Level::Warn,
+            module_path!(),
+            format_args!($($arg)*),
+        )
+    };
+}
+
+/// Logs at [`Level::Info`].
+#[macro_export]
+macro_rules! tm_info {
+    ($($arg:tt)*) => {
+        $crate::logging::log(
+            $crate::logging::Level::Info,
+            module_path!(),
+            format_args!($($arg)*),
+        )
+    };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! tm_debug {
+    ($($arg:tt)*) => {
+        $crate::logging::log(
+            $crate::logging::Level::Debug,
+            module_path!(),
+            format_args!($($arg)*),
+        )
+    };
+}
+
+/// Logs at [`Level::Trace`].
+#[macro_export]
+macro_rules! tm_trace {
+    ($($arg:tt)*) => {
+        $crate::logging::log(
+            $crate::logging::Level::Trace,
+            module_path!(),
+            format_args!($($arg)*),
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+    }
+
+    #[test]
+    fn bare_level_sets_default() {
+        let f = Filter::parse("info");
+        assert_eq!(f.max_level("anything", None), Some(Level::Info));
+    }
+
+    #[test]
+    fn unset_defaults_to_warn() {
+        let f = Filter::parse("");
+        assert_eq!(f.max_level("x", None), Some(Level::Warn));
+    }
+
+    #[test]
+    fn per_target_overrides_default() {
+        let f = Filter::parse("warn,loopscope::online=trace");
+        assert_eq!(f.max_level("loopscope::online", None), Some(Level::Trace));
+        assert_eq!(
+            f.max_level("loopscope::online::sub", None),
+            Some(Level::Trace)
+        );
+        assert_eq!(f.max_level("loopscope::validate", None), Some(Level::Warn));
+    }
+
+    #[test]
+    fn prefix_matches_only_at_module_boundary() {
+        let f = Filter::parse("loop=trace");
+        assert_eq!(f.max_level("loopscope::online", None), Some(Level::Warn));
+        assert_eq!(f.max_level("loop::inner", None), Some(Level::Trace));
+        assert_eq!(f.max_level("loop", None), Some(Level::Trace));
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let f = Filter::parse("loopscope=info,loopscope::online=trace");
+        assert_eq!(f.max_level("loopscope::online", None), Some(Level::Trace));
+        assert_eq!(f.max_level("loopscope::merge", None), Some(Level::Info));
+    }
+
+    #[test]
+    fn off_silences() {
+        let f = Filter::parse("off,noisy=off");
+        assert_eq!(f.max_level("x", None), None);
+        assert_eq!(f.max_level("noisy::sub", None), None);
+    }
+
+    #[test]
+    fn programmatic_beats_bare_env_level() {
+        let f = Filter::parse("trace");
+        assert_eq!(
+            f.max_level("x", Some(Some(Level::Error))),
+            Some(Level::Error)
+        );
+    }
+
+    #[test]
+    fn per_target_beats_programmatic() {
+        let f = Filter::parse("loopscope=debug");
+        assert_eq!(
+            f.max_level("loopscope::merge", Some(Some(Level::Error))),
+            Some(Level::Debug)
+        );
+    }
+
+    #[test]
+    fn programmatic_off_silences_everything_but_directives() {
+        let f = Filter::parse("trace,keep=info");
+        assert_eq!(f.max_level("x", Some(None)), None);
+        assert_eq!(f.max_level("keep::sub", Some(None)), Some(Level::Info));
+    }
+
+    #[test]
+    fn garbage_directives_ignored() {
+        let f = Filter::parse("bogus,=info,x=notalevel,,  ,warn");
+        assert_eq!(f.max_level("x", None), Some(Level::Warn));
+        assert!(f.directives.is_empty());
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let f = Filter::parse(" info , loopscope = debug ");
+        assert_eq!(f.max_level("other", None), Some(Level::Info));
+        assert_eq!(f.max_level("loopscope::x", None), Some(Level::Debug));
+    }
+}

@@ -1,0 +1,382 @@
+//! The metric primitives: counters, gauges, histograms, timers, and their
+//! lazily-resolved static handles.
+//!
+//! All primitives are lock-free (relaxed atomics). Relaxed ordering is
+//! enough: metrics are monotone accumulators read at quiescent points
+//! (snapshot after a pipeline run or at exit), not synchronisation edges.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Number of log2 histogram buckets: bucket 0 holds value 0, bucket `k`
+/// (k >= 1) holds values in `[2^(k-1), 2^k)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically-increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter (registries do this for you).
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the counter (test support).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An instantaneous level with automatic high-water-mark tracking — the
+/// bounded-memory story of the online detector is told by gauges.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+    high_water: AtomicI64,
+}
+
+impl Gauge {
+    /// Creates a zeroed gauge.
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicI64::new(0),
+            high_water: AtomicI64::new(0),
+        }
+    }
+
+    /// Sets the current level and raises the high-water mark if exceeded.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.high_water.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative) and updates the high-water mark.
+    pub fn add(&self, delta: i64) {
+        let now = self.value.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.high_water.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest level ever [`set`](Gauge::set) (or reached via
+    /// [`add`](Gauge::add)).
+    pub fn high_water(&self) -> i64 {
+        self.high_water.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes level and high-water mark (test support).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+        self.high_water.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A log2-bucketed histogram of `u64` samples (latencies, sizes, depths).
+///
+/// Bucket 0 counts zeros; bucket `k >= 1` counts samples in
+/// `[2^(k-1), 2^k)`. Coarse, but lock-free, constant-size, and exactly
+/// what capacity planning needs from a pipeline.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub const fn new() -> Self {
+        // `[const { ... }; N]` repeats a const block, legal for atomics.
+        Self {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Index of the bucket that holds `v`.
+    pub fn bucket_index(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts.
+    pub fn buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Zeroes every bucket (test support).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Accumulated wall time of one pipeline stage: invocation count, total
+/// nanoseconds, and the slowest single invocation. Fed by [`crate::span`].
+#[derive(Debug, Default)]
+pub struct Timer {
+    calls: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Timer {
+    /// Creates a zeroed timer.
+    pub const fn new() -> Self {
+        Self {
+            calls: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one invocation lasting `ns` nanoseconds.
+    pub fn record(&self, ns: u64) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Number of recorded invocations.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Total accumulated nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns.load(Ordering::Relaxed)
+    }
+
+    /// Slowest single invocation in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the timer (test support).
+    pub fn reset(&self) {
+        self.calls.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A static hot-path handle to a named [`Counter`] in the global registry.
+/// Resolution (one registry lock) happens once on first use; every
+/// subsequent operation is a single relaxed atomic.
+///
+/// ```
+/// static SCANNED: telemetry::LazyCounter =
+///     telemetry::LazyCounter::new("doc.records_scanned");
+/// SCANNED.inc();
+/// ```
+pub struct LazyCounter {
+    name: &'static str,
+    cell: OnceLock<&'static Counter>,
+}
+
+impl LazyCounter {
+    /// Declares a handle (const, so it can live in a `static`).
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The underlying registered counter.
+    pub fn get(&self) -> &'static Counter {
+        self.cell.get_or_init(|| crate::global().counter(self.name))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.get().inc();
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.get().add(n);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.get().get()
+    }
+}
+
+/// A static hot-path handle to a named [`Gauge`] in the global registry.
+pub struct LazyGauge {
+    name: &'static str,
+    cell: OnceLock<&'static Gauge>,
+}
+
+impl LazyGauge {
+    /// Declares a handle (const, so it can live in a `static`).
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The underlying registered gauge.
+    pub fn get(&self) -> &'static Gauge {
+        self.cell.get_or_init(|| crate::global().gauge(self.name))
+    }
+
+    /// Sets the level (tracks the high-water mark).
+    pub fn set(&self, v: i64) {
+        self.get().set(v);
+    }
+
+    /// Adjusts the level by `delta` (tracks the high-water mark).
+    pub fn add(&self, delta: i64) {
+        self.get().add(delta);
+    }
+}
+
+/// A static hot-path handle to a named [`Histogram`] in the global
+/// registry.
+pub struct LazyHistogram {
+    name: &'static str,
+    cell: OnceLock<&'static Histogram>,
+}
+
+impl LazyHistogram {
+    /// Declares a handle (const, so it can live in a `static`).
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The underlying registered histogram.
+    pub fn get(&self) -> &'static Histogram {
+        self.cell
+            .get_or_init(|| crate::global().histogram(self.name))
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.get().record(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_tracks_high_water() {
+        let g = Gauge::new();
+        g.set(10);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+        assert_eq!(g.high_water(), 10);
+        g.add(20);
+        assert_eq!(g.get(), 23);
+        assert_eq!(g.high_water(), 23);
+        g.add(-5);
+        assert_eq!(g.get(), 18);
+        assert_eq!(g.high_water(), 23);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_records() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1010);
+        let b = h.buckets();
+        assert_eq!(b[0], 1); // 0
+        assert_eq!(b[1], 1); // 1
+        assert_eq!(b[2], 2); // 2, 3
+        assert_eq!(b[3], 1); // 4
+        assert_eq!(b[10], 1); // 1000
+    }
+
+    #[test]
+    fn timer_accumulates_and_maxes() {
+        let t = Timer::new();
+        t.record(10);
+        t.record(30);
+        t.record(20);
+        assert_eq!(t.calls(), 3);
+        assert_eq!(t.total_ns(), 60);
+        assert_eq!(t.max_ns(), 30);
+    }
+}

@@ -1,0 +1,318 @@
+//! The metrics registry and its JSON-serialisable snapshot.
+
+use crate::json::JsonWriter;
+use crate::metrics::{Counter, Gauge, Histogram, Timer, HISTOGRAM_BUCKETS};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// A named collection of metrics. Most code uses the process-wide
+/// [`global`] registry through [`crate::LazyCounter`]-style handles or the
+/// convenience constructors here; tests build private `Registry` instances
+/// to avoid cross-test interference.
+///
+/// Registration takes a lock; the returned `&'static` metric references
+/// are lock-free thereafter. Metric storage is leaked intentionally — the
+/// set of metric names in a process is small and fixed.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<&'static str, Metric>>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+    Timer(&'static Timer),
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub const fn new() -> Self {
+        Self {
+            inner: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Returns the counter named `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// Panics when `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &'static str) -> &'static Counter {
+        let mut map = self.inner.lock().expect("registry poisoned");
+        match map
+            .entry(name)
+            .or_insert_with(|| Metric::Counter(Box::leak(Box::new(Counter::new()))))
+        {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Returns the gauge named `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// Panics when `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &'static str) -> &'static Gauge {
+        let mut map = self.inner.lock().expect("registry poisoned");
+        match map
+            .entry(name)
+            .or_insert_with(|| Metric::Gauge(Box::leak(Box::new(Gauge::new()))))
+        {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Returns the histogram named `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// Panics when `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &'static str) -> &'static Histogram {
+        let mut map = self.inner.lock().expect("registry poisoned");
+        match map
+            .entry(name)
+            .or_insert_with(|| Metric::Histogram(Box::leak(Box::new(Histogram::new()))))
+        {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Returns the timer named `name`, registering it on first use.
+    ///
+    /// # Panics
+    /// Panics when `name` is already registered as a different metric kind.
+    pub fn timer(&self, name: &'static str) -> &'static Timer {
+        let mut map = self.inner.lock().expect("registry poisoned");
+        match map
+            .entry(name)
+            .or_insert_with(|| Metric::Timer(Box::leak(Box::new(Timer::new()))))
+        {
+            Metric::Timer(t) => t,
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Zeroes every registered metric, keeping registrations (test
+    /// support; snapshots of a freshly-reset registry show zero values,
+    /// not an empty document).
+    pub fn reset(&self) {
+        let map = self.inner.lock().expect("registry poisoned");
+        for m in map.values() {
+            match m {
+                Metric::Counter(c) => c.reset(),
+                Metric::Gauge(g) => g.reset(),
+                Metric::Histogram(h) => h.reset(),
+                Metric::Timer(t) => t.reset(),
+            }
+        }
+    }
+
+    /// Captures a point-in-time copy of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.inner.lock().expect("registry poisoned");
+        let mut snap = Snapshot::default();
+        for (name, m) in map.iter() {
+            match m {
+                Metric::Counter(c) => {
+                    snap.counters.insert(name.to_string(), c.get());
+                }
+                Metric::Gauge(g) => {
+                    snap.gauges
+                        .insert(name.to_string(), (g.get(), g.high_water()));
+                }
+                Metric::Histogram(h) => {
+                    snap.histograms.insert(
+                        name.to_string(),
+                        HistogramSnapshot {
+                            count: h.count(),
+                            sum: h.sum(),
+                            buckets: h.buckets(),
+                        },
+                    );
+                }
+                Metric::Timer(t) => {
+                    snap.timers.insert(
+                        name.to_string(),
+                        TimerSnapshot {
+                            calls: t.calls(),
+                            total_ns: t.total_ns(),
+                            max_ns: t.max_ns(),
+                        },
+                    );
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// The process-wide registry every [`crate::LazyCounter`] / [`crate::span`]
+/// call resolves against.
+pub fn global() -> &'static Registry {
+    static GLOBAL: Registry = Registry::new();
+    &GLOBAL
+}
+
+/// A point-in-time copy of a registry's metrics, serialisable to JSON.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge `(value, high_water)` pairs by name.
+    pub gauges: BTreeMap<String, (i64, i64)>,
+    /// Histogram contents by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Timer contents by name.
+    pub timers: BTreeMap<String, TimerSnapshot>,
+}
+
+/// Captured histogram state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Per-bucket counts (see [`crate::metrics::Histogram`] for bounds).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+/// Captured timer state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerSnapshot {
+    /// Invocation count.
+    pub calls: u64,
+    /// Total accumulated nanoseconds.
+    pub total_ns: u64,
+    /// Slowest single invocation in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl Snapshot {
+    /// Serialises the snapshot as a self-contained JSON document.
+    ///
+    /// Keys are sorted (BTreeMap iteration order), so two snapshots of
+    /// identical registry state produce byte-identical documents. Empty
+    /// histogram buckets are omitted; each emitted bucket reports its
+    /// upper bound `lt` (exclusive; samples are in `[lt/2, lt)`, or
+    /// exactly 0 for the first bucket).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("counters");
+        w.begin_object();
+        for (name, v) in &self.counters {
+            w.key(name);
+            w.u64(*v);
+        }
+        w.end_object();
+        w.key("gauges");
+        w.begin_object();
+        for (name, (value, high_water)) in &self.gauges {
+            w.key(name);
+            w.begin_object();
+            w.key("value");
+            w.i64(*value);
+            w.key("high_water");
+            w.i64(*high_water);
+            w.end_object();
+        }
+        w.end_object();
+        w.key("histograms");
+        w.begin_object();
+        for (name, h) in &self.histograms {
+            w.key(name);
+            w.begin_object();
+            w.key("count");
+            w.u64(h.count);
+            w.key("sum");
+            w.u64(h.sum);
+            w.key("buckets");
+            w.begin_array();
+            for (i, &c) in h.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                w.begin_object();
+                w.key("lt");
+                if i == 0 {
+                    w.u64(1);
+                } else if i == 64 {
+                    w.u64(u64::MAX);
+                } else {
+                    w.u64(1u64 << i);
+                }
+                w.key("count");
+                w.u64(c);
+                w.end_object();
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_object();
+        w.key("timers");
+        w.begin_object();
+        for (name, t) in &self.timers {
+            w.key(name);
+            w.begin_object();
+            w.key("calls");
+            w.u64(t.calls);
+            w.key("total_ns");
+            w.u64(t.total_ns);
+            w.key("max_ns");
+            w.u64(t.max_ns);
+            w.end_object();
+        }
+        w.end_object();
+        w.end_object();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_captures_registered_metrics() {
+        let r = Registry::new();
+        r.counter("a.count").add(5);
+        r.gauge("b.depth").set(7);
+        r.gauge("b.depth").set(2);
+        r.histogram("c.sizes").record(3);
+        r.timer("d.stage").record(1_000);
+        let s = r.snapshot();
+        assert_eq!(s.counters["a.count"], 5);
+        assert_eq!(s.gauges["b.depth"], (2, 7));
+        assert_eq!(s.histograms["c.sizes"].count, 1);
+        assert_eq!(s.timers["d.stage"].calls, 1);
+        assert_eq!(s.timers["d.stage"].total_ns, 1_000);
+    }
+
+    #[test]
+    fn same_name_same_metric() {
+        let r = Registry::new();
+        let c1 = r.counter("x") as *const Counter;
+        let c2 = r.counter("x") as *const Counter;
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflict_panics() {
+        let r = Registry::new();
+        r.counter("dual");
+        r.gauge("dual");
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_names() {
+        let r = Registry::new();
+        r.counter("k").add(9);
+        r.reset();
+        let s = r.snapshot();
+        assert_eq!(s.counters["k"], 0);
+    }
+}

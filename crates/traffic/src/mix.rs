@@ -1,11 +1,9 @@
 //! Protocol and flag mix configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// Fractions of *flows* by protocol class. TCP flows are long (many
 /// packets), so packet-level fractions skew further towards TCP; the
 /// defaults are chosen so the resulting packet mix matches Figure 5.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct MixConfig {
     /// TCP flow fraction.
     pub tcp: f64,

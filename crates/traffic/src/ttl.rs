@@ -7,10 +7,9 @@
 //! hops already travelled.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Distribution of initial TTLs and upstream path lengths.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TtlConfig {
     /// `(initial_ttl, weight)` pairs. Defaults: 64 (Linux/macOS), 128
     /// (Windows), 255 (Solaris, routers, some UDP stacks).

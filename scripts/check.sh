@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must pass before merging.
+#
+#   scripts/check.sh            # build, test, fmt, clippy
+#   scripts/check.sh --quick    # skip the release build
+#
+# Each step prints a banner so CI logs show where a failure happened.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+banner() { printf '\n==== %s ====\n' "$*"; }
+
+if [[ $quick -eq 0 ]]; then
+    banner "cargo build --release"
+    cargo build --release
+fi
+
+banner "cargo test -q (root package: tier-1)"
+cargo test -q
+
+banner "cargo test --workspace -q"
+cargo test --workspace -q
+
+banner "cargo fmt --check"
+cargo fmt --all --check
+
+banner "cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+banner "OK"

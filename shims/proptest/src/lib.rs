@@ -1,0 +1,136 @@
+//! Std-only shim for the subset of `proptest` used by this workspace's
+//! property tests. The build environment has no crates.io access; this
+//! crate keeps the call-site API (the `proptest!` macro, `Strategy`
+//! combinators, `any`, ranges, tuples, `collection::vec`, the
+//! `prop_assert*` family) while replacing the engine with a simple
+//! deterministic random-case runner.
+//!
+//! Differences from upstream, deliberate and documented:
+//!
+//! - **No shrinking.** A failing case panics with the generated inputs via
+//!   the standard assertion message; there is no minimisation pass.
+//! - **Deterministic seeding.** Each test derives its seed from its own
+//!   name (FNV-1a), so runs are reproducible without a regressions file;
+//!   `*.proptest-regressions` files are ignored.
+//! - **`prop_assume!` skips the case** without drawing a replacement, so a
+//!   run executes *at most* the configured number of cases.
+//!
+//! The number of cases per test defaults to 64 and can be overridden
+//! globally with the `PROPTEST_CASES` environment variable or per-test via
+//! `ProptestConfig::with_cases`.
+
+pub mod strategy;
+
+pub mod arbitrary;
+pub mod collection;
+pub mod test_runner;
+
+/// Convenience re-exports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// The random source driving generation (xorshift-multiply; deterministic
+/// per seed).
+pub use test_runner::TestRng;
+
+/// Runs `case` over `cfg.cases` values drawn from `strat` — the engine
+/// behind the `proptest!` macro. Public so the macro expansion can reach
+/// it; the fn signature also gives the per-case closure its parameter type
+/// (closure bodies are type-checked against the expected `FnMut(S::Value)`
+/// before any call site would constrain them).
+pub fn run_cases<S: strategy::Strategy>(
+    cfg: &test_runner::ProptestConfig,
+    strat: &S,
+    rng: &mut TestRng,
+    mut case: impl FnMut(S::Value),
+) {
+    for _ in 0..cfg.cases {
+        case(strat.generate(rng));
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Defines property tests: each `fn` runs its body over generated inputs.
+///
+/// Supports the two upstream forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn prop(x in 0u8..10, v in any::<u16>()) { ... }
+/// }
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(x in 0u8..10) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @munch ($cfg) $($rest)* }
+    };
+    (@munch ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let strat = ($($strat,)+);
+                let mut rng = $crate::test_runner::TestRng::from_name(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                // `prop_assume!`'s `return` skips just the current case by
+                // returning from the per-case closure.
+                $crate::run_cases(&config, &strat, &mut rng, |($($pat,)+)| $body);
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            @munch ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}

@@ -1,0 +1,37 @@
+//! Integration tests for the `proptest!` macro surface this workspace uses.
+
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn tuple_of_vecs(
+        packets in proptest::collection::vec(
+            (any::<u64>().prop_map(|t| t % 10_000),
+             proptest::collection::vec(any::<u8>(), 0..200)),
+            0..50,
+        ),
+        snaplen in 1u32..300,
+    ) {
+        prop_assert!(packets.len() < 50);
+        for (ts, bytes) in &packets {
+            prop_assert!(*ts < 10_000);
+            prop_assert!(bytes.len() < 200);
+        }
+        prop_assert!((1..300).contains(&snaplen));
+    }
+
+    /// Doc comments and assume/skip behaviour.
+    #[test]
+    fn assume_skips(n in 0u8..10) {
+        prop_assume!(n % 2 == 0);
+        prop_assert_eq!(n % 2, 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn config_form(x in any::<u16>(), y in 0usize..=4) {
+        prop_assert_ne!(usize::from(x) + y + 1, 0);
+    }
+}

@@ -13,14 +13,22 @@
 //! loopdetect trace.pcap --no-validate        # A2 ablation (raw candidates)
 //! loopdetect trace.pcap --streaming          # bounded-memory single pass
 //! loopdetect trace.pcap --persistent-s 60    # persistence threshold
+//! loopdetect trace.pcap --metrics -          # telemetry snapshot (JSON) to stdout
+//! loopdetect trace.pcap --metrics run.json   # telemetry snapshot to a file
+//! loopdetect trace.pcap --progress -v        # stderr progress + info logging
 //! ```
+//!
+//! Diagnostics go to stderr and never contaminate the report/CSV on
+//! stdout. Verbosity: `-q` errors only, default warnings, `-v` info,
+//! `-vv` debug; the `LOOPSCOPE_LOG` env filter overrides per module.
 
 use routing_loops::convert::records_from_pcap;
 use routing_loops::loopscope::merge::LoopKind;
-use routing_loops::loopscope::online::{run_streaming, OnlineEvent};
+use routing_loops::loopscope::online::{OnlineDetector, OnlineEvent};
 use routing_loops::loopscope::{analysis, impact, Detector, DetectorConfig};
 use std::fs::File;
 use std::io::BufReader;
+use std::io::Write;
 use std::process::exit;
 
 const USAGE: &str = "\
@@ -35,6 +43,11 @@ OPTIONS
   --no-checksum-verify           skip RFC 1624 consistency verification
   --streaming                    use the single-pass bounded-memory detector
   --persistent-s <N>             persistence threshold in seconds (default 60)
+  --metrics <path|->             write the telemetry snapshot (JSON) to a
+                                 file, or to stdout with '-'
+  --progress                     periodic progress lines on stderr
+  -v, -vv                        info / debug logging on stderr
+  -q                             errors only
   -h, --help                     this text
 ";
 
@@ -44,6 +57,8 @@ struct Args {
     cfg: DetectorConfig,
     streaming: bool,
     persistent_s: u64,
+    metrics: Option<String>,
+    progress: bool,
 }
 
 fn parse_args() -> Args {
@@ -52,6 +67,9 @@ fn parse_args() -> Args {
     let mut cfg = DetectorConfig::default();
     let mut streaming = false;
     let mut persistent_s = 60;
+    let mut metrics = None;
+    let mut progress = false;
+    let mut verbosity: Option<telemetry::logging::Level> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -60,6 +78,14 @@ fn parse_args() -> Args {
                 print!("{USAGE}");
                 exit(0);
             }
+            "--metrics" => {
+                let v = it.next().unwrap_or_else(|| die("--metrics needs a value"));
+                metrics = Some(v.clone());
+            }
+            "--progress" => progress = true,
+            "-v" => verbosity = Some(telemetry::logging::Level::Info),
+            "-vv" => verbosity = Some(telemetry::logging::Level::Debug),
+            "-q" => verbosity = Some(telemetry::logging::Level::Error),
             "--csv" => {
                 let v = it.next().unwrap_or_else(|| die("--csv needs a value"));
                 if !["loops", "streams", "summary"].contains(&v.as_str()) {
@@ -94,12 +120,17 @@ fn parse_args() -> Args {
             other => die(&format!("unknown argument {other:?}")),
         }
     }
+    if let Some(level) = verbosity {
+        telemetry::logging::set_default_level(Some(level));
+    }
     Args {
         path: path.unwrap_or_else(|| die("missing trace path")),
         csv,
         cfg,
         streaming,
         persistent_s,
+        metrics,
+        progress,
     }
 }
 
@@ -108,8 +139,18 @@ fn die(msg: &str) -> ! {
     exit(2)
 }
 
+/// Prints a `--progress` line to stderr.
+fn progress_line(done: usize, total: usize, started: std::time::Instant, open_candidates: usize) {
+    let secs = started.elapsed().as_secs_f64();
+    let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
+    eprintln!(
+        "progress: {done}/{total} records ({rate:.0} records/s, {open_candidates} open candidates)"
+    );
+}
+
 fn main() {
     let args = parse_args();
+    let read_started = std::time::Instant::now();
     let file = File::open(&args.path).unwrap_or_else(|e| {
         eprintln!("error: cannot open {}: {e}", args.path);
         exit(1);
@@ -122,10 +163,28 @@ fn main() {
         eprintln!("error: no parseable IPv4 records in {}", args.path);
         exit(1);
     }
+    if args.progress {
+        eprintln!(
+            "progress: read {} records in {:.2} s",
+            records.len(),
+            read_started.elapsed().as_secs_f64()
+        );
+    }
 
     // Both paths produce (streams, loops, stats-ish).
+    let detect_started = std::time::Instant::now();
     let (streams, loops) = if args.streaming {
-        let (events, _stats) = run_streaming(args.cfg, &records);
+        let mut det = OnlineDetector::new(args.cfg);
+        let mut events = Vec::new();
+        let stride = (records.len() / 10).max(50_000);
+        for (i, rec) in records.iter().enumerate() {
+            events.extend(det.push(rec));
+            if args.progress && (i + 1) % stride == 0 {
+                progress_line(i + 1, records.len(), detect_started, det.open_candidates());
+            }
+        }
+        let (mut tail, _stats) = det.finish();
+        events.append(&mut tail);
         let mut streams = Vec::new();
         let mut loops = Vec::new();
         for e in events {
@@ -140,6 +199,14 @@ fn main() {
         let result = Detector::new(args.cfg).run(&records);
         (result.streams, result.loops)
     };
+    if args.progress {
+        progress_line(
+            records.len(),
+            records.len(),
+            detect_started,
+            0, // all candidates closed once detection completes
+        );
+    }
 
     match args.csv.as_deref() {
         Some("loops") => {
@@ -248,6 +315,22 @@ fn main() {
                     est.died, est.may_have_escaped
                 );
             }
+        }
+    }
+
+    if let Some(dest) = &args.metrics {
+        let json = telemetry::global().snapshot().to_json();
+        if dest == "-" {
+            println!("{json}");
+        } else {
+            let mut f = File::create(dest).unwrap_or_else(|e| {
+                eprintln!("error: cannot create {dest}: {e}");
+                exit(1);
+            });
+            writeln!(f, "{json}").unwrap_or_else(|e| {
+                eprintln!("error: cannot write {dest}: {e}");
+                exit(1);
+            });
         }
     }
 }

@@ -39,6 +39,9 @@ pub fn write_tap_to_pcap<W: Write>(tap: &Tap, snaplen: u32, sink: W) -> Result<u
 /// Reads detector records back out of a pcap file. Records whose IP header
 /// is unparseable (non-IPv4 link noise) are skipped and counted.
 pub fn records_from_pcap<R: Read>(source: R) -> Result<(Vec<TraceRecord>, u64), PcapError> {
+    static TM_UNPARSEABLE: telemetry::LazyCounter =
+        telemetry::LazyCounter::new("pcap.unparseable_records");
+    let _t = telemetry::span("pcap.read");
     let mut reader = PcapReader::new(source)?;
     let mut records = Vec::new();
     let mut skipped = 0u64;
@@ -47,6 +50,10 @@ pub fn records_from_pcap<R: Read>(source: R) -> Result<(Vec<TraceRecord>, u64), 
             Ok(rec) => records.push(rec),
             Err(_) => skipped += 1,
         }
+    }
+    TM_UNPARSEABLE.add(skipped);
+    if skipped > 0 {
+        telemetry::tm_warn!("skipped {} unparseable records", skipped);
     }
     Ok((records, skipped))
 }

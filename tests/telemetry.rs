@@ -1,0 +1,211 @@
+//! Cross-layer telemetry invariants: run real pipelines and assert that
+//! the global metric registry tells a story consistent with the ground
+//! truth the library APIs return.
+//!
+//! All tests share one process-wide registry, so each test snapshots
+//! before and after its workload and asserts on the *delta*; a mutex
+//! serialises the workloads so deltas are attributable.
+
+use routing_loops::convert::{records_from_pcap, write_tap_to_pcap, PAPER_SNAPLEN};
+use routing_loops::loopscope::online::OnlineDetector;
+use routing_loops::loopscope::{Detector, DetectorConfig};
+use routing_loops::net_types::{Packet, TcpFlags};
+use routing_loops::simnet::{LinkId, SimTime, Tap};
+use std::io::Cursor;
+use std::net::Ipv4Addr;
+use std::sync::Mutex;
+use telemetry::Snapshot;
+
+static WORKLOAD: Mutex<()> = Mutex::new(());
+
+fn counter_delta(before: &Snapshot, after: &Snapshot, name: &str) -> u64 {
+    after.counters.get(name).copied().unwrap_or(0) - before.counters.get(name).copied().unwrap_or(0)
+}
+
+/// Trace records for one packet looping with TTL step 2, plus background
+/// one-pass traffic to other prefixes.
+fn looping_trace(n_loop: usize, n_background: usize) -> Vec<routing_loops::loopscope::TraceRecord> {
+    let mut recs = Vec::new();
+    let mut p = Packet::tcp_flags(
+        Ipv4Addr::new(100, 7, 7, 7),
+        Ipv4Addr::new(203, 0, 113, 1),
+        5555,
+        80,
+        TcpFlags::ACK,
+        &b"data"[..],
+    );
+    p.ip.ident = 42;
+    p.ip.ttl = 60;
+    p.fill_checksums();
+    for k in 0..n_loop {
+        if k > 0 {
+            p.ip.decrement_ttl();
+            p.ip.decrement_ttl();
+        }
+        recs.push(routing_loops::loopscope::TraceRecord::from_packet(
+            1_000_000 * k as u64,
+            &p,
+        ));
+    }
+    for i in 0..n_background {
+        let mut q = Packet::tcp_flags(
+            Ipv4Addr::new(100, 1, 1, 1),
+            Ipv4Addr::new(20, 0, (i % 5) as u8, 1),
+            1000,
+            80,
+            TcpFlags::ACK,
+            &b""[..],
+        );
+        q.ip.ident = 1000 + i as u16;
+        q.ip.ttl = 57;
+        q.fill_checksums();
+        recs.push(routing_loops::loopscope::TraceRecord::from_packet(
+            500_000 + 2_000_000 * i as u64,
+            &q,
+        ));
+    }
+    recs.sort_by_key(|r| r.timestamp_ns);
+    recs
+}
+
+#[test]
+fn pcap_counters_match_input_length() {
+    let _lock = WORKLOAD.lock().unwrap();
+    // Build a pcap through the real writer: a tap with 25 packets.
+    let mut tap = Tap::new(LinkId(0));
+    for i in 0..25u16 {
+        let mut p = Packet::tcp_flags(
+            Ipv4Addr::new(100, 0, 0, 1),
+            Ipv4Addr::new(203, 0, 113, 4),
+            1,
+            2,
+            TcpFlags::ACK,
+            vec![0u8; 200],
+        );
+        p.ip.ident = i;
+        p.fill_checksums();
+        tap.record(SimTime::from_millis(u64::from(i)), p);
+    }
+    let mut buf = Vec::new();
+    write_tap_to_pcap(&tap, PAPER_SNAPLEN, &mut buf).unwrap();
+
+    let before = telemetry::global().snapshot();
+    let (records, skipped) = records_from_pcap(Cursor::new(buf)).unwrap();
+    let after = telemetry::global().snapshot();
+
+    // Invariant: pcap.records_total grew by exactly the number of records
+    // handed back (parsed + unparseable).
+    assert_eq!(
+        counter_delta(&before, &after, "pcap.records_total"),
+        records.len() as u64 + skipped
+    );
+    assert_eq!(records.len(), 25);
+    assert_eq!(skipped, 0);
+    // The 40-byte snaplen truncates every 200-byte-payload packet.
+    assert_eq!(counter_delta(&before, &after, "pcap.truncated_records"), 25);
+    // The pcap.read stage timer ticked once.
+    let timer_delta = after.timers["pcap.read"].calls
+        - before.timers.get("pcap.read").map(|t| t.calls).unwrap_or(0);
+    assert_eq!(timer_delta, 1);
+}
+
+#[test]
+fn offline_detector_counters_are_consistent() {
+    let _lock = WORKLOAD.lock().unwrap();
+    let recs = looping_trace(8, 50);
+
+    let before = telemetry::global().snapshot();
+    let result = Detector::new(DetectorConfig::default()).run(&recs);
+    let after = telemetry::global().snapshot();
+
+    // Invariant: every input record was scanned.
+    assert_eq!(
+        counter_delta(&before, &after, "replica.records_scanned"),
+        recs.len() as u64
+    );
+    // Invariant: every opened candidate was either kept (as a raw
+    // candidate) or discarded as a singleton.
+    let opened = counter_delta(&before, &after, "replica.candidates_opened");
+    let discarded = counter_delta(&before, &after, "replica.candidates_discarded");
+    assert_eq!(opened, discarded + result.stats.raw_candidates);
+    // Invariant: validation partitions the raw candidates.
+    let kept = counter_delta(&before, &after, "validate.streams_kept");
+    let rej_short = counter_delta(&before, &after, "validate.rejected_short");
+    let rej_cov = counter_delta(&before, &after, "validate.rejected_covalidation");
+    assert_eq!(kept + rej_short + rej_cov, result.stats.raw_candidates);
+    assert_eq!(kept, result.streams.len() as u64);
+    // Invariant: merge emitted exactly the loops the result reports.
+    assert_eq!(
+        counter_delta(&before, &after, "merge.loops_total"),
+        result.loops.len() as u64
+    );
+    // All three stage timers ticked exactly once for this run.
+    for stage in ["replica.detect", "validate", "merge"] {
+        let calls =
+            after.timers[stage].calls - before.timers.get(stage).map(|t| t.calls).unwrap_or(0);
+        assert_eq!(calls, 1, "stage {stage}");
+    }
+}
+
+#[test]
+fn online_detector_gauges_bounded_and_nonzero() {
+    let _lock = WORKLOAD.lock().unwrap();
+    let recs = looping_trace(8, 50);
+
+    let before = telemetry::global().snapshot();
+    let mut det = OnlineDetector::new(DetectorConfig::default());
+    for r in &recs {
+        det.push(r);
+    }
+    let live_open = det.open_candidates();
+    let (events, stats) = det.finish();
+    let after = telemetry::global().snapshot();
+
+    // Invariant: streams kept + rejected account for every candidate the
+    // online pass closed with >= 2 sightings.
+    assert_eq!(
+        counter_delta(&before, &after, "online.streams_emitted"),
+        stats.streams_emitted
+    );
+    assert_eq!(
+        counter_delta(&before, &after, "online.loops_emitted"),
+        stats.loops_emitted
+    );
+    assert!(stats.streams_emitted > 0, "workload must find the loop");
+    assert!(!events.is_empty());
+
+    // Invariant: the open-candidate gauge's high-water mark is nonzero and
+    // bounded by the number of input records (each record opens at most
+    // one candidate).
+    let (_, open_hwm) = after.gauges["online.open_candidates"];
+    assert!(open_hwm > 0);
+    assert!(open_hwm <= recs.len() as i64);
+    assert!(live_open as i64 <= open_hwm);
+
+    // Invariant: the prefix-history gauge is nonzero and bounded by the
+    // total records ever pushed through online detectors in this process
+    // (this test's trace plus at most the other workloads in this binary).
+    let (_, hist_hwm) = after.gauges["online.prefix_history"];
+    assert!(hist_hwm > 0);
+    assert!(hist_hwm <= 10 * recs.len() as i64);
+}
+
+#[test]
+fn snapshot_json_exposes_pipeline_stages() {
+    let _lock = WORKLOAD.lock().unwrap();
+    // After any detector workload in this binary, the JSON document must
+    // name the pipeline stages (what `loopdetect --metrics -` prints).
+    let recs = looping_trace(6, 10);
+    Detector::new(DetectorConfig::default()).run(&recs);
+    let json = telemetry::global().snapshot().to_json();
+    for key in [
+        "\"replica.records_scanned\"",
+        "\"validate.streams_kept\"",
+        "\"merge.loops_total\"",
+        "\"replica.detect\"",
+        "\"validate\"",
+        "\"merge\"",
+    ] {
+        assert!(json.contains(key), "{key} missing from snapshot {json}");
+    }
+}
