@@ -1,0 +1,129 @@
+//! `bench_parallel` — serial vs sharded-parallel detector throughput,
+//! written to a `BENCH_parallel.json` artifact.
+//!
+//! ```text
+//! cargo run -p bench --release --bin bench_parallel
+//! cargo run -p bench --release --bin bench_parallel -- --scale 0.05 --repeat 1
+//! cargo run -p bench --release --bin bench_parallel -- --threads 2,4,8,16
+//! ```
+//!
+//! Exit status is nonzero when any parallel run's output diverges from
+//! serial — the determinism guard CI relies on. Timing numbers are
+//! reported but never gated.
+
+use bench::parallel;
+use std::io::Write;
+use std::process::exit;
+
+const USAGE: &str = "\
+bench_parallel — serial vs sharded detector throughput (BENCH_parallel.json)
+
+USAGE: bench_parallel [OPTIONS]
+
+OPTIONS
+  --scale <F>        bench trace scale factor (default 0.4)
+  --threads <list>   comma-separated shard counts (default 1,2,4,8)
+  --repeat <N>       timing repeats, best-of (default 3)
+  --out <path>       artifact path (default BENCH_parallel.json)
+  -h, --help         this text
+";
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    exit(2)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 0.4f64;
+    let mut threads: Vec<usize> = vec![1, 2, 4, 8];
+    let mut repeats = 3usize;
+    let mut out_path = String::from("BENCH_parallel.json");
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return;
+            }
+            "--scale" => {
+                scale = it
+                    .next()
+                    .unwrap_or_else(|| die("--scale needs a value"))
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --scale"));
+                if !scale.is_finite() || scale <= 0.0 {
+                    die("--scale must be positive");
+                }
+            }
+            "--threads" => {
+                let v = it.next().unwrap_or_else(|| die("--threads needs a value"));
+                threads = v
+                    .split(',')
+                    .map(|t| match t.trim().parse::<usize>() {
+                        Ok(n) if n >= 1 => n,
+                        _ => die("--threads wants positive integers, e.g. 1,2,4,8"),
+                    })
+                    .collect();
+                if threads.is_empty() {
+                    die("--threads list is empty");
+                }
+            }
+            "--repeat" => {
+                repeats = it
+                    .next()
+                    .unwrap_or_else(|| die("--repeat needs a value"))
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --repeat"));
+                if repeats == 0 {
+                    die("--repeat must be at least 1");
+                }
+            }
+            "--out" => {
+                out_path = it
+                    .next()
+                    .unwrap_or_else(|| die("--out needs a value"))
+                    .clone();
+            }
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    eprintln!("bench_parallel: building the bench trace (scale {scale}) ...");
+    let records = parallel::bench_trace(scale);
+    eprintln!(
+        "bench_parallel: {} records; timing serial + {:?} shards, best of {}",
+        records.len(),
+        threads,
+        repeats
+    );
+    let bench = parallel::run_on(&records, &threads, repeats);
+
+    let json = bench.to_json();
+    let mut f = std::fs::File::create(&out_path).unwrap_or_else(|e| {
+        eprintln!("error: cannot create {out_path}: {e}");
+        exit(1);
+    });
+    f.write_all(json.as_bytes()).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out_path}: {e}");
+        exit(1);
+    });
+
+    eprintln!(
+        "serial: {:.1} records/s ({:.2} ms)",
+        bench.serial_records_per_s,
+        bench.serial_best_ns as f64 / 1e6
+    );
+    for s in &bench.samples {
+        eprintln!(
+            "threads {:>2}: {:.1} records/s  speedup {:.2}x  identical: {}",
+            s.threads, s.records_per_s, s.speedup, s.identical
+        );
+    }
+    eprintln!("wrote {out_path}");
+
+    if !bench.all_identical() {
+        eprintln!("error: parallel output DIVERGED from serial — determinism bug");
+        exit(1);
+    }
+}

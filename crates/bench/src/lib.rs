@@ -9,6 +9,7 @@
 pub mod baseline;
 pub mod experiments;
 pub mod harness;
+pub mod parallel;
 pub mod utilization;
 
 pub use harness::{collect, BackboneData, ExperimentData};

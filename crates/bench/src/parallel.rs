@@ -1,0 +1,168 @@
+//! Serial-vs-parallel throughput comparison for the sharded detector,
+//! reported as the `BENCH_parallel.json` artifact.
+//!
+//! Two guarantees are measured on every run:
+//!
+//! 1. **Determinism** (hard): every parallel run's full output — streams,
+//!    loops, per-record flags, and stage counters — must equal the serial
+//!    run's. A divergence is a correctness bug, and the CI bench-smoke
+//!    step fails on it regardless of timing.
+//! 2. **Throughput** (informational): records/second per thread count and
+//!    the speedup over serial. Timing is reported, never gated — CI
+//!    machines are too noisy for a timing assertion to mean anything.
+
+use loopscope::{DetectionResult, Detector, DetectorConfig, ShardedDetector, TraceRecord};
+use routing_loops::backbone::{paper_backbones, run_backbone};
+use std::time::Instant;
+
+/// One thread count's measurement.
+#[derive(Debug, Clone)]
+pub struct ParallelSample {
+    /// Worker shard count.
+    pub threads: usize,
+    /// Best-of-repeats wall time in nanoseconds.
+    pub best_ns: u64,
+    /// Records per second at `best_ns`.
+    pub records_per_s: f64,
+    /// `serial_best_ns / best_ns`.
+    pub speedup: f64,
+    /// Whether the run's output equalled the serial output exactly.
+    pub identical: bool,
+}
+
+/// The full comparison: one serial baseline, one sample per thread count.
+#[derive(Debug, Clone)]
+pub struct ParallelBench {
+    /// Trace size in records.
+    pub records: u64,
+    /// Validated streams found (same for every conforming run).
+    pub streams: u64,
+    /// Routing loops found.
+    pub loops: u64,
+    /// Serial best-of-repeats wall time in nanoseconds.
+    pub serial_best_ns: u64,
+    /// Serial records per second.
+    pub serial_records_per_s: f64,
+    /// Per-thread-count samples.
+    pub samples: Vec<ParallelSample>,
+}
+
+impl ParallelBench {
+    /// True when every parallel run matched the serial output.
+    pub fn all_identical(&self) -> bool {
+        self.samples.iter().all(|s| s.identical)
+    }
+
+    /// Renders the artifact document (hand-serialised; the workspace has
+    /// no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"bench\": \"parallel\",\n");
+        out.push_str(&format!("  \"records\": {},\n", self.records));
+        out.push_str(&format!("  \"streams\": {},\n", self.streams));
+        out.push_str(&format!("  \"loops\": {},\n", self.loops));
+        out.push_str(&format!(
+            "  \"serial\": {{\"ns\": {}, \"records_per_s\": {:.1}}},\n",
+            self.serial_best_ns, self.serial_records_per_s
+        ));
+        out.push_str(&format!("  \"all_identical\": {},\n", self.all_identical()));
+        out.push_str("  \"parallel\": [\n");
+        for (i, s) in self.samples.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"threads\": {}, \"ns\": {}, \"records_per_s\": {:.1}, \
+                 \"speedup\": {:.3}, \"identical\": {}}}{}\n",
+                s.threads,
+                s.best_ns,
+                s.records_per_s,
+                s.speedup,
+                s.identical,
+                if i + 1 < self.samples.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn results_equal(a: &DetectionResult, b: &DetectionResult) -> bool {
+    a.stats == b.stats
+        && a.streams == b.streams
+        && a.loops == b.loops
+        && a.looped_flags == b.looped_flags
+}
+
+fn time_best<F: FnMut() -> DetectionResult>(repeats: usize, mut f: F) -> (u64, DetectionResult) {
+    let mut best_ns = u64::MAX;
+    let mut out = None;
+    for _ in 0..repeats.max(1) {
+        let t = Instant::now();
+        let r = f();
+        best_ns = best_ns.min(t.elapsed().as_nanos() as u64);
+        out = Some(r);
+    }
+    (best_ns, out.expect("at least one repeat"))
+}
+
+/// Builds the bench trace: the busiest paper backbone at `scale`.
+pub fn bench_trace(scale: f64) -> Vec<TraceRecord> {
+    let spec = paper_backbones(scale).remove(1);
+    run_backbone(&spec).records
+}
+
+/// Runs the comparison on `records` for each of `thread_counts`, timing
+/// best-of-`repeats` and cross-checking every output against serial.
+pub fn run_on(records: &[TraceRecord], thread_counts: &[usize], repeats: usize) -> ParallelBench {
+    let cfg = DetectorConfig::default();
+    let (serial_best_ns, serial) = time_best(repeats, || Detector::new(cfg).run(records));
+    let per_s = |ns: u64| {
+        if ns == 0 {
+            0.0
+        } else {
+            records.len() as f64 / (ns as f64 / 1e9)
+        }
+    };
+    let samples = thread_counts
+        .iter()
+        .map(|&threads| {
+            let (best_ns, result) =
+                time_best(repeats, || ShardedDetector::new(cfg, threads).run(records));
+            ParallelSample {
+                threads,
+                best_ns,
+                records_per_s: per_s(best_ns),
+                speedup: serial_best_ns as f64 / best_ns.max(1) as f64,
+                identical: results_equal(&serial, &result),
+            }
+        })
+        .collect();
+    ParallelBench {
+        records: records.len() as u64,
+        streams: serial.streams.len() as u64,
+        loops: serial.loops.len() as u64,
+        serial_best_ns,
+        serial_records_per_s: per_s(serial_best_ns),
+        samples,
+    }
+}
+
+/// [`run_on`] over the standard bench trace.
+pub fn run(scale: f64, thread_counts: &[usize], repeats: usize) -> ParallelBench {
+    let records = bench_trace(scale);
+    run_on(&records, thread_counts, repeats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_bench_is_deterministic_and_serialisable() {
+        let bench = run(0.04, &[2, 4], 1);
+        assert!(bench.records > 0);
+        assert!(bench.all_identical(), "parallel diverged from serial");
+        let json = bench.to_json();
+        assert!(json.contains("\"bench\": \"parallel\""));
+        assert!(json.contains("\"all_identical\": true"));
+        assert!(json.contains("\"threads\": 4"));
+    }
+}

@@ -23,6 +23,11 @@
 //! traffic (Figs. 5–6), the destination scatter (Fig. 7), stream and loop
 //! duration CDFs (Figs. 8–9), and the loss/escape impact estimates (§VI).
 //!
+//! For multi-core machines, [`shard`] fans the same pipeline out over
+//! worker threads keyed by the replica identity's destination /24 —
+//! byte-identical output, near-linear speedup (see DESIGN.md for the
+//! no-cross-shard-state argument).
+//!
 //! The crate is deliberately independent of the simulator: it consumes
 //! [`record::TraceRecord`]s, which can come from simulated taps, pcap
 //! files, or any other 40-byte-snaplen capture source.
@@ -64,6 +69,7 @@ pub mod merge;
 pub mod online;
 pub mod record;
 pub mod replica;
+pub mod shard;
 pub mod stream;
 pub mod traffic_class;
 pub mod validate;
@@ -74,4 +80,5 @@ pub use merge::RoutingLoop;
 pub use online::{OnlineDetector, OnlineEvent};
 pub use record::{TraceRecord, TransportSummary};
 pub use replica::{DetectionResult, DetectionStats, Detector};
+pub use shard::{shard_of, shard_of_record, ShardedDetector};
 pub use stream::ReplicaStream;

@@ -166,21 +166,16 @@ impl OnlineDetector {
         match self.open.get_mut(&key) {
             Some(cand) => {
                 let last = *cand.observations.last().expect("non-empty");
-                let gap = rec.timestamp_ns.saturating_sub(last.timestamp_ns);
-                let ttl_ok = last.ttl >= rec.ttl.saturating_add(self.cfg.min_ttl_delta);
-                let fresh = gap <= self.cfg.max_replica_gap_ns;
-                let checksum_ok = if self.cfg.verify_checksum_consistency && ttl_ok {
-                    let expected = net_types::checksum::ttl_rewrite(
-                        cand.last_ip_checksum,
-                        last.ttl,
-                        rec.ttl,
-                        cand.protocol,
-                    );
-                    checksums_equivalent(expected, rec.ip_checksum)
-                } else {
-                    true
-                };
-                if ttl_ok && fresh && checksum_ok {
+                // The same continuation rule, verbatim, as the offline
+                // scanner — equivalence depends on it.
+                let check = crate::replica::check_continuation(
+                    &self.cfg,
+                    last,
+                    cand.last_ip_checksum,
+                    cand.protocol,
+                    rec,
+                );
+                if check.joins {
                     cand.observations.push(Observation {
                         timestamp_ns: rec.timestamp_ns,
                         ttl: rec.ttl,
@@ -437,11 +432,6 @@ impl OpenCandidate {
             protocol: rec.protocol,
         }
     }
-}
-
-fn checksums_equivalent(a: u16, b: u16) -> bool {
-    let canon = |c: u16| if c == 0xffff { 0 } else { c };
-    canon(a) == canon(b)
 }
 
 /// Runs the streaming detector over a full trace and collects the events —

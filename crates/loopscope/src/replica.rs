@@ -1,4 +1,10 @@
 //! Step 1 — replica detection — and the overall detection pipeline.
+//!
+//! Candidate grouping is exposed in two shapes: [`Detector::run`] drives
+//! the whole batch pipeline, while the crate-internal [`CandidateScanner`]
+//! is the push-based core it delegates to — the same scanner the sharded
+//! parallel pipeline ([`crate::shard`]) feeds record-by-record as records
+//! arrive from its ring buffers.
 
 use crate::config::DetectorConfig;
 use crate::key::ReplicaKey;
@@ -175,75 +181,150 @@ impl Detector {
         records: &[TraceRecord],
         stats: &mut DetectionStats,
     ) -> Vec<ReplicaStream> {
-        let mut open: HashMap<ReplicaKey, OpenCandidate> = HashMap::new();
-        let mut done: Vec<ReplicaStream> = Vec::new();
-        let mut opened = 0u64;
-        let mut discarded = 0u64;
-        let mut close = |key: ReplicaKey, cand: OpenCandidate, done: &mut Vec<ReplicaStream>| {
-            if cand.observations.len() >= 2 {
-                done.push(ReplicaStream {
-                    key,
-                    observations: cand.observations,
-                    record_indices: cand.record_indices,
-                });
-            } else {
-                discarded += 1;
-            }
-        };
+        let mut scanner = CandidateScanner::new(self.cfg);
         for (idx, rec) in records.iter().enumerate() {
-            let key = ReplicaKey::of(rec);
-            match open.get_mut(&key) {
-                Some(cand) => {
-                    let last = *cand.observations.last().expect("open candidate non-empty");
-                    let gap = rec.timestamp_ns.saturating_sub(last.timestamp_ns);
-                    let ttl_ok = last.ttl >= rec.ttl.saturating_add(self.cfg.min_ttl_delta);
-                    let fresh = gap <= self.cfg.max_replica_gap_ns;
-                    let checksum_ok = if self.cfg.verify_checksum_consistency && ttl_ok {
-                        let expected = net_types::checksum::ttl_rewrite(
-                            cand.last_ip_checksum,
-                            last.ttl,
-                            rec.ttl,
-                            cand.protocol,
-                        );
-                        checksums_equivalent(expected, rec.ip_checksum)
-                    } else {
-                        true
-                    };
-                    if ttl_ok && fresh && checksum_ok {
-                        cand.observations.push(Observation {
-                            timestamp_ns: rec.timestamp_ns,
-                            ttl: rec.ttl,
-                        });
-                        cand.record_indices.push(idx);
-                        cand.last_ip_checksum = rec.ip_checksum;
-                    } else {
-                        if ttl_ok && fresh && !checksum_ok {
-                            stats.checksum_splits += 1;
-                        }
-                        // Same key but not a continuation: close the old
-                        // candidate and start over from this sighting (a
-                        // link-layer duplicate, an ident wrap, or a stale
-                        // stream).
-                        let cand = open.remove(&key).unwrap();
-                        close(key, cand, &mut done);
-                        open.insert(key, OpenCandidate::new(rec, idx));
-                        opened += 1;
+            scanner.push(idx, rec);
+        }
+        let (done, counters) = scanner.finish();
+        stats.checksum_splits += counters.checksum_splits;
+        TM_CANDIDATES_OPENED.add(counters.opened);
+        TM_CANDIDATES_DISCARDED.add(counters.discarded);
+        done
+    }
+}
+
+/// The verdict on whether a sighting continues an open candidate.
+pub(crate) struct ContinuationCheck {
+    /// The sighting extends the candidate.
+    pub joins: bool,
+    /// The only reason it did not join was an RFC 1624-inconsistent IP
+    /// header checksum (a forced split, counted separately).
+    pub checksum_split: bool,
+}
+
+/// §IV-A.1's continuation rule, shared verbatim by the batch scanner and
+/// the online detector: the TTL must have dropped by at least
+/// `min_ttl_delta`, the silence must not exceed the replica gap, and the
+/// new IP header checksum must be arithmetically consistent with the TTL
+/// rewrite.
+pub(crate) fn check_continuation(
+    cfg: &DetectorConfig,
+    last: Observation,
+    last_ip_checksum: u16,
+    protocol: u8,
+    rec: &TraceRecord,
+) -> ContinuationCheck {
+    let gap = rec.timestamp_ns.saturating_sub(last.timestamp_ns);
+    let ttl_ok = last.ttl >= rec.ttl.saturating_add(cfg.min_ttl_delta);
+    let fresh = gap <= cfg.max_replica_gap_ns;
+    let checksum_ok = if cfg.verify_checksum_consistency && ttl_ok {
+        let expected =
+            net_types::checksum::ttl_rewrite(last_ip_checksum, last.ttl, rec.ttl, protocol);
+        checksums_equivalent(expected, rec.ip_checksum)
+    } else {
+        true
+    };
+    ContinuationCheck {
+        joins: ttl_ok && fresh && checksum_ok,
+        checksum_split: ttl_ok && fresh && !checksum_ok,
+    }
+}
+
+/// Counters accumulated by one [`CandidateScanner`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct ScanCounters {
+    /// Candidates opened (every first sighting of a key opens one).
+    pub opened: u64,
+    /// Candidates closed with fewer than two sightings.
+    pub discarded: u64,
+    /// Forced splits on checksum inconsistency.
+    pub checksum_splits: u64,
+}
+
+/// Push-based step-1 scanner: feed time-ordered records one at a time,
+/// collect the finished candidate replica sets at the end. Record indices
+/// are whatever the caller passes in — global trace positions for the
+/// serial pipeline, shard-local positions for the parallel one.
+pub(crate) struct CandidateScanner {
+    cfg: DetectorConfig,
+    open: HashMap<ReplicaKey, OpenCandidate>,
+    done: Vec<ReplicaStream>,
+    counters: ScanCounters,
+}
+
+impl CandidateScanner {
+    pub fn new(cfg: DetectorConfig) -> Self {
+        Self {
+            cfg,
+            open: HashMap::new(),
+            done: Vec::new(),
+            counters: ScanCounters::default(),
+        }
+    }
+
+    /// Consumes one record (callers guarantee timestamp order).
+    pub fn push(&mut self, idx: usize, rec: &TraceRecord) {
+        let key = ReplicaKey::of(rec);
+        match self.open.get_mut(&key) {
+            Some(cand) => {
+                let last = *cand.observations.last().expect("open candidate non-empty");
+                let check =
+                    check_continuation(&self.cfg, last, cand.last_ip_checksum, cand.protocol, rec);
+                if check.joins {
+                    cand.observations.push(Observation {
+                        timestamp_ns: rec.timestamp_ns,
+                        ttl: rec.ttl,
+                    });
+                    cand.record_indices.push(idx);
+                    cand.last_ip_checksum = rec.ip_checksum;
+                } else {
+                    if check.checksum_split {
+                        self.counters.checksum_splits += 1;
                     }
-                }
-                None => {
-                    open.insert(key, OpenCandidate::new(rec, idx));
-                    opened += 1;
+                    // Same key but not a continuation: close the old
+                    // candidate and start over from this sighting (a
+                    // link-layer duplicate, an ident wrap, or a stale
+                    // stream).
+                    let cand = self.open.remove(&key).unwrap();
+                    Self::close(key, cand, &mut self.done, &mut self.counters);
+                    self.open.insert(key, OpenCandidate::new(rec, idx));
+                    self.counters.opened += 1;
                 }
             }
+            None => {
+                self.open.insert(key, OpenCandidate::new(rec, idx));
+                self.counters.opened += 1;
+            }
         }
-        for (key, cand) in open.drain() {
-            close(key, cand, &mut done);
+    }
+
+    /// Closes every open candidate and returns the finished sets in
+    /// `(start time, first record index)` order.
+    pub fn finish(mut self) -> (Vec<ReplicaStream>, ScanCounters) {
+        for (key, cand) in self.open.drain() {
+            Self::close(key, cand, &mut self.done, &mut self.counters);
         }
-        TM_CANDIDATES_OPENED.add(opened);
-        TM_CANDIDATES_DISCARDED.add(discarded);
         // HashMap drain order is nondeterministic; normalise.
-        done.sort_by_key(|s| (s.start_ns(), s.record_indices[0]));
-        done
+        self.done
+            .sort_by_key(|s| (s.start_ns(), s.record_indices[0]));
+        (self.done, self.counters)
+    }
+
+    fn close(
+        key: ReplicaKey,
+        cand: OpenCandidate,
+        done: &mut Vec<ReplicaStream>,
+        counters: &mut ScanCounters,
+    ) {
+        if cand.observations.len() >= 2 {
+            done.push(ReplicaStream {
+                key,
+                observations: cand.observations,
+                record_indices: cand.record_indices,
+            });
+        } else {
+            counters.discarded += 1;
+        }
     }
 }
 

@@ -1,33 +1,65 @@
 #!/usr/bin/env bash
-# Tier-1 gate: everything a PR must pass before merging.
+# The gate a PR must pass. CI (.github/workflows/ci.yml) runs this exact
+# script, so a green local run means a green CI run.
 #
-#   scripts/check.sh            # build, test, fmt, clippy
-#   scripts/check.sh --quick    # skip the release build
+#   scripts/check.sh            # tests + lint (everything below)
+#   scripts/check.sh --quick    # release build + tier-1 tests only
+#   scripts/check.sh --tests    # release build + tier-1 + workspace tests
+#   scripts/check.sh --lint     # rustfmt --check + clippy -D warnings
+#   scripts/check.sh --bench    # bench smoke: parallel determinism guard
+#
+# Every cargo invocation runs with RUSTFLAGS += "-D warnings": any compiler
+# warning — not just a clippy lint — fails the gate loudly.
 #
 # Each step prints a banner so CI logs show where a failure happened.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-quick=0
-[[ "${1:-}" == "--quick" ]] && quick=1
+mode="${1:-full}"
+case "$mode" in
+    --quick) mode=quick ;;
+    --tests) mode=tests ;;
+    --lint)  mode=lint ;;
+    --bench) mode=bench ;;
+    full) ;;
+    *) echo "usage: scripts/check.sh [--quick|--tests|--lint|--bench]" >&2; exit 2 ;;
+esac
+
+export RUSTFLAGS="${RUSTFLAGS:-} -D warnings"
 
 banner() { printf '\n==== %s ====\n' "$*"; }
 
-if [[ $quick -eq 0 ]]; then
+run_build_and_tier1() {
     banner "cargo build --release"
     cargo build --release
-fi
+    banner "cargo test -q (root package: tier-1)"
+    cargo test -q
+}
 
-banner "cargo test -q (root package: tier-1)"
-cargo test -q
+run_workspace_tests() {
+    banner "cargo test --workspace -q"
+    cargo test --workspace -q
+}
 
-banner "cargo test --workspace -q"
-cargo test --workspace -q
+run_lint() {
+    banner "cargo fmt --check"
+    cargo fmt --all --check
+    banner "cargo clippy --workspace -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+}
 
-banner "cargo fmt --check"
-cargo fmt --all --check
+run_bench_smoke() {
+    banner "bench smoke: serial vs parallel determinism (BENCH_parallel.json)"
+    cargo run -p bench --release --bin bench_parallel -- \
+        --scale 0.05 --repeat 1 --threads 1,2,4,8 --out BENCH_parallel.json
+}
 
-banner "cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+case "$mode" in
+    quick) run_build_and_tier1 ;;
+    tests) run_build_and_tier1; run_workspace_tests ;;
+    lint)  run_lint ;;
+    bench) run_bench_smoke ;;
+    full)  run_build_and_tier1; run_workspace_tests; run_lint ;;
+esac
 
 banner "OK"

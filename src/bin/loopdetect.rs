@@ -12,6 +12,7 @@
 //! loopdetect trace.pcap --merge-gap-min 5    # A1 ablation gap
 //! loopdetect trace.pcap --no-validate        # A2 ablation (raw candidates)
 //! loopdetect trace.pcap --streaming          # bounded-memory single pass
+//! loopdetect trace.pcap --threads 4          # sharded parallel detection
 //! loopdetect trace.pcap --persistent-s 60    # persistence threshold
 //! loopdetect trace.pcap --metrics -          # telemetry snapshot (JSON) to stdout
 //! loopdetect trace.pcap --metrics run.json   # telemetry snapshot to a file
@@ -25,7 +26,7 @@
 use routing_loops::convert::records_from_pcap;
 use routing_loops::loopscope::merge::LoopKind;
 use routing_loops::loopscope::online::{OnlineDetector, OnlineEvent};
-use routing_loops::loopscope::{analysis, impact, Detector, DetectorConfig};
+use routing_loops::loopscope::{analysis, impact, Detector, DetectorConfig, ShardedDetector};
 use std::fs::File;
 use std::io::BufReader;
 use std::io::Write;
@@ -42,6 +43,10 @@ OPTIONS
   --no-validate                  skip step-2 validation (raw replica sets)
   --no-checksum-verify           skip RFC 1624 consistency verification
   --streaming                    use the single-pass bounded-memory detector
+  --threads <N>                  worker shards for parallel detection
+                                 (default: available cores; 1 = the exact
+                                 serial legacy path; output is always
+                                 byte-identical to --threads 1)
   --persistent-s <N>             persistence threshold in seconds (default 60)
   --metrics <path|->             write the telemetry snapshot (JSON) to a
                                  file, or to stdout with '-'
@@ -56,6 +61,7 @@ struct Args {
     csv: Option<String>,
     cfg: DetectorConfig,
     streaming: bool,
+    threads: usize,
     persistent_s: u64,
     metrics: Option<String>,
     progress: bool,
@@ -66,6 +72,7 @@ fn parse_args() -> Args {
     let mut csv = None;
     let mut cfg = DetectorConfig::default();
     let mut streaming = false;
+    let mut threads: Option<usize> = None;
     let mut persistent_s = 60;
     let mut metrics = None;
     let mut progress = false;
@@ -107,6 +114,16 @@ fn parse_args() -> Args {
             }
             "--no-checksum-verify" => cfg.verify_checksum_consistency = false,
             "--streaming" => streaming = true,
+            "--threads" => {
+                let v = it.next().unwrap_or_else(|| die("--threads needs a value"));
+                let n: usize = v.parse().unwrap_or_else(|_| {
+                    die(&format!("--threads must be a positive integer, got {v:?}"))
+                });
+                if n == 0 {
+                    die("--threads must be at least 1 (0 workers cannot detect anything)");
+                }
+                threads = Some(n);
+            }
             "--persistent-s" => {
                 persistent_s = it
                     .next()
@@ -123,11 +140,22 @@ fn parse_args() -> Args {
     if let Some(level) = verbosity {
         telemetry::logging::set_default_level(Some(level));
     }
+    if streaming && threads.is_some_and(|n| n > 1) {
+        die("--streaming is a single-pass detector; it cannot be combined with --threads > 1");
+    }
+    let threads = if streaming {
+        1
+    } else {
+        threads.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+    };
     Args {
         path: path.unwrap_or_else(|| die("missing trace path")),
         csv,
         cfg,
         streaming,
+        threads,
         persistent_s,
         metrics,
         progress,
@@ -195,6 +223,9 @@ fn main() {
         }
         loops.sort_by_key(|l| (l.prefix, l.start_ns));
         (streams, loops)
+    } else if args.threads > 1 {
+        let result = ShardedDetector::new(args.cfg, args.threads).run(&records);
+        (result.streams, result.loops)
     } else {
         let result = Detector::new(args.cfg).run(&records);
         (result.streams, result.loops)

@@ -89,6 +89,82 @@ fn streaming_mode_matches_offline() {
 }
 
 #[test]
+fn threads_output_is_byte_identical_to_serial() {
+    let pcap = demo_pcap();
+    for csv in ["loops", "streams", "summary"] {
+        let serial = loopdetect()
+            .arg(&pcap)
+            .args(["--csv", csv, "--threads", "1"])
+            .output()
+            .unwrap();
+        assert!(serial.status.success(), "{serial:?}");
+        for threads in ["2", "4", "8"] {
+            let par = loopdetect()
+                .arg(&pcap)
+                .args(["--csv", csv, "--threads", threads])
+                .output()
+                .unwrap();
+            assert!(par.status.success(), "{par:?}");
+            assert_eq!(
+                serial.stdout, par.stdout,
+                "--csv {csv} --threads {threads} must match serial byte-for-byte"
+            );
+        }
+    }
+    // The default text report too.
+    let serial = loopdetect()
+        .arg(&pcap)
+        .args(["--threads", "1"])
+        .output()
+        .unwrap();
+    let par = loopdetect()
+        .arg(&pcap)
+        .args(["--threads", "4"])
+        .output()
+        .unwrap();
+    assert_eq!(serial.stdout, par.stdout);
+    let _ = std::fs::remove_file(&pcap);
+}
+
+#[test]
+fn threads_flag_rejects_nonsense() {
+    // 0 workers, non-numeric, and missing values must all die with a
+    // clear stderr message and a nonzero exit, like the other flags.
+    for bad in [
+        &["--threads", "0"][..],
+        &["--threads", "four"],
+        &["--threads"],
+    ] {
+        let out = loopdetect().arg("ignored.pcap").args(bad).output().unwrap();
+        assert!(!out.status.success(), "{bad:?} must fail");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            err.contains("--threads"),
+            "stderr must name the flag: {err}"
+        );
+        assert!(err.contains("USAGE"), "{err}");
+    }
+    // --streaming is single-pass: more than one worker is an error...
+    let out = loopdetect()
+        .arg("ignored.pcap")
+        .args(["--streaming", "--threads", "4"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--streaming"), "{err}");
+    // ...but an explicit --threads 1 is fine (the legacy path).
+    let pcap = demo_pcap();
+    let out = loopdetect()
+        .arg(&pcap)
+        .args(["--streaming", "--threads", "1", "--csv", "summary"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let _ = std::fs::remove_file(&pcap);
+}
+
+#[test]
 fn bad_arguments_fail_cleanly() {
     let out = loopdetect().arg("--nonsense").output().unwrap();
     assert!(!out.status.success());

@@ -2,7 +2,9 @@
 //! paper's qualitative shapes against ground truth.
 
 use routing_loops::backbone::{paper_backbones, run_backbone, BackboneSpec};
-use routing_loops::loopscope::{analysis, Detector, DetectorConfig};
+use routing_loops::loopscope::{
+    analysis, DetectionResult, Detector, DetectorConfig, ShardedDetector,
+};
 use routing_loops::simnet::SimDuration;
 use routing_loops::traffic::TtlConfig;
 
@@ -228,6 +230,59 @@ fn online_detector_matches_offline_on_backbone() {
         stats.rejected_covalidation,
         offline.stats.rejected_covalidation
     );
+}
+
+/// Full-output equality: streams, loops, per-record flags, counters.
+fn assert_detections_equal(a: &DetectionResult, b: &DetectionResult, what: &str) {
+    assert_eq!(a.stats, b.stats, "{what}: stats diverged");
+    assert_eq!(a.streams, b.streams, "{what}: streams diverged");
+    assert_eq!(a.loops, b.loops, "{what}: loops diverged");
+    assert_eq!(a.looped_flags, b.looped_flags, "{what}: flags diverged");
+}
+
+#[test]
+fn sharded_detector_matches_serial_on_backbone() {
+    // The determinism contract behind `loopdetect --threads N`: sharded
+    // parallel detection is byte-identical to the serial pipeline at
+    // every thread count, on a full backbone trace.
+    let run = run_backbone(&small_spec());
+    let serial = Detector::new(DetectorConfig::default()).run(&run.records);
+    assert!(!serial.streams.is_empty(), "fixture must contain loops");
+    for threads in [2usize, 4, 8] {
+        let par = ShardedDetector::new(DetectorConfig::default(), threads).run(&run.records);
+        assert_detections_equal(&serial, &par, &format!("{threads} threads"));
+    }
+}
+
+#[test]
+fn sharded_detector_matches_serial_on_pcap_fixture() {
+    // Same contract through the pcap path: export the trace at the
+    // paper's snaplen, read it back, and compare serial vs sharded on the
+    // re-read records (the integration fixture `loopdetect` consumes).
+    use routing_loops::convert::{records_from_pcap, write_tap_to_pcap, PAPER_SNAPLEN};
+    let mut spec = small_spec();
+    spec.name = "pipeline-pcap".into();
+    spec.reserved_icmp = true;
+    let run = run_backbone(&spec);
+    let mut buf = Vec::new();
+    write_tap_to_pcap(&run.tap, PAPER_SNAPLEN, &mut buf).unwrap();
+    let (records, _skipped) = records_from_pcap(std::io::Cursor::new(&buf)).unwrap();
+    let serial = Detector::new(DetectorConfig::default()).run(&records);
+    for threads in [2usize, 4, 8] {
+        let par = ShardedDetector::new(DetectorConfig::default(), threads).run(&records);
+        assert_detections_equal(&serial, &par, &format!("pcap, {threads} threads"));
+    }
+}
+
+#[test]
+fn sharded_detector_is_deterministic_across_runs() {
+    // Two sharded runs at the same thread count agree with each other
+    // (worker scheduling must not leak into the output).
+    let run = run_backbone(&small_spec());
+    let det = ShardedDetector::new(DetectorConfig::default(), 4);
+    let a = det.run(&run.records);
+    let b = det.run(&run.records);
+    assert_detections_equal(&a, &b, "re-run at 4 threads");
 }
 
 #[test]
