@@ -8,8 +8,12 @@
 //! ```
 //!
 //! Exit status is nonzero when any parallel run's output diverges from
-//! serial — the determinism guard CI relies on. Timing numbers are
-//! reported but never gated.
+//! serial — the determinism guard CI relies on. With `--gate <baseline>`,
+//! throughput floors are enforced too: serial records/s must stay within
+//! 10% of the committed baseline, and on machines with at least 4 cores
+//! the 4-thread speedup must reach 1.2×. The scaling floor is skipped
+//! (loudly) on smaller machines, where wall-clock parallel speedup is
+//! physically impossible.
 
 use bench::parallel;
 use std::io::Write;
@@ -25,8 +29,77 @@ OPTIONS
   --threads <list>   comma-separated shard counts (default 1,2,4,8)
   --repeat <N>       timing repeats, best-of (default 3)
   --out <path>       artifact path (default BENCH_parallel.json)
+  --gate <path>      baseline BENCH_parallel.json to enforce floors against
   -h, --help         this text
 ";
+
+/// Minimum acceptable `serial records/s ÷ baseline records/s` under
+/// `--gate` — i.e. at most a 10% serial-throughput regression.
+const GATE_SERIAL_FLOOR: f64 = 0.9;
+
+/// Minimum 4-thread speedup under `--gate`, enforced only when the
+/// machine has at least [`GATE_MIN_CORES`] cores.
+const GATE_SPEEDUP_FLOOR: f64 = 1.2;
+
+/// Cores needed before the speedup floor is meaningful: with fewer, the
+/// OS time-slices the shard workers onto the same silicon and thread
+/// handoff is pure overhead.
+const GATE_MIN_CORES: usize = 4;
+
+/// Pulls `"serial": {... "records_per_s": <x> ...}` out of a baseline
+/// artifact (hand-rolled; the workspace has no serde).
+fn extract_serial_rps(json: &str) -> Option<f64> {
+    let serial = json.find("\"serial\":")?;
+    let rest = &json[serial..];
+    let key = "\"records_per_s\":";
+    let at = rest.find(key)?;
+    let after = &rest[at + key.len()..];
+    let end = after.find([',', '}'])?;
+    after[..end].trim().parse().ok()
+}
+
+/// Applies the throughput floors against a baseline document; returns the
+/// list of violations (empty = pass).
+fn gate_failures(bench: &parallel::ParallelBench, baseline_json: &str) -> Vec<String> {
+    let mut failures = Vec::new();
+    match extract_serial_rps(baseline_json) {
+        Some(base_rps) if base_rps > 0.0 => {
+            let floor = base_rps * GATE_SERIAL_FLOOR;
+            if bench.serial_records_per_s < floor {
+                failures.push(format!(
+                    "serial throughput regressed: {:.0} records/s < {:.0} \
+                     ({}% of baseline {:.0})",
+                    bench.serial_records_per_s,
+                    floor,
+                    (GATE_SERIAL_FLOOR * 100.0) as u32,
+                    base_rps
+                ));
+            }
+        }
+        _ => failures.push("baseline has no parseable serial records_per_s".to_string()),
+    }
+    match bench.samples.iter().find(|s| s.threads == GATE_MIN_CORES) {
+        Some(s4) if bench.cores >= GATE_MIN_CORES => {
+            if s4.speedup < GATE_SPEEDUP_FLOOR {
+                failures.push(format!(
+                    "{GATE_MIN_CORES}-thread speedup {:.3}x below the \
+                     {GATE_SPEEDUP_FLOOR}x floor on a {}-core machine",
+                    s4.speedup, bench.cores
+                ));
+            }
+        }
+        Some(_) => eprintln!(
+            "gate: SKIPPING the {GATE_MIN_CORES}-thread speedup floor — only {} core(s) \
+             available, wall-clock parallel speedup is not physically possible here",
+            bench.cores
+        ),
+        None => eprintln!(
+            "gate: SKIPPING the speedup floor — no {GATE_MIN_CORES}-thread sample \
+             in this run"
+        ),
+    }
+    failures
+}
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}\n{USAGE}");
@@ -39,6 +112,7 @@ fn main() {
     let mut threads: Vec<usize> = vec![1, 2, 4, 8];
     let mut repeats = 3usize;
     let mut out_path = String::from("BENCH_parallel.json");
+    let mut gate_path: Option<String> = None;
     let mut it = argv.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -85,9 +159,24 @@ fn main() {
                     .unwrap_or_else(|| die("--out needs a value"))
                     .clone();
             }
+            "--gate" => {
+                gate_path = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--gate needs a value"))
+                        .clone(),
+                );
+            }
             other => die(&format!("unknown argument {other:?}")),
         }
     }
+
+    // Read the baseline up front: `--out` may overwrite the same file.
+    let baseline_json = gate_path.as_ref().map(|p| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("error: cannot read gate baseline {p}: {e}");
+            exit(2);
+        })
+    });
 
     eprintln!("bench_parallel: building the bench trace (scale {scale}) ...");
     let records = parallel::bench_trace(scale);
@@ -109,6 +198,11 @@ fn main() {
         exit(1);
     });
 
+    eprintln!("cores: {}", bench.cores);
+    eprintln!(
+        "ingest: {:.1} records/s ({} records)",
+        bench.ingest_records_per_s, bench.ingest_records
+    );
     eprintln!(
         "serial: {:.1} records/s ({:.2} ms)",
         bench.serial_records_per_s,
@@ -125,5 +219,16 @@ fn main() {
     if !bench.all_identical() {
         eprintln!("error: parallel output DIVERGED from serial — determinism bug");
         exit(1);
+    }
+    if let Some(baseline) = baseline_json {
+        let failures = gate_failures(&bench, &baseline);
+        if failures.is_empty() {
+            eprintln!("gate: throughput floors passed");
+        } else {
+            for f in &failures {
+                eprintln!("gate FAILURE: {f}");
+            }
+            exit(1);
+        }
     }
 }

@@ -1,19 +1,40 @@
 //! Serial-vs-parallel throughput comparison for the sharded detector,
 //! reported as the `BENCH_parallel.json` artifact.
 //!
-//! Two guarantees are measured on every run:
+//! Measured on every run:
 //!
 //! 1. **Determinism** (hard): every parallel run's full output — streams,
 //!    loops, per-record flags, and stage counters — must equal the serial
 //!    run's. A divergence is a correctness bug, and the CI bench-smoke
 //!    step fails on it regardless of timing.
-//! 2. **Throughput** (informational): records/second per thread count and
-//!    the speedup over serial. Timing is reported, never gated — CI
-//!    machines are too noisy for a timing assertion to mean anything.
+//! 2. **Throughput**: records/second for serial and per thread count, the
+//!    speedup over serial, and the pcap-ingest rate of the zero-alloc
+//!    reader. `bench_parallel --gate <baseline.json>` turns these into CI
+//!    floors (serial regression, parallel scaling) — the scaling floor is
+//!    enforced only on machines with enough cores for wall-clock speedup
+//!    to be physically possible.
+//! 3. **Stage breakdown**: per-stage wall time extracted from the
+//!    telemetry timers, for both the serial pipeline and each sharded
+//!    run. Worker-side shard stages overlap in time, so their totals are
+//!    aggregate worker-seconds, not wall time.
 
 use loopscope::{DetectionResult, Detector, DetectorConfig, ShardedDetector, TraceRecord};
 use routing_loops::backbone::{paper_backbones, run_backbone};
 use std::time::Instant;
+
+/// Serial pipeline stage timers, in pipeline order.
+pub const SERIAL_STAGES: [&str; 3] = ["replica.detect", "validate", "merge"];
+
+/// Sharded pipeline stage timers, in pipeline order. The dispatch and
+/// result-merge stages run on the producer thread (wall time); the shard
+/// stages aggregate across workers (worker-seconds).
+pub const PARALLEL_STAGES: [&str; 5] = [
+    "shard.dispatch",
+    "shard.detect",
+    "shard.validate",
+    "shard.merge",
+    "shard.merge_results",
+];
 
 /// One thread count's measurement.
 #[derive(Debug, Clone)]
@@ -28,9 +49,12 @@ pub struct ParallelSample {
     pub speedup: f64,
     /// Whether the run's output equalled the serial output exactly.
     pub identical: bool,
+    /// `(timer name, total ns)` per stage, from one instrumented run.
+    pub stages: Vec<(&'static str, u64)>,
 }
 
-/// The full comparison: one serial baseline, one sample per thread count.
+/// The full comparison: one serial baseline, one sample per thread count,
+/// plus the ingest rate of the pcap read path.
 #[derive(Debug, Clone)]
 pub struct ParallelBench {
     /// Trace size in records.
@@ -39,10 +63,21 @@ pub struct ParallelBench {
     pub streams: u64,
     /// Routing loops found.
     pub loops: u64,
+    /// CPU cores available to this process — the context every speedup
+    /// number must be read in.
+    pub cores: usize,
     /// Serial best-of-repeats wall time in nanoseconds.
     pub serial_best_ns: u64,
     /// Serial records per second.
     pub serial_records_per_s: f64,
+    /// Serial per-stage breakdown (`(timer name, total ns)`).
+    pub serial_stages: Vec<(&'static str, u64)>,
+    /// Records scanned by the pcap-ingest measurement.
+    pub ingest_records: u64,
+    /// Wall time of the pcap-ingest measurement in nanoseconds.
+    pub ingest_ns: u64,
+    /// Ingest throughput (pcap bytes → `TraceRecord`s) in records/second.
+    pub ingest_records_per_s: f64,
     /// Per-thread-count samples.
     pub samples: Vec<ParallelSample>,
 }
@@ -56,26 +91,43 @@ impl ParallelBench {
     /// Renders the artifact document (hand-serialised; the workspace has
     /// no serde).
     pub fn to_json(&self) -> String {
+        let stages_json = |stages: &[(&'static str, u64)]| {
+            let fields: Vec<String> = stages
+                .iter()
+                .map(|(name, ns)| format!("\"{name}\": {ns}"))
+                .collect();
+            format!("{{{}}}", fields.join(", "))
+        };
         let mut out = String::from("{\n");
         out.push_str("  \"bench\": \"parallel\",\n");
         out.push_str(&format!("  \"records\": {},\n", self.records));
         out.push_str(&format!("  \"streams\": {},\n", self.streams));
         out.push_str(&format!("  \"loops\": {},\n", self.loops));
+        out.push_str(&format!("  \"cores\": {},\n", self.cores));
+        out.push_str(&format!(
+            "  \"ingest\": {{\"records\": {}, \"ns\": {}, \"records_per_s\": {:.1}}},\n",
+            self.ingest_records, self.ingest_ns, self.ingest_records_per_s
+        ));
         out.push_str(&format!(
             "  \"serial\": {{\"ns\": {}, \"records_per_s\": {:.1}}},\n",
             self.serial_best_ns, self.serial_records_per_s
+        ));
+        out.push_str(&format!(
+            "  \"serial_stages\": {},\n",
+            stages_json(&self.serial_stages)
         ));
         out.push_str(&format!("  \"all_identical\": {},\n", self.all_identical()));
         out.push_str("  \"parallel\": [\n");
         for (i, s) in self.samples.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"threads\": {}, \"ns\": {}, \"records_per_s\": {:.1}, \
-                 \"speedup\": {:.3}, \"identical\": {}}}{}\n",
+                 \"speedup\": {:.3}, \"identical\": {}, \"stages\": {}}}{}\n",
                 s.threads,
                 s.best_ns,
                 s.records_per_s,
                 s.speedup,
                 s.identical,
+                stages_json(&s.stages),
                 if i + 1 < self.samples.len() { "," } else { "" }
             ));
         }
@@ -103,10 +155,70 @@ fn time_best<F: FnMut() -> DetectionResult>(repeats: usize, mut f: F) -> (u64, D
     (best_ns, out.expect("at least one repeat"))
 }
 
+/// Runs `run` once with freshly-zeroed telemetry and returns the listed
+/// stage timers' totals. The instrumented run is separate from the timed
+/// repeats so snapshotting never perturbs the wall-clock numbers.
+fn measure_stages<F: FnMut()>(keys: &[&'static str], mut run: F) -> Vec<(&'static str, u64)> {
+    telemetry::global().reset();
+    run();
+    let snap = telemetry::global().snapshot();
+    keys.iter()
+        .map(|&k| (k, snap.timers.get(k).map_or(0, |t| t.total_ns)))
+        .collect()
+}
+
 /// Builds the bench trace: the busiest paper backbone at `scale`.
 pub fn bench_trace(scale: f64) -> Vec<TraceRecord> {
     let spec = paper_backbones(scale).remove(1);
     run_backbone(&spec).records
+}
+
+/// Measures the zero-alloc pcap ingest rate: synthesises an in-memory
+/// 40-byte-snaplen trace of `n_records` packets, then times
+/// `records_from_pcap` over it. Returns `(records, ns, records_per_s)`.
+pub fn bench_ingest(n_records: usize) -> (u64, u64, f64) {
+    use net_types::{Packet, TcpFlags};
+    use pcaplib::{FileHeader, PcapWriter};
+    use std::net::Ipv4Addr;
+
+    // A small cycling set of distinct pre-emitted packets keeps file
+    // construction (untimed) cheap without handing the reader one
+    // endlessly repeated block.
+    let variants: Vec<Vec<u8>> = (0..256u16)
+        .map(|i| {
+            let mut p = Packet::tcp_flags(
+                Ipv4Addr::new(100, 64, (i >> 8) as u8, i as u8),
+                Ipv4Addr::new(203, 0, 113, (i % 250) as u8 + 1),
+                1024 + i,
+                80,
+                TcpFlags::ACK,
+                &b"0123456789abcdef"[..],
+            );
+            p.ip.ident = i;
+            p.fill_checksums();
+            p.emit()
+        })
+        .collect();
+    let sink = Vec::with_capacity(n_records * 56 + 24);
+    let mut w = PcapWriter::new(sink, FileHeader::raw_ip(40)).expect("in-memory writer");
+    for i in 0..n_records {
+        w.write_bytes(i as u64 * 1_000, &variants[i % variants.len()])
+            .expect("in-memory write");
+    }
+    let file = w.finish().expect("in-memory finish");
+
+    let t = Instant::now();
+    let (records, skipped) =
+        routing_loops::convert::records_from_pcap(std::io::Cursor::new(&file[..]))
+            .expect("synthetic trace must parse");
+    let ns = t.elapsed().as_nanos() as u64;
+    assert_eq!(skipped, 0, "synthetic packets must all parse");
+    let rps = if ns == 0 {
+        0.0
+    } else {
+        records.len() as f64 / (ns as f64 / 1e9)
+    };
+    (records.len() as u64, ns, rps)
 }
 
 /// Runs the comparison on `records` for each of `thread_counts`, timing
@@ -114,6 +226,9 @@ pub fn bench_trace(scale: f64) -> Vec<TraceRecord> {
 pub fn run_on(records: &[TraceRecord], thread_counts: &[usize], repeats: usize) -> ParallelBench {
     let cfg = DetectorConfig::default();
     let (serial_best_ns, serial) = time_best(repeats, || Detector::new(cfg).run(records));
+    let serial_stages = measure_stages(&SERIAL_STAGES, || {
+        Detector::new(cfg).run(records);
+    });
     let per_s = |ns: u64| {
         if ns == 0 {
             0.0
@@ -126,21 +241,31 @@ pub fn run_on(records: &[TraceRecord], thread_counts: &[usize], repeats: usize) 
         .map(|&threads| {
             let (best_ns, result) =
                 time_best(repeats, || ShardedDetector::new(cfg, threads).run(records));
+            let stages = measure_stages(&PARALLEL_STAGES, || {
+                ShardedDetector::new(cfg, threads).run(records);
+            });
             ParallelSample {
                 threads,
                 best_ns,
                 records_per_s: per_s(best_ns),
                 speedup: serial_best_ns as f64 / best_ns.max(1) as f64,
                 identical: results_equal(&serial, &result),
+                stages,
             }
         })
         .collect();
+    let (ingest_records, ingest_ns, ingest_records_per_s) = bench_ingest(records.len().max(1));
     ParallelBench {
         records: records.len() as u64,
         streams: serial.streams.len() as u64,
         loops: serial.loops.len() as u64,
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
         serial_best_ns,
         serial_records_per_s: per_s(serial_best_ns),
+        serial_stages,
+        ingest_records,
+        ingest_ns,
+        ingest_records_per_s,
         samples,
     }
 }
@@ -160,9 +285,22 @@ mod tests {
         let bench = run(0.04, &[2, 4], 1);
         assert!(bench.records > 0);
         assert!(bench.all_identical(), "parallel diverged from serial");
+        assert!(bench.cores >= 1);
+        assert!(bench.ingest_records == bench.records);
+        assert!(bench.ingest_records_per_s > 0.0);
+        let serial_detect = bench
+            .serial_stages
+            .iter()
+            .find(|(k, _)| *k == "replica.detect")
+            .expect("serial breakdown present");
+        assert!(serial_detect.1 > 0, "detect stage must record time");
         let json = bench.to_json();
         assert!(json.contains("\"bench\": \"parallel\""));
         assert!(json.contains("\"all_identical\": true"));
         assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\"cores\": "));
+        assert!(json.contains("\"ingest\": {\"records\": "));
+        assert!(json.contains("\"serial_stages\": {\"replica.detect\": "));
+        assert!(json.contains("\"shard.dispatch\": "));
     }
 }

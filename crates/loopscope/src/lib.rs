@@ -25,8 +25,10 @@
 //!
 //! For multi-core machines, [`shard`] fans the same pipeline out over
 //! worker threads keyed by the replica identity's destination /24 —
-//! byte-identical output, near-linear speedup (see DESIGN.md for the
-//! no-cross-shard-state argument).
+//! byte-identical output, with batched lock-light rings keeping the
+//! transport overhead to one lock round-trip per 1024-record batch
+//! (see DESIGN.md for the no-cross-shard-state argument and the
+//! measured throughput record).
 //!
 //! The crate is deliberately independent of the simulator: it consumes
 //! [`record::TraceRecord`]s, which can come from simulated taps, pcap
@@ -63,6 +65,7 @@
 
 pub mod analysis;
 pub mod config;
+pub mod fxhash;
 pub mod impact;
 pub mod key;
 pub mod merge;
@@ -75,6 +78,7 @@ pub mod traffic_class;
 pub mod validate;
 
 pub use config::DetectorConfig;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use key::ReplicaKey;
 pub use merge::RoutingLoop;
 pub use online::{OnlineDetector, OnlineEvent};

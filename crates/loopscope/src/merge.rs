@@ -114,22 +114,28 @@ impl RoutingLoop {
 }
 
 /// Merges validated streams into routing loops.
+///
+/// Takes the streams by reference — the caller keeps its vector (it is
+/// the [`crate::DetectionResult::streams`] output) and only the streams
+/// absorbed into loops are cloned, one each, inside. This is what lets
+/// the sharded pipeline hand its per-shard `validated` set to merge
+/// without the wholesale `Vec` clone it used to pay per shard.
 pub fn merge(
     _records: &[TraceRecord],
-    streams: Vec<ReplicaStream>,
+    streams: &[ReplicaStream],
     looped_flags: &[bool],
     index: &PrefixIndex,
     cfg: &DetectorConfig,
 ) -> Vec<RoutingLoop> {
-    // Group by /24.
-    let mut by_prefix: BTreeMap<Ipv4Prefix, Vec<ReplicaStream>> = BTreeMap::new();
-    for s in streams {
-        by_prefix.entry(s.dst_slash24()).or_default().push(s);
+    // Group by /24 (indices only; nothing is cloned yet).
+    let mut by_prefix: BTreeMap<Ipv4Prefix, Vec<usize>> = BTreeMap::new();
+    for (i, s) in streams.iter().enumerate() {
+        by_prefix.entry(s.dst_slash24()).or_default().push(i);
     }
     let mut out = Vec::new();
     for (prefix, mut group) in by_prefix {
-        group.sort_by_key(|s| (s.start_ns(), s.end_ns()));
-        let mut iter = group.into_iter();
+        group.sort_by_key(|&i| (streams[i].start_ns(), streams[i].end_ns()));
+        let mut iter = group.into_iter().map(|i| streams[i].clone());
         let mut current = RoutingLoop::from_stream(iter.next().expect("non-empty group"));
         for s in iter {
             let overlap = s.start_ns() <= current.end_ns;
@@ -225,7 +231,7 @@ mod tests {
         cfg: &DetectorConfig,
     ) -> Vec<RoutingLoop> {
         let index = PrefixIndex::build(&records);
-        merge(&records, streams, &looped, &index, cfg)
+        merge(&records, &streams, &looped, &index, cfg)
     }
 
     #[test]

@@ -16,11 +16,12 @@
 //! requires.
 
 use crate::config::DetectorConfig;
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::key::ReplicaKey;
 use crate::merge::RoutingLoop;
 use crate::record::TraceRecord;
 use crate::stream::{Observation, ReplicaStream};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use telemetry::{tm_trace, LazyCounter, LazyGauge};
 
 static TM_OPEN_CANDIDATES: LazyGauge = LazyGauge::new("online.open_candidates");
@@ -55,7 +56,7 @@ struct PrefixState {
     /// result is byte-identical to the offline merge.
     pending: Vec<ReplicaStream>,
     /// First-observation time of every open candidate to this prefix.
-    open_cands: HashMap<ReplicaKey, u64>,
+    open_cands: FxHashMap<ReplicaKey, u64>,
 }
 
 /// Single-pass detector.
@@ -64,11 +65,11 @@ pub struct OnlineDetector {
     history_horizon_ns: u64,
     now: u64,
     seq: u64,
-    open: HashMap<ReplicaKey, OpenCandidate>,
-    prefixes: HashMap<net_types::Ipv4Prefix, PrefixState>,
+    open: FxHashMap<ReplicaKey, OpenCandidate>,
+    prefixes: FxHashMap<net_types::Ipv4Prefix, PrefixState>,
     /// Sequence numbers of records known to belong to a candidate with at
     /// least two sightings ("looped" in the §IV-A.2 sense).
-    looped_seqs: std::collections::HashSet<u64>,
+    looped_seqs: FxHashSet<u64>,
     /// Validated streams waiting for their prefix's loop to close; kept
     /// inside `open_loop` once merged.
     stats: OnlineStats,
@@ -109,9 +110,9 @@ impl OnlineDetector {
             history_horizon_ns: horizon,
             now: 0,
             seq: 0,
-            open: HashMap::new(),
-            prefixes: HashMap::new(),
-            looped_seqs: std::collections::HashSet::new(),
+            open: FxHashMap::default(),
+            prefixes: FxHashMap::default(),
+            looped_seqs: FxHashSet::default(),
             stats: OnlineStats::default(),
         }
     }

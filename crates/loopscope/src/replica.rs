@@ -7,12 +7,12 @@
 //! arrive from its ring buffers.
 
 use crate::config::DetectorConfig;
+use crate::fxhash::{fx_map_with_capacity, FxHashMap};
 use crate::key::ReplicaKey;
 use crate::merge::{self, RoutingLoop};
 use crate::record::TraceRecord;
 use crate::stream::{Observation, ReplicaStream};
 use crate::validate::{self, PrefixIndex};
-use std::collections::HashMap;
 use telemetry::{tm_debug, tm_info, LazyCounter};
 
 static TM_RECORDS_SCANNED: LazyCounter = LazyCounter::new("replica.records_scanned");
@@ -156,7 +156,7 @@ impl Detector {
 
         let loops = {
             let _t = telemetry::span("merge");
-            merge::merge(records, validated.clone(), &looped_flags, &index, &self.cfg)
+            merge::merge(records, &validated, &looped_flags, &index, &self.cfg)
         };
         stats.routing_loops = loops.len() as u64;
         tm_info!(
@@ -181,7 +181,7 @@ impl Detector {
         records: &[TraceRecord],
         stats: &mut DetectionStats,
     ) -> Vec<ReplicaStream> {
-        let mut scanner = CandidateScanner::new(self.cfg);
+        let mut scanner = CandidateScanner::with_capacity(self.cfg, records.len() / 4);
         for (idx, rec) in records.iter().enumerate() {
             scanner.push(idx, rec);
         }
@@ -245,18 +245,27 @@ pub(crate) struct ScanCounters {
 /// collect the finished candidate replica sets at the end. Record indices
 /// are whatever the caller passes in — global trace positions for the
 /// serial pipeline, shard-local positions for the parallel one.
+///
+/// The open-candidate table is an unseeded [`FxHashMap`] — hashing the
+/// ~44-byte [`ReplicaKey`] once per record is the single hottest
+/// operation of the whole pipeline, and SipHash made it ~10× dearer than
+/// it needs to be. Output order never depends on the table (see
+/// [`CandidateScanner::finish`]).
 pub(crate) struct CandidateScanner {
     cfg: DetectorConfig,
-    open: HashMap<ReplicaKey, OpenCandidate>,
+    open: FxHashMap<ReplicaKey, OpenCandidate>,
     done: Vec<ReplicaStream>,
     counters: ScanCounters,
 }
 
 impl CandidateScanner {
-    pub fn new(cfg: DetectorConfig) -> Self {
+    /// A scanner whose candidate table is pre-sized for roughly
+    /// `capacity` simultaneously-open keys, avoiding rehash storms on
+    /// large traces.
+    pub fn with_capacity(cfg: DetectorConfig, capacity: usize) -> Self {
         Self {
             cfg,
-            open: HashMap::new(),
+            open: fx_map_with_capacity(capacity),
             done: Vec::new(),
             counters: ScanCounters::default(),
         }
@@ -265,8 +274,12 @@ impl CandidateScanner {
     /// Consumes one record (callers guarantee timestamp order).
     pub fn push(&mut self, idx: usize, rec: &TraceRecord) {
         let key = ReplicaKey::of(rec);
-        match self.open.get_mut(&key) {
-            Some(cand) => {
+        // Entry API: one hash of the (44-byte) key per record, on every
+        // branch — get_mut + insert would hash twice for first sightings,
+        // and first sightings dominate real traces.
+        match self.open.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let cand = e.get_mut();
                 let last = *cand.observations.last().expect("open candidate non-empty");
                 let check =
                     check_continuation(&self.cfg, last, cand.last_ip_checksum, cand.protocol, rec);
@@ -284,15 +297,14 @@ impl CandidateScanner {
                     // Same key but not a continuation: close the old
                     // candidate and start over from this sighting (a
                     // link-layer duplicate, an ident wrap, or a stale
-                    // stream).
-                    let cand = self.open.remove(&key).unwrap();
-                    Self::close(key, cand, &mut self.done, &mut self.counters);
-                    self.open.insert(key, OpenCandidate::new(rec, idx));
+                    // stream) — swapped in place, no rehash.
+                    let old = std::mem::replace(cand, OpenCandidate::new(rec, idx));
+                    Self::close(key, old, &mut self.done, &mut self.counters);
                     self.counters.opened += 1;
                 }
             }
-            None => {
-                self.open.insert(key, OpenCandidate::new(rec, idx));
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(OpenCandidate::new(rec, idx));
                 self.counters.opened += 1;
             }
         }

@@ -29,8 +29,14 @@
 //!
 //! Workers are fed through bounded SPSC ring buffers (one per shard,
 //! batched to amortise synchronisation), so candidate scanning overlaps
-//! with the producer's pass over the trace. Everything is std-only:
-//! `std::thread`, `Mutex`, `Condvar`.
+//! with the producer's pass over the trace. Synchronisation is
+//! deliberately lock-light: whole batches move through the ring, the
+//! consumer drains *everything* buffered under a single lock acquisition
+//! ([`Ring::pop_all`]), and condvar wakeups are **edge-triggered** — the
+//! consumer is signalled only on the empty→non-empty transition and the
+//! producer only on full→non-full, so the steady-state cost per batch is
+//! one uncontended mutex acquire with no syscalls. Everything is
+//! std-only: `std::thread`, `Mutex`, `Condvar`.
 
 use crate::config::DetectorConfig;
 use crate::key::ReplicaKey;
@@ -111,15 +117,24 @@ impl Ring {
     }
 
     /// Producer side: blocks while the ring is full.
+    ///
+    /// The consumer is woken only on the empty→non-empty edge: while it is
+    /// busy chewing a previous drain it will re-check the queue under the
+    /// lock before sleeping, so intermediate pushes need no signal. With
+    /// one producer and one consumer per ring, the waiter (if any) always
+    /// observed the state that makes the edge signal necessary.
     fn push(&self, batch: Vec<(usize, TraceRecord)>) {
         let mut st = self.state.lock().expect("ring poisoned");
         while st.batches.len() >= RING_BATCHES {
             st = self.not_full.wait(st).expect("ring poisoned");
         }
+        let was_empty = st.batches.is_empty();
         st.batches.push_back(batch);
         self.depth_gauge.set(st.batches.len() as i64);
         drop(st);
-        self.not_empty.notify_one();
+        if was_empty {
+            self.not_empty.notify_one();
+        }
     }
 
     /// Producer side: no further batches will arrive.
@@ -128,18 +143,28 @@ impl Ring {
         self.not_empty.notify_one();
     }
 
-    /// Consumer side: blocks while empty; `None` once closed and drained.
-    fn pop(&self) -> Option<Vec<(usize, TraceRecord)>> {
+    /// Consumer side: drains *every* buffered batch into `into` under one
+    /// lock acquisition (the caller's deque is swapped in as the new empty
+    /// ring storage, so capacities ping-pong and nothing is reallocated in
+    /// steady state). Blocks while the ring is empty; returns `false` once
+    /// it is closed and drained. The producer is woken only on the
+    /// full→non-full edge.
+    fn pop_all(&self, into: &mut VecDeque<Vec<(usize, TraceRecord)>>) -> bool {
+        debug_assert!(into.is_empty(), "drain target must be empty");
         let mut st = self.state.lock().expect("ring poisoned");
         loop {
-            if let Some(batch) = st.batches.pop_front() {
-                self.depth_gauge.set(st.batches.len() as i64);
+            if !st.batches.is_empty() {
+                let was_full = st.batches.len() >= RING_BATCHES;
+                std::mem::swap(&mut st.batches, into);
+                self.depth_gauge.set(0);
                 drop(st);
-                self.not_full.notify_one();
-                return Some(batch);
+                if was_full {
+                    self.not_full.notify_one();
+                }
+                return true;
             }
             if st.closed {
-                return None;
+                return false;
             }
             st = self.not_empty.wait(st).expect("ring poisoned");
         }
@@ -209,6 +234,10 @@ impl ShardedDetector {
             .set(self.threads as i64);
 
         let n = self.threads;
+        // Uniform sharding makes records.len()/n the expected sub-trace
+        // size; workers pre-size their buffers from it so ingest never
+        // reallocates in the common case.
+        let per_shard_estimate = records.len() / n + 1;
         let rings: Vec<Ring> = (0..n).map(Ring::new).collect();
         let partials: Vec<ShardPartial> = std::thread::scope(|scope| {
             let handles: Vec<_> = rings
@@ -216,29 +245,32 @@ impl ShardedDetector {
                 .enumerate()
                 .map(|(shard, ring)| {
                     let cfg = self.cfg;
-                    scope.spawn(move || run_shard(shard, cfg, ring))
+                    scope.spawn(move || run_shard(shard, cfg, ring, per_shard_estimate))
                 })
                 .collect();
 
             // Producer: route every record to its shard, in trace order,
             // flushing per-shard batches as they fill.
-            let mut pending: Vec<Vec<(usize, TraceRecord)>> =
-                (0..n).map(|_| Vec::with_capacity(BATCH_RECORDS)).collect();
-            for (idx, rec) in records.iter().enumerate() {
-                let shard = shard_of_record(rec, n);
-                pending[shard].push((idx, *rec));
-                if pending[shard].len() >= BATCH_RECORDS {
-                    rings[shard].push(std::mem::replace(
-                        &mut pending[shard],
-                        Vec::with_capacity(BATCH_RECORDS),
-                    ));
+            {
+                let _t = telemetry::span("shard.dispatch");
+                let mut pending: Vec<Vec<(usize, TraceRecord)>> =
+                    (0..n).map(|_| Vec::with_capacity(BATCH_RECORDS)).collect();
+                for (idx, rec) in records.iter().enumerate() {
+                    let shard = shard_of_record(rec, n);
+                    pending[shard].push((idx, *rec));
+                    if pending[shard].len() >= BATCH_RECORDS {
+                        rings[shard].push(std::mem::replace(
+                            &mut pending[shard],
+                            Vec::with_capacity(BATCH_RECORDS),
+                        ));
+                    }
                 }
-            }
-            for (shard, batch) in pending.into_iter().enumerate() {
-                if !batch.is_empty() {
-                    rings[shard].push(batch);
+                for (shard, batch) in pending.into_iter().enumerate() {
+                    if !batch.is_empty() {
+                        rings[shard].push(batch);
+                    }
+                    rings[shard].close();
                 }
-                rings[shard].close();
             }
 
             handles
@@ -253,6 +285,7 @@ impl ShardedDetector {
         // by (start, ident) — i.e. the total order (start, ident, first
         // record). Loops: (prefix, start); every prefix lives in exactly
         // one shard, so ties keep their within-shard (= serial) order.
+        let _tm = telemetry::span("shard.merge_results");
         let mut stats = DetectionStats::default();
         let mut streams = Vec::new();
         let mut loops = Vec::new();
@@ -294,23 +327,35 @@ impl ShardedDetector {
 /// One worker: drain the ring into a shard-local sub-trace (scanning for
 /// candidates as records arrive), then run validation and merging on it,
 /// and remap record indices back to global trace positions.
-fn run_shard(shard: usize, cfg: DetectorConfig, ring: &Ring) -> ShardPartial {
+///
+/// `estimate` is the expected sub-trace size; the record buffers and the
+/// scanner's candidate table are pre-sized from it, so the ingest loop
+/// runs without reallocation on uniformly sharded traces. Stage timers
+/// ("shard.detect" / "shard.validate" / "shard.merge") aggregate across
+/// workers, so their totals are worker-seconds, not wall time.
+fn run_shard(shard: usize, cfg: DetectorConfig, ring: &Ring, estimate: usize) -> ShardPartial {
     let records_counter = telemetry::global().counter(shard_metric(shard, "records"));
     let streams_counter = telemetry::global().counter(shard_metric(shard, "streams"));
 
-    let mut records: Vec<TraceRecord> = Vec::new();
-    let mut globals: Vec<usize> = Vec::new();
-    let mut scanner = CandidateScanner::new(cfg);
-    while let Some(batch) = ring.pop() {
-        records_counter.add(batch.len() as u64);
-        for (gidx, rec) in batch {
-            scanner.push(records.len(), &rec);
-            records.push(rec);
-            globals.push(gidx);
+    let mut records: Vec<TraceRecord> = Vec::with_capacity(estimate);
+    let mut globals: Vec<usize> = Vec::with_capacity(estimate);
+    let mut scanner = CandidateScanner::with_capacity(cfg, estimate / 4);
+    let (candidates, counters) = {
+        let _t = telemetry::span("shard.detect");
+        let mut drained: VecDeque<Vec<(usize, TraceRecord)>> =
+            VecDeque::with_capacity(RING_BATCHES);
+        while ring.pop_all(&mut drained) {
+            for batch in drained.drain(..) {
+                records_counter.add(batch.len() as u64);
+                for (gidx, rec) in batch {
+                    scanner.push(records.len(), &rec);
+                    records.push(rec);
+                    globals.push(gidx);
+                }
+            }
         }
-    }
-
-    let (candidates, counters) = scanner.finish();
+        scanner.finish()
+    };
     let mut stats = DetectionStats {
         total_records: records.len() as u64,
         raw_candidates: candidates.len() as u64,
@@ -325,20 +370,27 @@ fn run_shard(shard: usize, cfg: DetectorConfig, ring: &Ring) -> ShardPartial {
         }
     }
 
-    let index = PrefixIndex::build(&records);
-    let validated = validate::validate(
-        &records,
-        candidates,
-        &looped_flags,
-        &index,
-        &cfg,
-        &mut stats,
-    );
+    let (index, validated) = {
+        let _t = telemetry::span("shard.validate");
+        let index = PrefixIndex::build(&records);
+        let validated = validate::validate(
+            &records,
+            candidates,
+            &looped_flags,
+            &index,
+            &cfg,
+            &mut stats,
+        );
+        (index, validated)
+    };
     stats.validated_streams = validated.len() as u64;
     stats.looped_sightings = validated.iter().map(|s| s.len() as u64).sum();
     streams_counter.add(validated.len() as u64);
 
-    let loops = merge::merge(&records, validated.clone(), &looped_flags, &index, &cfg);
+    let loops = {
+        let _t = telemetry::span("shard.merge");
+        merge::merge(&records, &validated, &looped_flags, &index, &cfg)
+    };
     stats.routing_loops = loops.len() as u64;
 
     // Shard-local record indices -> global trace positions. The mapping is
@@ -368,13 +420,53 @@ fn run_shard(shard: usize, cfg: DetectorConfig, ring: &Ring) -> ShardPartial {
     }
 }
 
-/// Interns `shard.<i>.<field>` metric names: the telemetry registry wants
-/// `&'static str`, and the shard count is runtime-chosen. The set of names
-/// is tiny (a few per shard) and deduplicated, so the leak is bounded.
+/// Builds a compile-time table of `shard.w<i>.<field>` names for one
+/// field across the prebuilt shard indices.
+macro_rules! shard_name_table {
+    ($field:literal; $($n:literal),* $(,)?) => {
+        [$(concat!("shard.w", $n, ".", $field)),*]
+    };
+}
+
+/// Shard indices with compile-time metric names. Thread counts above this
+/// fall back to the (cold, locked) interner — nobody shards finer than
+/// the machine's core count in practice.
+const PREBUILT_SHARDS: usize = 32;
+
+static SHARD_RECORDS: [&str; PREBUILT_SHARDS] = shard_name_table!("records";
+    0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+    16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31);
+static SHARD_STREAMS: [&str; PREBUILT_SHARDS] = shard_name_table!("streams";
+    0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+    16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31);
+static SHARD_QUEUE_DEPTH: [&str; PREBUILT_SHARDS] = shard_name_table!("queue_depth";
+    0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+    16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31);
+
+/// Resolves the `shard.w<i>.<field>` metric name. The telemetry registry
+/// wants `&'static str`; for the common case (shard index below
+/// [`PREBUILT_SHARDS`], known field) the name is a compile-time literal —
+/// no allocation, no lock. Exotic combinations fall back to a bounded
+/// leaking interner.
 fn shard_metric(shard: usize, field: &str) -> &'static str {
+    if shard < PREBUILT_SHARDS {
+        match field {
+            "records" => return SHARD_RECORDS[shard],
+            "streams" => return SHARD_STREAMS[shard],
+            "queue_depth" => return SHARD_QUEUE_DEPTH[shard],
+            _ => {}
+        }
+    }
+    intern_shard_metric(shard, field)
+}
+
+/// Cold path of [`shard_metric`]: formats, interns, and leaks the name.
+/// The set of names is tiny (a few per shard) and deduplicated, so the
+/// leak is bounded.
+fn intern_shard_metric(shard: usize, field: &str) -> &'static str {
     static INTERNED: Mutex<BTreeMap<String, &'static str>> = Mutex::new(BTreeMap::new());
-    let name = format!("shard.w{shard}.{field}");
     let mut map = INTERNED.lock().expect("intern table poisoned");
+    let name = format!("shard.w{shard}.{field}");
     if let Some(s) = map.get(&name) {
         return s;
     }
@@ -587,14 +679,70 @@ mod tests {
             });
             let consumer = s.spawn(move || {
                 let mut got = Vec::new();
-                while let Some(batch) = r.pop() {
-                    got.extend(batch.into_iter().map(|(i, _)| i));
+                let mut drained = VecDeque::new();
+                while r.pop_all(&mut drained) {
+                    for batch in drained.drain(..) {
+                        got.extend(batch.into_iter().map(|(i, _)| i));
+                    }
                 }
                 got
             });
             producer.join().unwrap();
             assert_eq!(consumer.join().unwrap(), vec![0, 1, 2]);
         });
+    }
+
+    #[test]
+    fn ring_backpressure_with_slow_consumer() {
+        // Fill the ring past capacity so the producer must block, then
+        // drain in bulk: exercises both condvar edges (empty→non-empty
+        // wakes the consumer, full→non-full wakes the producer).
+        let ring = Ring::new(998);
+        let recs = looping_records(0, 1_000, 60, 3, 1, Ipv4Addr::new(203, 0, 113, 1));
+        let total = RING_BATCHES * 3;
+        std::thread::scope(|s| {
+            let r = &ring;
+            let producer = s.spawn(move || {
+                for i in 0..total {
+                    r.push(vec![(i, recs[0])]);
+                }
+                r.close();
+            });
+            let consumer = s.spawn(move || {
+                let mut got = Vec::new();
+                let mut drained = VecDeque::new();
+                while r.pop_all(&mut drained) {
+                    // Hold the drained set briefly so the ring refills.
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    for batch in drained.drain(..) {
+                        got.extend(batch.into_iter().map(|(i, _)| i));
+                    }
+                }
+                got
+            });
+            producer.join().unwrap();
+            let got = consumer.join().unwrap();
+            assert_eq!(got, (0..total).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn shard_metric_names_are_static_and_cover_fallback() {
+        assert_eq!(shard_metric(0, "records"), "shard.w0.records");
+        assert_eq!(shard_metric(7, "streams"), "shard.w7.streams");
+        assert_eq!(shard_metric(31, "queue_depth"), "shard.w31.queue_depth");
+        // Prebuilt lookups return the same literal every time (no interner
+        // involvement): pointer-equal, not just string-equal.
+        assert!(std::ptr::eq(
+            shard_metric(3, "records"),
+            shard_metric(3, "records")
+        ));
+        // Beyond the table, the interner fallback still works and dedups.
+        assert_eq!(shard_metric(100, "records"), "shard.w100.records");
+        assert!(std::ptr::eq(
+            shard_metric(100, "records"),
+            shard_metric(100, "records")
+        ));
     }
 
     #[test]

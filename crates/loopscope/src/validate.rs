@@ -17,11 +17,11 @@
 //! stream (see `DetectorConfig::covalidate_slack_spacings`).
 
 use crate::config::DetectorConfig;
+use crate::fxhash::{fx_map_with_capacity, FxHashMap};
 use crate::record::TraceRecord;
 use crate::replica::DetectionStats;
 use crate::stream::ReplicaStream;
 use net_types::Ipv4Prefix;
-use std::collections::HashMap;
 use telemetry::{tm_debug, LazyCounter};
 
 static TM_STREAMS_KEPT: LazyCounter = LazyCounter::new("validate.streams_kept");
@@ -32,13 +32,16 @@ static TM_REJECTED_COVALIDATION: LazyCounter = LazyCounter::new("validate.reject
 #[derive(Debug, Default)]
 pub struct PrefixIndex {
     /// prefix -> (timestamp, record index), in time order.
-    by_prefix: HashMap<Ipv4Prefix, Vec<(u64, usize)>>,
+    by_prefix: FxHashMap<Ipv4Prefix, Vec<(u64, usize)>>,
 }
 
 impl PrefixIndex {
     /// Builds the index from a time-sorted trace.
     pub fn build(records: &[TraceRecord]) -> Self {
-        let mut by_prefix: HashMap<Ipv4Prefix, Vec<(u64, usize)>> = HashMap::new();
+        // Distinct /24s are far rarer than records; a /64 estimate is
+        // enough to dodge the rehash cascade without over-allocating.
+        let mut by_prefix: FxHashMap<Ipv4Prefix, Vec<(u64, usize)>> =
+            fx_map_with_capacity((records.len() / 64).max(16));
         for (idx, rec) in records.iter().enumerate() {
             by_prefix
                 .entry(rec.dst_slash24())

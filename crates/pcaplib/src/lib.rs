@@ -15,8 +15,13 @@
 //! Timestamps are surfaced as `u64` nanoseconds since the trace epoch, the
 //! time unit used across the workspace.
 //!
+//! Scanning is allocation-free: [`PcapReader::read_into`] reuses a caller-
+//! owned [`RecordBuf`] whose inline storage covers the 40-byte snap
+//! length, so a full-trace pass performs O(1) heap allocations total.
+//! [`PcapReader::next_packet`] is the owned-copy convenience layer on top.
+//!
 //! ```
-//! use pcaplib::{FileHeader, PcapReader, PcapWriter};
+//! use pcaplib::{FileHeader, PcapReader, PcapWriter, RecordBuf};
 //! use std::io::Cursor;
 //!
 //! let mut writer = PcapWriter::new(Vec::new(), FileHeader::raw_ip(40)).unwrap();
@@ -24,11 +29,13 @@
 //! let file = writer.finish().unwrap();
 //!
 //! let mut reader = PcapReader::new(Cursor::new(file)).unwrap();
-//! let pkt = reader.next_packet().unwrap().unwrap();
-//! assert_eq!(pkt.timestamp_ns, 1_000_000_500);
-//! assert_eq!(pkt.data.len(), 40);
-//! assert_eq!(pkt.orig_len, 60);
-//! assert!(pkt.is_truncated());
+//! let mut rec = RecordBuf::new();
+//! assert!(reader.read_into(&mut rec).unwrap());
+//! assert_eq!(rec.timestamp_ns(), 1_000_000_500);
+//! assert_eq!(rec.data().len(), 40);
+//! assert_eq!(rec.orig_len(), 60);
+//! assert!(rec.is_truncated());
+//! assert!(!reader.read_into(&mut rec).unwrap()); // clean EOF
 //! ```
 
 pub mod format;
@@ -36,7 +43,7 @@ pub mod reader;
 pub mod writer;
 
 pub use format::{FileHeader, LinkType, PcapError, RecordHeader, TsResolution};
-pub use reader::PcapReader;
+pub use reader::{PcapReader, RecordBuf, INLINE_RECORD_CAP};
 pub use writer::PcapWriter;
 
 /// One captured record: a timestamp, the original on-the-wire length, and

@@ -1,4 +1,19 @@
 //! Streaming pcap reader.
+//!
+//! Two read paths share one block-buffered core:
+//!
+//! * [`PcapReader::read_into`] — the zero-allocation path. The caller owns
+//!   a reusable [`RecordBuf`] whose inline storage covers any sane snap
+//!   length (the paper's traces are 40-byte captures); scanning a full
+//!   trace performs **no per-record heap allocations**, which
+//!   `tests/zero_alloc.rs` enforces with a counting allocator.
+//! * [`PcapReader::next_packet`] — the convenience path, which copies the
+//!   record into an owned [`CapturedPacket`]. Same parsing, one `Vec`
+//!   allocation per record.
+//!
+//! The source is consumed through a fixed block buffer (one `read`
+//! syscall per [`BLOCK_LEN`] bytes rather than two per record), so both
+//! paths are fast even over unbuffered files.
 
 use crate::format::{FileHeader, PcapError, RecordHeader, FILE_HEADER_LEN, RECORD_HEADER_LEN};
 use crate::CapturedPacket;
@@ -14,14 +29,105 @@ static TM_MALFORMED: LazyCounter = LazyCounter::new("pcap.malformed_records");
 /// full-packet captures.
 const MAX_SANE_CAPLEN: u32 = 256 * 1024;
 
+/// Bytes read from the source per refill of the internal block buffer.
+const BLOCK_LEN: usize = 64 * 1024;
+
+/// Captured bytes held inline in a [`RecordBuf`] before spilling to its
+/// heap buffer. Sized to cover the paper's 40-byte snap length (and any
+/// header-only capture) with slack.
+pub const INLINE_RECORD_CAP: usize = 64;
+
+/// A reusable record buffer for the zero-allocation read path.
+///
+/// Captures of up to [`INLINE_RECORD_CAP`] bytes land in a fixed inline
+/// array; longer records spill into an internal `Vec` whose capacity is
+/// retained across records, so even the spill path stops allocating after
+/// the largest record has been seen once.
+///
+/// Contents are only meaningful after a [`PcapReader::read_into`] call
+/// that returned `Ok(true)`; a failed read leaves the buffer unspecified.
+#[derive(Debug, Clone)]
+pub struct RecordBuf {
+    timestamp_ns: u64,
+    orig_len: u32,
+    len: u32,
+    inline: [u8; INLINE_RECORD_CAP],
+    spill: Vec<u8>,
+}
+
+impl RecordBuf {
+    /// An empty buffer; no heap allocation until a record spills past
+    /// [`INLINE_RECORD_CAP`] bytes.
+    pub fn new() -> Self {
+        Self {
+            timestamp_ns: 0,
+            orig_len: 0,
+            len: 0,
+            inline: [0u8; INLINE_RECORD_CAP],
+            spill: Vec::new(),
+        }
+    }
+
+    /// Nanoseconds since the trace epoch of the last record read.
+    pub fn timestamp_ns(&self) -> u64 {
+        self.timestamp_ns
+    }
+
+    /// Original on-the-wire length of the last record read.
+    pub fn orig_len(&self) -> u32 {
+        self.orig_len
+    }
+
+    /// The captured bytes of the last record read.
+    pub fn data(&self) -> &[u8] {
+        let n = self.len as usize;
+        if n <= INLINE_RECORD_CAP {
+            &self.inline[..n]
+        } else {
+            &self.spill[..n]
+        }
+    }
+
+    /// True when the capture was cut short by the snap length.
+    pub fn is_truncated(&self) -> bool {
+        self.len < self.orig_len
+    }
+
+    /// True when the last record was too large for the inline array and
+    /// lives in the spill buffer.
+    pub fn is_spilled(&self) -> bool {
+        self.len as usize > INLINE_RECORD_CAP
+    }
+
+    /// Copies the buffer out into an owned [`CapturedPacket`].
+    pub fn to_packet(&self) -> CapturedPacket {
+        CapturedPacket {
+            timestamp_ns: self.timestamp_ns,
+            orig_len: self.orig_len,
+            data: self.data().to_vec(),
+        }
+    }
+}
+
+impl Default for RecordBuf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Reads a classic pcap file from any [`Read`] source.
 ///
-/// Iterate with [`PcapReader::next_packet`] or via the [`Iterator`] impl
-/// (which yields `Result`s).
+/// Iterate allocation-free with [`PcapReader::read_into`], or via
+/// [`PcapReader::next_packet`] / the [`Iterator`] impl (which yield owned
+/// packets).
 pub struct PcapReader<R: Read> {
     source: R,
     header: FileHeader,
     records_read: u64,
+    /// Block buffer: `block[pos..filled]` is unconsumed source data.
+    block: Box<[u8]>,
+    pos: usize,
+    filled: usize,
 }
 
 impl<R: Read> PcapReader<R> {
@@ -34,6 +140,9 @@ impl<R: Read> PcapReader<R> {
             source,
             header,
             records_read: 0,
+            block: vec![0u8; BLOCK_LEN].into_boxed_slice(),
+            pos: 0,
+            filled: 0,
         })
     }
 
@@ -47,29 +156,48 @@ impl<R: Read> PcapReader<R> {
         self.records_read
     }
 
-    /// Reads the next packet; `Ok(None)` at clean end-of-file.
+    /// Copies up to `out.len()` bytes out of the block buffer, refilling
+    /// it from the source as needed. Returns the bytes copied — short only
+    /// at end-of-file.
+    fn read_from_block(&mut self, out: &mut [u8]) -> Result<usize, PcapError> {
+        let mut copied = 0;
+        while copied < out.len() {
+            if self.pos == self.filled {
+                let n = self.source.read(&mut self.block)?;
+                if n == 0 {
+                    return Ok(copied);
+                }
+                self.pos = 0;
+                self.filled = n;
+            }
+            let take = (out.len() - copied).min(self.filled - self.pos);
+            out[copied..copied + take].copy_from_slice(&self.block[self.pos..self.pos + take]);
+            self.pos += take;
+            copied += take;
+        }
+        Ok(copied)
+    }
+
+    /// Reads the next record into `buf`, reusing its storage; `Ok(false)`
+    /// at clean end-of-file. This is the zero-allocation scan path: with
+    /// captures at or below [`INLINE_RECORD_CAP`] bytes nothing touches
+    /// the heap, and oversize records reuse `buf`'s spill capacity.
     ///
     /// A partial record header at EOF is reported as corruption, not EOF —
     /// a trace cut off mid-record should never be silently accepted.
-    pub fn next_packet(&mut self) -> Result<Option<CapturedPacket>, PcapError> {
+    pub fn read_into(&mut self, buf: &mut RecordBuf) -> Result<bool, PcapError> {
         let mut hdr_buf = [0u8; RECORD_HEADER_LEN];
-        // Distinguish clean EOF (zero bytes available) from mid-header EOF.
-        let mut read_total = 0usize;
-        while read_total < RECORD_HEADER_LEN {
-            let n = self.source.read(&mut hdr_buf[read_total..])?;
-            if n == 0 {
-                return if read_total == 0 {
-                    Ok(None)
-                } else {
-                    TM_MALFORMED.inc();
-                    tm_warn!(
-                        "EOF inside record header after {} records",
-                        self.records_read
-                    );
-                    Err(PcapError::Corrupt("EOF inside record header"))
-                };
-            }
-            read_total += n;
+        let got = self.read_from_block(&mut hdr_buf)?;
+        if got == 0 {
+            return Ok(false);
+        }
+        if got < RECORD_HEADER_LEN {
+            TM_MALFORMED.inc();
+            tm_warn!(
+                "EOF inside record header after {} records",
+                self.records_read
+            );
+            return Err(PcapError::Corrupt("EOF inside record header"));
         }
         let rec = RecordHeader::decode(&hdr_buf, self.header.swapped);
         if rec.incl_len > MAX_SANE_CAPLEN {
@@ -81,21 +209,38 @@ impl<R: Read> PcapReader<R> {
             TM_MALFORMED.inc();
             return Err(PcapError::Corrupt("incl_len exceeds orig_len"));
         }
-        let mut data = vec![0u8; rec.incl_len as usize];
-        self.source.read_exact(&mut data).map_err(|_| {
+        let n = rec.incl_len as usize;
+        let got = if n <= INLINE_RECORD_CAP {
+            self.read_from_block(&mut buf.inline[..n])?
+        } else {
+            buf.spill.resize(n, 0);
+            self.read_from_block(&mut buf.spill[..n])?
+        };
+        if got < n {
             TM_MALFORMED.inc();
-            PcapError::Corrupt("EOF inside record body")
-        })?;
+            return Err(PcapError::Corrupt("EOF inside record body"));
+        }
+        buf.timestamp_ns = rec.timestamp_ns(self.header.resolution);
+        buf.orig_len = rec.orig_len;
+        buf.len = rec.incl_len;
         self.records_read += 1;
         TM_RECORDS_TOTAL.inc();
         if rec.incl_len < rec.orig_len {
             TM_TRUNCATED.inc();
         }
-        Ok(Some(CapturedPacket {
-            timestamp_ns: rec.timestamp_ns(self.header.resolution),
-            orig_len: rec.orig_len,
-            data,
-        }))
+        Ok(true)
+    }
+
+    /// Reads the next packet; `Ok(None)` at clean end-of-file.
+    ///
+    /// Same parsing and error semantics as [`PcapReader::read_into`], plus
+    /// one owned-`Vec` copy per record.
+    pub fn next_packet(&mut self) -> Result<Option<CapturedPacket>, PcapError> {
+        let mut buf = RecordBuf::new();
+        if !self.read_into(&mut buf)? {
+            return Ok(None);
+        }
+        Ok(Some(buf.to_packet()))
     }
 
     /// Reads all remaining packets into a vector.
@@ -164,6 +309,55 @@ mod tests {
     }
 
     #[test]
+    fn read_into_reuses_one_buffer() {
+        let mut w = PcapWriter::new(Vec::new(), FileHeader::raw_ip(40)).unwrap();
+        for i in 0..10u8 {
+            w.write_bytes(u64::from(i) * 1000, &[i; 40]).unwrap();
+        }
+        let file = w.finish().unwrap();
+        let mut r = PcapReader::new(Cursor::new(file)).unwrap();
+        let mut buf = RecordBuf::new();
+        let mut count = 0u8;
+        while r.read_into(&mut buf).unwrap() {
+            assert_eq!(buf.timestamp_ns(), u64::from(count) * 1000);
+            assert_eq!(buf.data(), &vec![count; 40][..]);
+            assert!(!buf.is_spilled(), "40-byte captures stay inline");
+            assert!(!buf.is_truncated());
+            count += 1;
+        }
+        assert_eq!(count, 10);
+        assert_eq!(r.records_read(), 10);
+    }
+
+    #[test]
+    fn read_into_spill_path_and_inline_return() {
+        // Oversize record (spills), then a small one (back inline): the
+        // data() view must track the active storage, not stale spill
+        // bytes.
+        let mut w = PcapWriter::new(Vec::new(), FileHeader::raw_ip(4096)).unwrap();
+        w.write_bytes(1, &[0xaa; 300]).unwrap();
+        w.write_bytes(2, &[0xbb; 8]).unwrap();
+        w.write_bytes(3, &[0xcc; INLINE_RECORD_CAP + 1]).unwrap();
+        let file = w.finish().unwrap();
+        let mut r = PcapReader::new(Cursor::new(file)).unwrap();
+        let mut buf = RecordBuf::new();
+
+        assert!(r.read_into(&mut buf).unwrap());
+        assert!(buf.is_spilled());
+        assert_eq!(buf.data(), &vec![0xaa; 300][..]);
+
+        assert!(r.read_into(&mut buf).unwrap());
+        assert!(!buf.is_spilled());
+        assert_eq!(buf.data(), &vec![0xbb; 8][..]);
+
+        assert!(r.read_into(&mut buf).unwrap());
+        assert!(buf.is_spilled(), "one past the inline cap must spill");
+        assert_eq!(buf.data(), &vec![0xcc; INLINE_RECORD_CAP + 1][..]);
+
+        assert!(!r.read_into(&mut buf).unwrap());
+    }
+
+    #[test]
     fn truncated_record_header_is_corrupt() {
         let mut w = PcapWriter::new(Vec::new(), FileHeader::raw_ip(40)).unwrap();
         w.write_bytes(0, &[1, 2, 3]).unwrap();
@@ -187,6 +381,29 @@ mod tests {
             r.next_packet(),
             Err(PcapError::Corrupt("EOF inside record body"))
         ));
+    }
+
+    #[test]
+    fn truncated_final_record_after_many_good_ones() {
+        // The block-buffered path must attribute a mid-body EOF to the
+        // *final* record even when earlier records drained several block
+        // refills cleanly.
+        let mut w = PcapWriter::new(Vec::new(), FileHeader::raw_ip(65535)).unwrap();
+        for i in 0..200u64 {
+            w.write_bytes(i, &vec![i as u8; 1000]).unwrap();
+        }
+        let mut buf = w.finish().unwrap();
+        buf.truncate(buf.len() - 7); // cut into the last record's body
+        let mut r = PcapReader::new(Cursor::new(buf)).unwrap();
+        let mut rec = RecordBuf::new();
+        for _ in 0..199 {
+            assert!(r.read_into(&mut rec).unwrap());
+        }
+        assert!(matches!(
+            r.read_into(&mut rec),
+            Err(PcapError::Corrupt("EOF inside record body"))
+        ));
+        assert_eq!(r.records_read(), 199);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 #   scripts/check.sh --quick    # release build + tier-1 tests only
 #   scripts/check.sh --tests    # release build + tier-1 + workspace tests
 #   scripts/check.sh --lint     # rustfmt --check + clippy -D warnings
-#   scripts/check.sh --bench    # bench smoke: parallel determinism guard
+#   scripts/check.sh --bench    # bench smoke: determinism + throughput gate
 #
 # Every cargo invocation runs with RUSTFLAGS += "-D warnings": any compiler
 # warning — not just a clippy lint — fails the gate loudly.
@@ -49,9 +49,15 @@ run_lint() {
 }
 
 run_bench_smoke() {
-    banner "bench smoke: serial vs parallel determinism (BENCH_parallel.json)"
+    banner "bench smoke: determinism + throughput gate (BENCH_parallel.json)"
+    # Same scale as the committed baseline so the --gate comparison is
+    # like-for-like. The gate fails on serial throughput regressing >10%
+    # vs the committed artifact, or (on machines with >= 4 cores) on a
+    # 4-thread speedup below 1.2x; the baseline is read before the fresh
+    # run overwrites the file.
     cargo run -p bench --release --bin bench_parallel -- \
-        --scale 0.05 --repeat 1 --threads 1,2,4,8 --out BENCH_parallel.json
+        --scale 0.4 --repeat 2 --threads 1,2,4,8 \
+        --gate BENCH_parallel.json --out BENCH_parallel.json
 }
 
 case "$mode" in

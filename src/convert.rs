@@ -45,8 +45,11 @@ pub fn records_from_pcap<R: Read>(source: R) -> Result<(Vec<TraceRecord>, u64), 
     let mut reader = PcapReader::new(source)?;
     let mut records = Vec::new();
     let mut skipped = 0u64;
-    while let Some(cap) = reader.next_packet()? {
-        match TraceRecord::from_wire_bytes(cap.timestamp_ns, &cap.data) {
+    // Zero-allocation scan: one reusable buffer for the whole trace, and
+    // `from_wire_bytes` parses the borrowed capture without copying it.
+    let mut buf = pcaplib::RecordBuf::new();
+    while reader.read_into(&mut buf)? {
+        match TraceRecord::from_wire_bytes(buf.timestamp_ns(), buf.data()) {
             Ok(rec) => records.push(rec),
             Err(_) => skipped += 1,
         }
