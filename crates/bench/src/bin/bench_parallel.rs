@@ -58,24 +58,55 @@ fn extract_serial_rps(json: &str) -> Option<f64> {
     after[..end].trim().parse().ok()
 }
 
+/// Pulls the top-level `"cores": <n>` out of a baseline artifact. Absent
+/// in artifacts written before the field existed.
+fn extract_cores(json: &str) -> Option<usize> {
+    let key = "\"cores\":";
+    let at = json.find(key)?;
+    let after = &json[at + key.len()..];
+    let end = after.find([',', '}'])?;
+    after[..end].trim().parse().ok()
+}
+
 /// Applies the throughput floors against a baseline document; returns the
 /// list of violations (empty = pass).
+///
+/// Both floors are *like-for-like*: the serial floor only binds when the
+/// baseline was measured on a machine with the same core count (absolute
+/// records/s from different silicon are not comparable), and the speedup
+/// floor only binds when this machine has enough cores for wall-clock
+/// speedup to exist at all. Skips are loud, never silent.
 fn gate_failures(bench: &parallel::ParallelBench, baseline_json: &str) -> Vec<String> {
     let mut failures = Vec::new();
+    let baseline_cores = extract_cores(baseline_json);
     match extract_serial_rps(baseline_json) {
-        Some(base_rps) if base_rps > 0.0 => {
-            let floor = base_rps * GATE_SERIAL_FLOOR;
-            if bench.serial_records_per_s < floor {
-                failures.push(format!(
-                    "serial throughput regressed: {:.0} records/s < {:.0} \
-                     ({}% of baseline {:.0})",
-                    bench.serial_records_per_s,
-                    floor,
-                    (GATE_SERIAL_FLOOR * 100.0) as u32,
-                    base_rps
-                ));
+        Some(base_rps) if base_rps > 0.0 => match baseline_cores {
+            Some(bc) if bc == bench.cores => {
+                let floor = base_rps * GATE_SERIAL_FLOOR;
+                if bench.serial_records_per_s < floor {
+                    failures.push(format!(
+                        "serial throughput regressed: {:.0} records/s < {:.0} \
+                         ({}% of baseline {:.0})",
+                        bench.serial_records_per_s,
+                        floor,
+                        (GATE_SERIAL_FLOOR * 100.0) as u32,
+                        base_rps
+                    ));
+                }
             }
-        }
+            Some(bc) => eprintln!(
+                "gate: SKIPPING the serial floor — baseline was measured on \
+                 {bc} core(s), this machine has {}; absolute records/s are \
+                 not comparable across machines (re-baseline per \
+                 EXPERIMENTS.md)",
+                bench.cores
+            ),
+            None => eprintln!(
+                "gate: SKIPPING the serial floor — baseline predates the \
+                 \"cores\" field, so like-for-like comparison is impossible \
+                 (re-baseline per EXPERIMENTS.md)"
+            ),
+        },
         _ => failures.push("baseline has no parseable serial records_per_s".to_string()),
     }
     match bench.samples.iter().find(|s| s.threads == GATE_MIN_CORES) {
@@ -230,5 +261,68 @@ fn main() {
             }
             exit(1);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A bench result shaped like a real 1-core run at the given serial
+    /// throughput.
+    fn fake_bench(cores: usize, serial_rps: f64) -> parallel::ParallelBench {
+        parallel::ParallelBench {
+            records: 1000,
+            streams: 3,
+            loops: 1,
+            cores,
+            serial_best_ns: 1_000_000,
+            serial_records_per_s: serial_rps,
+            serial_stages: vec![],
+            ingest_records: 1000,
+            ingest_ns: 1_000_000,
+            ingest_records_per_s: serial_rps,
+            samples: vec![],
+        }
+    }
+
+    fn baseline(cores: Option<usize>, rps: f64) -> String {
+        let cores_field = cores.map_or(String::new(), |c| format!("  \"cores\": {c},\n"));
+        format!(
+            "{{\n{cores_field}  \"serial\": {{\"ns\": 1000, \
+             \"records_per_s\": {rps:.1}}}\n}}\n"
+        )
+    }
+
+    #[test]
+    fn extract_cores_reads_the_artifact_field() {
+        assert_eq!(extract_cores(&baseline(Some(8), 1.0)), Some(8));
+        assert_eq!(extract_cores(&baseline(None, 1.0)), None);
+    }
+
+    #[test]
+    fn serial_floor_binds_only_like_for_like() {
+        // Same core count + regression below 90% of baseline: failure.
+        let bench = fake_bench(1, 800.0);
+        let fails = gate_failures(&bench, &baseline(Some(1), 1000.0));
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("serial throughput regressed"));
+
+        // Same core count, within the floor: pass.
+        assert!(gate_failures(&fake_bench(1, 950.0), &baseline(Some(1), 1000.0)).is_empty());
+
+        // Different core count: the serial floor must not bind, however
+        // bad the absolute number looks.
+        assert!(gate_failures(&bench, &baseline(Some(64), 1000.0)).is_empty());
+
+        // Pre-`cores` baseline: likewise skipped, not failed.
+        assert!(gate_failures(&bench, &baseline(None, 1000.0)).is_empty());
+    }
+
+    #[test]
+    fn unparseable_baseline_is_a_failure_not_a_skip() {
+        let fails = gate_failures(&fake_bench(1, 800.0), "{}");
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("no parseable serial records_per_s"));
     }
 }

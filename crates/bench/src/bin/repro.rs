@@ -38,6 +38,23 @@ fn print_stage_timings() {
             t.max_ns as f64 / 1e6,
         );
     }
+    // One summary line for the level-0 candidate pre-filter, so repro runs
+    // show how much of replica.detect the fingerprint lane absorbed.
+    let pf = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let hits = pf("replica.prefilter_hits");
+    let misses = pf("replica.prefilter_misses");
+    if hits + misses > 0 {
+        eprintln!(
+            "prefilter: {} probes ({} hits, {} misses), {} promotions, \
+             {} evictions, {} collisions",
+            hits + misses,
+            hits,
+            misses,
+            pf("replica.prefilter_promotions"),
+            pf("replica.prefilter_evictions"),
+            pf("replica.prefilter_collisions"),
+        );
+    }
 }
 
 const USAGE: &str = "\

@@ -34,8 +34,9 @@ use std::hash::{BuildHasherDefault, Hasher};
 
 /// Multiplicative constant from the Firefox/rustc Fx hash: a 64-bit
 /// fractional expansion of the golden ratio, which spreads consecutive
-/// integers across the full word.
-const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+/// integers across the full word. Shared with the packet fingerprint
+/// ([`crate::ReplicaKey::fingerprint`]), which uses the same mixer.
+pub(crate) const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 
 /// The Fx multiply-rotate hasher. Create through
 /// [`FxBuildHasher`]/[`FxHashMap`]; the default state is empty.

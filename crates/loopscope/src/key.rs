@@ -12,6 +12,12 @@
 use crate::record::{TraceRecord, TransportSummary};
 use std::net::Ipv4Addr;
 
+/// One round of the Fx multiply-rotate mixer (see [`crate::fxhash`]).
+#[inline]
+fn fp_mix(h: u64, word: u64) -> u64 {
+    (h.rotate_left(5) ^ word).wrapping_mul(crate::fxhash::SEED)
+}
+
 /// Hashable identity of a (potentially looping) packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ReplicaKey {
@@ -46,6 +52,93 @@ impl ReplicaKey {
             tos: rec.tos,
             frag_word: rec.frag_word,
             transport: rec.transport,
+        }
+    }
+
+    /// The 64-bit level-0 fingerprint of this key: the identity probed by
+    /// the two-level candidate index ([`crate::CandidateScanner`]) before
+    /// any full-key hashing happens.
+    ///
+    /// It is a *pure function of exactly the key fields* — nothing more
+    /// (TTL, IP checksum, and timestamp never feed it, so replicas of one
+    /// looped packet always share a fingerprint) and nothing less (two
+    /// keys that differ somewhere *usually* get different fingerprints).
+    /// Collisions are possible and harmless: the scanner resolves them
+    /// with a full key compare, so they can cost a probe but never change
+    /// results. Computed once at ingest and carried on
+    /// [`TraceRecord::fingerprint`] through shard dispatch.
+    ///
+    /// The mixer is the same multiply-rotate Fx scheme as
+    /// [`crate::fxhash`], folded over hand-packed words so the whole key
+    /// costs five multiplies.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = fp_mix(
+            0,
+            (u64::from(u32::from(self.src)) << 32) | u64::from(u32::from(self.dst)),
+        );
+        h = fp_mix(
+            h,
+            u64::from(self.protocol)
+                | (u64::from(self.ident) << 8)
+                | (u64::from(self.total_len) << 24)
+                | (u64::from(self.tos) << 40)
+                | (u64::from(self.frag_word) << 48),
+        );
+        // A variant tag leads each transport word so e.g. a UDP and an
+        // "Other" summary with coinciding bytes cannot alias.
+        match self.transport {
+            TransportSummary::Tcp {
+                src_port,
+                dst_port,
+                seq,
+                ack,
+                flags,
+                window,
+                checksum,
+                urgent,
+            } => {
+                h = fp_mix(
+                    h,
+                    1u64 | (u64::from(src_port) << 8)
+                        | (u64::from(dst_port) << 24)
+                        | (u64::from(flags) << 40)
+                        | (u64::from(window) << 48),
+                );
+                h = fp_mix(h, (u64::from(seq) << 32) | u64::from(ack));
+                fp_mix(h, u64::from(checksum) | (u64::from(urgent) << 16))
+            }
+            TransportSummary::Udp {
+                src_port,
+                dst_port,
+                length,
+                checksum,
+            } => {
+                h = fp_mix(
+                    h,
+                    2u64 | (u64::from(src_port) << 8)
+                        | (u64::from(dst_port) << 24)
+                        | (u64::from(length) << 40),
+                );
+                fp_mix(h, u64::from(checksum))
+            }
+            TransportSummary::Icmp {
+                icmp_type,
+                code,
+                checksum,
+                rest,
+            } => {
+                h = fp_mix(
+                    h,
+                    3u64 | (u64::from(icmp_type) << 8)
+                        | (u64::from(code) << 16)
+                        | (u64::from(checksum) << 24),
+                );
+                fp_mix(h, u64::from(u32::from_le_bytes(rest)))
+            }
+            TransportSummary::Other { lead, len } => {
+                h = fp_mix(h, 4u64 | (u64::from(len) << 8));
+                fp_mix(h, u64::from_le_bytes(lead))
+            }
         }
     }
 
@@ -130,6 +223,23 @@ mod tests {
         assert_ne!(r1.ttl, r2.ttl);
         assert_ne!(r1.ip_checksum, r2.ip_checksum);
         assert_eq!(ReplicaKey::of(&r1), ReplicaKey::of(&r2));
+        // The level-0 fingerprint must respect the same equivalence: TTL
+        // and IP-checksum rewrites never perturb it.
+        assert_eq!(r1.fingerprint, r2.fingerprint);
+        assert_eq!(r1.fingerprint, ReplicaKey::of(&r1).fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_separates_distinct_keys() {
+        // Not a statistical test — just the keys this suite already knows
+        // are distinct must not collide at 64 bits.
+        let p1 = base_packet();
+        let mut p2 = base_packet();
+        p2.ip.ident = p1.ip.ident.wrapping_add(1);
+        p2.fill_checksums();
+        let f1 = ReplicaKey::of(&TraceRecord::from_packet(0, &p1)).fingerprint();
+        let f2 = ReplicaKey::of(&TraceRecord::from_packet(0, &p2)).fingerprint();
+        assert_ne!(f1, f2);
     }
 
     #[test]

@@ -83,6 +83,6 @@ pub use key::ReplicaKey;
 pub use merge::RoutingLoop;
 pub use online::{OnlineDetector, OnlineEvent};
 pub use record::{TraceRecord, TransportSummary};
-pub use replica::{DetectionResult, DetectionStats, Detector};
+pub use replica::{CandidateScanner, DetectionResult, DetectionStats, Detector, ScanCounters};
 pub use shard::{shard_of, shard_of_record, ShardedDetector};
 pub use stream::ReplicaStream;

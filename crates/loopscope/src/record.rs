@@ -60,7 +60,7 @@ pub enum TransportSummary {
 }
 
 /// One trace record: timestamp plus the header fields of one captured
-/// packet. ~48 bytes, so multi-million-packet traces stay cheap.
+/// packet. ~56 bytes, so multi-million-packet traces stay cheap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceRecord {
     /// Capture timestamp in nanoseconds since the trace epoch.
@@ -85,6 +85,12 @@ pub struct TraceRecord {
     pub ip_checksum: u16,
     /// Transport summary.
     pub transport: TransportSummary,
+    /// Level-0 fingerprint of the replica-key fields
+    /// ([`crate::ReplicaKey::fingerprint`]), computed once here at ingest
+    /// and carried through shard dispatch so no later stage rehashes the
+    /// full key. Zero is a legal (if unlikely) value; the candidate
+    /// scanner normalises it away from its empty-slot sentinel.
+    pub fingerprint: u64,
 }
 
 impl TraceRecord {
@@ -132,7 +138,9 @@ impl TraceRecord {
             frag_word: frag_word(&p.ip),
             ip_checksum: p.ip.checksum,
             transport,
+            fingerprint: 0,
         }
+        .with_fingerprint()
     }
 
     /// Parses a record from captured wire bytes (pcap path). The IP header
@@ -188,7 +196,17 @@ impl TraceRecord {
             frag_word: frag_word(&ip),
             ip_checksum: ip.checksum,
             transport,
-        })
+            fingerprint: 0,
+        }
+        .with_fingerprint())
+    }
+
+    /// Stamps [`Self::fingerprint`] from the replica-key fields — the
+    /// tail of both constructors, so every record the detector ever sees
+    /// carries a fingerprint consistent with its key.
+    fn with_fingerprint(mut self) -> Self {
+        self.fingerprint = crate::key::ReplicaKey::of(&self).fingerprint();
+        self
     }
 
     /// The destination's /24 — the stream-aggregation unit (§IV-A.2).

@@ -1,10 +1,21 @@
 //! Step 1 — replica detection — and the overall detection pipeline.
 //!
 //! Candidate grouping is exposed in two shapes: [`Detector::run`] drives
-//! the whole batch pipeline, while the crate-internal [`CandidateScanner`]
-//! is the push-based core it delegates to — the same scanner the sharded
-//! parallel pipeline ([`crate::shard`]) feeds record-by-record as records
-//! arrive from its ring buffers.
+//! the whole batch pipeline, while [`CandidateScanner`] is the push-based
+//! core it delegates to — the same scanner the sharded parallel pipeline
+//! ([`crate::shard`]) feeds record-by-record as records arrive from its
+//! ring buffers.
+//!
+//! The scanner is a *two-level candidate index*. Level 0 is an
+//! open-addressing fingerprint table probed with the 64-bit
+//! [`TraceRecord::fingerprint`] precomputed at ingest; first sightings —
+//! the overwhelming majority of backbone traffic (§IV, Table I) — insert
+//! there and return without hashing the ~44-byte [`ReplicaKey`] or
+//! allocating. Level 1 is the exact `ReplicaKey → OpenCandidate` map,
+//! entered only on second-and-later fingerprint sightings; fingerprint
+//! collisions are resolved by full key compare there, so output is
+//! byte-identical to the single-map reference path
+//! (`DetectorConfig::use_prefilter = false`).
 
 use crate::config::DetectorConfig;
 use crate::fxhash::{fx_map_with_capacity, FxHashMap};
@@ -19,6 +30,14 @@ static TM_RECORDS_SCANNED: LazyCounter = LazyCounter::new("replica.records_scann
 static TM_CANDIDATES_OPENED: LazyCounter = LazyCounter::new("replica.candidates_opened");
 static TM_CANDIDATES_DISCARDED: LazyCounter = LazyCounter::new("replica.candidates_discarded");
 static TM_CHECKSUM_SPLITS: LazyCounter = LazyCounter::new("replica.checksum_splits");
+// Level-0 pre-filter accounting, published unconditionally by
+// `CandidateScanner::finish` (zeros under `--no-prefilter`) so snapshots
+// always expose the full set.
+static TM_PREFILTER_HITS: LazyCounter = LazyCounter::new("replica.prefilter_hits");
+static TM_PREFILTER_MISSES: LazyCounter = LazyCounter::new("replica.prefilter_misses");
+static TM_PREFILTER_PROMOTIONS: LazyCounter = LazyCounter::new("replica.prefilter_promotions");
+static TM_PREFILTER_EVICTIONS: LazyCounter = LazyCounter::new("replica.prefilter_evictions");
+static TM_PREFILTER_COLLISIONS: LazyCounter = LazyCounter::new("replica.prefilter_collisions");
 
 /// Counters describing what each pipeline stage did — the raw material of
 /// Table II and the A2 ablation.
@@ -80,6 +99,9 @@ struct OpenCandidate {
     record_indices: Vec<usize>,
     last_ip_checksum: u16,
     protocol: u8,
+    /// Normalised level-0 fingerprint of the key — kept so the generation
+    /// sweep can rebuild PROMOTED markers for surviving exact-map entries.
+    fp: u64,
 }
 
 impl Detector {
@@ -232,7 +254,7 @@ pub(crate) fn check_continuation(
 
 /// Counters accumulated by one [`CandidateScanner`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub(crate) struct ScanCounters {
+pub struct ScanCounters {
     /// Candidates opened (every first sighting of a key opens one).
     pub opened: u64,
     /// Candidates closed with fewer than two sightings.
@@ -241,42 +263,303 @@ pub(crate) struct ScanCounters {
     pub checksum_splits: u64,
 }
 
+/// Marks a level-0 slot whose fingerprint has moved to the exact map:
+/// every key hashing to it lives (or lived) at level 1, so the slot
+/// answers "go probe the map" instead of holding an inline seed.
+const PROMOTED_BIT: u64 = 1 << 63;
+/// Low bits of the metadata word: the generation of the last touch.
+const GEN_MASK: u64 = PROMOTED_BIT - 1;
+
+/// A level-0 slot's inline payload: the single sighting that opened the
+/// candidate, parked here until a second sighting proves it worth a real
+/// [`OpenCandidate`] (and its two `Vec` allocations).
+#[derive(Clone, Copy)]
+struct PrefilterSeed {
+    rec: TraceRecord,
+    idx: usize,
+}
+
+impl PrefilterSeed {
+    /// Filler for unoccupied slots — never read (occupancy is decided by
+    /// the fingerprint lane alone).
+    fn vacant() -> Self {
+        Self {
+            rec: TraceRecord {
+                timestamp_ns: 0,
+                src: std::net::Ipv4Addr::UNSPECIFIED,
+                dst: std::net::Ipv4Addr::UNSPECIFIED,
+                protocol: 0,
+                ident: 0,
+                total_len: 0,
+                tos: 0,
+                ttl: 0,
+                frag_word: 0,
+                ip_checksum: 0,
+                transport: crate::record::TransportSummary::Other {
+                    lead: [0; 8],
+                    len: 0,
+                },
+                fingerprint: 0,
+            },
+            idx: 0,
+        }
+    }
+}
+
+/// The level-0 open-addressing fingerprint table, laid out
+/// structure-of-arrays so the miss path — the dominant one — touches only
+/// the `u64` fingerprint lane (1–2 cache lines with linear probing).
+///
+/// Slot states, decided by `fps[i]` and `meta[i]`:
+/// - **empty** (`fps[i] == 0`): never seen in the active window;
+/// - **seed** (`fps[i] != 0`, promoted bit clear): exactly one sighting,
+///   stored inline in the `seeds` lane — no allocation yet;
+/// - **promoted** (`fps[i] != 0`, promoted bit set): every candidate with
+///   this fingerprint lives in the exact map; a miss at level 0 therefore
+///   *definitively* means "key not active", which is what lets first
+///   sightings skip the map entirely.
+struct PreFilter {
+    /// Fingerprint lane; 0 is the empty-slot sentinel (record
+    /// fingerprints are normalised to nonzero before probing).
+    fps: Vec<u64>,
+    /// Metadata lane: [`PROMOTED_BIT`] | generation of the last touch.
+    meta: Vec<u64>,
+    /// Seed lane; read only on a fingerprint hit.
+    seeds: Vec<PrefilterSeed>,
+    /// Occupied slots (seeds + promoted markers).
+    live: usize,
+    /// `1 << gen_shift` is the generation window, the smallest power of
+    /// two at or above `max_replica_gap_ns` — so anything last touched two
+    /// or more generations ago is *provably* beyond the inter-replica
+    /// spacing bound and can be evicted without changing results.
+    gen_shift: u32,
+    hits: u64,
+    misses: u64,
+    promotions: u64,
+    evictions: u64,
+    collisions: u64,
+}
+
+impl PreFilter {
+    const MIN_CAPACITY: usize = 16;
+
+    fn new(capacity_hint: usize, max_replica_gap_ns: u64) -> Self {
+        let cap = capacity_hint
+            .saturating_mul(2)
+            .next_power_of_two()
+            .max(Self::MIN_CAPACITY);
+        let gen_shift = max_replica_gap_ns
+            .checked_next_power_of_two()
+            .map_or(63, |p| p.trailing_zeros());
+        Self {
+            fps: vec![0; cap],
+            meta: vec![0; cap],
+            seeds: vec![PrefilterSeed::vacant(); cap],
+            live: 0,
+            gen_shift,
+            hits: 0,
+            misses: 0,
+            promotions: 0,
+            evictions: 0,
+            collisions: 0,
+        }
+    }
+
+    #[inline]
+    fn generation(&self, timestamp_ns: u64) -> u64 {
+        (timestamp_ns >> self.gen_shift) & GEN_MASK
+    }
+
+    /// Linear probe: the slot holding `fp`, or the first empty slot on its
+    /// run. The ≤ 3/4 load factor guarantees an empty slot exists.
+    #[inline]
+    fn probe(&self, fp: u64) -> usize {
+        let mask = self.fps.len() - 1;
+        let mut i = (fp as usize) & mask;
+        loop {
+            let f = self.fps[i];
+            if f == fp || f == 0 {
+                return i;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Would one more insert push the table past a 3/4 load factor?
+    #[inline]
+    fn needs_sweep(&self) -> bool {
+        (self.live + 1) * 4 > self.fps.len() * 3
+    }
+
+    #[inline]
+    fn insert_seed(&mut self, slot: usize, fp: u64, gen: u64, rec: &TraceRecord, idx: usize) {
+        self.fps[slot] = fp;
+        self.meta[slot] = gen;
+        self.seeds[slot] = PrefilterSeed { rec: *rec, idx };
+        self.live += 1;
+    }
+}
+
+/// Level-0 probes use fingerprint 0 as the empty-slot sentinel; a record
+/// whose (pure-function-of-key) fingerprint is genuinely 0 is folded onto
+/// 1 — at worst one more collision, resolved like any other.
+#[inline]
+fn normalise_fp(fp: u64) -> u64 {
+    if fp == 0 {
+        1
+    } else {
+        fp
+    }
+}
+
 /// Push-based step-1 scanner: feed time-ordered records one at a time,
 /// collect the finished candidate replica sets at the end. Record indices
 /// are whatever the caller passes in — global trace positions for the
 /// serial pipeline, shard-local positions for the parallel one.
 ///
-/// The open-candidate table is an unseeded [`FxHashMap`] — hashing the
-/// ~44-byte [`ReplicaKey`] once per record is the single hottest
-/// operation of the whole pipeline, and SipHash made it ~10× dearer than
-/// it needs to be. Output order never depends on the table (see
+/// This is the two-level candidate index described in the module docs:
+/// level 0 is the [`PreFilter`] fingerprint table (probed with the
+/// ingest-precomputed [`TraceRecord::fingerprint`], zero allocations and
+/// no key hashing on the dominant first-sighting path), level 1 the exact
+/// [`FxHashMap`] keyed by [`ReplicaKey`] that only promoted (seen-twice)
+/// candidates reach. With `use_prefilter` off, every record takes the
+/// level-1 path directly — the reference implementation the equivalence
+/// tests compare against. Output order never depends on either table (see
 /// [`CandidateScanner::finish`]).
-pub(crate) struct CandidateScanner {
+pub struct CandidateScanner {
     cfg: DetectorConfig,
     open: FxHashMap<ReplicaKey, OpenCandidate>,
     done: Vec<ReplicaStream>,
     counters: ScanCounters,
+    prefilter: Option<PreFilter>,
 }
 
 impl CandidateScanner {
-    /// A scanner whose candidate table is pre-sized for roughly
-    /// `capacity` simultaneously-open keys, avoiding rehash storms on
-    /// large traces.
+    /// A scanner whose tables are pre-sized for roughly `capacity`
+    /// simultaneously-open keys, avoiding rehash storms on large traces.
     pub fn with_capacity(cfg: DetectorConfig, capacity: usize) -> Self {
+        let prefilter = cfg
+            .use_prefilter
+            .then(|| PreFilter::new(capacity, cfg.max_replica_gap_ns));
+        // With the pre-filter in front, the exact map only ever holds
+        // promoted candidates — a small fraction of open keys.
+        let exact_capacity = if cfg.use_prefilter {
+            capacity / 16
+        } else {
+            capacity
+        };
         Self {
             cfg,
-            open: fx_map_with_capacity(capacity),
+            open: fx_map_with_capacity(exact_capacity),
             done: Vec::new(),
             counters: ScanCounters::default(),
+            prefilter,
         }
     }
 
     /// Consumes one record (callers guarantee timestamp order).
+    #[inline]
     pub fn push(&mut self, idx: usize, rec: &TraceRecord) {
+        if self.prefilter.is_some() {
+            self.push_prefiltered(idx, rec);
+        } else {
+            self.push_exact(idx, rec, normalise_fp(rec.fingerprint));
+        }
+    }
+
+    fn push_prefiltered(&mut self, idx: usize, rec: &TraceRecord) {
+        let fp = normalise_fp(rec.fingerprint);
+        let pf = self.prefilter.as_mut().expect("prefilter enabled");
+        let gen = pf.generation(rec.timestamp_ns);
+        let slot = pf.probe(fp);
+        if pf.fps[slot] == 0 {
+            // Level-0 miss: first sighting of this fingerprint in the
+            // active window. The dominant path on real traces — one lane
+            // probe and an inline store; no key hash, no allocation.
+            pf.misses += 1;
+            if pf.needs_sweep() {
+                self.sweep(gen);
+                let pf = self.prefilter.as_mut().expect("prefilter enabled");
+                let slot = pf.probe(fp);
+                pf.insert_seed(slot, fp, gen, rec, idx);
+            } else {
+                pf.insert_seed(slot, fp, gen, rec, idx);
+            }
+            self.counters.opened += 1;
+            return;
+        }
+        pf.hits += 1;
+        if pf.meta[slot] & PROMOTED_BIT != 0 {
+            // Everything with this fingerprint already lives at level 1.
+            pf.meta[slot] = PROMOTED_BIT | gen;
+            self.push_exact(idx, rec, fp);
+            return;
+        }
+        let seed = pf.seeds[slot];
+        if ReplicaKey::of(&seed.rec) == ReplicaKey::of(rec) {
+            let last = Observation {
+                timestamp_ns: seed.rec.timestamp_ns,
+                ttl: seed.rec.ttl,
+            };
+            let check = check_continuation(
+                &self.cfg,
+                last,
+                seed.rec.ip_checksum,
+                seed.rec.protocol,
+                rec,
+            );
+            if check.joins {
+                // Second sighting proves the candidate: promote it to the
+                // exact map with both observations. This is the only place
+                // the hot loop allocates, and it runs once per *replica*,
+                // not once per record.
+                let mut cand = OpenCandidate::new(&seed.rec, seed.idx, fp);
+                cand.observations.push(Observation {
+                    timestamp_ns: rec.timestamp_ns,
+                    ttl: rec.ttl,
+                });
+                cand.record_indices.push(idx);
+                cand.last_ip_checksum = rec.ip_checksum;
+                self.open.insert(ReplicaKey::of(rec), cand);
+                pf.meta[slot] = PROMOTED_BIT | gen;
+                pf.promotions += 1;
+            } else {
+                if check.checksum_split {
+                    self.counters.checksum_splits += 1;
+                }
+                // Same key but not a continuation (link-layer duplicate,
+                // ident wrap, or stale stream): the one-sighting seed
+                // closes — discarded, exactly as the reference path would
+                // — and this sighting re-seeds the slot in place.
+                self.counters.discarded += 1;
+                self.counters.opened += 1;
+                pf.seeds[slot] = PrefilterSeed { rec: *rec, idx };
+                pf.meta[slot] = gen;
+            }
+        } else {
+            // True fingerprint collision between distinct keys: escalate
+            // both to the exact map, where the full key disambiguates them
+            // forever after, and promote the slot so neither is re-seeded.
+            // Costs a probe; cannot change results.
+            pf.collisions += 1;
+            pf.meta[slot] = PROMOTED_BIT | gen;
+            self.open.insert(
+                ReplicaKey::of(&seed.rec),
+                OpenCandidate::new(&seed.rec, seed.idx, fp),
+            );
+            self.open
+                .insert(ReplicaKey::of(rec), OpenCandidate::new(rec, idx, fp));
+            self.counters.opened += 1;
+        }
+    }
+
+    /// The exact-map (level-1) path: the whole of step 1 when the
+    /// pre-filter is disabled, and the promoted-slot continuation when it
+    /// is on.
+    fn push_exact(&mut self, idx: usize, rec: &TraceRecord, fp: u64) {
         let key = ReplicaKey::of(rec);
         // Entry API: one hash of the (44-byte) key per record, on every
-        // branch — get_mut + insert would hash twice for first sightings,
-        // and first sightings dominate real traces.
+        // branch — get_mut + insert would hash twice for first sightings.
         match self.open.entry(key) {
             std::collections::hash_map::Entry::Occupied(mut e) => {
                 let cand = e.get_mut();
@@ -295,17 +578,94 @@ impl CandidateScanner {
                         self.counters.checksum_splits += 1;
                     }
                     // Same key but not a continuation: close the old
-                    // candidate and start over from this sighting (a
-                    // link-layer duplicate, an ident wrap, or a stale
-                    // stream) — swapped in place, no rehash.
-                    let old = std::mem::replace(cand, OpenCandidate::new(rec, idx));
+                    // candidate and start over from this sighting —
+                    // swapped in place, no rehash.
+                    let old = std::mem::replace(cand, OpenCandidate::new(rec, idx, fp));
                     Self::close(key, old, &mut self.done, &mut self.counters);
                     self.counters.opened += 1;
                 }
             }
             std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(OpenCandidate::new(rec, idx));
+                e.insert(OpenCandidate::new(rec, idx, fp));
                 self.counters.opened += 1;
+            }
+        }
+    }
+
+    /// Generation sweep: evicts everything last touched two or more
+    /// windows ago — provably beyond `max_replica_gap_ns`, so nothing
+    /// evicted here could ever have joined a future sighting. Stale exact
+    /// candidates close now instead of at [`Self::finish`] (the final sort
+    /// erases the difference), stale seeds are discarded exactly as a
+    /// same-key stale split would have, and the lanes are rebuilt —
+    /// growing only when the *live* population demands it. This bounds
+    /// both tables by the traffic of the active window rather than the
+    /// whole trace, and costs O(capacity) per ≥ capacity/4 inserts.
+    #[cold]
+    fn sweep(&mut self, cur_gen: u64) {
+        let pf = self.prefilter.as_mut().expect("prefilter enabled");
+        let gen_shift = pf.gen_shift;
+        let stale = |g: u64| g.saturating_add(2) <= cur_gen;
+        let mut evicted = 0u64;
+        let done = &mut self.done;
+        let counters = &mut self.counters;
+        self.open.retain(|key, cand| {
+            let last = cand.observations.last().expect("open candidate non-empty");
+            if stale((last.timestamp_ns >> gen_shift) & GEN_MASK) {
+                evicted += 1;
+                if cand.observations.len() >= 2 {
+                    done.push(ReplicaStream {
+                        key: *key,
+                        observations: std::mem::take(&mut cand.observations),
+                        record_indices: std::mem::take(&mut cand.record_indices),
+                    });
+                } else {
+                    counters.discarded += 1;
+                }
+                false
+            } else {
+                true
+            }
+        });
+        let mut survivors: Vec<(u64, u64, PrefilterSeed)> = Vec::new();
+        for i in 0..pf.fps.len() {
+            let fp = pf.fps[i];
+            if fp == 0 || pf.meta[i] & PROMOTED_BIT != 0 {
+                continue;
+            }
+            if stale(pf.meta[i] & GEN_MASK) {
+                // A seed that old can never be joined; close it discarded,
+                // just as the reference path eventually would.
+                counters.discarded += 1;
+                evicted += 1;
+            } else {
+                survivors.push((fp, pf.meta[i], pf.seeds[i]));
+            }
+        }
+        pf.evictions += evicted;
+        let live_target = survivors.len() + self.open.len();
+        let new_cap = (live_target * 2 + 1).next_power_of_two().max(pf.fps.len());
+        pf.fps = vec![0; new_cap];
+        pf.meta = vec![0; new_cap];
+        pf.seeds = vec![PrefilterSeed::vacant(); new_cap];
+        pf.live = 0;
+        for (fp, meta, seed) in survivors {
+            let slot = pf.probe(fp);
+            debug_assert_eq!(pf.fps[slot], 0, "seed fingerprints are unique");
+            pf.fps[slot] = fp;
+            pf.meta[slot] = meta;
+            pf.seeds[slot] = seed;
+            pf.live += 1;
+        }
+        // One PROMOTED marker per surviving exact-map fingerprint (keys
+        // sharing a fingerprint share a marker), so a level-0 miss keeps
+        // meaning "key not active".
+        for cand in self.open.values() {
+            let slot = pf.probe(cand.fp);
+            if pf.fps[slot] == 0 {
+                pf.fps[slot] = cand.fp;
+                pf.meta[slot] = PROMOTED_BIT | cur_gen;
+                pf.live += 1;
             }
         }
     }
@@ -313,10 +673,35 @@ impl CandidateScanner {
     /// Closes every open candidate and returns the finished sets in
     /// `(start time, first record index)` order.
     pub fn finish(mut self) -> (Vec<ReplicaStream>, ScanCounters) {
+        let mut tele = [0u64; 5];
+        if let Some(pf) = self.prefilter.take() {
+            // Remaining seeds are one-sighting candidates that never found
+            // a replica.
+            for i in 0..pf.fps.len() {
+                if pf.fps[i] != 0 && pf.meta[i] & PROMOTED_BIT == 0 {
+                    self.counters.discarded += 1;
+                }
+            }
+            tele = [
+                pf.hits,
+                pf.misses,
+                pf.promotions,
+                pf.evictions,
+                pf.collisions,
+            ];
+        }
+        // Published even when zero so `--metrics` snapshots always carry
+        // the full prefilter counter set.
+        TM_PREFILTER_HITS.add(tele[0]);
+        TM_PREFILTER_MISSES.add(tele[1]);
+        TM_PREFILTER_PROMOTIONS.add(tele[2]);
+        TM_PREFILTER_EVICTIONS.add(tele[3]);
+        TM_PREFILTER_COLLISIONS.add(tele[4]);
         for (key, cand) in self.open.drain() {
             Self::close(key, cand, &mut self.done, &mut self.counters);
         }
-        // HashMap drain order is nondeterministic; normalise.
+        // Table drain order is nondeterministic (and eviction re-times
+        // closes); normalise.
         self.done
             .sort_by_key(|s| (s.start_ns(), s.record_indices[0]));
         (self.done, self.counters)
@@ -341,7 +726,7 @@ impl CandidateScanner {
 }
 
 impl OpenCandidate {
-    fn new(rec: &TraceRecord, idx: usize) -> Self {
+    fn new(rec: &TraceRecord, idx: usize, fp: u64) -> Self {
         Self {
             observations: vec![Observation {
                 timestamp_ns: rec.timestamp_ns,
@@ -350,6 +735,7 @@ impl OpenCandidate {
             record_indices: vec![idx],
             last_ip_checksum: rec.ip_checksum,
             protocol: rec.protocol,
+            fp,
         }
     }
 }

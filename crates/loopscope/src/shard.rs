@@ -625,10 +625,36 @@ mod tests {
                 verify_checksum_consistency: false,
                 ..DetectorConfig::default()
             },
+            DetectorConfig {
+                use_prefilter: false,
+                ..DetectorConfig::default()
+            },
         ] {
             let serial = Detector::new(cfg).run(&recs);
             let par = ShardedDetector::new(cfg, 4).run(&recs);
             assert_results_equal(&serial, &par);
+        }
+    }
+
+    #[test]
+    fn prefilter_ablation_is_invisible_at_every_thread_count() {
+        // The two-level candidate index must be output-invisible: serial
+        // with and without the pre-filter agree, and every sharded run in
+        // either mode agrees with both.
+        let recs = mixed_trace();
+        let on = Detector::new(DetectorConfig::default()).run(&recs);
+        assert!(!on.streams.is_empty());
+        let off_cfg = DetectorConfig {
+            use_prefilter: false,
+            ..DetectorConfig::default()
+        };
+        let off = Detector::new(off_cfg).run(&recs);
+        assert_results_equal(&on, &off);
+        for threads in [2usize, 3, 4, 8] {
+            let par_on = ShardedDetector::new(DetectorConfig::default(), threads).run(&recs);
+            assert_results_equal(&on, &par_on);
+            let par_off = ShardedDetector::new(off_cfg, threads).run(&recs);
+            assert_results_equal(&on, &par_off);
         }
     }
 

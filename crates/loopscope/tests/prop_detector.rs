@@ -307,3 +307,65 @@ mod online_equivalence {
         }
     }
 }
+
+proptest! {
+    /// Adversarially forged level-0 collisions — down to *every* record
+    /// sharing one fingerprint — never change `DetectionResult` vs the
+    /// exact-map-only reference path. The forgery stays a pure function
+    /// of the key (the contract ingest upholds: same key ⇒ same
+    /// fingerprint) but squeezes all fingerprints into `buckets` values,
+    /// so the pre-filter sees nothing but collisions and must escalate
+    /// its way to correctness through full key compares.
+    #[test]
+    fn forced_fingerprint_collisions_never_change_results(
+        loops in 1usize..6,
+        noise in 0usize..120,
+        buckets in 1u64..8,
+        spacing_ms in 1u64..50,
+    ) {
+        let mut recs = Vec::new();
+        for i in 0..loops {
+            recs.extend(loop_sightings(
+                1_000 + i as u64 * 37_000,
+                spacing_ms * 1_000_000,
+                60,
+                2,
+                5,
+                i as u16,
+                Ipv4Addr::new(203, 0, 113, (i % 200) as u8 + 1),
+                1,
+            ));
+        }
+        for i in 0..noise {
+            // Distinct idents: ordinary traffic, never replicas.
+            let mut p = Packet::tcp_flags(
+                Ipv4Addr::new(100, 9, 0, 1),
+                Ipv4Addr::new(198, 51, 100, (i % 200) as u8 + 1),
+                3000,
+                80,
+                TcpFlags::ACK,
+                &b"n"[..],
+            );
+            p.ip.ident = 10_000 + i as u16;
+            p.ip.ttl = 57;
+            p.fill_checksums();
+            recs.push(TraceRecord::from_packet(500 + i as u64 * 293_000, &p));
+        }
+        recs.sort_by_key(|r| r.timestamp_ns);
+        // `% 1` forges fingerprint 0 for every record — also covering the
+        // scanner's empty-slot-sentinel normalisation.
+        for r in &mut recs {
+            r.fingerprint = loopscope::ReplicaKey::of(r).fingerprint() % buckets;
+        }
+        let on = Detector::new(DetectorConfig::default()).run(&recs);
+        let off = Detector::new(DetectorConfig {
+            use_prefilter: false,
+            ..DetectorConfig::default()
+        })
+        .run(&recs);
+        prop_assert_eq!(&on.streams, &off.streams);
+        prop_assert_eq!(&on.loops, &off.loops);
+        prop_assert_eq!(&on.looped_flags, &off.looped_flags);
+        prop_assert_eq!(on.stats, off.stats);
+    }
+}

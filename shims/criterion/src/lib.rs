@@ -1,0 +1,269 @@
+//! Std-only shim for the subset of the `criterion` benchmarking API this
+//! workspace uses. The build environment has no crates.io access, so this
+//! crate keeps the bench sources compiling and *running* — each benchmark
+//! is timed with `std::time::Instant` over a fixed number of samples and a
+//! one-line summary (median, mean, throughput when declared) is printed to
+//! stdout. There is no statistical analysis, HTML report, or baseline
+//! comparison.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver (shim of `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares per-iteration throughput, reported as elements or bytes
+    /// per second.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = name.into();
+        let full = format!("{}/{}", self.name, id.0);
+        run_bench(
+            &full,
+            self.sample_size.unwrap_or(10),
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        run_bench(
+            &full,
+            self.sample_size.unwrap_or(10),
+            self.throughput,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (a no-op in this shim, kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Per-iteration data volume for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (shim of `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        Self(format!("{name}/{param}"))
+    }
+
+    /// An id carrying only the parameter.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        Self(param.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the workload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, once per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warm-up call, untimed.
+        std::hint::black_box(routine());
+        let n = self.samples.capacity();
+        for _ in 0..n {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples
+                .push(t0.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+fn run_bench(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        iters_per_sample: 1,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<44} (no samples)");
+        return;
+    }
+    b.samples.sort();
+    let median = b.samples[b.samples.len() / 2];
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    let rate = throughput
+        .map(|t| {
+            let secs = median.as_secs_f64().max(1e-12);
+            match t {
+                Throughput::Elements(n) => format!("  {:>12.0} elem/s", n as f64 / secs),
+                Throughput::Bytes(n) => format!("  {:>12.0} B/s", n as f64 / secs),
+            }
+        })
+        .unwrap_or_default();
+    println!("{name:<44} median {median:>12?}  mean {mean:>12?}{rate}");
+}
+
+/// Prevents the optimiser from discarding a value (re-export of
+/// `std::hint::black_box` under criterion's name).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions, in either upstream form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::from_parameter(5), &5u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+    }
+}

@@ -126,6 +126,144 @@ fn threads_output_is_byte_identical_to_serial() {
     let _ = std::fs::remove_file(&pcap);
 }
 
+/// A transient-ECMP-loop trace written to pcap: the diamond topology from
+/// `tests/ecmp.rs` with one arm failed mid-run, captured on the a→b link.
+fn ecmp_pcap() -> std::path::PathBuf {
+    use routing_loops::net_types::{Packet, TcpFlags};
+    use routing_loops::routing::scenario::{compile, NetEvent, Scenario};
+    use routing_loops::routing::IgpConfig;
+    use routing_loops::simnet::{Engine, SimConfig, SimDuration, SimTime, TopologyBuilder};
+    use std::net::Ipv4Addr;
+
+    let mut bld = TopologyBuilder::new();
+    let src = bld.node("src", Ipv4Addr::new(10, 90, 0, 1));
+    let a = bld.node("a", Ipv4Addr::new(10, 90, 0, 2));
+    let b = bld.node("b", Ipv4Addr::new(10, 90, 0, 3));
+    let c = bld.node("c", Ipv4Addr::new(10, 90, 0, 4));
+    let d = bld.node("d", Ipv4Addr::new(10, 90, 0, 5));
+    bld.attach_prefix(src, "100.64.0.0/12".parse().unwrap());
+    bld.attach_prefix(d, "203.0.113.0/24".parse().unwrap());
+    let mut links = Vec::new();
+    let mut costs = Vec::new();
+    for (x, y, cost) in [
+        (src, a, 1u64),
+        (a, b, 1),
+        (a, c, 1),
+        (b, d, 1),
+        (c, d, 1),
+        (b, c, 2),
+    ] {
+        let (f, r) = bld.duplex(x, y, 622_000_000, SimDuration::from_millis(1));
+        links.push(f);
+        links.push(r);
+        costs.push(cost);
+        costs.push(cost);
+    }
+    let topo = bld.build();
+    let mut chosen = None;
+    for seed in 0..60 {
+        let mut scenario = Scenario::new(SimTime::from_secs(30));
+        scenario.costs = Some(costs.clone());
+        scenario.seed = seed;
+        scenario.igp = IgpConfig {
+            ecmp_max_paths: 4,
+            fib_node_jitter_max: SimDuration::from_millis(1_500),
+            ..IgpConfig::default()
+        };
+        scenario.events.push(NetEvent::LinkFail {
+            time: SimTime::from_secs(5),
+            link: links[6], // b -> d forward link
+        });
+        let compiled = compile(&topo, &scenario);
+        if compiled
+            .windows
+            .iter()
+            .any(|w| w.duration_until(compiled.horizon) > SimDuration::from_millis(200))
+        {
+            chosen = Some(compiled);
+            break;
+        }
+    }
+    let compiled = chosen.expect("some seed opens an ECMP transient window");
+    let mut engine = Engine::new(
+        topo,
+        SimConfig {
+            generate_time_exceeded: false,
+            ..SimConfig::default()
+        },
+    );
+    compiled.apply(&mut engine);
+    let tap_ab = engine.add_tap(links[2]); // a -> b
+    let mut t = SimTime::ZERO;
+    let mut ident = 0u16;
+    while t < SimTime::from_secs(10) {
+        let mut p = Packet::tcp_flags(
+            Ipv4Addr::new(100, 64, 0, 1),
+            Ipv4Addr::new(203, 0, 113, 9),
+            30_000 + (ident % 512),
+            80,
+            TcpFlags::ACK,
+            vec![0u8; 100],
+        );
+        p.ip.ident = ident;
+        p.ip.ttl = 60;
+        p.fill_checksums();
+        engine.schedule_inject(t, src, p);
+        ident = ident.wrapping_add(1);
+        t += SimDuration::from_millis(2);
+    }
+    engine.run();
+
+    let path =
+        std::env::temp_dir().join(format!("loopdetect_cli_ecmp_{}.pcap", std::process::id()));
+    let file = std::fs::File::create(&path).expect("create pcap");
+    write_tap_to_pcap(
+        &engine.taps()[tap_ab],
+        PAPER_SNAPLEN,
+        std::io::BufWriter::new(file),
+    )
+    .expect("write pcap");
+    path
+}
+
+#[test]
+fn no_prefilter_output_is_byte_identical() {
+    // The ablation flag must be output-invisible on both the looping
+    // backbone fixture and the transient-ECMP fixture, through every
+    // output format and both the serial and sharded paths.
+    for (what, pcap) in [("backbone", demo_pcap()), ("ecmp", ecmp_pcap())] {
+        for csv in ["loops", "streams", "summary"] {
+            for threads in ["1", "4"] {
+                let on = loopdetect()
+                    .arg(&pcap)
+                    .args(["--csv", csv, "--threads", threads])
+                    .output()
+                    .unwrap();
+                assert!(on.status.success(), "{on:?}");
+                let off = loopdetect()
+                    .arg(&pcap)
+                    .args(["--csv", csv, "--threads", threads, "--no-prefilter"])
+                    .output()
+                    .unwrap();
+                assert!(off.status.success(), "{off:?}");
+                assert_eq!(
+                    on.stdout, off.stdout,
+                    "--no-prefilter changed --csv {csv} --threads {threads} on {what}"
+                );
+            }
+        }
+        // The default text report too.
+        let on = loopdetect().arg(&pcap).output().unwrap();
+        let off = loopdetect()
+            .arg(&pcap)
+            .arg("--no-prefilter")
+            .output()
+            .unwrap();
+        assert_eq!(on.stdout, off.stdout, "text report diverged on {what}");
+        let _ = std::fs::remove_file(&pcap);
+    }
+}
+
 #[test]
 fn threads_flag_rejects_nonsense() {
     // 0 workers, non-numeric, and missing values must all die with a

@@ -192,6 +192,16 @@ fn ecmp_reconvergence_loops_are_detected() {
                 "looped flags diverge at {threads} threads"
             );
         }
+        // And the level-0 pre-filter must be output-invisible on the
+        // reconvergence fixture as well.
+        let off = Detector::new(DetectorConfig {
+            use_prefilter: false,
+            ..DetectorConfig::default()
+        })
+        .run(&records);
+        assert_eq!(detection.streams, off.streams, "prefilter changed streams");
+        assert_eq!(detection.loops, off.loops, "prefilter changed loops");
+        assert_eq!(detection.stats, off.stats, "prefilter changed stats");
         found_streams += detection.streams.len();
     }
     assert!(

@@ -248,9 +248,23 @@ fn sharded_detector_matches_serial_on_backbone() {
     let run = run_backbone(&small_spec());
     let serial = Detector::new(DetectorConfig::default()).run(&run.records);
     assert!(!serial.streams.is_empty(), "fixture must contain loops");
+    // The level-0 pre-filter is output-invisible here too: the exact-map
+    // reference path is the same oracle for every sharded run below.
+    let no_prefilter = DetectorConfig {
+        use_prefilter: false,
+        ..DetectorConfig::default()
+    };
+    let reference = Detector::new(no_prefilter).run(&run.records);
+    assert_detections_equal(&serial, &reference, "serial, prefilter off");
     for threads in [2usize, 4, 8] {
         let par = ShardedDetector::new(DetectorConfig::default(), threads).run(&run.records);
         assert_detections_equal(&serial, &par, &format!("{threads} threads"));
+        let par_off = ShardedDetector::new(no_prefilter, threads).run(&run.records);
+        assert_detections_equal(
+            &serial,
+            &par_off,
+            &format!("{threads} threads, prefilter off"),
+        );
     }
 }
 
@@ -268,9 +282,21 @@ fn sharded_detector_matches_serial_on_pcap_fixture() {
     write_tap_to_pcap(&run.tap, PAPER_SNAPLEN, &mut buf).unwrap();
     let (records, _skipped) = records_from_pcap(std::io::Cursor::new(&buf)).unwrap();
     let serial = Detector::new(DetectorConfig::default()).run(&records);
+    let no_prefilter = DetectorConfig {
+        use_prefilter: false,
+        ..DetectorConfig::default()
+    };
+    let reference = Detector::new(no_prefilter).run(&records);
+    assert_detections_equal(&serial, &reference, "pcap, serial, prefilter off");
     for threads in [2usize, 4, 8] {
         let par = ShardedDetector::new(DetectorConfig::default(), threads).run(&records);
         assert_detections_equal(&serial, &par, &format!("pcap, {threads} threads"));
+        let par_off = ShardedDetector::new(no_prefilter, threads).run(&records);
+        assert_detections_equal(
+            &serial,
+            &par_off,
+            &format!("pcap, {threads} threads, prefilter off"),
+        );
     }
 }
 

@@ -139,6 +139,22 @@ fn offline_detector_counters_are_consistent() {
         counter_delta(&before, &after, "merge.loops_total"),
         result.loops.len() as u64
     );
+    // Invariant: with the default config the level-0 pre-filter sees every
+    // record exactly once, as a hit (fingerprint already resident) or a
+    // miss (empty slot seeded).
+    let pf_hits = counter_delta(&before, &after, "replica.prefilter_hits");
+    let pf_misses = counter_delta(&before, &after, "replica.prefilter_misses");
+    assert_eq!(pf_hits + pf_misses, recs.len() as u64);
+    // Every promotion moves a seeded candidate into the exact map, so
+    // promotions are bounded by the misses that seeded them.
+    let pf_promotions = counter_delta(&before, &after, "replica.prefilter_promotions");
+    assert!(pf_promotions <= pf_misses, "{pf_promotions} > {pf_misses}");
+    // The looping workload revisits its key: at least one hit + promotion.
+    assert!(pf_hits > 0, "looping trace must re-probe a resident key");
+    assert!(
+        pf_promotions > 0,
+        "looping trace must promote its candidate"
+    );
     // All three stage timers ticked exactly once for this run.
     for stage in ["replica.detect", "validate", "merge"] {
         let calls =
@@ -200,6 +216,11 @@ fn snapshot_json_exposes_pipeline_stages() {
     let json = telemetry::global().snapshot().to_json();
     for key in [
         "\"replica.records_scanned\"",
+        "\"replica.prefilter_hits\"",
+        "\"replica.prefilter_misses\"",
+        "\"replica.prefilter_promotions\"",
+        "\"replica.prefilter_evictions\"",
+        "\"replica.prefilter_collisions\"",
         "\"validate.streams_kept\"",
         "\"merge.loops_total\"",
         "\"replica.detect\"",
