@@ -22,7 +22,7 @@ fn bench_figures(c: &mut Criterion) {
     let det = &b.detection;
 
     c.bench_function("table1_traces", |bch| {
-        bch.iter(|| analysis::trace_summary(std::hint::black_box(records), det))
+        bch.iter(|| analysis::trace_summary(std::hint::black_box(records), &det.streams))
     });
     c.bench_function("table2_merge_counts", |bch| {
         bch.iter(|| (det.streams.len(), det.loops.len()))
@@ -40,7 +40,7 @@ fn bench_figures(c: &mut Criterion) {
         bch.iter(|| analysis::mix_all(std::hint::black_box(records)))
     });
     c.bench_function("fig6_mix_looped", |bch| {
-        bch.iter(|| analysis::mix_looped(std::hint::black_box(records), det))
+        bch.iter(|| analysis::mix_looped(std::hint::black_box(&det.streams)))
     });
     c.bench_function("fig7_dest_scatter", |bch| {
         bch.iter(|| analysis::dest_scatter(std::hint::black_box(&det.streams)))

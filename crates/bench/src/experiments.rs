@@ -27,7 +27,7 @@ pub fn table1(data: &ExperimentData) -> String {
     ])
     .with_title("TABLE I — DETAILS OF TRACES");
     for b in &data.backbones {
-        let sum = analysis::trace_summary(&b.run.records, &b.detection);
+        let sum = analysis::trace_summary(&b.run.records, &b.detection.streams);
         t.row_owned(vec![
             b.name().to_string(),
             format!("{:.1}", sum.duration_ns as f64 / 1e9),
@@ -151,7 +151,7 @@ fn mix_table(title: &str, data: &ExperimentData, looped: bool) -> String {
         .iter()
         .map(|b| {
             if looped {
-                analysis::mix_looped(&b.run.records, &b.detection)
+                analysis::mix_looped(&b.detection.streams)
             } else {
                 analysis::mix_all(&b.run.records)
             }

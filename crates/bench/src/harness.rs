@@ -1,14 +1,15 @@
 //! Data collection: run the four backbones (in parallel) and detect.
 
-use loopscope::{DetectionResult, Detector, DetectorConfig};
+use loopscope::pipeline::{run_pipeline, SerialEngine, SliceSource};
+use loopscope::{DetectorConfig, PipelineResult};
 use routing_loops::backbone::{paper_backbones, run_backbone, BackboneRun, BackboneSpec};
 
 /// One backbone's trace, ground truth, and detection output.
 pub struct BackboneData {
     /// The simulated trace and control-plane ground truth.
     pub run: BackboneRun,
-    /// Detector output with paper-default configuration.
-    pub detection: DetectionResult,
+    /// Pipeline output with paper-default configuration (serial engine).
+    pub detection: PipelineResult,
 }
 
 impl BackboneData {
@@ -28,7 +29,13 @@ pub struct ExperimentData {
 
 fn build_one(spec: &BackboneSpec) -> BackboneData {
     let run = run_backbone(spec);
-    let detection = Detector::new(DetectorConfig::default()).run(&run.records);
+    let mut source = SliceSource::new(&run.records);
+    let detection = run_pipeline(
+        &mut source,
+        &mut SerialEngine::new(DetectorConfig::default()),
+        &mut [],
+    )
+    .expect("in-memory pipeline cannot fail");
     BackboneData { run, detection }
 }
 

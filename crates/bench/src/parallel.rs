@@ -4,9 +4,11 @@
 //! Measured on every run:
 //!
 //! 1. **Determinism** (hard): every parallel run's full output — streams,
-//!    loops, per-record flags, and stage counters — must equal the serial
-//!    run's. A divergence is a correctness bug, and the CI bench-smoke
-//!    step fails on it regardless of timing.
+//!    loops, and stage counters — must equal the serial run's. A
+//!    divergence is a correctness bug, and the CI bench-smoke step fails
+//!    on it regardless of timing. Both runs go through the unified
+//!    `loopscope::pipeline` (slice fast path), so what is compared is
+//!    exactly what every consumer sees.
 //! 2. **Throughput**: records/second for serial and per thread count, the
 //!    speedup over serial, and the pcap-ingest rate of the zero-alloc
 //!    reader. `bench_parallel --gate <baseline.json>` turns these into CI
@@ -18,7 +20,8 @@
 //!    run. Worker-side shard stages overlap in time, so their totals are
 //!    aggregate worker-seconds, not wall time.
 
-use loopscope::{DetectionResult, Detector, DetectorConfig, ShardedDetector, TraceRecord};
+use loopscope::pipeline::{run_pipeline, Engine, SerialEngine, ShardedEngine, SliceSource};
+use loopscope::{DetectorConfig, PipelineResult, TraceRecord};
 use routing_loops::backbone::{paper_backbones, run_backbone};
 use std::time::Instant;
 
@@ -136,14 +139,17 @@ impl ParallelBench {
     }
 }
 
-fn results_equal(a: &DetectionResult, b: &DetectionResult) -> bool {
-    a.stats == b.stats
-        && a.streams == b.streams
-        && a.loops == b.loops
-        && a.looped_flags == b.looped_flags
+fn results_equal(a: &PipelineResult, b: &PipelineResult) -> bool {
+    a.stats == b.stats && a.streams == b.streams && a.loops == b.loops
 }
 
-fn time_best<F: FnMut() -> DetectionResult>(repeats: usize, mut f: F) -> (u64, DetectionResult) {
+/// One pipeline run over in-memory records with the given engine.
+fn detect(records: &[TraceRecord], engine: &mut dyn Engine) -> PipelineResult {
+    let mut source = SliceSource::new(records);
+    run_pipeline(&mut source, engine, &mut []).expect("in-memory pipeline cannot fail")
+}
+
+fn time_best<F: FnMut() -> PipelineResult>(repeats: usize, mut f: F) -> (u64, PipelineResult) {
     let mut best_ns = u64::MAX;
     let mut out = None;
     for _ in 0..repeats.max(1) {
@@ -232,9 +238,10 @@ pub fn bench_ingest(n_records: usize, repeats: usize) -> (u64, u64, f64) {
 /// best-of-`repeats` and cross-checking every output against serial.
 pub fn run_on(records: &[TraceRecord], thread_counts: &[usize], repeats: usize) -> ParallelBench {
     let cfg = DetectorConfig::default();
-    let (serial_best_ns, serial) = time_best(repeats, || Detector::new(cfg).run(records));
+    let (serial_best_ns, serial) =
+        time_best(repeats, || detect(records, &mut SerialEngine::new(cfg)));
     let serial_stages = measure_stages(&SERIAL_STAGES, || {
-        Detector::new(cfg).run(records);
+        detect(records, &mut SerialEngine::new(cfg));
     });
     let per_s = |ns: u64| {
         if ns == 0 {
@@ -246,10 +253,11 @@ pub fn run_on(records: &[TraceRecord], thread_counts: &[usize], repeats: usize) 
     let samples = thread_counts
         .iter()
         .map(|&threads| {
-            let (best_ns, result) =
-                time_best(repeats, || ShardedDetector::new(cfg, threads).run(records));
+            let (best_ns, result) = time_best(repeats, || {
+                detect(records, &mut ShardedEngine::new(cfg, threads))
+            });
             let stages = measure_stages(&PARALLEL_STAGES, || {
-                ShardedDetector::new(cfg, threads).run(records);
+                detect(records, &mut ShardedEngine::new(cfg, threads));
             });
             ParallelSample {
                 threads,

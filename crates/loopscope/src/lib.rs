@@ -70,6 +70,7 @@ pub mod impact;
 pub mod key;
 pub mod merge;
 pub mod online;
+pub mod pipeline;
 pub mod record;
 pub mod replica;
 pub mod shard;
@@ -82,6 +83,11 @@ pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use key::ReplicaKey;
 pub use merge::RoutingLoop;
 pub use online::{OnlineDetector, OnlineEvent};
+pub use pipeline::{
+    run_pipeline, run_pipeline_with_progress, Engine, EngineProgress, PcapFileSequence, PcapSource,
+    PipelineError, PipelineResult, RecordSource, SerialEngine, ShardedEngine, Sink, SliceSource,
+    SourceError, SourceSummary, StreamingEngine,
+};
 pub use record::{TraceRecord, TransportSummary};
 pub use replica::{CandidateScanner, DetectionResult, DetectionStats, Detector, ScanCounters};
 pub use shard::{shard_of, shard_of_record, ShardedDetector};

@@ -86,10 +86,36 @@ pub struct OnlineStats {
     pub rejected_short: u64,
     /// Rejected: co-loop rule.
     pub rejected_covalidation: u64,
+    /// Times a sighting failed the RFC 1624 checksum-consistency check and
+    /// forced a candidate split (same quantity as
+    /// [`crate::DetectionStats::checksum_splits`]).
+    pub checksum_splits: u64,
     /// Validated streams emitted.
     pub streams_emitted: u64,
     /// Loops emitted.
     pub loops_emitted: u64,
+    /// Total replica sightings across emitted streams (same quantity as
+    /// [`crate::DetectionStats::looped_sightings`]).
+    pub looped_sightings: u64,
+}
+
+impl OnlineStats {
+    /// The streaming counters mapped onto the offline
+    /// [`crate::DetectionStats`] layout. On identical input every field
+    /// matches the offline detector's — the pipeline conformance tests
+    /// assert it.
+    pub fn as_detection_stats(&self) -> crate::replica::DetectionStats {
+        crate::replica::DetectionStats {
+            total_records: self.records,
+            raw_candidates: self.raw_candidates,
+            rejected_short: self.rejected_short,
+            rejected_covalidation: self.rejected_covalidation,
+            checksum_splits: self.checksum_splits,
+            validated_streams: self.streams_emitted,
+            routing_loops: self.loops_emitted,
+            looped_sightings: self.looped_sightings,
+        }
+    }
 }
 
 impl OnlineDetector {
@@ -192,6 +218,9 @@ impl OnlineDetector {
                         self.looped_seqs.insert(seq);
                     }
                 } else {
+                    if check.checksum_split {
+                        self.stats.checksum_splits += 1;
+                    }
                     let cand = self.open.remove(&key).unwrap();
                     self.close_candidate(key, cand, &mut events);
                     self.open.insert(key, OpenCandidate::new(rec, seq));
@@ -392,6 +421,7 @@ impl OnlineDetector {
             return;
         }
         self.stats.streams_emitted += 1;
+        self.stats.looped_sightings += stream.len() as u64;
         TM_STREAMS_EMITTED.inc();
         events.push(OnlineEvent::Stream(stream.clone()));
         // Step 3 is deferred: the stream joins the prefix's pending set and

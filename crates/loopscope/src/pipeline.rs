@@ -1,0 +1,1047 @@
+//! The unified Source→Engine→Sink detection pipeline.
+//!
+//! The paper's algorithm is one pipeline — ingest → replica detection →
+//! validation → merge → §V analysis — and this module is the single seam
+//! through which every execution mode runs it:
+//!
+//! ```text
+//!   RecordSource ──batches──▶ Engine ──events──▶ canonical order ──▶ Sinks
+//!   (slice, pcap,             (serial, sharded,  (streams, loops)    (CSV, JSONL,
+//!    pcap sequence, tap)       streaming)                             analysis, …)
+//! ```
+//!
+//! * A [`RecordSource`] yields timestamp-ordered [`TraceRecord`] batches:
+//!   an in-memory slice ([`SliceSource`]), a pcap stream decoded through
+//!   the zero-alloc [`pcaplib::PcapReader::read_into`] path
+//!   ([`PcapSource`]), or a sequence of pcap files ([`PcapFileSequence`]).
+//!   Simulator taps plug in through the root crate's `TapSource` wrapper.
+//! * An [`Engine`] consumes the batches and emits
+//!   [`OnlineEvent`]s. All three detectors implement it — [`SerialEngine`],
+//!   [`ShardedEngine`], [`StreamingEngine`] — under one contract: on the
+//!   same input they produce the same streams, loops, and
+//!   [`DetectionStats`] (the conformance tests assert equality on every
+//!   fixture).
+//! * A [`Sink`] observes each record as it is ingested (for single-pass
+//!   whole-trace statistics) and the finished [`PipelineResult`] (for
+//!   per-stream/per-loop output). CSV and JSONL emitters live here;
+//!   [`crate::analysis::AnalysisAccumulator`] is a sink too, which is what
+//!   lets `--streaming` produce the full §V report in bounded memory.
+//!
+//! [`run_pipeline`] wires the three together, attaches the
+//! `pipeline.*` telemetry spans at the stage boundaries, and puts the
+//! emitted streams and loops into the canonical order — streams by
+//! `(start, first record index)`, loops by `(prefix, start)` — so the
+//! output bytes never depend on which engine ran.
+
+use crate::config::DetectorConfig;
+use crate::merge::{LoopKind, RoutingLoop};
+use crate::online::{OnlineDetector, OnlineEvent};
+use crate::record::TraceRecord;
+use crate::replica::{DetectionResult, DetectionStats, Detector};
+use crate::shard::ShardedDetector;
+use crate::stream::ReplicaStream;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Records per batch handed to the engine by streaming sources.
+const PCAP_BATCH: usize = 1024;
+
+/// A loop is reported as open-ended when it is still active this close to
+/// the end of the trace (the tail gap the CLI has always used).
+pub const OPEN_TAIL_GAP_NS: u64 = 2_000_000_000;
+
+/// What a source delivered: parseable records and skipped (unparseable)
+/// ones.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SourceSummary {
+    /// Records handed to the engine.
+    pub records: u64,
+    /// Records skipped because their IP header could not be parsed.
+    pub skipped: u64,
+}
+
+/// Failure while pulling records out of a source.
+#[derive(Debug)]
+pub enum SourceError {
+    /// The pcap layer rejected the stream.
+    Pcap(pcaplib::PcapError),
+    /// An underlying file could not be opened or read.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for SourceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SourceError::Pcap(e) => write!(f, "pcap error: {e}"),
+            SourceError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+/// Failure anywhere in a pipeline run.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The source failed.
+    Source(SourceError),
+    /// A sink failed to write.
+    Sink(std::io::Error),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Source(e) => write!(f, "source: {e}"),
+            PipelineError::Sink(e) => write!(f, "sink: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<SourceError> for PipelineError {
+    fn from(e: SourceError) -> Self {
+        PipelineError::Source(e)
+    }
+}
+
+/// A supplier of timestamp-ordered trace records.
+///
+/// Sources are single-use: [`RecordSource::for_each_batch`] drains the
+/// source. Batch boundaries are an implementation detail — engines must
+/// produce identical results however the same records are batched.
+pub trait RecordSource {
+    /// Calls `f` with successive record batches until the source is
+    /// exhausted, then reports how many records were delivered and how
+    /// many were skipped as unparseable. Errors from `f` (sink failures)
+    /// propagate unchanged.
+    fn for_each_batch(
+        &mut self,
+        f: &mut dyn FnMut(&[TraceRecord]) -> Result<(), PipelineError>,
+    ) -> Result<SourceSummary, PipelineError>;
+
+    /// The whole trace as one in-memory slice, when the source already
+    /// holds it. Lets [`run_pipeline`] hand the slice straight to
+    /// [`Engine::run_slice`], skipping the per-batch copy — the offline
+    /// detectors' hot path stays exactly as fast as calling them directly.
+    fn as_slice(&self) -> Option<&[TraceRecord]> {
+        None
+    }
+}
+
+/// A source over records already materialised in memory.
+#[derive(Debug, Clone, Copy)]
+pub struct SliceSource<'a> {
+    records: &'a [TraceRecord],
+}
+
+impl<'a> SliceSource<'a> {
+    /// Wraps a record slice.
+    pub fn new(records: &'a [TraceRecord]) -> Self {
+        Self { records }
+    }
+}
+
+impl RecordSource for SliceSource<'_> {
+    fn for_each_batch(
+        &mut self,
+        f: &mut dyn FnMut(&[TraceRecord]) -> Result<(), PipelineError>,
+    ) -> Result<SourceSummary, PipelineError> {
+        f(self.records)?;
+        Ok(SourceSummary {
+            records: self.records.len() as u64,
+            skipped: 0,
+        })
+    }
+
+    fn as_slice(&self) -> Option<&[TraceRecord]> {
+        Some(self.records)
+    }
+}
+
+/// A source decoding a pcap stream through the zero-alloc
+/// [`pcaplib::PcapReader::read_into`] path. Unparseable records (non-IPv4
+/// link noise) are skipped and counted in the [`SourceSummary`].
+pub struct PcapSource<R: std::io::Read> {
+    reader: pcaplib::PcapReader<R>,
+}
+
+impl<R: std::io::Read> PcapSource<R> {
+    /// Opens a pcap stream (validates the file header).
+    pub fn new(source: R) -> Result<Self, SourceError> {
+        Ok(Self {
+            reader: pcaplib::PcapReader::new(source).map_err(SourceError::Pcap)?,
+        })
+    }
+}
+
+impl<R: std::io::Read> RecordSource for PcapSource<R> {
+    fn for_each_batch(
+        &mut self,
+        f: &mut dyn FnMut(&[TraceRecord]) -> Result<(), PipelineError>,
+    ) -> Result<SourceSummary, PipelineError> {
+        let mut buf = pcaplib::RecordBuf::new();
+        let mut batch: Vec<TraceRecord> = Vec::with_capacity(PCAP_BATCH);
+        let mut summary = SourceSummary::default();
+        while self.reader.read_into(&mut buf).map_err(SourceError::Pcap)? {
+            match TraceRecord::from_wire_bytes(buf.timestamp_ns(), buf.data()) {
+                Ok(rec) => {
+                    batch.push(rec);
+                    if batch.len() == PCAP_BATCH {
+                        summary.records += batch.len() as u64;
+                        f(&batch)?;
+                        batch.clear();
+                    }
+                }
+                Err(_) => summary.skipped += 1,
+            }
+        }
+        if !batch.is_empty() {
+            summary.records += batch.len() as u64;
+            f(&batch)?;
+        }
+        Ok(summary)
+    }
+}
+
+/// A source concatenating several pcap files into one logical trace.
+///
+/// Files are read in the order given and must be globally timestamp-
+/// ordered (each file's records later than the previous file's) — the
+/// usual layout for rotated captures of one link. The engines enforce
+/// ordering and panic on violations, exactly as they do for a single
+/// out-of-order file.
+pub struct PcapFileSequence {
+    paths: Vec<PathBuf>,
+}
+
+impl PcapFileSequence {
+    /// A sequence over the given paths, read in order.
+    pub fn new<I, P>(paths: I) -> Self
+    where
+        I: IntoIterator<Item = P>,
+        P: Into<PathBuf>,
+    {
+        Self {
+            paths: paths.into_iter().map(Into::into).collect(),
+        }
+    }
+}
+
+impl RecordSource for PcapFileSequence {
+    fn for_each_batch(
+        &mut self,
+        f: &mut dyn FnMut(&[TraceRecord]) -> Result<(), PipelineError>,
+    ) -> Result<SourceSummary, PipelineError> {
+        let mut summary = SourceSummary::default();
+        for path in &self.paths {
+            let file = std::fs::File::open(path).map_err(SourceError::Io)?;
+            let mut src = PcapSource::new(std::io::BufReader::new(file))?;
+            let part = src.for_each_batch(f)?;
+            summary.records += part.records;
+            summary.skipped += part.skipped;
+        }
+        Ok(summary)
+    }
+}
+
+/// Live state of an engine, for `--progress` reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineProgress {
+    /// Records consumed so far.
+    pub records: u64,
+    /// Open (undecided) replica candidates right now. `None` when the
+    /// engine buffers its input and has not started detecting yet — the
+    /// offline engines have no open candidates until they run.
+    pub open_candidates: Option<usize>,
+}
+
+/// One detection engine: consumes record batches, emits validated streams
+/// and merged loops as [`OnlineEvent`]s, and reports [`DetectionStats`].
+///
+/// The contract all three implementations share: on the same
+/// timestamp-ordered input, the *set* of emitted streams and loops and
+/// every stats field are identical. Emission *order* may differ (the
+/// streaming engine emits as evidence completes); [`run_pipeline`] puts
+/// events into the canonical order afterwards.
+pub trait Engine {
+    /// A short stable name ("serial", "sharded", "streaming").
+    fn name(&self) -> &'static str;
+
+    /// Consumes one batch, emitting any events whose evidence completed.
+    fn push_batch(&mut self, batch: &[TraceRecord], emit: &mut dyn FnMut(OnlineEvent));
+
+    /// Flushes remaining state at end of input and returns the final
+    /// counters. Must be called exactly once, after all batches.
+    fn finish(&mut self, emit: &mut dyn FnMut(OnlineEvent)) -> DetectionStats;
+
+    /// Current progress, callable at any time.
+    fn progress(&self) -> EngineProgress;
+
+    /// Runs the whole trace in one call when the caller already owns a
+    /// slice. Default is `push_batch` + `finish`; buffering engines
+    /// override it to skip their internal copy.
+    fn run_slice(
+        &mut self,
+        records: &[TraceRecord],
+        emit: &mut dyn FnMut(OnlineEvent),
+    ) -> DetectionStats {
+        self.push_batch(records, emit);
+        self.finish(emit)
+    }
+}
+
+/// Moves a finished offline result out through the event interface.
+fn emit_detection(result: DetectionResult, emit: &mut dyn FnMut(OnlineEvent)) -> DetectionStats {
+    let stats = result.stats;
+    for s in result.streams {
+        emit(OnlineEvent::Stream(s));
+    }
+    for l in result.loops {
+        emit(OnlineEvent::Loop(l));
+    }
+    stats
+}
+
+/// The exact offline detector ([`Detector`]) behind the [`Engine`]
+/// interface. Buffers batches and runs the three-step pipeline at
+/// [`Engine::finish`].
+pub struct SerialEngine {
+    det: Detector,
+    buf: Vec<TraceRecord>,
+    records: u64,
+    done: bool,
+}
+
+impl SerialEngine {
+    /// A serial engine with the given configuration.
+    pub fn new(cfg: DetectorConfig) -> Self {
+        Self {
+            det: Detector::new(cfg),
+            buf: Vec::new(),
+            records: 0,
+            done: false,
+        }
+    }
+}
+
+impl Engine for SerialEngine {
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+
+    fn push_batch(&mut self, batch: &[TraceRecord], _emit: &mut dyn FnMut(OnlineEvent)) {
+        self.records += batch.len() as u64;
+        self.buf.extend_from_slice(batch);
+    }
+
+    fn finish(&mut self, emit: &mut dyn FnMut(OnlineEvent)) -> DetectionStats {
+        let buf = std::mem::take(&mut self.buf);
+        self.done = true;
+        emit_detection(self.det.run(&buf), emit)
+    }
+
+    fn progress(&self) -> EngineProgress {
+        EngineProgress {
+            records: self.records,
+            open_candidates: if self.done { Some(0) } else { None },
+        }
+    }
+
+    fn run_slice(
+        &mut self,
+        records: &[TraceRecord],
+        emit: &mut dyn FnMut(OnlineEvent),
+    ) -> DetectionStats {
+        self.records += records.len() as u64;
+        self.done = true;
+        emit_detection(self.det.run(records), emit)
+    }
+}
+
+/// The sharded parallel detector ([`ShardedDetector`]) behind the
+/// [`Engine`] interface. Buffers batches and fans out at
+/// [`Engine::finish`]; output is byte-identical to [`SerialEngine`].
+pub struct ShardedEngine {
+    det: ShardedDetector,
+    buf: Vec<TraceRecord>,
+    records: u64,
+    done: bool,
+}
+
+impl ShardedEngine {
+    /// A sharded engine over `threads` workers.
+    pub fn new(cfg: DetectorConfig, threads: usize) -> Self {
+        Self {
+            det: ShardedDetector::new(cfg, threads),
+            buf: Vec::new(),
+            records: 0,
+            done: false,
+        }
+    }
+}
+
+impl Engine for ShardedEngine {
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn push_batch(&mut self, batch: &[TraceRecord], _emit: &mut dyn FnMut(OnlineEvent)) {
+        self.records += batch.len() as u64;
+        self.buf.extend_from_slice(batch);
+    }
+
+    fn finish(&mut self, emit: &mut dyn FnMut(OnlineEvent)) -> DetectionStats {
+        let buf = std::mem::take(&mut self.buf);
+        self.done = true;
+        emit_detection(self.det.run(&buf), emit)
+    }
+
+    fn progress(&self) -> EngineProgress {
+        EngineProgress {
+            records: self.records,
+            open_candidates: if self.done { Some(0) } else { None },
+        }
+    }
+
+    fn run_slice(
+        &mut self,
+        records: &[TraceRecord],
+        emit: &mut dyn FnMut(OnlineEvent),
+    ) -> DetectionStats {
+        self.records += records.len() as u64;
+        self.done = true;
+        emit_detection(self.det.run(records), emit)
+    }
+}
+
+/// The single-pass bounded-memory detector ([`OnlineDetector`]) behind the
+/// [`Engine`] interface. Events flow out as their evidence completes; no
+/// record buffer is kept.
+pub struct StreamingEngine {
+    det: Option<OnlineDetector>,
+    records: u64,
+}
+
+impl StreamingEngine {
+    /// A streaming engine with the given configuration (default horizon,
+    /// which guarantees offline-identical output).
+    pub fn new(cfg: DetectorConfig) -> Self {
+        Self {
+            det: Some(OnlineDetector::new(cfg)),
+            records: 0,
+        }
+    }
+
+    /// Shrinks the retained per-prefix history — see
+    /// [`OnlineDetector::with_history_horizon`] for the semantics trade.
+    pub fn with_history_horizon(mut self, horizon_ns: u64) -> Self {
+        self.det = self.det.map(|d| d.with_history_horizon(horizon_ns));
+        self
+    }
+}
+
+impl Engine for StreamingEngine {
+    fn name(&self) -> &'static str {
+        "streaming"
+    }
+
+    fn push_batch(&mut self, batch: &[TraceRecord], emit: &mut dyn FnMut(OnlineEvent)) {
+        let det = self.det.as_mut().expect("push_batch after finish");
+        for rec in batch {
+            self.records += 1;
+            for ev in det.push(rec) {
+                emit(ev);
+            }
+        }
+    }
+
+    fn finish(&mut self, emit: &mut dyn FnMut(OnlineEvent)) -> DetectionStats {
+        let det = self.det.take().expect("finish called twice");
+        let (events, stats) = det.finish();
+        for ev in events {
+            emit(ev);
+        }
+        stats.as_detection_stats()
+    }
+
+    fn progress(&self) -> EngineProgress {
+        EngineProgress {
+            records: self.records,
+            open_candidates: Some(self.det.as_ref().map_or(0, OnlineDetector::open_candidates)),
+        }
+    }
+}
+
+/// Everything a pipeline run produced, in canonical order.
+#[derive(Debug)]
+pub struct PipelineResult {
+    /// Validated replica streams, sorted by `(start, first record index)` —
+    /// the serial detector's native order.
+    pub streams: Vec<ReplicaStream>,
+    /// Merged routing loops, sorted by `(prefix, start)`.
+    pub loops: Vec<RoutingLoop>,
+    /// Stage counters — identical across engines on the same input.
+    pub stats: DetectionStats,
+    /// Records the source delivered to the engine.
+    pub records: u64,
+    /// Unparseable records the source skipped.
+    pub skipped: u64,
+    /// Timestamp of the first record (0 on an empty trace).
+    pub trace_start_ns: u64,
+    /// Timestamp of the last record (0 on an empty trace).
+    pub trace_end_ns: u64,
+}
+
+impl PipelineResult {
+    /// Observation window length.
+    pub fn duration_ns(&self) -> u64 {
+        self.trace_end_ns.saturating_sub(self.trace_start_ns)
+    }
+}
+
+/// A consumer of pipeline output.
+///
+/// `on_record` fires once per ingested record *during* the pass (this is
+/// how whole-trace statistics are computed without a second traversal);
+/// `on_result` fires once at the end with the canonical result.
+pub trait Sink {
+    /// Observes one ingested record. Default: ignore.
+    fn on_record(&mut self, _rec: &TraceRecord) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    /// Consumes the finished result.
+    fn on_result(&mut self, result: &PipelineResult) -> std::io::Result<()>;
+}
+
+/// Runs `source → engine → sinks` and returns the canonical result.
+///
+/// Telemetry spans: the whole run is `pipeline.run`; record delivery to
+/// sinks accumulates under `pipeline.ingest`, engine work under
+/// `pipeline.detect`, the end-of-input flush + canonical sort under
+/// `pipeline.finish`, and `Sink::on_result` under `pipeline.sink`.
+pub fn run_pipeline(
+    source: &mut dyn RecordSource,
+    engine: &mut dyn Engine,
+    sinks: &mut [&mut dyn Sink],
+) -> Result<PipelineResult, PipelineError> {
+    run_pipeline_with_progress(source, engine, sinks, &mut |_| {})
+}
+
+/// [`run_pipeline`] with a progress callback, invoked after every batch
+/// (and once after the final flush) with the engine's live state.
+pub fn run_pipeline_with_progress(
+    source: &mut dyn RecordSource,
+    engine: &mut dyn Engine,
+    sinks: &mut [&mut dyn Sink],
+    progress: &mut dyn FnMut(&EngineProgress),
+) -> Result<PipelineResult, PipelineError> {
+    let _run = telemetry::span("pipeline.run");
+    let mut streams: Vec<ReplicaStream> = Vec::new();
+    let mut loops: Vec<RoutingLoop> = Vec::new();
+    let mut trace_start: Option<u64> = None;
+    let mut trace_end: u64 = 0;
+
+    let (summary, stats) = if let Some(slice) = source.as_slice() {
+        // Fast path: the trace is already in memory, so the engine gets it
+        // whole and buffering engines skip their internal copy.
+        if let (Some(first), Some(last)) = (slice.first(), slice.last()) {
+            trace_start = Some(first.timestamp_ns);
+            trace_end = last.timestamp_ns;
+        }
+        if !sinks.is_empty() {
+            let _t = telemetry::span("pipeline.ingest");
+            for rec in slice {
+                for sink in sinks.iter_mut() {
+                    sink.on_record(rec).map_err(PipelineError::Sink)?;
+                }
+            }
+        }
+        let stats = {
+            let _t = telemetry::span("pipeline.detect");
+            let mut emit = |ev: OnlineEvent| match ev {
+                OnlineEvent::Stream(s) => streams.push(s),
+                OnlineEvent::Loop(l) => loops.push(l),
+            };
+            engine.run_slice(slice, &mut emit)
+        };
+        progress(&engine.progress());
+        (
+            SourceSummary {
+                records: slice.len() as u64,
+                skipped: 0,
+            },
+            stats,
+        )
+    } else {
+        let summary = source.for_each_batch(&mut |batch| {
+            if batch.is_empty() {
+                return Ok(());
+            }
+            if !sinks.is_empty() {
+                let _t = telemetry::span("pipeline.ingest");
+                for rec in batch {
+                    for sink in sinks.iter_mut() {
+                        sink.on_record(rec).map_err(PipelineError::Sink)?;
+                    }
+                }
+            }
+            trace_start.get_or_insert(batch[0].timestamp_ns);
+            trace_end = batch.last().expect("non-empty").timestamp_ns;
+            {
+                let _t = telemetry::span("pipeline.detect");
+                let mut emit = |ev: OnlineEvent| match ev {
+                    OnlineEvent::Stream(s) => streams.push(s),
+                    OnlineEvent::Loop(l) => loops.push(l),
+                };
+                engine.push_batch(batch, &mut emit);
+            }
+            progress(&engine.progress());
+            Ok(())
+        })?;
+        let stats = {
+            let _t = telemetry::span("pipeline.finish");
+            let mut emit = |ev: OnlineEvent| match ev {
+                OnlineEvent::Stream(s) => streams.push(s),
+                OnlineEvent::Loop(l) => loops.push(l),
+            };
+            engine.finish(&mut emit)
+        };
+        progress(&engine.progress());
+        (summary, stats)
+    };
+
+    debug_assert_eq!(
+        stats.total_records, summary.records,
+        "engine consumed a different record count than the source delivered"
+    );
+
+    {
+        // Canonical order: engines may emit in evidence-completion order;
+        // the result must not depend on which engine ran. The first record
+        // index is unique per stream (a record joins at most one
+        // candidate), so this total order equals the serial detector's.
+        let _t = telemetry::span("pipeline.finish");
+        streams.sort_by_key(|s| (s.start_ns(), s.record_indices.first().copied()));
+        loops.sort_by_key(|l| (l.prefix, l.start_ns));
+    }
+
+    let result = PipelineResult {
+        streams,
+        loops,
+        stats,
+        records: summary.records,
+        skipped: summary.skipped,
+        trace_start_ns: trace_start.unwrap_or(0),
+        trace_end_ns: trace_end,
+    };
+
+    {
+        let _t = telemetry::span("pipeline.sink");
+        for sink in sinks.iter_mut() {
+            sink.on_result(&result).map_err(PipelineError::Sink)?;
+        }
+    }
+    Ok(result)
+}
+
+/// The loop classification string used by all textual sinks.
+fn loop_class(l: &RoutingLoop, persistent_threshold_ns: u64) -> &'static str {
+    match l.classify(persistent_threshold_ns) {
+        LoopKind::Transient => "transient",
+        LoopKind::Persistent => "persistent",
+    }
+}
+
+/// CSV emitter for merged routing loops — byte-identical to the historical
+/// `loopdetect --csv loops` output.
+pub struct LoopCsvSink<W: Write> {
+    out: W,
+    persistent_threshold_ns: u64,
+}
+
+impl<W: Write> LoopCsvSink<W> {
+    /// A sink writing to `out`, classifying loops against the given
+    /// persistence threshold.
+    pub fn new(out: W, persistent_threshold_ns: u64) -> Self {
+        Self {
+            out,
+            persistent_threshold_ns,
+        }
+    }
+
+    /// Returns the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> Sink for LoopCsvSink<W> {
+    fn on_result(&mut self, result: &PipelineResult) -> std::io::Result<()> {
+        writeln!(
+            self.out,
+            "prefix,start_s,end_s,duration_s,streams,replicas,ttl_delta,class"
+        )?;
+        for l in &result.loops {
+            let open = if l.is_open_ended(result.trace_end_ns, OPEN_TAIL_GAP_NS) {
+                "+open"
+            } else {
+                ""
+            };
+            writeln!(
+                self.out,
+                "{},{:.6},{:.6},{:.6},{},{},{},{}{}",
+                l.prefix,
+                l.start_ns as f64 / 1e9,
+                l.end_ns as f64 / 1e9,
+                l.duration_ns() as f64 / 1e9,
+                l.num_streams(),
+                l.replica_count(),
+                l.ttl_delta(),
+                loop_class(l, self.persistent_threshold_ns),
+                open,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// CSV emitter for validated replica streams — byte-identical to the
+/// historical `loopdetect --csv streams` output.
+pub struct StreamCsvSink<W: Write> {
+    out: W,
+}
+
+impl<W: Write> StreamCsvSink<W> {
+    /// A sink writing to `out`.
+    pub fn new(out: W) -> Self {
+        Self { out }
+    }
+
+    /// Returns the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> Sink for StreamCsvSink<W> {
+    fn on_result(&mut self, result: &PipelineResult) -> std::io::Result<()> {
+        writeln!(
+            self.out,
+            "dst,ident,first_ttl,last_ttl,ttl_delta,replicas,start_s,duration_ms,mean_spacing_ms"
+        )?;
+        for s in &result.streams {
+            writeln!(
+                self.out,
+                "{},{},{},{},{},{},{:.6},{:.3},{:.3}",
+                s.key.dst,
+                s.key.ident,
+                s.first_ttl(),
+                s.last_ttl(),
+                s.ttl_delta(),
+                s.len(),
+                s.start_ns() as f64 / 1e9,
+                s.duration_ns() as f64 / 1e6,
+                s.mean_spacing_ns() as f64 / 1e6,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// CSV emitter for the run summary — byte-identical to the historical
+/// `loopdetect --csv summary` output.
+pub struct SummaryCsvSink<W: Write> {
+    out: W,
+}
+
+impl<W: Write> SummaryCsvSink<W> {
+    /// A sink writing to `out`.
+    pub fn new(out: W) -> Self {
+        Self { out }
+    }
+
+    /// Returns the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> Sink for SummaryCsvSink<W> {
+    fn on_result(&mut self, result: &PipelineResult) -> std::io::Result<()> {
+        writeln!(self.out, "metric,value")?;
+        writeln!(self.out, "records,{}", result.records)?;
+        writeln!(self.out, "skipped,{}", result.skipped)?;
+        writeln!(self.out, "streams,{}", result.streams.len())?;
+        writeln!(self.out, "loops,{}", result.loops.len())?;
+        writeln!(
+            self.out,
+            "looped_sightings,{}",
+            result.streams.iter().map(ReplicaStream::len).sum::<usize>()
+        )?;
+        let est = crate::impact::escape_estimate(&result.streams);
+        writeln!(self.out, "died_in_loop,{}", est.died)?;
+        writeln!(self.out, "may_have_escaped,{}", est.may_have_escaped)?;
+        Ok(())
+    }
+}
+
+/// JSONL emitter for merged routing loops: one JSON object per line, keys
+/// in fixed order, numbers formatted exactly like the CSV columns (so the
+/// output is byte-stable across runs and engines).
+pub struct LoopJsonlSink<W: Write> {
+    out: W,
+    persistent_threshold_ns: u64,
+}
+
+impl<W: Write> LoopJsonlSink<W> {
+    /// A sink writing to `out`, classifying loops against the given
+    /// persistence threshold.
+    pub fn new(out: W, persistent_threshold_ns: u64) -> Self {
+        Self {
+            out,
+            persistent_threshold_ns,
+        }
+    }
+
+    /// Returns the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> Sink for LoopJsonlSink<W> {
+    fn on_result(&mut self, result: &PipelineResult) -> std::io::Result<()> {
+        for l in &result.loops {
+            writeln!(
+                self.out,
+                "{{\"prefix\":\"{}\",\"start_s\":{:.6},\"end_s\":{:.6},\"duration_s\":{:.6},\"streams\":{},\"replicas\":{},\"ttl_delta\":{},\"class\":\"{}\",\"open_ended\":{}}}",
+                l.prefix,
+                l.start_ns as f64 / 1e9,
+                l.end_ns as f64 / 1e9,
+                l.duration_ns() as f64 / 1e9,
+                l.num_streams(),
+                l.replica_count(),
+                l.ttl_delta(),
+                loop_class(l, self.persistent_threshold_ns),
+                l.is_open_ended(result.trace_end_ns, OPEN_TAIL_GAP_NS),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// JSONL emitter for validated replica streams: one JSON object per line,
+/// keys in fixed order, numbers formatted exactly like the CSV columns.
+pub struct StreamJsonlSink<W: Write> {
+    out: W,
+}
+
+impl<W: Write> StreamJsonlSink<W> {
+    /// A sink writing to `out`.
+    pub fn new(out: W) -> Self {
+        Self { out }
+    }
+
+    /// Returns the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> Sink for StreamJsonlSink<W> {
+    fn on_result(&mut self, result: &PipelineResult) -> std::io::Result<()> {
+        for s in &result.streams {
+            writeln!(
+                self.out,
+                "{{\"dst\":\"{}\",\"ident\":{},\"first_ttl\":{},\"last_ttl\":{},\"ttl_delta\":{},\"replicas\":{},\"start_s\":{:.6},\"duration_ms\":{:.3},\"mean_spacing_ms\":{:.3}}}",
+                s.key.dst,
+                s.key.ident,
+                s.first_ttl(),
+                s.last_ttl(),
+                s.ttl_delta(),
+                s.len(),
+                s.start_ns() as f64 / 1e9,
+                s.duration_ns() as f64 / 1e6,
+                s.mean_spacing_ns() as f64 / 1e6,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_types::{Packet, TcpFlags};
+    use std::net::Ipv4Addr;
+
+    fn looped_trace() -> Vec<TraceRecord> {
+        let mut recs = Vec::new();
+        for j in 0..4u16 {
+            let mut p = Packet::tcp_flags(
+                Ipv4Addr::new(100, 7, 7, 7),
+                Ipv4Addr::new(203, 0, j as u8, 1),
+                5555,
+                80,
+                TcpFlags::ACK,
+                &b"data"[..],
+            );
+            p.ip.ident = 100 + j;
+            p.ip.ttl = 60;
+            p.fill_checksums();
+            let base = u64::from(j) * 500_000_000;
+            for k in 0..5 {
+                if k > 0 {
+                    p.ip.decrement_ttl();
+                    p.ip.decrement_ttl();
+                }
+                recs.push(TraceRecord::from_packet(base + k * 1_000_000, &p));
+            }
+        }
+        for i in 0..300u16 {
+            let mut p = Packet::tcp_flags(
+                Ipv4Addr::new(100, 2, 2, 2),
+                Ipv4Addr::new(20, 0, (i % 5) as u8, 1),
+                1000,
+                80,
+                TcpFlags::ACK,
+                &b""[..],
+            );
+            p.ip.ident = i;
+            p.fill_checksums();
+            recs.push(TraceRecord::from_packet(u64::from(i) * 20_000_000, &p));
+        }
+        recs.sort_by_key(|r| r.timestamp_ns);
+        recs
+    }
+
+    fn run_engine(engine: &mut dyn Engine, records: &[TraceRecord]) -> PipelineResult {
+        let mut source = SliceSource::new(records);
+        run_pipeline(&mut source, engine, &mut []).expect("pipeline run")
+    }
+
+    #[test]
+    fn three_engines_agree() {
+        let recs = looped_trace();
+        let serial = run_engine(&mut SerialEngine::new(DetectorConfig::default()), &recs);
+        let sharded = run_engine(&mut ShardedEngine::new(DetectorConfig::default(), 4), &recs);
+        let streaming = run_engine(&mut StreamingEngine::new(DetectorConfig::default()), &recs);
+        assert_eq!(serial.streams, sharded.streams);
+        assert_eq!(serial.streams, streaming.streams);
+        assert_eq!(serial.loops, sharded.loops);
+        assert_eq!(serial.loops, streaming.loops);
+        assert_eq!(serial.stats, sharded.stats);
+        assert_eq!(serial.stats, streaming.stats);
+        assert_eq!(serial.records, recs.len() as u64);
+    }
+
+    #[test]
+    fn batched_source_matches_slice_source() {
+        // The same records through the non-slice path (PcapSource-style
+        // batching) must produce the same result as the fast path.
+        struct Chunked<'a>(&'a [TraceRecord]);
+        impl RecordSource for Chunked<'_> {
+            fn for_each_batch(
+                &mut self,
+                f: &mut dyn FnMut(&[TraceRecord]) -> Result<(), PipelineError>,
+            ) -> Result<SourceSummary, PipelineError> {
+                for chunk in self.0.chunks(7) {
+                    f(chunk)?;
+                }
+                Ok(SourceSummary {
+                    records: self.0.len() as u64,
+                    skipped: 0,
+                })
+            }
+        }
+        let recs = looped_trace();
+        let fast = run_engine(&mut SerialEngine::new(DetectorConfig::default()), &recs);
+        let mut chunked = Chunked(&recs);
+        let slow = run_pipeline(
+            &mut chunked,
+            &mut SerialEngine::new(DetectorConfig::default()),
+            &mut [],
+        )
+        .expect("pipeline run");
+        assert_eq!(fast.streams, slow.streams);
+        assert_eq!(fast.loops, slow.loops);
+        assert_eq!(fast.stats, slow.stats);
+    }
+
+    #[test]
+    fn progress_reports_records_and_open_candidates() {
+        let recs = looped_trace();
+        let mut engine = StreamingEngine::new(DetectorConfig::default());
+        let mut seen = Vec::new();
+        let mut source = SliceSource::new(&recs);
+        run_pipeline_with_progress(&mut source, &mut engine, &mut [], &mut |p| {
+            seen.push(*p);
+        })
+        .expect("pipeline run");
+        let last = seen.last().expect("at least one progress call");
+        assert_eq!(last.records, recs.len() as u64);
+        assert_eq!(last.open_candidates, Some(0), "all closed after finish");
+    }
+
+    #[test]
+    fn csv_sinks_match_across_engines() {
+        let recs = looped_trace();
+        let mut outputs = Vec::new();
+        for engine in [
+            &mut SerialEngine::new(DetectorConfig::default()) as &mut dyn Engine,
+            &mut ShardedEngine::new(DetectorConfig::default(), 3),
+            &mut StreamingEngine::new(DetectorConfig::default()),
+        ] {
+            let mut loops = LoopCsvSink::new(Vec::new(), 60_000_000_000);
+            let mut streams = StreamCsvSink::new(Vec::new());
+            let mut source = SliceSource::new(&recs);
+            run_pipeline(
+                &mut source,
+                engine,
+                &mut [&mut loops as &mut dyn Sink, &mut streams],
+            )
+            .expect("pipeline run");
+            outputs.push((loops.into_inner(), streams.into_inner()));
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[0], outputs[2]);
+        assert!(!outputs[0].0.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_emits_one_object_per_stream() {
+        let recs = looped_trace();
+        let mut sink = StreamJsonlSink::new(Vec::new());
+        let mut source = SliceSource::new(&recs);
+        let result = run_pipeline(
+            &mut source,
+            &mut SerialEngine::new(DetectorConfig::default()),
+            &mut [&mut sink as &mut dyn Sink],
+        )
+        .expect("pipeline run");
+        let text = String::from_utf8(sink.into_inner()).expect("utf8");
+        assert_eq!(text.lines().count(), result.streams.len());
+        for line in text.lines() {
+            assert!(line.starts_with("{\"dst\":\""));
+            assert!(line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn empty_source_yields_empty_result() {
+        let mut source = SliceSource::new(&[]);
+        let result = run_pipeline(
+            &mut source,
+            &mut SerialEngine::new(DetectorConfig::default()),
+            &mut [],
+        )
+        .expect("pipeline run");
+        assert_eq!(result.records, 0);
+        assert!(result.streams.is_empty());
+        assert_eq!(result.trace_start_ns, 0);
+        assert_eq!(result.trace_end_ns, 0);
+    }
+}

@@ -418,7 +418,7 @@ fn normalise_fp(fp: u64) -> u64 {
 /// serial pipeline, shard-local positions for the parallel one.
 ///
 /// This is the two-level candidate index described in the module docs:
-/// level 0 is the [`PreFilter`] fingerprint table (probed with the
+/// level 0 is the `PreFilter` fingerprint table (probed with the
 /// ingest-precomputed [`TraceRecord::fingerprint`], zero allocations and
 /// no key hashing on the dominant first-sighting path), level 1 the exact
 /// [`FxHashMap`] keyed by [`ReplicaKey`] that only promoted (seen-twice)

@@ -32,7 +32,7 @@
 //! with the producer's pass over the trace. Synchronisation is
 //! deliberately lock-light: whole batches move through the ring, the
 //! consumer drains *everything* buffered under a single lock acquisition
-//! ([`Ring::pop_all`]), and condvar wakeups are **edge-triggered** — the
+//! (`Ring::pop_all`), and condvar wakeups are **edge-triggered** — the
 //! consumer is signalled only on the empty→non-empty transition and the
 //! producer only on full→non-full, so the steady-state cost per batch is
 //! one uncontended mutex acquire with no syscalls. Everything is

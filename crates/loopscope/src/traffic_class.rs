@@ -21,9 +21,18 @@ const URG: u8 = 0x20;
 
 /// The categories a single record hits.
 pub fn classify(rec: &TraceRecord) -> Vec<&'static str> {
+    classify_parts(rec.dst, &rec.transport)
+}
+
+/// Classification from the destination and transport summary alone — the
+/// fields a [`crate::ReplicaKey`] carries, shared by every replica of a
+/// stream. This is what lets the incremental analysis accumulator compute
+/// the looped-traffic mix (Figure 6) from validated streams without
+/// retaining the underlying records.
+pub fn classify_parts(dst: std::net::Ipv4Addr, transport: &TransportSummary) -> Vec<&'static str> {
     let mut hits = Vec::with_capacity(4);
-    let mcast = rec.dst.octets()[0] >= 224 && rec.dst.octets()[0] < 240;
-    match rec.transport {
+    let mcast = dst.octets()[0] >= 224 && dst.octets()[0] < 240;
+    match *transport {
         TransportSummary::Tcp { flags, .. } => {
             hits.push("TCP");
             if flags & ACK != 0 {

@@ -1,0 +1,141 @@
+//! Property test for `OnlineDetector::with_history_horizon` eviction: with
+//! the documented safe horizon (merge gap + 256 replica gaps), streaming
+//! detection must equal offline detection even when loops and merge gaps
+//! straddle the eviction boundary — i.e. when the detector is actively
+//! discarding history while the trace is still running.
+
+use loopscope::pipeline::{run_pipeline, SerialEngine, SliceSource, StreamingEngine};
+use loopscope::{DetectorConfig, PipelineResult, TraceRecord};
+use net_types::{Packet, TcpFlags};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+/// Tight gaps so the safe horizon is short relative to the trace and the
+/// eviction path actually runs (default gaps would need hours of trace).
+fn tight_cfg() -> DetectorConfig {
+    DetectorConfig {
+        max_replica_gap_ns: 50_000_000, // 50 ms
+        merge_gap_ns: 1_000_000_000,    // 1 s
+        ..DetectorConfig::default()
+    }
+}
+
+fn safe_horizon(cfg: &DetectorConfig) -> u64 {
+    cfg.merge_gap_ns + cfg.max_replica_gap_ns.saturating_mul(256)
+}
+
+/// `n` sightings of one looping packet, TTL dropping by `delta` each.
+fn loop_sightings(
+    start_ns: u64,
+    spacing_ns: u64,
+    n: usize,
+    ident: u16,
+    dst: Ipv4Addr,
+) -> Vec<TraceRecord> {
+    let delta = 2u8;
+    let mut p = Packet::tcp_flags(
+        Ipv4Addr::new(100, 7, 0, 1),
+        dst,
+        40_000,
+        80,
+        TcpFlags::ACK,
+        &b"x"[..],
+    );
+    p.ip.ident = ident;
+    p.ip.ttl = 64;
+    p.fill_checksums();
+    let mut out = Vec::new();
+    for k in 0..n {
+        if k > 0 {
+            for _ in 0..delta {
+                assert!(p.ip.decrement_ttl());
+            }
+        }
+        out.push(TraceRecord::from_packet(
+            start_ns + k as u64 * spacing_ns,
+            &p,
+        ));
+    }
+    out
+}
+
+/// Non-looping background packet to `dst` at `ts`.
+fn background(ts: u64, ident: u16, dst: Ipv4Addr) -> TraceRecord {
+    let mut p = Packet::tcp_flags(
+        Ipv4Addr::new(100, 9, 0, 1),
+        dst,
+        50_000,
+        443,
+        TcpFlags::ACK,
+        &b"y"[..],
+    );
+    p.ip.ident = ident;
+    p.ip.ttl = 57;
+    p.fill_checksums();
+    TraceRecord::from_packet(ts, &p)
+}
+
+fn run(records: &[TraceRecord], cfg: DetectorConfig, horizon: Option<u64>) -> PipelineResult {
+    let mut source = SliceSource::new(records);
+    if let Some(h) = horizon {
+        run_pipeline(
+            &mut source,
+            &mut StreamingEngine::new(cfg).with_history_horizon(h),
+            &mut [],
+        )
+    } else {
+        run_pipeline(&mut source, &mut SerialEngine::new(cfg), &mut [])
+    }
+    .expect("in-memory pipeline cannot fail")
+}
+
+proptest! {
+    /// Loops scattered across a trace many horizons long — with repeat
+    /// visits to the same /24 at gaps bracketing the merge gap, so merges
+    /// must reach across evicted history — detect identically online.
+    #[test]
+    fn eviction_preserves_offline_equality(
+        // Each entry: (loop start in horizon-quanta milli-fractions,
+        // spacing ms, sightings, revisit gap as a fraction of merge gap).
+        loops in proptest::collection::vec(
+            (0u64..4_000, 2u64..45, 3usize..9, 50u64..200),
+            2..6,
+        ),
+        bg_every_ms in 200u64..900,
+    ) {
+        let cfg = tight_cfg();
+        let horizon = safe_horizon(&cfg);
+        let mut records: Vec<TraceRecord> = Vec::new();
+        for (i, &(start_frac, spacing_ms, n, revisit_pct)) in loops.iter().enumerate() {
+            // Spread starts across ~4 horizons so eviction is active while
+            // later loops are still open.
+            let start_ns = start_frac * horizon / 1_000;
+            let dst = Ipv4Addr::new(203, 0, i as u8, 7);
+            records.extend(loop_sightings(start_ns, spacing_ms * 1_000_000, n, 100 + i as u16, dst));
+            // A second loop at the same /24, `revisit_pct`% of the merge
+            // gap after the first ends: below 100 it must merge, above it
+            // must not — both decisions depend on history at the boundary.
+            let first_end = start_ns + (n as u64 - 1) * spacing_ms * 1_000_000;
+            let revisit_ns = first_end + cfg.merge_gap_ns * revisit_pct / 100;
+            records.extend(loop_sightings(revisit_ns, spacing_ms * 1_000_000, n, 200 + i as u16, dst));
+        }
+        // Background traffic to an unrelated /24 keeps the clock (and the
+        // eviction cursor) advancing between loops.
+        let span = records.iter().map(|r| r.timestamp_ns).max().unwrap_or(0) + horizon;
+        let mut t = 0u64;
+        let mut ident = 40_000u16;
+        while t < span {
+            records.push(background(t, ident, Ipv4Addr::new(198, 51, 100, 9)));
+            ident = ident.wrapping_add(1);
+            t += bg_every_ms * 1_000_000;
+        }
+        records.sort_by_key(|r| r.timestamp_ns);
+
+        let offline = run(&records, cfg, None);
+        prop_assert!(!offline.streams.is_empty(), "fixture must contain loops");
+        let online = run(&records, cfg, Some(horizon));
+        prop_assert_eq!(&online.streams, &offline.streams);
+        prop_assert_eq!(&online.loops, &offline.loops);
+        prop_assert_eq!(online.stats, offline.stats);
+    }
+}

@@ -12,7 +12,7 @@
 //!   allocation per record.
 //!
 //! The source is consumed through a fixed block buffer (one `read`
-//! syscall per [`BLOCK_LEN`] bytes rather than two per record), so both
+//! syscall per `BLOCK_LEN` bytes rather than two per record), so both
 //! paths are fast even over unbuffered files.
 
 use crate::format::{FileHeader, PcapError, RecordHeader, FILE_HEADER_LEN, RECORD_HEADER_LEN};

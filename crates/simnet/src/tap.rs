@@ -55,6 +55,16 @@ impl Tap {
         self.records.push(TapRecord { time, packet });
     }
 
+    /// Number of observations recorded.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
     /// Total bytes observed (original wire lengths).
     pub fn total_bytes(&self) -> u64 {
         self.records

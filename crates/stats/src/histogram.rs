@@ -113,14 +113,21 @@ impl CategoricalDist {
     /// Unknown labels panic: the schema is fixed and a typo is a programmer
     /// error, not data.
     pub fn record(&mut self, hits: &[&str]) {
-        self.items += 1;
+        self.record_n(hits, 1);
+    }
+
+    /// Records `n` identically-classified items at once — what incremental
+    /// accumulators use when a whole replica stream's sightings share one
+    /// classification.
+    pub fn record_n(&mut self, hits: &[&str], n: u64) {
+        self.items += n;
         for hit in hits {
             let idx = self
                 .labels
                 .iter()
                 .position(|l| l == hit)
                 .unwrap_or_else(|| panic!("unknown category {hit:?}"));
-            self.counts[idx] += 1;
+            self.counts[idx] += n;
         }
     }
 

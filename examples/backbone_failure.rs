@@ -18,7 +18,7 @@ fn main() {
     let run = run_backbone(&spec);
 
     let detection = Detector::new(DetectorConfig::default()).run(&run.records);
-    let summary = analysis::trace_summary(&run.records, &detection);
+    let summary = analysis::trace_summary(&run.records, &detection.streams);
 
     println!(
         "trace: {:.1} s, {} packets, {:.1} Mbps average",

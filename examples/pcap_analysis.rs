@@ -47,7 +47,7 @@ fn main() {
     );
 
     let detection = Detector::new(DetectorConfig::default()).run(&records);
-    let summary = analysis::trace_summary(&records, &detection);
+    let summary = analysis::trace_summary(&records, &detection.streams);
     println!(
         "{:.1} s of trace, {:.2} Mbps average",
         summary.duration_ns as f64 / 1e9,

@@ -46,6 +46,8 @@ run_lint() {
     cargo fmt --all --check
     banner "cargo clippy --workspace -- -D warnings"
     cargo clippy --workspace --all-targets -- -D warnings
+    banner "cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 }
 
 run_bench_smoke() {

@@ -37,7 +37,7 @@ pub trait Strategy {
     /// Rejects generated values failing `pred`, retrying with fresh draws.
     ///
     /// `whence` names the filter in the panic message should generation
-    /// fail [`MAX_FILTER_RETRIES`] times in a row.
+    /// fail `MAX_FILTER_RETRIES` times in a row.
     fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
     where
         Self: Sized,

@@ -9,6 +9,8 @@
 //! loopdetect trace.pcap                      # human-readable report
 //! loopdetect trace.pcap --csv loops          # machine-readable loops
 //! loopdetect trace.pcap --csv streams        # machine-readable streams
+//! loopdetect trace.pcap --csv loops --format jsonl   # JSONL instead of CSV
+//! loopdetect trace.pcap --analysis           # full §V report (all figures)
 //! loopdetect trace.pcap --merge-gap-min 5    # A1 ablation gap
 //! loopdetect trace.pcap --no-validate        # A2 ablation (raw candidates)
 //! loopdetect trace.pcap --streaming          # bounded-memory single pass
@@ -19,14 +21,22 @@
 //! loopdetect trace.pcap --progress -v        # stderr progress + info logging
 //! ```
 //!
+//! Every mode runs the same `loopscope::pipeline` — the flags only choose
+//! the engine (serial, sharded, streaming) and the sinks (text, CSV,
+//! JSONL, analysis). Output is byte-identical across engines.
+//!
 //! Diagnostics go to stderr and never contaminate the report/CSV on
 //! stdout. Verbosity: `-q` errors only, default warnings, `-v` info,
 //! `-vv` debug; the `LOOPSCOPE_LOG` env filter overrides per module.
 
-use routing_loops::convert::records_from_pcap;
+use routing_loops::loopscope::analysis::{AnalysisAccumulator, AnalysisReport};
 use routing_loops::loopscope::merge::LoopKind;
-use routing_loops::loopscope::online::{OnlineDetector, OnlineEvent};
-use routing_loops::loopscope::{analysis, impact, Detector, DetectorConfig, ShardedDetector};
+use routing_loops::loopscope::pipeline::{
+    run_pipeline_with_progress, Engine, EngineProgress, LoopCsvSink, LoopJsonlSink, PcapSource,
+    PipelineResult, SerialEngine, ShardedEngine, Sink, StreamCsvSink, StreamJsonlSink,
+    StreamingEngine, SummaryCsvSink, OPEN_TAIL_GAP_NS,
+};
+use routing_loops::loopscope::{analysis, impact, DetectorConfig};
 use std::fs::File;
 use std::io::BufReader;
 use std::io::Write;
@@ -38,7 +48,13 @@ loopdetect — detect routing loops in a packet trace (IMC 2002 algorithm)
 USAGE: loopdetect <trace.pcap> [OPTIONS]
 
 OPTIONS
-  --csv <loops|streams|summary>  CSV output instead of the text report
+  --csv <loops|streams|summary>  machine-readable output instead of the
+                                 text report
+  --format <csv|jsonl>           wire format for --csv loops/streams
+                                 (default csv; summary has no jsonl form)
+  --analysis                     full §V analysis report (Table I summary,
+                                 TTL-delta histogram, CDFs, traffic mixes)
+                                 computed incrementally in a single pass
   --merge-gap-min <N>            stream merge gap in minutes (default 1)
   --no-validate                  skip step-2 validation (raw replica sets)
   --no-checksum-verify           skip RFC 1624 consistency verification
@@ -62,6 +78,8 @@ OPTIONS
 struct Args {
     path: String,
     csv: Option<String>,
+    jsonl: bool,
+    analysis: bool,
     cfg: DetectorConfig,
     streaming: bool,
     threads: usize,
@@ -73,6 +91,8 @@ struct Args {
 fn parse_args() -> Args {
     let mut path = None;
     let mut csv = None;
+    let mut format: Option<String> = None;
+    let mut analysis = false;
     let mut cfg = DetectorConfig::default();
     let mut streaming = false;
     let mut threads: Option<usize> = None;
@@ -103,6 +123,14 @@ fn parse_args() -> Args {
                 }
                 csv = Some(v.clone());
             }
+            "--format" => {
+                let v = it.next().unwrap_or_else(|| die("--format needs a value"));
+                if !["csv", "jsonl"].contains(&v.as_str()) {
+                    die("--format must be csv or jsonl");
+                }
+                format = Some(v.clone());
+            }
+            "--analysis" => analysis = true,
             "--merge-gap-min" => {
                 let v: u64 = it
                     .next()
@@ -147,6 +175,20 @@ fn parse_args() -> Args {
     if streaming && threads.is_some_and(|n| n > 1) {
         die("--streaming is a single-pass detector; it cannot be combined with --threads > 1");
     }
+    let jsonl = format.as_deref() == Some("jsonl");
+    if jsonl {
+        match csv.as_deref() {
+            Some("loops") | Some("streams") => {}
+            Some("summary") => {
+                die("--format jsonl has no summary form; use --csv loops or --csv streams")
+            }
+            None => die("--format jsonl needs --csv loops or --csv streams"),
+            Some(_) => unreachable!("validated above"),
+        }
+    }
+    if analysis && csv.is_some() {
+        die("--analysis replaces the text report; it cannot be combined with --csv");
+    }
     let threads = if streaming {
         1
     } else {
@@ -157,6 +199,8 @@ fn parse_args() -> Args {
     Args {
         path: path.unwrap_or_else(|| die("missing trace path")),
         csv,
+        jsonl,
+        analysis,
         cfg,
         streaming,
         threads,
@@ -171,185 +215,220 @@ fn die(msg: &str) -> ! {
     exit(2)
 }
 
-/// Prints a `--progress` line to stderr.
-fn progress_line(done: usize, total: usize, started: std::time::Instant, open_candidates: usize) {
+/// Prints a `--progress` line to stderr. `open_candidates` is the engine's
+/// live count; buffered engines report `None` until they run ("-").
+fn progress_line(done: u64, started: std::time::Instant, open_candidates: Option<usize>) {
     let secs = started.elapsed().as_secs_f64();
     let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
-    eprintln!(
-        "progress: {done}/{total} records ({rate:.0} records/s, {open_candidates} open candidates)"
+    match open_candidates {
+        Some(open) => {
+            eprintln!("progress: {done} records ({rate:.0} records/s, {open} open candidates)")
+        }
+        None => eprintln!("progress: {done} records ({rate:.0} records/s, - open candidates)"),
+    }
+}
+
+/// Prints the default human-readable report.
+fn text_report(args: &Args, result: &PipelineResult) {
+    println!(
+        "{}: {} records over {:.1} s ({} skipped)",
+        args.path,
+        result.records,
+        result.duration_ns() as f64 / 1e9,
+        result.skipped
+    );
+    let h = analysis::ttl_delta_distribution(&result.streams);
+    println!(
+        "{} validated replica streams (modal TTL delta {:?}), {} routing loops",
+        result.streams.len(),
+        h.mode(),
+        result.loops.len()
+    );
+    for (i, l) in result.loops.iter().enumerate() {
+        let class = match l.classify(args.persistent_s * 1_000_000_000) {
+            LoopKind::Transient => "transient",
+            LoopKind::Persistent => "PERSISTENT",
+        };
+        println!(
+            "  loop {i}: {} [{:.3} s .. {:.3} s] {} — {} streams, {} replicas, delta {}{}",
+            l.prefix,
+            l.start_ns as f64 / 1e9,
+            l.end_ns as f64 / 1e9,
+            class,
+            l.num_streams(),
+            l.replica_count(),
+            l.ttl_delta(),
+            if l.is_open_ended(result.trace_end_ns, OPEN_TAIL_GAP_NS) {
+                " (still active at trace end)"
+            } else {
+                ""
+            },
+        );
+    }
+    let est = impact::escape_estimate(&result.streams);
+    if est.total_streams > 0 {
+        println!(
+            "impact: {} looping packets died on trace evidence, {} may have escaped",
+            est.died, est.may_have_escaped
+        );
+    }
+}
+
+/// Prints one CDF line of the `--analysis` report.
+fn analysis_cdf_line(name: &str, cdf: &mut stats::Cdf) {
+    if cdf.is_empty() {
+        println!("{name}: n=0");
+        return;
+    }
+    println!(
+        "{name}: n={} min={:.3} p50={:.3} p90={:.3} max={:.3}",
+        cdf.len(),
+        cdf.min().unwrap_or(0.0),
+        cdf.median().unwrap_or(0.0),
+        cdf.quantile(0.9).unwrap_or(0.0),
+        cdf.max().unwrap_or(0.0),
+    );
+}
+
+/// Prints the full §V analysis report, computed incrementally by the
+/// [`AnalysisAccumulator`] sink during the (single) pipeline pass.
+fn analysis_report(mut report: AnalysisReport) {
+    let s = report.summary;
+    println!(
+        "summary: duration_s={:.3} packets={} bytes={} avg_bandwidth_bps={:.0} looped_packets={} looped_sightings={}",
+        s.duration_ns as f64 / 1e9,
+        s.total_packets,
+        s.total_bytes,
+        s.avg_bandwidth_bps,
+        s.looped_packets,
+        s.looped_sightings,
+    );
+    let deltas: Vec<String> = report
+        .ttl_delta
+        .iter()
+        .map(|(k, n)| format!("{k}:{n}"))
+        .collect();
+    println!("ttl_delta: {}", deltas.join(" "));
+    analysis_cdf_line("stream_size_cdf", &mut report.stream_size_cdf);
+    analysis_cdf_line("spacing_cdf_ms", &mut report.spacing_cdf_ms);
+    analysis_cdf_line("stream_duration_cdf_ms", &mut report.stream_duration_cdf_ms);
+    analysis_cdf_line("loop_duration_cdf_s", &mut report.loop_duration_cdf_s);
+    let mix = |d: &stats::CategoricalDist| {
+        d.fractions()
+            .iter()
+            .map(|(l, f)| format!("{l}:{f:.4}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    println!("mix_all: {}", mix(&report.mix_all));
+    println!("mix_looped: {}", mix(&report.mix_looped));
+    println!(
+        "destinations: {} streams, class_c_share={:.4}",
+        report.dest_scatter.len(),
+        report.class_c_share,
     );
 }
 
 fn main() {
     let args = parse_args();
-    let read_started = std::time::Instant::now();
+    let started = std::time::Instant::now();
     let file = File::open(&args.path).unwrap_or_else(|e| {
         eprintln!("error: cannot open {}: {e}", args.path);
         exit(1);
     });
-    let (records, skipped) = records_from_pcap(BufReader::new(file)).unwrap_or_else(|e| {
+    let mut source = PcapSource::new(BufReader::new(file)).unwrap_or_else(|e| {
         eprintln!("error: cannot parse {}: {e}", args.path);
         exit(1);
     });
-    if records.is_empty() {
+
+    // Mode selection is engine selection: all three run the same pipeline.
+    let mut engine: Box<dyn Engine> = if args.streaming {
+        Box::new(StreamingEngine::new(args.cfg))
+    } else if args.threads > 1 {
+        Box::new(ShardedEngine::new(args.cfg, args.threads))
+    } else {
+        Box::new(SerialEngine::new(args.cfg))
+    };
+
+    // Output selection is sink selection.
+    let persistent_ns = args.persistent_s * 1_000_000_000;
+    let mut loops_csv = None;
+    let mut streams_csv = None;
+    let mut summary_csv = None;
+    let mut loops_jsonl = None;
+    let mut streams_jsonl = None;
+    let mut accumulator = None;
+    match (args.csv.as_deref(), args.jsonl) {
+        (Some("loops"), false) => {
+            loops_csv = Some(LoopCsvSink::new(std::io::stdout(), persistent_ns));
+        }
+        (Some("loops"), true) => {
+            loops_jsonl = Some(LoopJsonlSink::new(std::io::stdout(), persistent_ns));
+        }
+        (Some("streams"), false) => streams_csv = Some(StreamCsvSink::new(std::io::stdout())),
+        (Some("streams"), true) => streams_jsonl = Some(StreamJsonlSink::new(std::io::stdout())),
+        (Some("summary"), _) => summary_csv = Some(SummaryCsvSink::new(std::io::stdout())),
+        (Some(_), _) => unreachable!("validated in parse_args"),
+        (None, _) => {
+            if args.analysis {
+                accumulator = Some(AnalysisAccumulator::new());
+            }
+        }
+    }
+    let mut sinks: Vec<&mut dyn Sink> = Vec::new();
+    if let Some(s) = loops_csv.as_mut() {
+        sinks.push(s);
+    }
+    if let Some(s) = streams_csv.as_mut() {
+        sinks.push(s);
+    }
+    if let Some(s) = summary_csv.as_mut() {
+        sinks.push(s);
+    }
+    if let Some(s) = loops_jsonl.as_mut() {
+        sinks.push(s);
+    }
+    if let Some(s) = streams_jsonl.as_mut() {
+        sinks.push(s);
+    }
+    if let Some(s) = accumulator.as_mut() {
+        sinks.push(s);
+    }
+
+    const PROGRESS_STRIDE: u64 = 200_000;
+    let mut next_progress = PROGRESS_STRIDE;
+    let want_progress = args.progress;
+    let result = run_pipeline_with_progress(
+        &mut source,
+        engine.as_mut(),
+        &mut sinks,
+        &mut |p: &EngineProgress| {
+            if want_progress && p.records >= next_progress {
+                next_progress = p.records + PROGRESS_STRIDE;
+                progress_line(p.records, started, p.open_candidates);
+            }
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("error: cannot process {}: {e}", args.path);
+        exit(1);
+    });
+    if result.records == 0 {
         eprintln!("error: no parseable IPv4 records in {}", args.path);
         exit(1);
     }
     if args.progress {
-        eprintln!(
-            "progress: read {} records in {:.2} s",
-            records.len(),
-            read_started.elapsed().as_secs_f64()
-        );
+        // The engine's real post-run state, not an assumption: every
+        // candidate the engine still considers open is reported.
+        let p = engine.progress();
+        progress_line(p.records, started, p.open_candidates);
     }
 
-    // Both paths produce (streams, loops, stats-ish).
-    let detect_started = std::time::Instant::now();
-    let (streams, loops) = if args.streaming {
-        let mut det = OnlineDetector::new(args.cfg);
-        let mut events = Vec::new();
-        let stride = (records.len() / 10).max(50_000);
-        for (i, rec) in records.iter().enumerate() {
-            events.extend(det.push(rec));
-            if args.progress && (i + 1) % stride == 0 {
-                progress_line(i + 1, records.len(), detect_started, det.open_candidates());
-            }
-        }
-        let (mut tail, _stats) = det.finish();
-        events.append(&mut tail);
-        let mut streams = Vec::new();
-        let mut loops = Vec::new();
-        for e in events {
-            match e {
-                OnlineEvent::Stream(s) => streams.push(s),
-                OnlineEvent::Loop(l) => loops.push(l),
-            }
-        }
-        loops.sort_by_key(|l| (l.prefix, l.start_ns));
-        (streams, loops)
-    } else if args.threads > 1 {
-        let result = ShardedDetector::new(args.cfg, args.threads).run(&records);
-        (result.streams, result.loops)
-    } else {
-        let result = Detector::new(args.cfg).run(&records);
-        (result.streams, result.loops)
-    };
-    if args.progress {
-        progress_line(
-            records.len(),
-            records.len(),
-            detect_started,
-            0, // all candidates closed once detection completes
-        );
-    }
-
-    match args.csv.as_deref() {
-        Some("loops") => {
-            println!("prefix,start_s,end_s,duration_s,streams,replicas,ttl_delta,class");
-            let trace_end = records.last().unwrap().timestamp_ns;
-            for l in &loops {
-                let class = match l.classify(args.persistent_s * 1_000_000_000) {
-                    LoopKind::Transient => "transient",
-                    LoopKind::Persistent => "persistent",
-                };
-                let open = if l.is_open_ended(trace_end, 2_000_000_000) {
-                    "+open"
-                } else {
-                    ""
-                };
-                println!(
-                    "{},{:.6},{:.6},{:.6},{},{},{},{}{}",
-                    l.prefix,
-                    l.start_ns as f64 / 1e9,
-                    l.end_ns as f64 / 1e9,
-                    l.duration_ns() as f64 / 1e9,
-                    l.num_streams(),
-                    l.replica_count(),
-                    l.ttl_delta(),
-                    class,
-                    open,
-                );
-            }
-        }
-        Some("streams") => {
-            println!("dst,ident,first_ttl,last_ttl,ttl_delta,replicas,start_s,duration_ms,mean_spacing_ms");
-            for s in &streams {
-                println!(
-                    "{},{},{},{},{},{},{:.6},{:.3},{:.3}",
-                    s.key.dst,
-                    s.key.ident,
-                    s.first_ttl(),
-                    s.last_ttl(),
-                    s.ttl_delta(),
-                    s.len(),
-                    s.start_ns() as f64 / 1e9,
-                    s.duration_ns() as f64 / 1e6,
-                    s.mean_spacing_ns() as f64 / 1e6,
-                );
-            }
-        }
-        Some("summary") => {
-            println!("metric,value");
-            println!("records,{}", records.len());
-            println!("skipped,{skipped}");
-            println!("streams,{}", streams.len());
-            println!("loops,{}", loops.len());
-            println!(
-                "looped_sightings,{}",
-                streams.iter().map(|s| s.len()).sum::<usize>()
-            );
-            let est = impact::escape_estimate(&streams);
-            println!("died_in_loop,{}", est.died);
-            println!("may_have_escaped,{}", est.may_have_escaped);
-        }
-        Some(_) => unreachable!("validated in parse_args"),
-        None => {
-            let duration_s = (records.last().unwrap().timestamp_ns
-                - records.first().unwrap().timestamp_ns) as f64
-                / 1e9;
-            println!(
-                "{}: {} records over {:.1} s ({} skipped)",
-                args.path,
-                records.len(),
-                duration_s,
-                skipped
-            );
-            let h = analysis::ttl_delta_distribution(&streams);
-            println!(
-                "{} validated replica streams (modal TTL delta {:?}), {} routing loops",
-                streams.len(),
-                h.mode(),
-                loops.len()
-            );
-            let trace_end = records.last().unwrap().timestamp_ns;
-            for (i, l) in loops.iter().enumerate() {
-                let class = match l.classify(args.persistent_s * 1_000_000_000) {
-                    LoopKind::Transient => "transient",
-                    LoopKind::Persistent => "PERSISTENT",
-                };
-                println!(
-                    "  loop {i}: {} [{:.3} s .. {:.3} s] {} — {} streams, {} replicas, delta {}{}",
-                    l.prefix,
-                    l.start_ns as f64 / 1e9,
-                    l.end_ns as f64 / 1e9,
-                    class,
-                    l.num_streams(),
-                    l.replica_count(),
-                    l.ttl_delta(),
-                    if l.is_open_ended(trace_end, 2_000_000_000) {
-                        " (still active at trace end)"
-                    } else {
-                        ""
-                    },
-                );
-            }
-            let est = impact::escape_estimate(&streams);
-            if est.total_streams > 0 {
-                println!(
-                    "impact: {} looping packets died on trace evidence, {} may have escaped",
-                    est.died, est.may_have_escaped
-                );
-            }
+    if args.csv.is_none() {
+        if let Some(acc) = accumulator {
+            analysis_report(acc.report());
+        } else {
+            text_report(&args, &result);
         }
     }
 

@@ -22,6 +22,7 @@
 pub mod attribution;
 pub mod backbone;
 pub mod convert;
+pub mod sources;
 
 pub use loopscope;
 pub use net_types;

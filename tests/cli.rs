@@ -334,3 +334,146 @@ fn no_validate_reports_more_or_equal_streams() {
     assert!(lax_n >= strict_n, "lax {lax_n} < strict {strict_n}");
     let _ = std::fs::remove_file(&pcap);
 }
+
+#[test]
+fn jsonl_output_is_byte_stable_across_engines() {
+    let pcap = demo_pcap();
+    for what in ["loops", "streams"] {
+        let serial = loopdetect()
+            .arg(&pcap)
+            .args(["--csv", what, "--format", "jsonl"])
+            .output()
+            .unwrap();
+        assert!(serial.status.success(), "{serial:?}");
+        let text = String::from_utf8(serial.stdout.clone()).unwrap();
+        assert!(
+            text.lines().all(|l| l.starts_with('{') && l.ends_with('}')),
+            "every jsonl line must be one object: {text}"
+        );
+        // Row count matches the CSV form (which has a header line).
+        let csv = loopdetect()
+            .arg(&pcap)
+            .args(["--csv", what])
+            .output()
+            .unwrap();
+        let csv_rows = String::from_utf8(csv.stdout).unwrap().lines().count() - 1;
+        assert_eq!(text.lines().count(), csv_rows, "--csv {what} row count");
+        // Byte-identical regardless of engine.
+        for extra in [&["--threads", "4"][..], &["--streaming"]] {
+            let other = loopdetect()
+                .arg(&pcap)
+                .args(["--csv", what, "--format", "jsonl"])
+                .args(extra)
+                .output()
+                .unwrap();
+            assert!(other.status.success(), "{other:?}");
+            assert_eq!(
+                serial.stdout, other.stdout,
+                "jsonl --csv {what} diverges under {extra:?}"
+            );
+        }
+    }
+    let _ = std::fs::remove_file(&pcap);
+}
+
+#[test]
+fn format_flag_rejects_unsupported_combos() {
+    // Summary has no jsonl form.
+    let out = loopdetect()
+        .arg("ignored.pcap")
+        .args(["--csv", "summary", "--format", "jsonl"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--format jsonl"), "{err}");
+
+    // jsonl needs a table selected.
+    let out = loopdetect()
+        .arg("ignored.pcap")
+        .args(["--format", "jsonl"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--format jsonl"), "{err}");
+
+    // Unknown format names die with usage.
+    let out = loopdetect()
+        .arg("ignored.pcap")
+        .args(["--format", "xml"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("USAGE"), "{err}");
+}
+
+#[test]
+fn analysis_report_matches_across_engines() {
+    let pcap = demo_pcap();
+    let serial = loopdetect().arg(&pcap).arg("--analysis").output().unwrap();
+    assert!(serial.status.success(), "{serial:?}");
+    let text = String::from_utf8(serial.stdout.clone()).unwrap();
+    for key in [
+        "summary:",
+        "ttl_delta:",
+        "mix_all:",
+        "mix_looped:",
+        "destinations:",
+    ] {
+        assert!(text.contains(key), "missing {key} in {text}");
+    }
+    for extra in [&["--threads", "4"][..], &["--streaming"]] {
+        let other = loopdetect()
+            .arg(&pcap)
+            .arg("--analysis")
+            .args(extra)
+            .output()
+            .unwrap();
+        assert!(other.status.success(), "{other:?}");
+        assert_eq!(
+            serial.stdout, other.stdout,
+            "--analysis diverges under {extra:?}"
+        );
+    }
+    // --analysis replaces the report; combining it with --csv is an error.
+    let out = loopdetect()
+        .arg(&pcap)
+        .args(["--analysis", "--csv", "loops"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--analysis"), "{err}");
+    let _ = std::fs::remove_file(&pcap);
+}
+
+#[test]
+fn streaming_supports_every_table_and_the_text_report() {
+    // Historically --streaming only allowed --csv loops; the unified
+    // pipeline serves every output from the single pass.
+    let pcap = demo_pcap();
+    for csv in ["streams", "summary"] {
+        let offline = loopdetect()
+            .arg(&pcap)
+            .args(["--csv", csv])
+            .output()
+            .unwrap();
+        let streaming = loopdetect()
+            .arg(&pcap)
+            .args(["--csv", csv, "--streaming"])
+            .output()
+            .unwrap();
+        assert!(offline.status.success() && streaming.status.success());
+        assert_eq!(
+            offline.stdout, streaming.stdout,
+            "--csv {csv} must not depend on the engine"
+        );
+    }
+    let offline = loopdetect().arg(&pcap).output().unwrap();
+    let streaming = loopdetect().arg(&pcap).arg("--streaming").output().unwrap();
+    assert!(offline.status.success() && streaming.status.success());
+    assert_eq!(offline.stdout, streaming.stdout, "text report");
+    let _ = std::fs::remove_file(&pcap);
+}

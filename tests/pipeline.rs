@@ -94,7 +94,7 @@ fn full_pipeline_shapes() {
     // samples the strict SYN inequality is noisy, so check the robust
     // variant: every looped packet classifies into the schema.
     let all = analysis::mix_all(&run.records);
-    let looped = analysis::mix_looped(&run.records, &detection);
+    let looped = analysis::mix_looped(&detection.streams);
     assert!(
         all.fraction("TCP") > 0.8,
         "TCP share {}",
