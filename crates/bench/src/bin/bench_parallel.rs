@@ -8,7 +8,12 @@
 //! ```
 //!
 //! Exit status is nonzero when any parallel run's output diverges from
-//! serial — the determinism guard CI relies on. With `--gate <baseline>`,
+//! serial, or when any run's stage breakdown comes back all zeros (stage
+//! instrumentation going dark) — the determinism guard CI relies on.
+//! `--metrics-interval <ms>` streams live registry snapshots as JSONL on
+//! stderr while the bench runs, and `--trace <path>` records a Chrome
+//! `trace_event` JSON of the timed runs; both perturb timings, so a loud
+//! warning fires when either is combined with `--gate`. With `--gate <baseline>`,
 //! throughput floors are enforced too: serial records/s must stay within
 //! 10% of the committed baseline, and on machines with at least 4 cores
 //! the 4-thread speedup must reach 1.2×. The scaling floor is skipped
@@ -25,12 +30,14 @@ bench_parallel — serial vs sharded detector throughput (BENCH_parallel.json)
 USAGE: bench_parallel [OPTIONS]
 
 OPTIONS
-  --scale <F>        bench trace scale factor (default 0.4)
-  --threads <list>   comma-separated shard counts (default 1,2,4,8)
-  --repeat <N>       timing repeats, best-of (default 3)
-  --out <path>       artifact path (default BENCH_parallel.json)
-  --gate <path>      baseline BENCH_parallel.json to enforce floors against
-  -h, --help         this text
+  --scale <F>             bench trace scale factor (default 0.4)
+  --threads <list>        comma-separated shard counts (default 1,2,4,8)
+  --repeat <N>            timing repeats, best-of (default 3)
+  --out <path>            artifact path (default BENCH_parallel.json)
+  --gate <path>           baseline BENCH_parallel.json to enforce floors against
+  --metrics-interval <ms> stream telemetry snapshots as JSONL on stderr
+  --trace <path>          write a Chrome trace_event JSON of the timed runs
+  -h, --help              this text
 ";
 
 /// Minimum acceptable `serial records/s ÷ baseline records/s` under
@@ -144,6 +151,8 @@ fn main() {
     let mut repeats = 3usize;
     let mut out_path = String::from("BENCH_parallel.json");
     let mut gate_path: Option<String> = None;
+    let mut metrics_interval_ms: Option<u64> = None;
+    let mut trace_path: Option<String> = None;
     let mut it = argv.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -197,6 +206,24 @@ fn main() {
                         .clone(),
                 );
             }
+            "--metrics-interval" => {
+                let ms: u64 = it
+                    .next()
+                    .unwrap_or_else(|| die("--metrics-interval needs milliseconds"))
+                    .parse()
+                    .unwrap_or_else(|_| die("bad --metrics-interval"));
+                if ms == 0 {
+                    die("--metrics-interval must be at least 1 ms");
+                }
+                metrics_interval_ms = Some(ms);
+            }
+            "--trace" => {
+                trace_path = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--trace needs a path"))
+                        .clone(),
+                );
+            }
             other => die(&format!("unknown argument {other:?}")),
         }
     }
@@ -209,6 +236,23 @@ fn main() {
         })
     });
 
+    if gate_path.is_some() && (metrics_interval_ms.is_some() || trace_path.is_some()) {
+        eprintln!(
+            "warning: --gate with live observability enabled — sampler/trace \
+             overhead perturbs the timed runs; floors are still enforced"
+        );
+    }
+    if trace_path.is_some() {
+        telemetry::trace::enable(telemetry::trace::DEFAULT_RING_CAPACITY);
+    }
+    let sampler = metrics_interval_ms.map(|ms| {
+        telemetry::export::Sampler::spawn(
+            telemetry::global(),
+            std::time::Duration::from_millis(ms),
+            Box::new(telemetry::export::JsonlConsumer::new(std::io::stderr())),
+        )
+    });
+
     eprintln!("bench_parallel: building the bench trace (scale {scale}) ...");
     let records = parallel::bench_trace(scale);
     eprintln!(
@@ -218,6 +262,27 @@ fn main() {
         repeats
     );
     let bench = parallel::run_on(&records, &threads, repeats);
+
+    if let Some(s) = sampler {
+        if let Err(e) = s.stop() {
+            eprintln!("error: metrics export failed: {e}");
+            exit(1);
+        }
+    }
+    if let Some(path) = &trace_path {
+        telemetry::trace::disable();
+        let write = || -> std::io::Result<()> {
+            let f = std::fs::File::create(path)?;
+            let mut w = std::io::BufWriter::new(f);
+            telemetry::trace::write_chrome_trace(&mut w)?;
+            w.flush()
+        };
+        if let Err(e) = write() {
+            eprintln!("error: cannot write trace {path}: {e}");
+            exit(1);
+        }
+        eprintln!("wrote trace {path}");
+    }
 
     let json = bench.to_json();
     let mut f = std::fs::File::create(&out_path).unwrap_or_else(|e| {
@@ -250,6 +315,20 @@ fn main() {
     if !bench.all_identical() {
         eprintln!("error: parallel output DIVERGED from serial — determinism bug");
         exit(1);
+    }
+    // An all-zero stage row means the run recorded no stage timers at all —
+    // historically the 1-thread row, whose serial delegation never touches
+    // the `shard.*` timers. Instrumentation going dark is a regression the
+    // same way divergent output is.
+    for s in &bench.samples {
+        if !s.stages.is_empty() && s.stages.iter().all(|&(_, ns)| ns == 0) {
+            eprintln!(
+                "error: {}-thread stage breakdown is all zeros — stage \
+                 instrumentation regressed",
+                s.threads
+            );
+            exit(1);
+        }
     }
     if let Some(baseline) = baseline_json {
         let failures = gate_failures(&bench, &baseline);

@@ -1,0 +1,79 @@
+//! `validate_telemetry` — schema checker for the observability smoke step.
+//!
+//! ```text
+//! validate_telemetry <metrics.jsonl> <trace.json>
+//! ```
+//!
+//! Validates the two artifacts `loopdetect --metrics-interval/--trace`
+//! produce: every JSONL line must be a well-formed object carrying the
+//! sampler's schema (`seq`/`unix_ms`/`elapsed_ms`/`counters`/`timers`,
+//! with `seq` counting up from 0 and at least two snapshots present), and
+//! the trace must be a well-formed Chrome `trace_event` document with
+//! `traceEvents`, complete (`"ph":"X"`) spans, and thread-name metadata.
+//! Exit 0 means both pass; any violation is printed and exits 1. Used by
+//! `scripts/check.sh`; standalone-useful for eyeballing captures.
+
+use std::process::exit;
+
+fn fail(msg: String) -> ! {
+    eprintln!("validate_telemetry: FAIL: {msg}");
+    exit(1)
+}
+
+fn check_metrics(path: &str) -> usize {
+    let body =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+    let samples: Vec<&str> = body.lines().filter(|l| l.starts_with('{')).collect();
+    if samples.len() < 2 {
+        fail(format!(
+            "{path}: want at least 2 snapshots (first + final), got {}",
+            samples.len()
+        ));
+    }
+    for (i, line) in samples.iter().enumerate() {
+        telemetry::json::validate(line)
+            .unwrap_or_else(|e| fail(format!("{path} line {}: bad JSON: {e}", i + 1)));
+        if !line.contains(&format!("\"seq\":{i}")) {
+            fail(format!("{path} line {}: expected \"seq\":{i}", i + 1));
+        }
+        for key in [
+            "\"unix_ms\"",
+            "\"elapsed_ms\"",
+            "\"interval_ms\"",
+            "\"counters\"",
+            "\"gauges\"",
+            "\"timers\"",
+        ] {
+            if !line.contains(key) {
+                fail(format!("{path} line {}: missing {key}", i + 1));
+            }
+        }
+    }
+    samples.len()
+}
+
+fn check_trace(path: &str) {
+    let doc =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+    telemetry::json::validate(&doc).unwrap_or_else(|e| fail(format!("{path}: bad JSON: {e}")));
+    for (key, why) in [
+        ("\"traceEvents\"", "not a Chrome trace_event document"),
+        ("\"ph\":\"X\"", "no complete events — nothing was traced"),
+        ("\"thread_name\"", "no thread-name metadata"),
+    ] {
+        if !doc.contains(key) {
+            fail(format!("{path}: missing {key} ({why})"));
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [metrics, trace] = args.as_slice() else {
+        eprintln!("usage: validate_telemetry <metrics.jsonl> <trace.json>");
+        exit(2);
+    };
+    let n = check_metrics(metrics);
+    check_trace(trace);
+    println!("validate_telemetry: OK ({n} snapshots, trace well-formed)");
+}

@@ -17,8 +17,11 @@
 //!    to be physically possible.
 //! 3. **Stage breakdown**: per-stage wall time extracted from the
 //!    telemetry timers, for both the serial pipeline and each sharded
-//!    run. Worker-side shard stages overlap in time, so their totals are
-//!    aggregate worker-seconds, not wall time.
+//!    run. Every row is scoped to its own instrumented run via snapshot
+//!    deltas (no cross-row accumulation, no registry reset), and the
+//!    1-thread row reports the serial stage names — one shard *is* the
+//!    serial path. Worker-side shard stages overlap in time, so their
+//!    totals are aggregate worker-seconds, not wall time.
 
 use loopscope::pipeline::{run_pipeline, Engine, SerialEngine, ShardedEngine, SliceSource};
 use loopscope::{DetectorConfig, PipelineResult, TraceRecord};
@@ -52,7 +55,10 @@ pub struct ParallelSample {
     pub speedup: f64,
     /// Whether the run's output equalled the serial output exactly.
     pub identical: bool,
-    /// `(timer name, total ns)` per stage, from one instrumented run.
+    /// `(timer name, total ns)` per stage, from one instrumented run,
+    /// scoped to that run alone (snapshot deltas — earlier thread counts
+    /// contribute nothing). The 1-thread row reports the serial stage
+    /// names, because one shard *is* the serial path.
     pub stages: Vec<(&'static str, u64)>,
 }
 
@@ -161,15 +167,20 @@ fn time_best<F: FnMut() -> PipelineResult>(repeats: usize, mut f: F) -> (u64, Pi
     (best_ns, out.expect("at least one repeat"))
 }
 
-/// Runs `run` once with freshly-zeroed telemetry and returns the listed
-/// stage timers' totals. The instrumented run is separate from the timed
+/// Runs `run` once and returns the listed stage timers' totals for *that
+/// run alone*, as before/after snapshot deltas. Delta scoping (rather
+/// than a registry reset) keeps each row independent of earlier runs in
+/// the process *and* leaves the registry intact for anything else
+/// observing it — a live `--metrics-interval` sampler keeps its
+/// cumulative view. The instrumented run is separate from the timed
 /// repeats so snapshotting never perturbs the wall-clock numbers.
 fn measure_stages<F: FnMut()>(keys: &[&'static str], mut run: F) -> Vec<(&'static str, u64)> {
-    telemetry::global().reset();
+    let total = |snap: &telemetry::Snapshot, k: &str| snap.timers.get(k).map_or(0, |t| t.total_ns);
+    let before = telemetry::global().snapshot();
     run();
-    let snap = telemetry::global().snapshot();
+    let after = telemetry::global().snapshot();
     keys.iter()
-        .map(|&k| (k, snap.timers.get(k).map_or(0, |t| t.total_ns)))
+        .map(|&k| (k, total(&after, k).saturating_sub(total(&before, k))))
         .collect()
 }
 
@@ -256,7 +267,16 @@ pub fn run_on(records: &[TraceRecord], thread_counts: &[usize], repeats: usize) 
             let (best_ns, result) = time_best(repeats, || {
                 detect(records, &mut ShardedEngine::new(cfg, threads))
             });
-            let stages = measure_stages(&PARALLEL_STAGES, || {
+            // `ShardedDetector` at one thread IS the serial path — it
+            // never spawns workers or touches the `shard.*` timers, so
+            // the 1-thread row reports the serial stage names (an
+            // all-zero `shard.*` row here was the historical bug).
+            let stage_keys: &[&'static str] = if threads == 1 {
+                &SERIAL_STAGES
+            } else {
+                &PARALLEL_STAGES
+            };
+            let stages = measure_stages(stage_keys, || {
                 detect(records, &mut ShardedEngine::new(cfg, threads));
             });
             ParallelSample {
@@ -296,8 +316,53 @@ pub fn run(scale: f64, thread_counts: &[usize], repeats: usize) -> ParallelBench
 mod tests {
     use super::*;
 
+    /// Tests that run detector workloads share the process-global
+    /// telemetry registry; serialise them so stage deltas stay
+    /// attributable to their own run.
+    static WORKLOAD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn measure_stages_scopes_to_its_own_run() {
+        // A synthetic stage timer with pre-existing state: the
+        // measurement must report only what its own run recorded, not
+        // the cumulative total and not earlier measurements.
+        let timer = telemetry::global().timer("benchtest.scoped_stage");
+        let keys: [&'static str; 1] = ["benchtest.scoped_stage"];
+        timer.record(5_000);
+        let first = measure_stages(&keys, || timer.record(1_000));
+        assert_eq!(first, vec![("benchtest.scoped_stage", 1_000)]);
+        let second = measure_stages(&keys, || timer.record(250));
+        assert_eq!(second, vec![("benchtest.scoped_stage", 250)]);
+        // An unrecorded key reports zero, not garbage.
+        let empty = measure_stages(&["benchtest.never_recorded"], || {});
+        assert_eq!(empty, vec![("benchtest.never_recorded", 0)]);
+    }
+
+    #[test]
+    fn one_thread_row_reports_nonzero_serial_stages() {
+        let _lock = WORKLOAD.lock().unwrap_or_else(|p| p.into_inner());
+        let records = bench_trace(0.04);
+        let bench = run_on(&records, &[1, 2], 1);
+        let row = &bench.samples[0];
+        assert_eq!(row.threads, 1);
+        let names: Vec<&str> = row.stages.iter().map(|(k, _)| *k).collect();
+        assert_eq!(names, SERIAL_STAGES, "1-thread row uses serial stage names");
+        let total: u64 = row.stages.iter().map(|(_, ns)| ns).sum();
+        assert!(
+            total > 0,
+            "threads=1 stage row must not be all-zero: {row:?}"
+        );
+        // The sharded rows use the shard stage names, also nonzero.
+        let row2 = &bench.samples[1];
+        let names2: Vec<&str> = row2.stages.iter().map(|(k, _)| *k).collect();
+        assert_eq!(names2, PARALLEL_STAGES);
+        let total2: u64 = row2.stages.iter().map(|(_, ns)| ns).sum();
+        assert!(total2 > 0, "threads=2 stage row must not be all-zero");
+    }
+
     #[test]
     fn tiny_bench_is_deterministic_and_serialisable() {
+        let _lock = WORKLOAD.lock().unwrap_or_else(|p| p.into_inner());
         let bench = run(0.04, &[2, 4], 1);
         assert!(bench.records > 0);
         assert!(bench.all_identical(), "parallel diverged from serial");

@@ -22,12 +22,18 @@ use crate::merge::RoutingLoop;
 use crate::record::TraceRecord;
 use crate::stream::{Observation, ReplicaStream};
 use std::collections::VecDeque;
+use telemetry::trace::{self, TraceName};
 use telemetry::{tm_trace, LazyCounter, LazyGauge};
 
 static TM_OPEN_CANDIDATES: LazyGauge = LazyGauge::new("online.open_candidates");
 static TM_PREFIX_HISTORY: LazyGauge = LazyGauge::new("online.prefix_history");
 static TM_STREAMS_EMITTED: LazyCounter = LazyCounter::new("online.streams_emitted");
 static TM_LOOPS_EMITTED: LazyCounter = LazyCounter::new("online.loops_emitted");
+
+// Event-trace instants marking the moment evidence completed — the
+// temporal signal a cumulative counter cannot carry.
+static TR_STREAM_EMITTED: TraceName = TraceName::new("online.stream_emitted");
+static TR_LOOP_EMITTED: TraceName = TraceName::new("online.loop_emitted");
 
 /// Events emitted by the streaming detector.
 #[derive(Debug, Clone, PartialEq)]
@@ -355,6 +361,7 @@ impl OnlineDetector {
             if is_final {
                 self.stats.loops_emitted += 1;
                 TM_LOOPS_EMITTED.inc();
+                trace::instant(&TR_LOOP_EMITTED);
                 tm_trace!(
                     "loop finalised for {}: {} streams over {} ns",
                     l.prefix,
@@ -423,6 +430,7 @@ impl OnlineDetector {
         self.stats.streams_emitted += 1;
         self.stats.looped_sightings += stream.len() as u64;
         TM_STREAMS_EMITTED.inc();
+        trace::instant(&TR_STREAM_EMITTED);
         events.push(OnlineEvent::Stream(stream.clone()));
         // Step 3 is deferred: the stream joins the prefix's pending set and
         // loops are emitted once their composition is final.

@@ -530,6 +530,19 @@ pub fn run_pipeline(
     run_pipeline_with_progress(source, engine, sinks, &mut |_| {})
 }
 
+/// Marks an engine emission in the event trace: one instant per closed
+/// stream or loop, so detections are visible on the timeline the moment
+/// their evidence completed (free when tracing is disabled).
+fn trace_emission(ev: &OnlineEvent) {
+    use telemetry::trace::{self, TraceName};
+    static TR_STREAM_CLOSED: TraceName = TraceName::new("pipeline.stream_closed");
+    static TR_LOOP_CLOSED: TraceName = TraceName::new("pipeline.loop_closed");
+    match ev {
+        OnlineEvent::Stream(_) => trace::instant(&TR_STREAM_CLOSED),
+        OnlineEvent::Loop(_) => trace::instant(&TR_LOOP_CLOSED),
+    }
+}
+
 /// [`run_pipeline`] with a progress callback, invoked after every batch
 /// (and once after the final flush) with the engine's live state.
 pub fn run_pipeline_with_progress(
@@ -561,9 +574,12 @@ pub fn run_pipeline_with_progress(
         }
         let stats = {
             let _t = telemetry::span("pipeline.detect");
-            let mut emit = |ev: OnlineEvent| match ev {
-                OnlineEvent::Stream(s) => streams.push(s),
-                OnlineEvent::Loop(l) => loops.push(l),
+            let mut emit = |ev: OnlineEvent| {
+                trace_emission(&ev);
+                match ev {
+                    OnlineEvent::Stream(s) => streams.push(s),
+                    OnlineEvent::Loop(l) => loops.push(l),
+                }
             };
             engine.run_slice(slice, &mut emit)
         };
@@ -592,9 +608,12 @@ pub fn run_pipeline_with_progress(
             trace_end = batch.last().expect("non-empty").timestamp_ns;
             {
                 let _t = telemetry::span("pipeline.detect");
-                let mut emit = |ev: OnlineEvent| match ev {
-                    OnlineEvent::Stream(s) => streams.push(s),
-                    OnlineEvent::Loop(l) => loops.push(l),
+                let mut emit = |ev: OnlineEvent| {
+                    trace_emission(&ev);
+                    match ev {
+                        OnlineEvent::Stream(s) => streams.push(s),
+                        OnlineEvent::Loop(l) => loops.push(l),
+                    }
                 };
                 engine.push_batch(batch, &mut emit);
             }
@@ -603,9 +622,12 @@ pub fn run_pipeline_with_progress(
         })?;
         let stats = {
             let _t = telemetry::span("pipeline.finish");
-            let mut emit = |ev: OnlineEvent| match ev {
-                OnlineEvent::Stream(s) => streams.push(s),
-                OnlineEvent::Loop(l) => loops.push(l),
+            let mut emit = |ev: OnlineEvent| {
+                trace_emission(&ev);
+                match ev {
+                    OnlineEvent::Stream(s) => streams.push(s),
+                    OnlineEvent::Loop(l) => loops.push(l),
+                }
             };
             engine.finish(&mut emit)
         };

@@ -24,6 +24,7 @@ use crate::merge::{self, RoutingLoop};
 use crate::record::TraceRecord;
 use crate::stream::{Observation, ReplicaStream};
 use crate::validate::{self, PrefixIndex};
+use telemetry::trace::{self, TraceName};
 use telemetry::{tm_debug, tm_info, LazyCounter};
 
 static TM_RECORDS_SCANNED: LazyCounter = LazyCounter::new("replica.records_scanned");
@@ -38,6 +39,12 @@ static TM_PREFILTER_MISSES: LazyCounter = LazyCounter::new("replica.prefilter_mi
 static TM_PREFILTER_PROMOTIONS: LazyCounter = LazyCounter::new("replica.prefilter_promotions");
 static TM_PREFILTER_EVICTIONS: LazyCounter = LazyCounter::new("replica.prefilter_evictions");
 static TM_PREFILTER_COLLISIONS: LazyCounter = LazyCounter::new("replica.prefilter_collisions");
+
+// Event-trace markers for the pre-filter's rare transitions: promotions
+// (seed → exact map) as instants, eviction sweeps as a cumulative counter
+// track. Both sit outside the per-record fast path.
+static TR_PREFILTER_PROMOTION: TraceName = TraceName::new("replica.prefilter_promotion");
+static TR_PREFILTER_EVICTIONS: TraceName = TraceName::new("replica.prefilter_evictions");
 
 /// Counters describing what each pipeline stage did — the raw material of
 /// Table II and the A2 ablation.
@@ -523,6 +530,7 @@ impl CandidateScanner {
                 self.open.insert(ReplicaKey::of(rec), cand);
                 pf.meta[slot] = PROMOTED_BIT | gen;
                 pf.promotions += 1;
+                trace::instant(&TR_PREFILTER_PROMOTION);
             } else {
                 if check.checksum_split {
                     self.counters.checksum_splits += 1;
@@ -643,6 +651,7 @@ impl CandidateScanner {
             }
         }
         pf.evictions += evicted;
+        trace::counter(&TR_PREFILTER_EVICTIONS, pf.evictions);
         let live_target = survivors.len() + self.open.len();
         let new_cap = (live_target * 2 + 1).next_power_of_two().max(pf.fps.len());
         pf.fps = vec![0; new_cap];

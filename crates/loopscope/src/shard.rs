@@ -47,7 +47,9 @@ use crate::stream::ReplicaStream;
 use crate::validate::{self, PrefixIndex};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 use telemetry::tm_info;
+use telemetry::trace::{self, TraceName};
 
 /// Records per batch pushed into a shard ring. Large enough that ring
 /// synchronisation is a rounding error next to per-record hash-map work.
@@ -91,11 +93,24 @@ fn shard_of_dst(dst: std::net::Ipv4Addr, shards: usize) -> usize {
 /// Blocking (Condvar-based) rather than spinning: the pipeline must
 /// degrade gracefully on machines with fewer cores than shards, where a
 /// spinning producer would starve the very workers it feeds.
+/// Trace span bracketing a producer blocked on a full ring.
+static TR_RING_STALL: TraceName = TraceName::new("shard.ring_full_stall");
+/// Trace span bracketing a consumer blocked on an empty ring.
+static TR_RING_WAIT: TraceName = TraceName::new("shard.ring_wait");
+/// Trace instant marking one batch handed to a shard ring.
+static TR_DISPATCH_BATCH: TraceName = TraceName::new("shard.dispatch_batch");
+
 struct Ring {
     state: Mutex<RingState>,
     not_full: Condvar,
     not_empty: Condvar,
     depth_gauge: &'static telemetry::Gauge,
+    /// Times the producer found this ring full and had to block.
+    stall_counter: &'static telemetry::Counter,
+    /// Consumer time spent blocked on an empty ring (idle time).
+    wait_timer: &'static telemetry::Timer,
+    /// Per-shard queue-depth counter track in the event trace.
+    tr_depth: TraceName,
 }
 
 struct RingState {
@@ -113,6 +128,9 @@ impl Ring {
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
             depth_gauge: telemetry::global().gauge(shard_metric(shard, "queue_depth")),
+            stall_counter: telemetry::global().counter(shard_metric(shard, "full_stalls")),
+            wait_timer: telemetry::global().timer(shard_metric(shard, "wait")),
+            tr_depth: TraceName::new(shard_metric(shard, "queue_depth")),
         }
     }
 
@@ -125,12 +143,19 @@ impl Ring {
     /// observed the state that makes the edge signal necessary.
     fn push(&self, batch: Vec<(usize, TraceRecord)>) {
         let mut st = self.state.lock().expect("ring poisoned");
-        while st.batches.len() >= RING_BATCHES {
-            st = self.not_full.wait(st).expect("ring poisoned");
+        if st.batches.len() >= RING_BATCHES {
+            // Backpressure: the worker is behind. Count the stall and
+            // bracket the blocked interval in the event trace.
+            self.stall_counter.inc();
+            let _stalled = trace::span(&TR_RING_STALL);
+            while st.batches.len() >= RING_BATCHES {
+                st = self.not_full.wait(st).expect("ring poisoned");
+            }
         }
         let was_empty = st.batches.is_empty();
         st.batches.push_back(batch);
         self.depth_gauge.set(st.batches.len() as i64);
+        trace::counter(&self.tr_depth, st.batches.len() as u64);
         drop(st);
         if was_empty {
             self.not_empty.notify_one();
@@ -157,6 +182,7 @@ impl Ring {
                 let was_full = st.batches.len() >= RING_BATCHES;
                 std::mem::swap(&mut st.batches, into);
                 self.depth_gauge.set(0);
+                trace::counter(&self.tr_depth, 0);
                 drop(st);
                 if was_full {
                     self.not_full.notify_one();
@@ -166,7 +192,13 @@ impl Ring {
             if st.closed {
                 return false;
             }
+            // Idle time: the worker outran the producer. Accumulate it on
+            // the per-shard wait timer and bracket it in the trace.
+            let idle_start = Instant::now();
+            let _waiting = trace::span(&TR_RING_WAIT);
             st = self.not_empty.wait(st).expect("ring poisoned");
+            self.wait_timer
+                .record(idle_start.elapsed().as_nanos() as u64);
         }
     }
 }
@@ -245,7 +277,14 @@ impl ShardedDetector {
                 .enumerate()
                 .map(|(shard, ring)| {
                     let cfg = self.cfg;
-                    scope.spawn(move || run_shard(shard, cfg, ring, per_shard_estimate))
+                    // Named threads label the per-worker rows in trace
+                    // viewers (and panic messages).
+                    std::thread::Builder::new()
+                        .name(format!("shard-w{shard}"))
+                        .spawn_scoped(scope, move || {
+                            run_shard(shard, cfg, ring, per_shard_estimate)
+                        })
+                        .expect("spawn shard worker")
                 })
                 .collect();
 
@@ -259,6 +298,7 @@ impl ShardedDetector {
                     let shard = shard_of_record(rec, n);
                     pending[shard].push((idx, *rec));
                     if pending[shard].len() >= BATCH_RECORDS {
+                        trace::instant(&TR_DISPATCH_BATCH);
                         rings[shard].push(std::mem::replace(
                             &mut pending[shard],
                             Vec::with_capacity(BATCH_RECORDS),
@@ -336,6 +376,14 @@ impl ShardedDetector {
 fn run_shard(shard: usize, cfg: DetectorConfig, ring: &Ring, estimate: usize) -> ShardPartial {
     let records_counter = telemetry::global().counter(shard_metric(shard, "records"));
     let streams_counter = telemetry::global().counter(shard_metric(shard, "streams"));
+    // Busy time = worker lifetime minus time blocked on the empty ring
+    // (which `Ring::pop_all` accumulates on the per-shard wait timer).
+    // Only this worker writes those timers, so a before/after read of the
+    // wait total scopes the subtraction to this run.
+    let wait_timer = telemetry::global().timer(shard_metric(shard, "wait"));
+    let busy_timer = telemetry::global().timer(shard_metric(shard, "busy"));
+    let alive_start = Instant::now();
+    let waited_before_ns = wait_timer.total_ns();
 
     let mut records: Vec<TraceRecord> = Vec::with_capacity(estimate);
     let mut globals: Vec<usize> = Vec::with_capacity(estimate);
@@ -412,6 +460,10 @@ fn run_shard(shard: usize, cfg: DetectorConfig, ring: &Ring, estimate: usize) ->
         .filter_map(|(i, &f)| if f { Some(globals[i]) } else { None })
         .collect();
 
+    let alive_ns = alive_start.elapsed().as_nanos() as u64;
+    let waited_ns = wait_timer.total_ns() - waited_before_ns;
+    busy_timer.record(alive_ns.saturating_sub(waited_ns));
+
     ShardPartial {
         stats,
         streams,
@@ -442,6 +494,15 @@ static SHARD_STREAMS: [&str; PREBUILT_SHARDS] = shard_name_table!("streams";
 static SHARD_QUEUE_DEPTH: [&str; PREBUILT_SHARDS] = shard_name_table!("queue_depth";
     0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
     16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31);
+static SHARD_FULL_STALLS: [&str; PREBUILT_SHARDS] = shard_name_table!("full_stalls";
+    0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+    16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31);
+static SHARD_WAIT: [&str; PREBUILT_SHARDS] = shard_name_table!("wait";
+    0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+    16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31);
+static SHARD_BUSY: [&str; PREBUILT_SHARDS] = shard_name_table!("busy";
+    0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+    16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31);
 
 /// Resolves the `shard.w<i>.<field>` metric name. The telemetry registry
 /// wants `&'static str`; for the common case (shard index below
@@ -454,6 +515,9 @@ fn shard_metric(shard: usize, field: &str) -> &'static str {
             "records" => return SHARD_RECORDS[shard],
             "streams" => return SHARD_STREAMS[shard],
             "queue_depth" => return SHARD_QUEUE_DEPTH[shard],
+            "full_stalls" => return SHARD_FULL_STALLS[shard],
+            "wait" => return SHARD_WAIT[shard],
+            "busy" => return SHARD_BUSY[shard],
             _ => {}
         }
     }
@@ -757,6 +821,9 @@ mod tests {
         assert_eq!(shard_metric(0, "records"), "shard.w0.records");
         assert_eq!(shard_metric(7, "streams"), "shard.w7.streams");
         assert_eq!(shard_metric(31, "queue_depth"), "shard.w31.queue_depth");
+        assert_eq!(shard_metric(2, "full_stalls"), "shard.w2.full_stalls");
+        assert_eq!(shard_metric(5, "wait"), "shard.w5.wait");
+        assert_eq!(shard_metric(9, "busy"), "shard.w9.busy");
         // Prebuilt lookups return the same literal every time (no interner
         // involvement): pointer-equal, not just string-equal.
         assert!(std::ptr::eq(
@@ -779,7 +846,14 @@ mod tests {
         assert!(snap.counters.contains_key("shard.w0.records"));
         assert!(snap.counters.contains_key("shard.w1.records"));
         assert!(snap.counters.contains_key("shard.w0.streams"));
+        assert!(snap.counters.contains_key("shard.w0.full_stalls"));
         assert!(snap.gauges.contains_key("shard.w0.queue_depth"));
+        // Worker time accounting: both workers recorded one busy interval,
+        // bounded by their lifetime.
+        for w in 0..2 {
+            let busy = &snap.timers[&format!("shard.w{w}.busy")];
+            assert!(busy.calls >= 1, "worker {w} busy timer never recorded");
+        }
         let total: u64 = (0..2)
             .map(|i| snap.counters[&format!("shard.w{i}.records")])
             .sum();

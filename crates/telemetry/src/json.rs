@@ -77,10 +77,16 @@ impl JsonWriter {
     }
 
     /// Emits a string value.
-    #[cfg(test)]
     pub fn string(&mut self, s: &str) {
         self.before_element();
         self.write_string(s);
+    }
+
+    /// Emits a float with exactly three decimal places (never exponent
+    /// notation) — the shape Chrome trace viewers expect for `ts`/`dur`.
+    pub fn f64_3(&mut self, v: f64) {
+        self.before_element();
+        self.out.push_str(&format!("{v:.3}"));
     }
 
     fn write_string(&mut self, s: &str) {
@@ -104,6 +110,192 @@ impl JsonWriter {
     /// Consumes the writer and returns the document.
     pub fn finish(self) -> String {
         self.out
+    }
+}
+
+/// Checks that `input` is exactly one syntactically valid JSON value.
+///
+/// A deliberately small recursive-descent validator (no value tree is
+/// built) so tests and the CI smoke step can verify exporter output
+/// without external tooling. Rejects trailing garbage; nesting is capped
+/// to keep adversarial inputs from overflowing the stack.
+pub fn validate(input: &str) -> Result<(), String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(())
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("expected '{lit}' at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<(), String> {
+        if depth > MAX_DEPTH {
+            return Err("nesting too deep".into());
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            self.value(depth + 1)?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value(depth + 1)?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        while let Some(b) = self.peek() {
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(()),
+                b'\\' => {
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => {}
+                        b'u' => {
+                            for _ in 0..4 {
+                                let h = self.peek().ok_or("truncated \\u escape")?;
+                                if !h.is_ascii_hexdigit() {
+                                    return Err(format!("bad \\u digit at byte {}", self.pos));
+                                }
+                                self.pos += 1;
+                            }
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                }
+                0x00..=0x1f => return Err(format!("raw control char at byte {}", self.pos - 1)),
+                _ => {}
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits = |p: &mut Self| -> Result<(), String> {
+            let start = p.pos;
+            while matches!(p.peek(), Some(b'0'..=b'9')) {
+                p.pos += 1;
+            }
+            if p.pos == start {
+                Err(format!("expected digit at byte {}", p.pos))
+            } else {
+                Ok(())
+            }
+        };
+        // Integer part: "0" alone, or a nonzero digit followed by more.
+        let int_start = self.pos;
+        digits(self)?;
+        if self.bytes[int_start] == b'0' && self.pos - int_start > 1 {
+            return Err(format!("leading zero at byte {int_start}"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            digits(self)?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            digits(self)?;
+        }
+        Ok(())
     }
 }
 
@@ -148,5 +340,60 @@ mod tests {
         w.end_array();
         w.end_object();
         assert_eq!(w.finish(), r#"{"e":[]}"#);
+    }
+
+    #[test]
+    fn f64_is_plain_fixed_point() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.f64_3(0.0);
+        w.f64_3(1234.5678);
+        w.f64_3(1e9);
+        w.end_array();
+        assert_eq!(w.finish(), "[0.000,1234.568,1000000000.000]");
+    }
+
+    #[test]
+    fn validator_accepts_what_the_writer_emits() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a\"b");
+        w.begin_array();
+        w.u64(1);
+        w.i64(-2);
+        w.f64_3(3.5);
+        w.string("x\ny");
+        w.end_array();
+        w.end_object();
+        validate(&w.finish()).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\":1}x",
+            "\"unterminated",
+            "01",
+            "1.",
+            "nul",
+            "{\"a\" 1}",
+        ] {
+            assert!(validate(bad).is_err(), "accepted {bad:?}");
+        }
+        for good in [
+            "null",
+            "true",
+            " -1.5e-3 ",
+            "[]",
+            "{}",
+            "{\"k\":[1,2,{\"n\":null}]}",
+            "\"\\u00e9\"",
+        ] {
+            validate(good).unwrap_or_else(|e| panic!("rejected {good:?}: {e}"));
+        }
     }
 }

@@ -46,12 +46,28 @@
 //! `LOOPSCOPE_LOG` accepts a default level and per-target overrides, e.g.
 //! `LOOPSCOPE_LOG=warn,loopscope::online=trace`. See [`logging`] for the
 //! full syntax.
+//!
+//! # Live observability
+//!
+//! End-of-run snapshots are not enough for a long-running monitor, so two
+//! further layers build on the registry:
+//!
+//! * [`export`] — a sampler thread that snapshots the registry on an
+//!   interval and streams counter deltas/rates as timestamped JSONL
+//!   (`loopdetect --metrics-interval`), or renders them as a live
+//!   single-line status display (`loopdetect --watch`).
+//! * [`trace`] — per-thread lock-free event rings (stage spans, shard
+//!   stalls, queue depths, loop-closed markers) drained to Chrome
+//!   `trace_event` JSON (`loopdetect --trace`). When tracing is enabled,
+//!   every [`span`] also emits begin/end trace events, so stage timings
+//!   become a per-thread timeline for free.
 
+pub mod export;
+pub mod json;
 pub mod logging;
 pub mod metrics;
 pub mod registry;
-
-mod json;
+pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, LazyCounter, LazyGauge, LazyHistogram, Timer};
 pub use registry::{global, Registry, Snapshot};
@@ -65,6 +81,9 @@ use std::time::Instant;
 pub struct Span {
     timer: &'static Timer,
     start: Instant,
+    /// When event tracing was on at open, the stage name — so drop emits
+    /// the matching trace end event. `None` costs nothing on drop.
+    trace_name: Option<&'static str>,
 }
 
 impl Span {
@@ -77,16 +96,28 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         self.timer.record(self.start.elapsed().as_nanos() as u64);
+        if let Some(name) = self.trace_name {
+            trace::end_raw(name);
+        }
     }
 }
 
 /// Opens a stage-timer span on the global registry:
 /// `let _t = telemetry::span("validate");` accumulates wall time and an
-/// invocation count under the timer named `validate`.
+/// invocation count under the timer named `validate`. With event tracing
+/// enabled ([`trace::enable`]) the same span also brackets a per-thread
+/// trace event.
 pub fn span(name: &'static str) -> Span {
+    let trace_name = if trace::is_enabled() {
+        trace::begin_raw(name);
+        Some(name)
+    } else {
+        None
+    };
     Span {
         timer: global().timer(name),
         start: Instant::now(),
+        trace_name,
     }
 }
 

@@ -4,13 +4,27 @@
 //!
 //! ```text
 //! cargo run --release --example online_monitor
+//! cargo run --release --example online_monitor -- 200
+//!                     # …with live telemetry JSONL every 200 ms on stderr
 //! ```
 
 use routing_loops::backbone::{paper_backbones, run_backbone};
 use routing_loops::loopscope::online::{OnlineDetector, OnlineEvent};
 use routing_loops::loopscope::{Detector, DetectorConfig};
+use routing_loops::telemetry;
 
 fn main() {
+    // An optional millisecond interval turns on the live exporter — the
+    // same sampler `loopdetect --metrics-interval` uses, here monitoring
+    // the streaming detector's own counters while the replay runs.
+    let sampler = std::env::args().nth(1).map(|ms| {
+        let ms: u64 = ms.parse().expect("argument must be an interval in ms");
+        telemetry::export::Sampler::spawn(
+            telemetry::global(),
+            std::time::Duration::from_millis(ms.max(1)),
+            Box::new(telemetry::export::JsonlConsumer::new(std::io::stderr())),
+        )
+    });
     let mut spec = paper_backbones(0.15).remove(0);
     spec.name = "online demo".into();
     println!("simulating a backbone link with failures …");
@@ -88,4 +102,8 @@ fn main() {
             "MISMATCH (bug!)"
         }
     );
+
+    if let Some(s) = sampler {
+        s.stop().expect("metrics export failed");
+    }
 }

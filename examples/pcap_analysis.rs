@@ -7,6 +7,9 @@
 //! ```text
 //! cargo run --release --example pcap_analysis            # self-contained demo
 //! cargo run --release --example pcap_analysis -- my.pcap # your own capture
+//! cargo run --release --example pcap_analysis -- --emit-demo demo.pcap
+//!                                # write the demo trace and exit (fixture
+//!                                # generation for scripts/check.sh)
 //! ```
 
 use routing_loops::backbone::{paper_backbones, run_backbone};
@@ -27,6 +30,11 @@ fn write_demo_trace(path: &std::path::Path) {
 
 fn main() {
     let arg = std::env::args().nth(1);
+    if arg.as_deref() == Some("--emit-demo") {
+        let dest = std::env::args().nth(2).expect("--emit-demo needs a path");
+        write_demo_trace(std::path::Path::new(&dest));
+        return;
+    }
     let path = match &arg {
         Some(p) => std::path::PathBuf::from(p),
         None => {

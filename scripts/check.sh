@@ -7,6 +7,7 @@
 #   scripts/check.sh --tests    # release build + tier-1 + workspace tests
 #   scripts/check.sh --lint     # rustfmt --check + clippy -D warnings
 #   scripts/check.sh --bench    # bench smoke: determinism + throughput gate
+#   scripts/check.sh --observe  # observability smoke: metrics JSONL + trace
 #
 # Every cargo invocation runs with RUSTFLAGS += "-D warnings": any compiler
 # warning — not just a clippy lint — fails the gate loudly.
@@ -21,8 +22,9 @@ case "$mode" in
     --tests) mode=tests ;;
     --lint)  mode=lint ;;
     --bench) mode=bench ;;
+    --observe) mode=observe ;;
     full) ;;
-    *) echo "usage: scripts/check.sh [--quick|--tests|--lint|--bench]" >&2; exit 2 ;;
+    *) echo "usage: scripts/check.sh [--quick|--tests|--lint|--bench|--observe]" >&2; exit 2 ;;
 esac
 
 export RUSTFLAGS="${RUSTFLAGS:-} -D warnings"
@@ -62,12 +64,29 @@ run_bench_smoke() {
         --gate BENCH_parallel.json --out BENCH_parallel.json
 }
 
+run_observability_smoke() {
+    banner "observability smoke: --metrics-interval JSONL + --trace Chrome JSON"
+    # Drive the real binary on the demo pcap fixture with both live
+    # observability surfaces on, then validate both artifacts' schemas.
+    local tmp
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' RETURN
+    cargo run --release --example pcap_analysis -- --emit-demo "$tmp/demo.pcap"
+    cargo run --release --bin loopdetect -- "$tmp/demo.pcap" \
+        --threads 2 --csv summary \
+        --metrics-interval 50 --trace "$tmp/trace.json" \
+        > /dev/null 2> "$tmp/metrics.jsonl"
+    cargo run -p bench --release --bin validate_telemetry -- \
+        "$tmp/metrics.jsonl" "$tmp/trace.json"
+}
+
 case "$mode" in
     quick) run_build_and_tier1 ;;
     tests) run_build_and_tier1; run_workspace_tests ;;
     lint)  run_lint ;;
     bench) run_bench_smoke ;;
-    full)  run_build_and_tier1; run_workspace_tests; run_lint ;;
+    observe) run_observability_smoke ;;
+    full)  run_build_and_tier1; run_workspace_tests; run_lint; run_observability_smoke ;;
 esac
 
 banner "OK"

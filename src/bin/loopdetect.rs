@@ -18,6 +18,9 @@
 //! loopdetect trace.pcap --persistent-s 60    # persistence threshold
 //! loopdetect trace.pcap --metrics -          # telemetry snapshot (JSON) to stdout
 //! loopdetect trace.pcap --metrics run.json   # telemetry snapshot to a file
+//! loopdetect trace.pcap --metrics-interval 500  # live JSONL samples on stderr
+//! loopdetect trace.pcap --watch              # live one-line status on stderr
+//! loopdetect trace.pcap --trace run.trace.json  # Chrome trace of the run
 //! loopdetect trace.pcap --progress -v        # stderr progress + info logging
 //! ```
 //!
@@ -69,6 +72,15 @@ OPTIONS
   --persistent-s <N>             persistence threshold in seconds (default 60)
   --metrics <path|->             write the telemetry snapshot (JSON) to a
                                  file, or to stdout with '-'
+  --metrics-interval <ms>        sample the telemetry registry every <ms>
+                                 milliseconds and stream timestamped JSONL
+                                 (deltas + rates) to stderr while running
+  --watch                        live single-line status display on stderr
+                                 (records/s, streams, loops, queue depth);
+                                 exclusive with --metrics-interval/--progress
+  --trace <path>                 record a structured event trace of the run
+                                 and write Chrome trace-event JSON to <path>
+                                 (open in chrome://tracing or Perfetto)
   --progress                     periodic progress lines on stderr
   -v, -vv                        info / debug logging on stderr
   -q                             errors only
@@ -85,6 +97,9 @@ struct Args {
     threads: usize,
     persistent_s: u64,
     metrics: Option<String>,
+    metrics_interval_ms: Option<u64>,
+    watch: bool,
+    trace: Option<String>,
     progress: bool,
 }
 
@@ -98,6 +113,9 @@ fn parse_args() -> Args {
     let mut threads: Option<usize> = None;
     let mut persistent_s = 60;
     let mut metrics = None;
+    let mut metrics_interval_ms: Option<u64> = None;
+    let mut watch = false;
+    let mut trace = None;
     let mut progress = false;
     let mut verbosity: Option<telemetry::logging::Level> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -111,6 +129,25 @@ fn parse_args() -> Args {
             "--metrics" => {
                 let v = it.next().unwrap_or_else(|| die("--metrics needs a value"));
                 metrics = Some(v.clone());
+            }
+            "--metrics-interval" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| die("--metrics-interval needs a value"));
+                let ms: u64 = v.parse().unwrap_or_else(|_| {
+                    die(&format!(
+                        "--metrics-interval must be a positive integer (ms), got {v:?}"
+                    ))
+                });
+                if ms == 0 {
+                    die("--metrics-interval must be at least 1 ms");
+                }
+                metrics_interval_ms = Some(ms);
+            }
+            "--watch" => watch = true,
+            "--trace" => {
+                let v = it.next().unwrap_or_else(|| die("--trace needs a value"));
+                trace = Some(v.clone());
             }
             "--progress" => progress = true,
             "-v" => verbosity = Some(telemetry::logging::Level::Info),
@@ -189,6 +226,12 @@ fn parse_args() -> Args {
     if analysis && csv.is_some() {
         die("--analysis replaces the text report; it cannot be combined with --csv");
     }
+    if watch && metrics_interval_ms.is_some() {
+        die("--watch and --metrics-interval both drive the sampler; choose one");
+    }
+    if watch && progress {
+        die("--watch and --progress both redraw stderr; choose one");
+    }
     let threads = if streaming {
         1
     } else {
@@ -206,6 +249,9 @@ fn parse_args() -> Args {
         threads,
         persistent_s,
         metrics,
+        metrics_interval_ms,
+        watch,
+        trace,
         progress,
     }
 }
@@ -329,9 +375,36 @@ fn analysis_report(mut report: AnalysisReport) {
     );
 }
 
+/// `--watch` sampling cadence: fast enough to feel live, slow enough that
+/// the sampler never contends with the workers.
+const WATCH_INTERVAL_MS: u64 = 200;
+
 fn main() {
     let args = parse_args();
     let started = std::time::Instant::now();
+
+    // Observability setup precedes the pipeline so the whole run is
+    // covered: tracing records from the first batch, the sampler's first
+    // sample is the pre-run zero point.
+    if args.trace.is_some() {
+        telemetry::trace::enable(telemetry::trace::DEFAULT_RING_CAPACITY);
+    }
+    let sampler = if let Some(ms) = args.metrics_interval_ms {
+        Some(telemetry::export::Sampler::spawn(
+            telemetry::global(),
+            std::time::Duration::from_millis(ms),
+            Box::new(telemetry::export::JsonlConsumer::new(std::io::stderr())),
+        ))
+    } else if args.watch {
+        Some(telemetry::export::Sampler::spawn(
+            telemetry::global(),
+            std::time::Duration::from_millis(WATCH_INTERVAL_MS),
+            Box::new(telemetry::export::StatusLine::new(std::io::stderr())),
+        ))
+    } else {
+        None
+    };
+
     let file = File::open(&args.path).unwrap_or_else(|e| {
         eprintln!("error: cannot open {}: {e}", args.path);
         exit(1);
@@ -446,5 +519,27 @@ fn main() {
                 exit(1);
             });
         }
+    }
+
+    // Final sample (covering the whole run) before the trace is drained.
+    if let Some(sampler) = sampler {
+        sampler.stop().unwrap_or_else(|e| {
+            eprintln!("error: telemetry sampler failed: {e}");
+            exit(1);
+        });
+    }
+    if let Some(dest) = &args.trace {
+        telemetry::trace::disable();
+        let f = File::create(dest).unwrap_or_else(|e| {
+            eprintln!("error: cannot create {dest}: {e}");
+            exit(1);
+        });
+        let mut w = std::io::BufWriter::new(f);
+        telemetry::trace::write_chrome_trace(&mut w)
+            .and_then(|()| w.flush())
+            .unwrap_or_else(|e| {
+                eprintln!("error: cannot write {dest}: {e}");
+                exit(1);
+            });
     }
 }

@@ -30,4 +30,5 @@ pub use pcaplib;
 pub use routing;
 pub use simnet;
 pub use stats;
+pub use telemetry;
 pub use traffic;

@@ -450,6 +450,132 @@ fn analysis_report_matches_across_engines() {
 }
 
 #[test]
+fn trace_flag_writes_chrome_trace_without_touching_stdout() {
+    let pcap = demo_pcap();
+    let trace_path =
+        std::env::temp_dir().join(format!("loopdetect_cli_trace_{}.json", std::process::id()));
+    let plain = loopdetect()
+        .arg(&pcap)
+        .args(["--csv", "summary", "--threads", "2"])
+        .output()
+        .unwrap();
+    assert!(plain.status.success(), "{plain:?}");
+    let traced = loopdetect()
+        .arg(&pcap)
+        .args(["--csv", "summary", "--threads", "2", "--trace"])
+        .arg(&trace_path)
+        .output()
+        .unwrap();
+    assert!(traced.status.success(), "{traced:?}");
+    assert_eq!(
+        plain.stdout, traced.stdout,
+        "--trace must be invisible on stdout"
+    );
+
+    let doc = std::fs::read_to_string(&trace_path).expect("trace file written");
+    telemetry::json::validate(&doc).expect("trace is well-formed JSON");
+    // Chrome trace_event shape: an object with a traceEvents array of
+    // complete events carrying µs timestamps.
+    assert!(doc.contains("\"traceEvents\""), "missing traceEvents array");
+    assert!(doc.contains("\"ph\":\"X\""), "no complete events in trace");
+    // The sharded run's per-worker stage spans, on named worker threads.
+    assert!(doc.contains("\"shard.detect\""), "no shard stage spans");
+    assert!(doc.contains("\"shard-w0\""), "worker thread names missing");
+    assert!(doc.contains("queue_depth"), "no queue-depth counter track");
+
+    let _ = std::fs::remove_file(&trace_path);
+    let _ = std::fs::remove_file(&pcap);
+}
+
+#[test]
+fn metrics_interval_streams_validating_jsonl_snapshots() {
+    let pcap = demo_pcap();
+    let out = loopdetect()
+        .arg(&pcap)
+        .args(["--csv", "summary", "--metrics-interval", "50"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    let samples: Vec<&str> = err.lines().filter(|l| l.starts_with('{')).collect();
+    assert!(
+        samples.len() >= 2,
+        "want at least 2 JSONL snapshots (first + final), got {}: {err}",
+        samples.len()
+    );
+    for (i, line) in samples.iter().enumerate() {
+        telemetry::json::validate(line)
+            .unwrap_or_else(|e| panic!("snapshot {i} is not valid JSON ({e}): {line}"));
+        assert!(line.contains(&format!("\"seq\":{i}")), "seq on {line}");
+        for key in [
+            "\"unix_ms\"",
+            "\"elapsed_ms\"",
+            "\"counters\"",
+            "\"timers\"",
+        ] {
+            assert!(line.contains(key), "snapshot {i} missing {key}: {line}");
+        }
+    }
+    // The run actually counted records.
+    assert!(
+        samples.last().unwrap().contains("replica.records_scanned"),
+        "final snapshot has no scan counter: {}",
+        samples.last().unwrap()
+    );
+    let _ = std::fs::remove_file(&pcap);
+}
+
+#[test]
+fn watch_flag_renders_a_live_status_line() {
+    let pcap = demo_pcap();
+    let plain = loopdetect()
+        .arg(&pcap)
+        .args(["--csv", "summary"])
+        .output()
+        .unwrap();
+    let watched = loopdetect()
+        .arg(&pcap)
+        .args(["--csv", "summary", "--watch"])
+        .output()
+        .unwrap();
+    assert!(watched.status.success(), "{watched:?}");
+    assert_eq!(
+        plain.stdout, watched.stdout,
+        "--watch must be invisible on stdout"
+    );
+    let err = String::from_utf8(watched.stderr).unwrap();
+    assert!(
+        err.contains('\r'),
+        "status line must redraw in place: {err:?}"
+    );
+    assert!(
+        err.contains(" rec "),
+        "status line shows record count: {err:?}"
+    );
+    let _ = std::fs::remove_file(&pcap);
+}
+
+#[test]
+fn observability_flags_reject_nonsense_and_conflicts() {
+    for bad in [
+        &["--metrics-interval", "0"][..],
+        &["--metrics-interval", "fast"],
+        &["--metrics-interval"],
+        &["--trace"],
+        &["--watch", "--metrics-interval", "100"],
+        &["--watch", "--progress"],
+    ] {
+        let out = loopdetect().arg("ignored.pcap").args(bad).output().unwrap();
+        assert!(!out.status.success(), "{bad:?} must fail");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            err.contains(bad[0]),
+            "stderr must name the flag for {bad:?}: {err}"
+        );
+    }
+}
+
+#[test]
 fn streaming_supports_every_table_and_the_text_report() {
     // Historically --streaming only allowed --csv loops; the unified
     // pipeline serves every output from the single pass.
