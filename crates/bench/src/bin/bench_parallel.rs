@@ -1,40 +1,46 @@
-//! `bench_parallel` — serial vs sharded-parallel detector throughput,
+//! `bench_parallel` — serial vs block-parallel detector throughput,
 //! written to a `BENCH_parallel.json` artifact.
 //!
 //! ```text
 //! cargo run -p bench --release --bin bench_parallel
 //! cargo run -p bench --release --bin bench_parallel -- --scale 0.05 --repeat 1
 //! cargo run -p bench --release --bin bench_parallel -- --threads 2,4,8,16
+//! cargo run -p bench --release --bin bench_parallel -- --engine ring   # ablation
 //! ```
 //!
 //! Exit status is nonzero when any parallel run's output diverges from
-//! serial, or when any run's stage breakdown comes back all zeros (stage
-//! instrumentation going dark) — the determinism guard CI relies on.
+//! serial, when any run's stage breakdown comes back all zeros, or when
+//! any per-worker row records no time at all (stage instrumentation
+//! going dark) — the determinism guard CI relies on.
 //! `--metrics-interval <ms>` streams live registry snapshots as JSONL on
 //! stderr while the bench runs, and `--trace <path>` records a Chrome
 //! `trace_event` JSON of the timed runs; both perturb timings, so a loud
 //! warning fires when either is combined with `--gate`. With `--gate <baseline>`,
 //! throughput floors are enforced too: serial records/s must stay within
-//! 10% of the committed baseline, and on machines with at least 4 cores
-//! the 4-thread speedup must reach 1.2×. The scaling floor is skipped
+//! 10% of the committed baseline (like-for-like on core count), and on
+//! machines with at least 4 cores the per-core-count speedup floors bind
+//! (≥1.6× at 2 threads, ≥2.5× at 4). The scaling floors are skipped
 //! (loudly) on smaller machines, where wall-clock parallel speedup is
-//! physically impossible.
+//! physically impossible. `--summary <path>` writes a markdown delta
+//! table (fresh vs baseline) suitable for `$GITHUB_STEP_SUMMARY`.
 
-use bench::parallel;
+use bench::parallel::{self, BenchEngine};
 use std::io::Write;
 use std::process::exit;
 
 const USAGE: &str = "\
-bench_parallel — serial vs sharded detector throughput (BENCH_parallel.json)
+bench_parallel — serial vs block-parallel detector throughput (BENCH_parallel.json)
 
 USAGE: bench_parallel [OPTIONS]
 
 OPTIONS
   --scale <F>             bench trace scale factor (default 0.4)
-  --threads <list>        comma-separated shard counts (default 1,2,4,8)
+  --threads <list>        comma-separated worker counts (default 1,2,4,8)
   --repeat <N>            timing repeats, best-of (default 3)
+  --engine <E>            parallel engine: block (default) or ring (ablation)
   --out <path>            artifact path (default BENCH_parallel.json)
   --gate <path>           baseline BENCH_parallel.json to enforce floors against
+  --summary <path>        write a markdown delta summary (for $GITHUB_STEP_SUMMARY)
   --metrics-interval <ms> stream telemetry snapshots as JSONL on stderr
   --trace <path>          write a Chrome trace_event JSON of the timed runs
   -h, --help              this text
@@ -44,13 +50,13 @@ OPTIONS
 /// `--gate` — i.e. at most a 10% serial-throughput regression.
 const GATE_SERIAL_FLOOR: f64 = 0.9;
 
-/// Minimum 4-thread speedup under `--gate`, enforced only when the
-/// machine has at least [`GATE_MIN_CORES`] cores.
-const GATE_SPEEDUP_FLOOR: f64 = 1.2;
+/// Per-core-count speedup floors under `--gate`, enforced only when the
+/// machine has at least [`GATE_MIN_CORES`] cores: `(threads, min speedup)`.
+const GATE_SPEEDUP_FLOORS: [(usize, f64); 2] = [(2, 1.6), (4, 2.5)];
 
-/// Cores needed before the speedup floor is meaningful: with fewer, the
-/// OS time-slices the shard workers onto the same silicon and thread
-/// handoff is pure overhead.
+/// Cores needed before the speedup floors are meaningful: with fewer, the
+/// OS time-slices the workers onto the same silicon and thread handoff is
+/// pure overhead.
 const GATE_MIN_CORES: usize = 4;
 
 /// Pulls `"serial": {... "records_per_s": <x> ...}` out of a baseline
@@ -75,14 +81,46 @@ fn extract_cores(json: &str) -> Option<usize> {
     after[..end].trim().parse().ok()
 }
 
+/// Pulls every `(threads, speedup)` pair out of a baseline artifact's
+/// `"parallel"` rows, in document order.
+fn extract_speedups(json: &str) -> Vec<(usize, f64)> {
+    let Some(start) = json.find("\"parallel\":") else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut rest = &json[start..];
+    while let Some(at) = rest.find("\"threads\":") {
+        rest = &rest[at + "\"threads\":".len()..];
+        let Some(end) = rest.find([',', '}']) else {
+            break;
+        };
+        let Ok(threads) = rest[..end].trim().parse::<usize>() else {
+            continue;
+        };
+        let Some(sp_at) = rest.find("\"speedup\":") else {
+            break;
+        };
+        let sp_rest = &rest[sp_at + "\"speedup\":".len()..];
+        let Some(sp_end) = sp_rest.find([',', '}']) else {
+            break;
+        };
+        if let Ok(speedup) = sp_rest[..sp_end].trim().parse::<f64>() {
+            out.push((threads, speedup));
+        }
+        rest = sp_rest;
+    }
+    out
+}
+
 /// Applies the throughput floors against a baseline document; returns the
 /// list of violations (empty = pass).
 ///
-/// Both floors are *like-for-like*: the serial floor only binds when the
-/// baseline was measured on a machine with the same core count (absolute
-/// records/s from different silicon are not comparable), and the speedup
-/// floor only binds when this machine has enough cores for wall-clock
-/// speedup to exist at all. Skips are loud, never silent.
+/// The serial floor is *like-for-like*: it only binds when the baseline
+/// was measured on a machine with the same core count (absolute records/s
+/// from different silicon are not comparable). The speedup floors are
+/// machine-relative (parallel vs serial on the SAME silicon) and bind
+/// whenever this machine has enough cores for wall-clock speedup to
+/// exist at all. Skips are loud, never silent.
 fn gate_failures(bench: &parallel::ParallelBench, baseline_json: &str) -> Vec<String> {
     let mut failures = Vec::new();
     let baseline_cores = extract_cores(baseline_json);
@@ -116,27 +154,90 @@ fn gate_failures(bench: &parallel::ParallelBench, baseline_json: &str) -> Vec<St
         },
         _ => failures.push("baseline has no parseable serial records_per_s".to_string()),
     }
-    match bench.samples.iter().find(|s| s.threads == GATE_MIN_CORES) {
-        Some(s4) if bench.cores >= GATE_MIN_CORES => {
-            if s4.speedup < GATE_SPEEDUP_FLOOR {
-                failures.push(format!(
-                    "{GATE_MIN_CORES}-thread speedup {:.3}x below the \
-                     {GATE_SPEEDUP_FLOOR}x floor on a {}-core machine",
-                    s4.speedup, bench.cores
-                ));
-            }
-        }
-        Some(_) => eprintln!(
-            "gate: SKIPPING the {GATE_MIN_CORES}-thread speedup floor — only {} core(s) \
-             available, wall-clock parallel speedup is not physically possible here",
+    if bench.cores < GATE_MIN_CORES {
+        eprintln!(
+            "gate: SKIPPING the per-core-count speedup floors — only {} core(s) \
+             available (< {GATE_MIN_CORES}), wall-clock parallel speedup is not \
+             physically possible here; run on a multi-core machine to enforce \
+             scaling",
             bench.cores
-        ),
-        None => eprintln!(
-            "gate: SKIPPING the speedup floor — no {GATE_MIN_CORES}-thread sample \
-             in this run"
-        ),
+        );
+        return failures;
+    }
+    for (threads, floor) in GATE_SPEEDUP_FLOORS {
+        match bench.samples.iter().find(|s| s.threads == threads) {
+            Some(s) => {
+                if s.speedup < floor {
+                    failures.push(format!(
+                        "{threads}-thread speedup {:.3}x below the {floor}x \
+                         floor on a {}-core machine",
+                        s.speedup, bench.cores
+                    ));
+                }
+            }
+            None => eprintln!(
+                "gate: SKIPPING the {threads}-thread speedup floor — no \
+                 {threads}-thread sample in this run"
+            ),
+        }
     }
     failures
+}
+
+/// Renders the markdown delta table (fresh vs optional baseline) for the
+/// CI step summary.
+fn render_summary(bench: &parallel::ParallelBench, baseline_json: Option<&str>) -> String {
+    let base_rps = baseline_json.and_then(extract_serial_rps);
+    let base_cores = baseline_json.and_then(extract_cores);
+    let base_speedups = baseline_json.map(extract_speedups).unwrap_or_default();
+    let fmt_delta = |fresh: f64, base: Option<f64>| match base {
+        Some(b) if b > 0.0 => format!("{:+.1}%", (fresh / b - 1.0) * 100.0),
+        _ => "—".to_string(),
+    };
+    let mut out = String::new();
+    out.push_str("## bench_parallel\n\n");
+    out.push_str(&format!(
+        "engine `{}` · {} records · {} cores · `{}` · runner `{}`\n\n",
+        bench.engine, bench.records, bench.cores, bench.rustc, bench.runner
+    ));
+    if let Some(bc) = base_cores {
+        if bc != bench.cores {
+            out.push_str(&format!(
+                "> baseline measured on {bc} core(s); absolute throughput \
+                 deltas are not like-for-like\n\n"
+            ));
+        }
+    }
+    out.push_str("| metric | baseline | fresh | delta |\n");
+    out.push_str("|---|---|---|---|\n");
+    out.push_str(&format!(
+        "| serial records/s | {} | {:.0} | {} |\n",
+        base_rps.map_or("—".to_string(), |r| format!("{r:.0}")),
+        bench.serial_records_per_s,
+        fmt_delta(bench.serial_records_per_s, base_rps)
+    ));
+    out.push_str(&format!(
+        "| ingest records/s | — | {:.0} | — |\n",
+        bench.ingest_records_per_s
+    ));
+    for s in &bench.samples {
+        let base = base_speedups
+            .iter()
+            .find(|(t, _)| *t == s.threads)
+            .map(|&(_, sp)| sp);
+        out.push_str(&format!(
+            "| {}-thread speedup | {} | {:.3}x | {} |\n",
+            s.threads,
+            base.map_or("—".to_string(), |b| format!("{b:.3}x")),
+            s.speedup,
+            fmt_delta(s.speedup, base)
+        ));
+    }
+    out.push_str(&format!(
+        "\nall outputs identical to serial: **{}**\n",
+        bench.all_identical()
+    ));
+    out
 }
 
 fn die(msg: &str) -> ! {
@@ -149,8 +250,10 @@ fn main() {
     let mut scale = 0.4f64;
     let mut threads: Vec<usize> = vec![1, 2, 4, 8];
     let mut repeats = 3usize;
+    let mut engine = BenchEngine::Block;
     let mut out_path = String::from("BENCH_parallel.json");
     let mut gate_path: Option<String> = None;
+    let mut summary_path: Option<String> = None;
     let mut metrics_interval_ms: Option<u64> = None;
     let mut trace_path: Option<String> = None;
     let mut it = argv.iter();
@@ -193,6 +296,17 @@ fn main() {
                     die("--repeat must be at least 1");
                 }
             }
+            "--engine" => {
+                engine = match it
+                    .next()
+                    .unwrap_or_else(|| die("--engine needs a value"))
+                    .as_str()
+                {
+                    "block" => BenchEngine::Block,
+                    "ring" => BenchEngine::Ring,
+                    other => die(&format!("unknown engine {other:?} (block or ring)")),
+                };
+            }
             "--out" => {
                 out_path = it
                     .next()
@@ -203,6 +317,13 @@ fn main() {
                 gate_path = Some(
                     it.next()
                         .unwrap_or_else(|| die("--gate needs a value"))
+                        .clone(),
+                );
+            }
+            "--summary" => {
+                summary_path = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--summary needs a path"))
                         .clone(),
                 );
             }
@@ -256,12 +377,13 @@ fn main() {
     eprintln!("bench_parallel: building the bench trace (scale {scale}) ...");
     let records = parallel::bench_trace(scale);
     eprintln!(
-        "bench_parallel: {} records; timing serial + {:?} shards, best of {}",
+        "bench_parallel: {} records; timing serial + {:?} {} workers, best of {}",
         records.len(),
         threads,
+        engine.name(),
         repeats
     );
-    let bench = parallel::run_on(&records, &threads, repeats);
+    let bench = parallel::run_on_engine(&records, &threads, repeats, engine);
 
     if let Some(s) = sampler {
         if let Err(e) = s.stop() {
@@ -294,7 +416,20 @@ fn main() {
         exit(1);
     });
 
-    eprintln!("cores: {}", bench.cores);
+    if let Some(path) = &summary_path {
+        let summary = render_summary(&bench, baseline_json.as_deref());
+        std::fs::write(path, summary).unwrap_or_else(|e| {
+            eprintln!("error: cannot write summary {path}: {e}");
+            exit(1);
+        });
+        eprintln!("wrote summary {path}");
+    }
+
+    eprintln!("engine: {}", bench.engine);
+    eprintln!(
+        "cores: {} ({} · {})",
+        bench.cores, bench.rustc, bench.runner
+    );
     eprintln!(
         "ingest: {:.1} records/s ({} records)",
         bench.ingest_records_per_s, bench.ingest_records
@@ -316,16 +451,24 @@ fn main() {
         eprintln!("error: parallel output DIVERGED from serial — determinism bug");
         exit(1);
     }
-    // An all-zero stage row means the run recorded no stage timers at all —
-    // historically the 1-thread row, whose serial delegation never touches
-    // the `shard.*` timers. Instrumentation going dark is a regression the
-    // same way divergent output is.
+    // An all-zero stage row — or a per-worker row that recorded no time at
+    // all — means instrumentation went dark (historically the 1-thread
+    // ring row, whose serial delegation never touched the `shard.*`
+    // timers). That is a regression the same way divergent output is.
     for s in &bench.samples {
         if !s.stages.is_empty() && s.stages.iter().all(|&(_, ns)| ns == 0) {
             eprintln!(
                 "error: {}-thread stage breakdown is all zeros — stage \
                  instrumentation regressed",
                 s.threads
+            );
+            exit(1);
+        }
+        if s.any_worker_row_all_zero() {
+            eprintln!(
+                "error: {}-thread run has an all-zero per-worker row — worker \
+                 instrumentation regressed: {:?}",
+                s.threads, s.workers
             );
             exit(1);
         }
@@ -347,21 +490,39 @@ fn main() {
 mod tests {
     use super::*;
 
-    /// A bench result shaped like a real 1-core run at the given serial
-    /// throughput.
-    fn fake_bench(cores: usize, serial_rps: f64) -> parallel::ParallelBench {
+    /// A bench result shaped like a real run at the given core count and
+    /// serial throughput, with the given `(threads, speedup)` samples.
+    fn fake_bench(
+        cores: usize,
+        serial_rps: f64,
+        speedups: &[(usize, f64)],
+    ) -> parallel::ParallelBench {
         parallel::ParallelBench {
+            engine: "block",
             records: 1000,
             streams: 3,
             loops: 1,
             cores,
+            rustc: "rustc 0.0.0-test".into(),
+            runner: "test".into(),
             serial_best_ns: 1_000_000,
             serial_records_per_s: serial_rps,
             serial_stages: vec![],
             ingest_records: 1000,
             ingest_ns: 1_000_000,
             ingest_records_per_s: serial_rps,
-            samples: vec![],
+            samples: speedups
+                .iter()
+                .map(|&(threads, speedup)| parallel::ParallelSample {
+                    threads,
+                    best_ns: 1_000_000,
+                    records_per_s: serial_rps * speedup,
+                    speedup,
+                    identical: true,
+                    stages: vec![],
+                    workers: vec![],
+                })
+                .collect(),
         }
     }
 
@@ -380,15 +541,22 @@ mod tests {
     }
 
     #[test]
+    fn extract_speedups_reads_the_parallel_rows() {
+        let doc = fake_bench(4, 1000.0, &[(2, 1.8), (4, 2.9)]).to_json();
+        assert_eq!(extract_speedups(&doc), vec![(2, 1.8), (4, 2.9)]);
+        assert!(extract_speedups("{}").is_empty());
+    }
+
+    #[test]
     fn serial_floor_binds_only_like_for_like() {
         // Same core count + regression below 90% of baseline: failure.
-        let bench = fake_bench(1, 800.0);
+        let bench = fake_bench(1, 800.0, &[]);
         let fails = gate_failures(&bench, &baseline(Some(1), 1000.0));
         assert_eq!(fails.len(), 1, "{fails:?}");
         assert!(fails[0].contains("serial throughput regressed"));
 
         // Same core count, within the floor: pass.
-        assert!(gate_failures(&fake_bench(1, 950.0), &baseline(Some(1), 1000.0)).is_empty());
+        assert!(gate_failures(&fake_bench(1, 950.0, &[]), &baseline(Some(1), 1000.0)).is_empty());
 
         // Different core count: the serial floor must not bind, however
         // bad the absolute number looks.
@@ -399,9 +567,52 @@ mod tests {
     }
 
     #[test]
+    fn speedup_floors_bind_per_core_count() {
+        // 4-core machine meeting both floors: pass.
+        let good = fake_bench(4, 1000.0, &[(2, 1.7), (4, 2.6)]);
+        assert!(gate_failures(&good, &baseline(Some(4), 1000.0)).is_empty());
+
+        // 2-thread floor violated.
+        let slow2 = fake_bench(4, 1000.0, &[(2, 1.4), (4, 2.6)]);
+        let fails = gate_failures(&slow2, &baseline(Some(4), 1000.0));
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("2-thread speedup"));
+
+        // Both floors violated: both reported.
+        let slow = fake_bench(4, 1000.0, &[(2, 1.0), (4, 1.1)]);
+        assert_eq!(gate_failures(&slow, &baseline(Some(4), 1000.0)).len(), 2);
+
+        // 1-core machine: floors loudly skipped, never failed.
+        let one_core = fake_bench(1, 1000.0, &[(2, 0.5), (4, 0.4)]);
+        assert!(gate_failures(&one_core, &baseline(Some(1), 1000.0)).is_empty());
+    }
+
+    #[test]
     fn unparseable_baseline_is_a_failure_not_a_skip() {
-        let fails = gate_failures(&fake_bench(1, 800.0), "{}");
+        let fails = gate_failures(&fake_bench(1, 800.0, &[]), "{}");
         assert_eq!(fails.len(), 1);
         assert!(fails[0].contains("no parseable serial records_per_s"));
+    }
+
+    #[test]
+    fn summary_renders_deltas_against_the_baseline() {
+        let base = fake_bench(4, 1000.0, &[(2, 1.8), (4, 2.9)]).to_json();
+        let fresh = fake_bench(4, 1100.0, &[(2, 1.8), (4, 3.2)]);
+        let md = render_summary(&fresh, Some(&base));
+        assert!(
+            md.contains("| serial records/s | 1000 | 1100 | +10.0% |"),
+            "{md}"
+        );
+        assert!(
+            md.contains("| 4-thread speedup | 2.900x | 3.200x |"),
+            "{md}"
+        );
+        assert!(md.contains("identical to serial: **true**"), "{md}");
+        // Without a baseline, the table renders with em-dash placeholders.
+        let solo = render_summary(&fresh, None);
+        assert!(
+            solo.contains("| serial records/s | — | 1100 | — |"),
+            "{solo}"
+        );
     }
 }

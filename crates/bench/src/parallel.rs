@@ -1,29 +1,44 @@
-//! Serial-vs-parallel throughput comparison for the sharded detector,
-//! reported as the `BENCH_parallel.json` artifact.
+//! Serial-vs-parallel throughput comparison for the block-parallel
+//! detector, reported as the `BENCH_parallel.json` artifact.
 //!
 //! Measured on every run:
 //!
 //! 1. **Determinism** (hard): every parallel run's full output — streams,
 //!    loops, and stage counters — must equal the serial run's. A
-//!    divergence is a correctness bug, and the CI bench-smoke step fails
-//!    on it regardless of timing. Both runs go through the unified
+//!    divergence is a correctness bug, and the CI bench step fails on it
+//!    regardless of timing. Both runs go through the unified
 //!    `loopscope::pipeline` (slice fast path), so what is compared is
 //!    exactly what every consumer sees.
 //! 2. **Throughput**: records/second for serial and per thread count, the
 //!    speedup over serial, and the pcap-ingest rate of the zero-alloc
 //!    reader. `bench_parallel --gate <baseline.json>` turns these into CI
-//!    floors (serial regression, parallel scaling) — the scaling floor is
-//!    enforced only on machines with enough cores for wall-clock speedup
-//!    to be physically possible.
+//!    floors (serial regression, per-core-count scaling) — the scaling
+//!    floors are enforced only on machines with enough cores for
+//!    wall-clock speedup to be physically possible.
 //! 3. **Stage breakdown**: per-stage wall time extracted from the
-//!    telemetry timers, for both the serial pipeline and each sharded
-//!    run. Every row is scoped to its own instrumented run via snapshot
-//!    deltas (no cross-row accumulation, no registry reset), and the
-//!    1-thread row reports the serial stage names — one shard *is* the
-//!    serial path. Worker-side shard stages overlap in time, so their
-//!    totals are aggregate worker-seconds, not wall time.
+//!    telemetry timers, for the serial pipeline and each parallel run.
+//!    The block engine reports ONE uniform stage schema
+//!    ([`BLOCK_STAGES`]) at every thread count — one worker runs the
+//!    same machinery as eight, so there is no serial-name special case —
+//!    plus a per-worker `scan/validate/merge/busy` row for each worker.
+//!    Every row is scoped to its own instrumented run via snapshot
+//!    deltas (no cross-row accumulation, no registry reset). Worker-side
+//!    stages overlap in time, so their totals are aggregate
+//!    worker-seconds, not wall time.
+//!
+//! The retired ring dispatcher stays measurable as an ablation
+//! ([`BenchEngine::Ring`], `bench_parallel --engine ring`); its rows keep
+//! the historical `shard.*` schema.
+//!
+//! The artifact records the machine context every number must be read in:
+//! `cores`, the `rustc` version, and a `runner` label
+//! (`$BENCH_RUNNER_LABEL`, "local" when unset) so a committed baseline
+//! says where it came from.
 
-use loopscope::pipeline::{run_pipeline, Engine, SerialEngine, ShardedEngine, SliceSource};
+use loopscope::block::block_metric;
+use loopscope::pipeline::{
+    run_pipeline, BlockEngine, Engine, SerialEngine, ShardedEngine, SliceSource,
+};
 use loopscope::{DetectorConfig, PipelineResult, TraceRecord};
 use routing_loops::backbone::{paper_backbones, run_backbone};
 use std::time::Instant;
@@ -31,9 +46,23 @@ use std::time::Instant;
 /// Serial pipeline stage timers, in pipeline order.
 pub const SERIAL_STAGES: [&str; 3] = ["replica.detect", "validate", "merge"];
 
-/// Sharded pipeline stage timers, in pipeline order. The dispatch and
-/// result-merge stages run on the producer thread (wall time); the shard
-/// stages aggregate across workers (worker-seconds).
+/// Block-parallel stage timers, in pipeline order — the SAME schema at
+/// every thread count (one worker runs the full block machinery). The
+/// scan/validate/merge stages aggregate across workers (worker-seconds);
+/// reconcile, index, and stitch run on the calling thread (wall time).
+pub const BLOCK_STAGES: [&str; 6] = [
+    "block.scan",
+    "block.reconcile",
+    "block.index",
+    "block.validate",
+    "block.merge",
+    "block.stitch",
+];
+
+/// Per-worker timer fields reported for each block worker.
+pub const WORKER_FIELDS: [&str; 4] = ["scan", "validate", "merge", "busy"];
+
+/// Ring-dispatcher stage timers (ablation), in pipeline order.
 pub const PARALLEL_STAGES: [&str; 5] = [
     "shard.dispatch",
     "shard.detect",
@@ -42,10 +71,30 @@ pub const PARALLEL_STAGES: [&str; 5] = [
     "shard.merge_results",
 ];
 
+/// Which parallel engine the bench drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchEngine {
+    /// Share-nothing block partitioning with boundary reconciliation
+    /// (the default engine).
+    Block,
+    /// The retired central-dispatcher ring, kept as an ablation.
+    Ring,
+}
+
+impl BenchEngine {
+    /// Artifact label.
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchEngine::Block => "block",
+            BenchEngine::Ring => "ring",
+        }
+    }
+}
+
 /// One thread count's measurement.
 #[derive(Debug, Clone)]
 pub struct ParallelSample {
-    /// Worker shard count.
+    /// Worker count.
     pub threads: usize,
     /// Best-of-repeats wall time in nanoseconds.
     pub best_ns: u64,
@@ -57,15 +106,31 @@ pub struct ParallelSample {
     pub identical: bool,
     /// `(timer name, total ns)` per stage, from one instrumented run,
     /// scoped to that run alone (snapshot deltas — earlier thread counts
-    /// contribute nothing). The 1-thread row reports the serial stage
-    /// names, because one shard *is* the serial path.
+    /// contribute nothing). Block runs use [`BLOCK_STAGES`] at every
+    /// thread count; ring runs keep the historical serial-names-at-1
+    /// special case (one ring shard IS the serial path).
     pub stages: Vec<(&'static str, u64)>,
+    /// Per-worker `(field, total ns)` rows ([`WORKER_FIELDS`] order),
+    /// one row per worker, same instrumented run. Empty for ring runs.
+    pub workers: Vec<Vec<(&'static str, u64)>>,
+}
+
+impl ParallelSample {
+    /// True when some worker row exists and records no time at all —
+    /// that worker's instrumentation went dark (or it was never run).
+    pub fn any_worker_row_all_zero(&self) -> bool {
+        self.workers
+            .iter()
+            .any(|row| !row.is_empty() && row.iter().all(|&(_, ns)| ns == 0))
+    }
 }
 
 /// The full comparison: one serial baseline, one sample per thread count,
 /// plus the ingest rate of the pcap read path.
 #[derive(Debug, Clone)]
 pub struct ParallelBench {
+    /// Engine label ("block" or "ring").
+    pub engine: &'static str,
     /// Trace size in records.
     pub records: u64,
     /// Validated streams found (same for every conforming run).
@@ -75,6 +140,10 @@ pub struct ParallelBench {
     /// CPU cores available to this process — the context every speedup
     /// number must be read in.
     pub cores: usize,
+    /// `rustc --version` of the toolchain that built the bench.
+    pub rustc: String,
+    /// Runner label (`$BENCH_RUNNER_LABEL`, "local" when unset).
+    pub runner: String,
     /// Serial best-of-repeats wall time in nanoseconds.
     pub serial_best_ns: u64,
     /// Serial records per second.
@@ -89,6 +158,11 @@ pub struct ParallelBench {
     pub ingest_records_per_s: f64,
     /// Per-thread-count samples.
     pub samples: Vec<ParallelSample>,
+}
+
+/// Minimal JSON string escaping for the hand-rolled artifact writer.
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 impl ParallelBench {
@@ -109,10 +183,16 @@ impl ParallelBench {
         };
         let mut out = String::from("{\n");
         out.push_str("  \"bench\": \"parallel\",\n");
+        out.push_str(&format!("  \"engine\": \"{}\",\n", self.engine));
         out.push_str(&format!("  \"records\": {},\n", self.records));
         out.push_str(&format!("  \"streams\": {},\n", self.streams));
         out.push_str(&format!("  \"loops\": {},\n", self.loops));
         out.push_str(&format!("  \"cores\": {},\n", self.cores));
+        out.push_str(&format!("  \"rustc\": \"{}\",\n", json_escape(&self.rustc)));
+        out.push_str(&format!(
+            "  \"runner\": \"{}\",\n",
+            json_escape(&self.runner)
+        ));
         out.push_str(&format!(
             "  \"ingest\": {{\"records\": {}, \"ns\": {}, \"records_per_s\": {:.1}}},\n",
             self.ingest_records, self.ingest_ns, self.ingest_records_per_s
@@ -128,21 +208,54 @@ impl ParallelBench {
         out.push_str(&format!("  \"all_identical\": {},\n", self.all_identical()));
         out.push_str("  \"parallel\": [\n");
         for (i, s) in self.samples.iter().enumerate() {
+            let workers: Vec<String> = s.workers.iter().map(|row| stages_json(row)).collect();
             out.push_str(&format!(
                 "    {{\"threads\": {}, \"ns\": {}, \"records_per_s\": {:.1}, \
-                 \"speedup\": {:.3}, \"identical\": {}, \"stages\": {}}}{}\n",
+                 \"speedup\": {:.3}, \"identical\": {}, \"stages\": {}, \
+                 \"workers\": [{}]}}{}\n",
                 s.threads,
                 s.best_ns,
                 s.records_per_s,
                 s.speedup,
                 s.identical,
                 stages_json(&s.stages),
+                workers.join(", "),
                 if i + 1 < self.samples.len() { "," } else { "" }
             ));
         }
         out.push_str("  ]\n}\n");
         out
     }
+}
+
+/// The toolchain version recorded in the artifact: `$RUSTC_VERSION` when
+/// set (CI exports it once), else `rustc --version`, else "unknown".
+pub fn rustc_version() -> String {
+    if let Ok(v) = std::env::var("RUSTC_VERSION") {
+        let v = v.trim();
+        if !v.is_empty() {
+            return v.to_string();
+        }
+    }
+    std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The runner label recorded in the artifact: `$BENCH_RUNNER_LABEL` when
+/// set (CI exports the runner class), "local" otherwise.
+pub fn runner_label() -> String {
+    std::env::var("BENCH_RUNNER_LABEL")
+        .ok()
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "local".to_string())
 }
 
 fn results_equal(a: &PipelineResult, b: &PipelineResult) -> bool {
@@ -245,9 +358,22 @@ pub fn bench_ingest(n_records: usize, repeats: usize) -> (u64, u64, f64) {
     (records.len() as u64, ns, rps)
 }
 
-/// Runs the comparison on `records` for each of `thread_counts`, timing
-/// best-of-`repeats` and cross-checking every output against serial.
-pub fn run_on(records: &[TraceRecord], thread_counts: &[usize], repeats: usize) -> ParallelBench {
+fn make_engine(engine: BenchEngine, cfg: DetectorConfig, threads: usize) -> Box<dyn Engine> {
+    match engine {
+        BenchEngine::Block => Box::new(BlockEngine::new(cfg, threads)),
+        BenchEngine::Ring => Box::new(ShardedEngine::new(cfg, threads)),
+    }
+}
+
+/// Runs the comparison on `records` for each of `thread_counts` with the
+/// chosen engine, timing best-of-`repeats` and cross-checking every
+/// output against serial.
+pub fn run_on_engine(
+    records: &[TraceRecord],
+    thread_counts: &[usize],
+    repeats: usize,
+    engine: BenchEngine,
+) -> ParallelBench {
     let cfg = DetectorConfig::default();
     let (serial_best_ns, serial) =
         time_best(repeats, || detect(records, &mut SerialEngine::new(cfg)));
@@ -265,20 +391,54 @@ pub fn run_on(records: &[TraceRecord], thread_counts: &[usize], repeats: usize) 
         .iter()
         .map(|&threads| {
             let (best_ns, result) = time_best(repeats, || {
-                detect(records, &mut ShardedEngine::new(cfg, threads))
+                detect(records, &mut *make_engine(engine, cfg, threads))
             });
-            // `ShardedDetector` at one thread IS the serial path — it
-            // never spawns workers or touches the `shard.*` timers, so
-            // the 1-thread row reports the serial stage names (an
-            // all-zero `shard.*` row here was the historical bug).
-            let stage_keys: &[&'static str] = if threads == 1 {
-                &SERIAL_STAGES
-            } else {
-                &PARALLEL_STAGES
+            // One instrumented run yields both the stage row and the
+            // per-worker rows (same snapshot delta).
+            let (stages, workers) = match engine {
+                BenchEngine::Block => {
+                    // Uniform schema at EVERY thread count: one block
+                    // worker runs the same scan/reconcile/index/
+                    // validate/merge/stitch machinery as eight.
+                    let mut keys: Vec<&'static str> = BLOCK_STAGES.to_vec();
+                    for w in 0..threads {
+                        for field in WORKER_FIELDS {
+                            keys.push(block_metric(w, field));
+                        }
+                    }
+                    let all = measure_stages(&keys, || {
+                        detect(records, &mut *make_engine(engine, cfg, threads));
+                    });
+                    let stages = all[..BLOCK_STAGES.len()].to_vec();
+                    let workers = all[BLOCK_STAGES.len()..]
+                        .chunks(WORKER_FIELDS.len())
+                        .enumerate()
+                        .map(|(w, chunk)| {
+                            chunk
+                                .iter()
+                                .zip(WORKER_FIELDS)
+                                .map(|(&(_, ns), field)| (block_metric(w, field), ns))
+                                .collect()
+                        })
+                        .collect();
+                    (stages, workers)
+                }
+                BenchEngine::Ring => {
+                    // The ring dispatcher at one thread IS the serial
+                    // path — it never spawns workers or touches the
+                    // `shard.*` timers, so its 1-thread row keeps the
+                    // serial stage names (the historical special case).
+                    let stage_keys: &[&'static str] = if threads == 1 {
+                        &SERIAL_STAGES
+                    } else {
+                        &PARALLEL_STAGES
+                    };
+                    let stages = measure_stages(stage_keys, || {
+                        detect(records, &mut *make_engine(engine, cfg, threads));
+                    });
+                    (stages, Vec::new())
+                }
             };
-            let stages = measure_stages(stage_keys, || {
-                detect(records, &mut ShardedEngine::new(cfg, threads));
-            });
             ParallelSample {
                 threads,
                 best_ns,
@@ -286,16 +446,20 @@ pub fn run_on(records: &[TraceRecord], thread_counts: &[usize], repeats: usize) 
                 speedup: serial_best_ns as f64 / best_ns.max(1) as f64,
                 identical: results_equal(&serial, &result),
                 stages,
+                workers,
             }
         })
         .collect();
     let (ingest_records, ingest_ns, ingest_records_per_s) =
         bench_ingest(records.len().max(1), repeats);
     ParallelBench {
+        engine: engine.name(),
         records: records.len() as u64,
         streams: serial.streams.len() as u64,
         loops: serial.loops.len() as u64,
         cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        rustc: rustc_version(),
+        runner: runner_label(),
         serial_best_ns,
         serial_records_per_s: per_s(serial_best_ns),
         serial_stages,
@@ -304,6 +468,11 @@ pub fn run_on(records: &[TraceRecord], thread_counts: &[usize], repeats: usize) 
         ingest_records_per_s,
         samples,
     }
+}
+
+/// [`run_on_engine`] with the default block engine.
+pub fn run_on(records: &[TraceRecord], thread_counts: &[usize], repeats: usize) -> ParallelBench {
+    run_on_engine(records, thread_counts, repeats, BenchEngine::Block)
 }
 
 /// [`run_on`] over the standard bench trace.
@@ -339,25 +508,45 @@ mod tests {
     }
 
     #[test]
-    fn one_thread_row_reports_nonzero_serial_stages() {
+    fn stage_schema_is_uniform_at_every_thread_count() {
         let _lock = WORKLOAD.lock().unwrap_or_else(|p| p.into_inner());
         let records = bench_trace(0.04);
         let bench = run_on(&records, &[1, 2], 1);
+        for row in &bench.samples {
+            let names: Vec<&str> = row.stages.iter().map(|(k, _)| *k).collect();
+            assert_eq!(
+                names, BLOCK_STAGES,
+                "threads={} must use the uniform block schema",
+                row.threads
+            );
+            let total: u64 = row.stages.iter().map(|(_, ns)| ns).sum();
+            assert!(
+                total > 0,
+                "threads={} stage row must not be all-zero: {row:?}",
+                row.threads
+            );
+            // Exactly one per-worker row per worker, none dark.
+            assert_eq!(row.workers.len(), row.threads);
+            assert!(
+                !row.any_worker_row_all_zero(),
+                "threads={} has a dark worker row: {:?}",
+                row.threads,
+                row.workers
+            );
+        }
+    }
+
+    #[test]
+    fn ring_ablation_keeps_the_shard_schema() {
+        let _lock = WORKLOAD.lock().unwrap_or_else(|p| p.into_inner());
+        let records = bench_trace(0.04);
+        let bench = run_on_engine(&records, &[2], 1, BenchEngine::Ring);
+        assert_eq!(bench.engine, "ring");
         let row = &bench.samples[0];
-        assert_eq!(row.threads, 1);
         let names: Vec<&str> = row.stages.iter().map(|(k, _)| *k).collect();
-        assert_eq!(names, SERIAL_STAGES, "1-thread row uses serial stage names");
-        let total: u64 = row.stages.iter().map(|(_, ns)| ns).sum();
-        assert!(
-            total > 0,
-            "threads=1 stage row must not be all-zero: {row:?}"
-        );
-        // The sharded rows use the shard stage names, also nonzero.
-        let row2 = &bench.samples[1];
-        let names2: Vec<&str> = row2.stages.iter().map(|(k, _)| *k).collect();
-        assert_eq!(names2, PARALLEL_STAGES);
-        let total2: u64 = row2.stages.iter().map(|(_, ns)| ns).sum();
-        assert!(total2 > 0, "threads=2 stage row must not be all-zero");
+        assert_eq!(names, PARALLEL_STAGES);
+        assert!(row.workers.is_empty(), "ring rows carry no worker rows");
+        assert!(row.identical, "ring diverged from serial");
     }
 
     #[test]
@@ -369,6 +558,8 @@ mod tests {
         assert!(bench.cores >= 1);
         assert!(bench.ingest_records == bench.records);
         assert!(bench.ingest_records_per_s > 0.0);
+        assert!(!bench.rustc.is_empty());
+        assert!(!bench.runner.is_empty());
         let serial_detect = bench
             .serial_stages
             .iter()
@@ -377,11 +568,15 @@ mod tests {
         assert!(serial_detect.1 > 0, "detect stage must record time");
         let json = bench.to_json();
         assert!(json.contains("\"bench\": \"parallel\""));
+        assert!(json.contains("\"engine\": \"block\""));
         assert!(json.contains("\"all_identical\": true"));
         assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("\"cores\": "));
+        assert!(json.contains("\"rustc\": \""));
+        assert!(json.contains("\"runner\": \""));
         assert!(json.contains("\"ingest\": {\"records\": "));
         assert!(json.contains("\"serial_stages\": {\"replica.detect\": "));
-        assert!(json.contains("\"shard.dispatch\": "));
+        assert!(json.contains("\"block.scan\": "));
+        assert!(json.contains("\"block.w0.busy\": "));
     }
 }

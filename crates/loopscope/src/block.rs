@@ -1,0 +1,669 @@
+//! Share-nothing block-parallel detection.
+//!
+//! The ring-dispatcher fan-out in [`crate::shard`] moves every record
+//! across a thread boundary and pays for it: on the committed baseline the
+//! dispatch stage alone costs more than the entire serial run. This module
+//! replaces it with the opposite design — **records never move**. The
+//! time-sorted trace is split into `W` contiguous ranges; each worker runs
+//! the full candidate scan on its own range in place, and a cheap
+//! boundary-reconciliation pass stitches the per-range results back into
+//! exactly the serial output.
+//!
+//! # Why block partitioning is sound
+//!
+//! Step 1 (candidate grouping) is decomposable **per replica key**: the
+//! scanner's verdict for a sighting depends only on the previous sighting
+//! of the *same key* (`check_continuation`: TTL monotonicity, checksum
+//! consistency, and freshness — `gap <= max_replica_gap_ns`). Two
+//! consecutive same-key sightings that land in different ranges fall into
+//! one of two cases:
+//!
+//! * **Non-fresh** (gap beyond `max_replica_gap_ns`): the serial scanner
+//!   would close the old candidate and open a new one — precisely what two
+//!   independent range scans produce. No split is charged either way
+//!   (`checksum_split` requires freshness), so counters agree too.
+//! * **Fresh**: the range scans may disagree with serial. These are the
+//!   *boundary-affected* keys, and they are detectable from the outside:
+//!   the key must have a sighting within `max_replica_gap_ns` *before* the
+//!   split point and another within `max_replica_gap_ns` *after* it.
+//!
+//! Reconciliation therefore computes, per split point, the set of
+//! ingest-time fingerprints appearing in both the tail window `[T - gap,
+//! T)` and the head window `[T, L + gap]` (where `T` is the first
+//! timestamp at/after the split and `L` the last before it — windows are
+//! taken over the whole trace, not just the adjacent ranges, so a key
+//! spanning an entire quiet middle range is still caught). Every candidate
+//! whose (normalised) fingerprint is in that *affected* set is discarded
+//! from the per-range results and re-derived by one serial rescan
+//! restricted to records carrying an affected fingerprint, in global trace
+//! order with global indices. Fingerprint collisions are harmless: the
+//! affected set is keyed by fingerprint, so colliding keys are always
+//! rescanned (or kept) together, and the rescan itself runs the exact
+//! scanner. Checksum-split counts are reconciled the same way: per-range
+//! splits charged to unaffected fingerprints are kept, splits from the
+//! rescan are added, and splits charged to affected fingerprints are
+//! dropped with their candidates.
+//!
+//! Steps 2–3 reuse the destination-/24 soundness argument from
+//! [`crate::shard`]: validation and merge consult only records and
+//! candidates of one /24, so the reconciled candidate list is partitioned
+//! by [`shard_of`] and validated/merged by `W` workers sharing the
+//! *global* record slice, looped flags, and prefix index — again, no
+//! record movement. The final stitch re-sorts with the serial pipeline's
+//! canonical orderings (`(start, ident, first_index)` for streams,
+//! `(prefix, start)` for loops), which are total orders, so output is
+//! byte-identical to [`Detector::run`] at every worker count — including
+//! `W = 1`, which runs the same machinery (uniform telemetry schema, no
+//! serial special case).
+
+use crate::config::DetectorConfig;
+use crate::fxhash::FxHashSet;
+use crate::merge::{self, RoutingLoop};
+use crate::record::TraceRecord;
+use crate::replica::{normalise_fp, CandidateScanner, DetectionResult, DetectionStats};
+use crate::shard::shard_of;
+use crate::stream::ReplicaStream;
+use crate::validate::{self, PrefixIndex};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+use telemetry::tm_info;
+
+#[cfg(doc)]
+use crate::replica::{check_continuation, Detector};
+
+/// One worker's share of the step-1 scan.
+struct ScanPartial {
+    /// Candidates found in this range, carrying global record indices.
+    candidates: Vec<ReplicaStream>,
+    /// Normalised fingerprints behind this range's checksum-split events.
+    split_fps: Vec<u64>,
+}
+
+/// One worker's share of the step-2/3 validate+merge.
+struct FinishPartial {
+    streams: Vec<ReplicaStream>,
+    loops: Vec<RoutingLoop>,
+    rejected_short: u64,
+    rejected_covalidation: u64,
+}
+
+/// The share-nothing block-parallel detector: output byte-identical to
+/// [`Detector::run`] at every worker count.
+#[derive(Debug, Clone)]
+pub struct BlockParallelDetector {
+    cfg: DetectorConfig,
+    threads: usize,
+}
+
+impl BlockParallelDetector {
+    /// Creates a detector fanning out over `threads` workers.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration or `threads == 0`.
+    pub fn new(cfg: DetectorConfig, threads: usize) -> Self {
+        cfg.validate().expect("invalid detector configuration");
+        assert!(threads > 0, "thread count must be positive");
+        Self { cfg, threads }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.cfg
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs the full pipeline on a time-sorted trace, splitting it into
+    /// (up to) `threads` even record ranges.
+    ///
+    /// # Panics
+    /// Panics when records are not sorted by timestamp.
+    pub fn run(&self, records: &[TraceRecord]) -> DetectionResult {
+        let splits = even_splits(records.len(), self.threads);
+        self.run_with_splits(records, &splits)
+    }
+
+    /// [`Self::run`] with explicit interior split points (record indices,
+    /// each in `(0, len)`). Exposed so tests can torture arbitrary — in
+    /// particular adversarial — boundaries; output is byte-identical to
+    /// serial for *any* choice of split points.
+    pub fn run_with_splits(&self, records: &[TraceRecord], splits: &[usize]) -> DetectionResult {
+        assert!(
+            records
+                .windows(2)
+                .all(|w| w[0].timestamp_ns <= w[1].timestamp_ns),
+            "trace records must be sorted by timestamp"
+        );
+        let mut splits: Vec<usize> = splits
+            .iter()
+            .copied()
+            .filter(|&s| s > 0 && s < records.len())
+            .collect();
+        splits.sort_unstable();
+        splits.dedup();
+
+        let workers = splits.len() + 1;
+        telemetry::global()
+            .gauge("block.workers")
+            .set(workers as i64);
+
+        // Phase A: per-range candidate scans, share-nothing.
+        let partials = self.scan_ranges(records, &splits);
+
+        // Boundary reconciliation: find fingerprints whose serial
+        // candidates could differ from the per-range ones, rescan exactly
+        // those keys serially, and splice.
+        let (candidates, checksum_splits) = {
+            let _t = telemetry::span("block.reconcile");
+            self.reconcile(records, &splits, partials)
+        };
+
+        let mut stats = DetectionStats {
+            total_records: records.len() as u64,
+            raw_candidates: candidates.len() as u64,
+            checksum_splits,
+            ..Default::default()
+        };
+
+        let mut looped_flags = vec![false; records.len()];
+        for c in &candidates {
+            for &idx in &c.record_indices {
+                looped_flags[idx] = true;
+            }
+        }
+
+        let index = {
+            let _t = telemetry::span("block.index");
+            PrefixIndex::build_parallel(records, workers)
+        };
+
+        // Phase B: validate + merge, partitioned by destination /24.
+        let finished = self.finish_candidates(records, candidates, &looped_flags, &index, workers);
+
+        // Stitch: canonical serial orderings over the concatenation.
+        let (streams, loops) = {
+            let _t = telemetry::span("block.stitch");
+            let mut streams = Vec::new();
+            let mut loops = Vec::new();
+            for part in finished {
+                stats.rejected_short += part.rejected_short;
+                stats.rejected_covalidation += part.rejected_covalidation;
+                streams.extend(part.streams);
+                loops.extend(part.loops);
+            }
+            streams.sort_by_key(|s| (s.start_ns(), s.key.ident, s.record_indices[0]));
+            loops.sort_by_key(|l| (l.prefix, l.start_ns));
+            (streams, loops)
+        };
+        stats.validated_streams = streams.len() as u64;
+        stats.looped_sightings = streams.iter().map(|s| s.len() as u64).sum();
+        stats.routing_loops = loops.len() as u64;
+        tm_info!(
+            "block detection complete: {} records over {} workers, {} validated streams, {} routing loops",
+            stats.total_records,
+            workers,
+            stats.validated_streams,
+            stats.routing_loops
+        );
+
+        DetectionResult {
+            streams,
+            loops,
+            looped_flags,
+            stats,
+        }
+    }
+
+    /// Phase A: each worker scans its own contiguous range in place,
+    /// pushing global record indices.
+    fn scan_ranges(&self, records: &[TraceRecord], splits: &[usize]) -> Vec<ScanPartial> {
+        let bounds = range_bounds(records.len(), splits);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = bounds
+                .iter()
+                .enumerate()
+                .map(|(w, &(lo, hi))| {
+                    let slice = &records[lo..hi];
+                    let cfg = self.cfg;
+                    std::thread::Builder::new()
+                        .name(format!("block-w{w}"))
+                        .spawn_scoped(scope, move || {
+                            let started = Instant::now();
+                            let _agg = telemetry::span("block.scan");
+                            telemetry::global()
+                                .counter(block_metric(w, "records"))
+                                .add(slice.len() as u64);
+                            let mut scanner = CandidateScanner::with_capacity(cfg, slice.len() / 4);
+                            for (off, rec) in slice.iter().enumerate() {
+                                scanner.push(lo + off, rec);
+                            }
+                            let (candidates, _counters, split_fps) = scanner.finish_with_splits();
+                            let elapsed = started.elapsed().as_nanos() as u64;
+                            telemetry::global()
+                                .timer(block_metric(w, "scan"))
+                                .record(elapsed);
+                            telemetry::global()
+                                .timer(block_metric(w, "busy"))
+                                .record(elapsed);
+                            ScanPartial {
+                                candidates,
+                                split_fps,
+                            }
+                        })
+                        .expect("spawn block scan worker")
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("block scan worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Boundary reconciliation (see module docs): returns the exact serial
+    /// candidate list (sorted `(start, first_index)`) and checksum-split
+    /// count.
+    fn reconcile(
+        &self,
+        records: &[TraceRecord],
+        splits: &[usize],
+        partials: Vec<ScanPartial>,
+    ) -> (Vec<ReplicaStream>, u64) {
+        let affected = affected_fingerprints(records, splits, self.cfg.max_replica_gap_ns);
+
+        // Rescan every record of an affected key, serially, in global
+        // order. The affected set is tiny next to the trace (a handful of
+        // keys per boundary), so this is one cheap filtered pass.
+        let mut rescan_candidates = Vec::new();
+        let mut rescan_splits = 0u64;
+        if !affected.is_empty() {
+            let mut scanner = CandidateScanner::with_capacity(self.cfg, affected.len());
+            for (idx, rec) in records.iter().enumerate() {
+                if affected.contains(&normalise_fp(rec.fingerprint)) {
+                    scanner.push(idx, rec);
+                }
+            }
+            let (c, counters, _fps) = scanner.finish_with_splits();
+            rescan_candidates = c;
+            rescan_splits = counters.checksum_splits;
+        }
+
+        let mut candidates = Vec::new();
+        let mut checksum_splits = rescan_splits;
+        for part in partials {
+            checksum_splits += part
+                .split_fps
+                .iter()
+                .filter(|fp| !affected.contains(fp))
+                .count() as u64;
+            candidates.extend(
+                part.candidates
+                    .into_iter()
+                    .filter(|c| !affected.contains(&normalise_fp(c.key.fingerprint()))),
+            );
+        }
+        candidates.extend(rescan_candidates);
+        // The serial scanner's close order re-sorted by (start, first
+        // index): first indices are unique per candidate, so this is a
+        // total order and concatenation order cannot leak through.
+        candidates.sort_by_key(|s| (s.start_ns(), s.record_indices[0]));
+        (candidates, checksum_splits)
+    }
+
+    /// Phase B: validate + merge over `workers` destination-/24 groups.
+    /// Workers share the full record slice, looped flags, and prefix
+    /// index — candidates are the only thing partitioned.
+    fn finish_candidates(
+        &self,
+        records: &[TraceRecord],
+        candidates: Vec<ReplicaStream>,
+        looped_flags: &[bool],
+        index: &PrefixIndex,
+        workers: usize,
+    ) -> Vec<FinishPartial> {
+        let mut groups: Vec<Vec<ReplicaStream>> = (0..workers).map(|_| Vec::new()).collect();
+        for cand in candidates {
+            let w = shard_of(&cand.key, workers);
+            groups[w].push(cand);
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .into_iter()
+                .enumerate()
+                .map(|(w, group)| {
+                    let cfg = self.cfg;
+                    std::thread::Builder::new()
+                        .name(format!("block-w{w}"))
+                        .spawn_scoped(scope, move || {
+                            let started = Instant::now();
+                            let mut stats = DetectionStats::default();
+                            let streams = {
+                                let _agg = telemetry::span("block.validate");
+                                validate::validate(
+                                    records,
+                                    group,
+                                    looped_flags,
+                                    index,
+                                    &cfg,
+                                    &mut stats,
+                                )
+                            };
+                            telemetry::global()
+                                .timer(block_metric(w, "validate"))
+                                .record(started.elapsed().as_nanos() as u64);
+                            let merge_started = Instant::now();
+                            let loops = {
+                                let _agg = telemetry::span("block.merge");
+                                merge::merge(records, &streams, looped_flags, index, &cfg)
+                            };
+                            telemetry::global()
+                                .timer(block_metric(w, "merge"))
+                                .record(merge_started.elapsed().as_nanos() as u64);
+                            telemetry::global()
+                                .timer(block_metric(w, "busy"))
+                                .record(started.elapsed().as_nanos() as u64);
+                            FinishPartial {
+                                streams,
+                                loops,
+                                rejected_short: stats.rejected_short,
+                                rejected_covalidation: stats.rejected_covalidation,
+                            }
+                        })
+                        .expect("spawn block finish worker")
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("block finish worker panicked"))
+                .collect()
+        })
+    }
+}
+
+/// Evenly spaced interior split points for `len` records over `threads`
+/// ranges (fewer when the trace is shorter than the thread count).
+pub fn even_splits(len: usize, threads: usize) -> Vec<usize> {
+    let workers = threads.max(1).min(len.max(1));
+    let chunk = len.div_ceil(workers);
+    (1..workers)
+        .map(|w| w * chunk)
+        .filter(|&s| s > 0 && s < len)
+        .collect()
+}
+
+/// `[lo, hi)` range per worker for the given interior split points.
+fn range_bounds(len: usize, splits: &[usize]) -> Vec<(usize, usize)> {
+    let mut bounds = Vec::with_capacity(splits.len() + 1);
+    let mut lo = 0;
+    for &s in splits {
+        bounds.push((lo, s));
+        lo = s;
+    }
+    bounds.push((lo, len));
+    bounds
+}
+
+/// The normalised fingerprints whose candidates may differ between the
+/// per-range scans and the serial scan: keys with a sighting within
+/// `gap_ns` on *both* sides of some split point (see module docs).
+fn affected_fingerprints(records: &[TraceRecord], splits: &[usize], gap_ns: u64) -> FxHashSet<u64> {
+    let mut affected = FxHashSet::default();
+    for &s in splits {
+        let t_right = records[s].timestamp_ns;
+        let l_left = records[s - 1].timestamp_ns;
+        // Tail window over the whole prefix of the trace (a key can span
+        // an entire quiet middle range), head window over the whole
+        // suffix.
+        let tail_lo =
+            records[..s].partition_point(|r| r.timestamp_ns < t_right.saturating_sub(gap_ns));
+        let head_hi =
+            s + records[s..].partition_point(|r| r.timestamp_ns <= l_left.saturating_add(gap_ns));
+        let tail_fps: FxHashSet<u64> = records[tail_lo..s]
+            .iter()
+            .map(|r| normalise_fp(r.fingerprint))
+            .collect();
+        for rec in &records[s..head_hi] {
+            let fp = normalise_fp(rec.fingerprint);
+            if tail_fps.contains(&fp) {
+                affected.insert(fp);
+            }
+        }
+    }
+    affected
+}
+
+/// Builds a compile-time table of `block.w<i>.<field>` names for one
+/// field across the prebuilt worker indices.
+macro_rules! block_name_table {
+    ($field:literal; $($n:literal),* $(,)?) => {
+        [$(concat!("block.w", $n, ".", $field)),*]
+    };
+}
+
+/// Worker indices with compile-time metric names; higher counts fall back
+/// to the (cold, locked) interner.
+const PREBUILT_WORKERS: usize = 32;
+
+static BLOCK_RECORDS: [&str; PREBUILT_WORKERS] = block_name_table!("records";
+    0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+    16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31);
+static BLOCK_SCAN: [&str; PREBUILT_WORKERS] = block_name_table!("scan";
+    0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+    16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31);
+static BLOCK_VALIDATE: [&str; PREBUILT_WORKERS] = block_name_table!("validate";
+    0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+    16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31);
+static BLOCK_MERGE: [&str; PREBUILT_WORKERS] = block_name_table!("merge";
+    0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+    16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31);
+static BLOCK_BUSY: [&str; PREBUILT_WORKERS] = block_name_table!("busy";
+    0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+    16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31);
+
+/// Resolves the `block.w<i>.<field>` metric name (compile-time literal on
+/// the common path, bounded leaking interner otherwise — same scheme as
+/// `shard_metric`). Public so the bench harness can read the same
+/// per-worker timers it writes.
+pub fn block_metric(worker: usize, field: &str) -> &'static str {
+    if worker < PREBUILT_WORKERS {
+        match field {
+            "records" => return BLOCK_RECORDS[worker],
+            "scan" => return BLOCK_SCAN[worker],
+            "validate" => return BLOCK_VALIDATE[worker],
+            "merge" => return BLOCK_MERGE[worker],
+            "busy" => return BLOCK_BUSY[worker],
+            _ => {}
+        }
+    }
+    intern_block_metric(worker, field)
+}
+
+/// Cold path of [`block_metric`]: formats, interns, and leaks the name.
+fn intern_block_metric(worker: usize, field: &str) -> &'static str {
+    static INTERNED: Mutex<BTreeMap<String, &'static str>> = Mutex::new(BTreeMap::new());
+    let mut map = INTERNED.lock().expect("intern table poisoned");
+    let name = format!("block.w{worker}.{field}");
+    if let Some(s) = map.get(&name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.clone().into_boxed_str());
+    map.insert(name, leaked);
+    leaked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replica::Detector;
+    use net_types::{Packet, TcpFlags};
+    use std::net::Ipv4Addr;
+
+    fn looping_records(
+        start_ns: u64,
+        spacing_ns: u64,
+        first_ttl: u8,
+        n: usize,
+        ident: u16,
+        dst: Ipv4Addr,
+    ) -> Vec<TraceRecord> {
+        let mut p = Packet::tcp_flags(
+            Ipv4Addr::new(100, 7, 7, 7),
+            dst,
+            5555,
+            80,
+            TcpFlags::ACK,
+            &b""[..],
+        );
+        p.ip.ident = ident;
+        (0..n)
+            .map(|i| {
+                p.ip.ttl = first_ttl - i as u8;
+                p.fill_checksums();
+                TraceRecord::from_packet(start_ns + i as u64 * spacing_ns, &p)
+            })
+            .collect()
+    }
+
+    fn assert_identical(records: &[TraceRecord], splits: &[usize]) {
+        let cfg = DetectorConfig::default();
+        let serial = Detector::new(cfg).run(records);
+        let block =
+            BlockParallelDetector::new(cfg, splits.len() + 1).run_with_splits(records, splits);
+        assert_eq!(
+            serial.streams, block.streams,
+            "streams diverge at splits {splits:?}"
+        );
+        assert_eq!(
+            serial.loops, block.loops,
+            "loops diverge at splits {splits:?}"
+        );
+        assert_eq!(serial.looped_flags, block.looped_flags);
+        assert_eq!(
+            serial.stats, block.stats,
+            "stats diverge at splits {splits:?}"
+        );
+    }
+
+    #[test]
+    fn even_splits_cover_edge_cases() {
+        assert!(even_splits(0, 4).is_empty());
+        assert!(even_splits(1, 8).is_empty());
+        assert_eq!(even_splits(100, 1), Vec::<usize>::new());
+        assert_eq!(even_splits(100, 4), vec![25, 50, 75]);
+        // More threads than records: one record per worker, no dupes.
+        assert_eq!(even_splits(3, 8), vec![1, 2]);
+    }
+
+    #[test]
+    fn split_through_the_middle_of_a_stream_is_reconciled() {
+        let dst = Ipv4Addr::new(203, 0, 113, 9);
+        let records = looping_records(1_000, 40_000_000, 60, 8, 77, dst);
+        for s in 1..records.len() {
+            assert_identical(&records, &[s]);
+        }
+    }
+
+    #[test]
+    fn every_record_its_own_range() {
+        let mut records =
+            looping_records(1_000, 40_000_000, 60, 6, 1, Ipv4Addr::new(203, 0, 113, 9));
+        records.extend(looping_records(
+            2_000,
+            50_000_000,
+            50,
+            5,
+            2,
+            Ipv4Addr::new(198, 51, 100, 3),
+        ));
+        records.sort_by_key(|r| r.timestamp_ns);
+        let splits: Vec<usize> = (1..records.len()).collect();
+        assert_identical(&records, &splits);
+    }
+
+    #[test]
+    fn non_fresh_boundary_needs_no_rescan() {
+        let dst = Ipv4Addr::new(203, 0, 113, 9);
+        let mut records = looping_records(1_000, 40_000_000, 60, 4, 5, dst);
+        // Second burst of the same key far beyond the replica gap.
+        let resume = records.last().unwrap().timestamp_ns + 10_000_000_000;
+        records.extend(looping_records(resume, 40_000_000, 58, 4, 5, dst));
+        let affected =
+            affected_fingerprints(&records, &[4], DetectorConfig::default().max_replica_gap_ns);
+        assert!(
+            affected.is_empty(),
+            "non-fresh boundary must not mark keys affected"
+        );
+        assert_identical(&records, &[4]);
+    }
+
+    #[test]
+    fn key_spanning_a_whole_middle_range_is_caught() {
+        let dst = Ipv4Addr::new(203, 0, 113, 9);
+        // Key A brackets a quiet middle range filled by key B only.
+        let mut records = looping_records(1_000, 900_000_000, 60, 4, 9, dst);
+        records.extend(looping_records(
+            1_100,
+            10_000,
+            50,
+            6,
+            10,
+            Ipv4Addr::new(198, 51, 100, 3),
+        ));
+        records.sort_by_key(|r| r.timestamp_ns);
+        // Splits isolating the B-burst into its own middle range.
+        assert_identical(&records, &[2, 7]);
+    }
+
+    #[test]
+    fn empty_and_single_record_traces() {
+        assert_identical(&[], &[]);
+        let one = looping_records(1_000, 1, 60, 1, 3, Ipv4Addr::new(203, 0, 113, 9));
+        assert_identical(&one, &[]);
+    }
+
+    #[test]
+    fn run_matches_serial_at_many_thread_counts() {
+        let mut records = Vec::new();
+        for (i, dst) in [
+            Ipv4Addr::new(203, 0, 113, 9),
+            Ipv4Addr::new(198, 51, 100, 3),
+            Ipv4Addr::new(192, 0, 2, 200),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            records.extend(looping_records(
+                1_000 + i as u64 * 7,
+                40_000_000,
+                60,
+                7,
+                i as u16,
+                dst,
+            ));
+        }
+        records.sort_by_key(|r| r.timestamp_ns);
+        let cfg = DetectorConfig::default();
+        let serial = Detector::new(cfg).run(&records);
+        for threads in [1, 2, 3, 4, 8, 16] {
+            let block = BlockParallelDetector::new(cfg, threads).run(&records);
+            assert_eq!(serial.streams, block.streams, "threads={threads}");
+            assert_eq!(serial.loops, block.loops, "threads={threads}");
+            assert_eq!(serial.stats, block.stats, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn block_metric_names_are_static_and_cover_fallback() {
+        assert_eq!(block_metric(0, "records"), "block.w0.records");
+        assert_eq!(block_metric(31, "busy"), "block.w31.busy");
+        assert_eq!(block_metric(100, "scan"), "block.w100.scan");
+        assert!(std::ptr::eq(
+            block_metric(100, "scan"),
+            block_metric(100, "scan")
+        ));
+    }
+}

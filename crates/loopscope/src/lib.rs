@@ -23,12 +23,12 @@
 //! traffic (Figs. 5–6), the destination scatter (Fig. 7), stream and loop
 //! duration CDFs (Figs. 8–9), and the loss/escape impact estimates (§VI).
 //!
-//! For multi-core machines, [`shard`] fans the same pipeline out over
-//! worker threads keyed by the replica identity's destination /24 —
-//! byte-identical output, with batched lock-light rings keeping the
-//! transport overhead to one lock round-trip per 1024-record batch
-//! (see DESIGN.md for the no-cross-shard-state argument and the
-//! measured throughput record).
+//! For multi-core machines, [`block`] fans the same pipeline out
+//! share-nothing: the trace is split into contiguous record ranges, each
+//! worker scans its own range in place, and a boundary-reconciliation
+//! pass keeps the output byte-identical to serial at every thread count
+//! (see DESIGN.md for the soundness argument). The older ring-dispatcher
+//! fan-out survives in [`shard`] as the `--engine ring` ablation.
 //!
 //! The crate is deliberately independent of the simulator: it consumes
 //! [`record::TraceRecord`]s, which can come from simulated taps, pcap
@@ -64,6 +64,7 @@
 //! ```
 
 pub mod analysis;
+pub mod block;
 pub mod config;
 pub mod fxhash;
 pub mod impact;
@@ -78,15 +79,16 @@ pub mod stream;
 pub mod traffic_class;
 pub mod validate;
 
+pub use block::BlockParallelDetector;
 pub use config::DetectorConfig;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use key::ReplicaKey;
 pub use merge::RoutingLoop;
 pub use online::{OnlineDetector, OnlineEvent};
 pub use pipeline::{
-    run_pipeline, run_pipeline_with_progress, Engine, EngineProgress, PcapFileSequence, PcapSource,
-    PipelineError, PipelineResult, RecordSource, SerialEngine, ShardedEngine, Sink, SliceSource,
-    SourceError, SourceSummary, StreamingEngine,
+    run_pipeline, run_pipeline_with_progress, BlockEngine, Engine, EngineProgress,
+    PcapFileSequence, PcapSource, PipelineError, PipelineResult, RecordSource, SerialEngine,
+    ShardedEngine, Sink, SliceSource, SourceError, SourceSummary, StreamingEngine,
 };
 pub use record::{TraceRecord, TransportSummary};
 pub use replica::{CandidateScanner, DetectionResult, DetectionStats, Detector, ScanCounters};

@@ -33,6 +33,7 @@
 //! `(start, first record index)`, loops by `(prefix, start)` — so the
 //! output bytes never depend on which engine ran.
 
+use crate::block::BlockParallelDetector;
 use crate::config::DetectorConfig;
 use crate::merge::{LoopKind, RoutingLoop};
 use crate::online::{OnlineDetector, OnlineEvent};
@@ -42,6 +43,8 @@ use crate::shard::ShardedDetector;
 use crate::stream::ReplicaStream;
 use std::io::Write;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 /// Records per batch handed to the engine by streaming sources.
 const PCAP_BATCH: usize = 1024;
@@ -128,18 +131,37 @@ pub trait RecordSource {
     fn as_slice(&self) -> Option<&[TraceRecord]> {
         None
     }
+
+    /// Unparseable records dropped *before* this source was built, for
+    /// sources wrapping a pre-decoded slice (the parallel pcap parse
+    /// decodes — and skips — up front). Folded into the
+    /// [`SourceSummary`] on the slice fast path.
+    fn skipped_hint(&self) -> u64 {
+        0
+    }
 }
 
 /// A source over records already materialised in memory.
 #[derive(Debug, Clone, Copy)]
 pub struct SliceSource<'a> {
     records: &'a [TraceRecord],
+    skipped: u64,
 }
 
 impl<'a> SliceSource<'a> {
     /// Wraps a record slice.
     pub fn new(records: &'a [TraceRecord]) -> Self {
-        Self { records }
+        Self {
+            records,
+            skipped: 0,
+        }
+    }
+
+    /// Wraps a slice that was decoded up front, recording how many
+    /// unparseable records the decode dropped so the pipeline summary
+    /// matches a streamed read of the same capture.
+    pub fn with_skipped(records: &'a [TraceRecord], skipped: u64) -> Self {
+        Self { records, skipped }
     }
 }
 
@@ -151,12 +173,16 @@ impl RecordSource for SliceSource<'_> {
         f(self.records)?;
         Ok(SourceSummary {
             records: self.records.len() as u64,
-            skipped: 0,
+            skipped: self.skipped,
         })
     }
 
     fn as_slice(&self) -> Option<&[TraceRecord]> {
         Some(self.records)
+    }
+
+    fn skipped_hint(&self) -> u64 {
+        self.skipped
     }
 }
 
@@ -214,6 +240,7 @@ impl<R: std::io::Read> RecordSource for PcapSource<R> {
 /// out-of-order file.
 pub struct PcapFileSequence {
     paths: Vec<PathBuf>,
+    ingest_threads: usize,
 }
 
 impl PcapFileSequence {
@@ -225,7 +252,32 @@ impl PcapFileSequence {
     {
         Self {
             paths: paths.into_iter().map(Into::into).collect(),
+            ingest_threads: 1,
         }
+    }
+
+    /// Decodes up to `threads` files concurrently. Delivery order is
+    /// unchanged — batches still arrive file by file in the order given —
+    /// only the parse work is overlapped, so engines see exactly the
+    /// serial byte stream. Decoded files are buffered until their turn,
+    /// so peak memory grows with the decode lead; the offline engines
+    /// buffer the whole trace anyway, single-pass streaming callers
+    /// should keep this at 1.
+    pub fn with_ingest_threads(mut self, threads: usize) -> Self {
+        self.ingest_threads = threads.max(1);
+        self
+    }
+
+    /// Fully decodes one file into memory.
+    fn decode_file(path: &PathBuf) -> Result<(Vec<TraceRecord>, u64), PipelineError> {
+        let file = std::fs::File::open(path).map_err(SourceError::Io)?;
+        let mut src = PcapSource::new(std::io::BufReader::new(file))?;
+        let mut records = Vec::new();
+        let summary = src.for_each_batch(&mut |batch| {
+            records.extend_from_slice(batch);
+            Ok(())
+        })?;
+        Ok((records, summary.skipped))
     }
 }
 
@@ -235,14 +287,57 @@ impl RecordSource for PcapFileSequence {
         f: &mut dyn FnMut(&[TraceRecord]) -> Result<(), PipelineError>,
     ) -> Result<SourceSummary, PipelineError> {
         let mut summary = SourceSummary::default();
-        for path in &self.paths {
-            let file = std::fs::File::open(path).map_err(SourceError::Io)?;
-            let mut src = PcapSource::new(std::io::BufReader::new(file))?;
-            let part = src.for_each_batch(f)?;
-            summary.records += part.records;
-            summary.skipped += part.skipped;
+        if self.ingest_threads <= 1 || self.paths.len() <= 1 {
+            for path in &self.paths {
+                let file = std::fs::File::open(path).map_err(SourceError::Io)?;
+                let mut src = PcapSource::new(std::io::BufReader::new(file))?;
+                let part = src.for_each_batch(f)?;
+                summary.records += part.records;
+                summary.skipped += part.skipped;
+            }
+            return Ok(summary);
         }
-        Ok(summary)
+
+        // Parallel decode, ordered delivery: workers claim files through
+        // an atomic ticket and park finished decodes in per-file slots;
+        // this thread consumes the slots strictly in path order.
+        type Slot = Option<Result<(Vec<TraceRecord>, u64), PipelineError>>;
+        let workers = self.ingest_threads.min(self.paths.len());
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Slot>> = Mutex::new((0..self.paths.len()).map(|_| None).collect());
+        let ready = Condvar::new();
+        let paths = &self.paths;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= paths.len() {
+                        break;
+                    }
+                    let decoded = Self::decode_file(&paths[i]);
+                    slots.lock().expect("decode slots poisoned")[i] = Some(decoded);
+                    ready.notify_all();
+                });
+            }
+            for i in 0..paths.len() {
+                let decoded = {
+                    let mut guard = slots.lock().expect("decode slots poisoned");
+                    loop {
+                        if let Some(d) = guard[i].take() {
+                            break d;
+                        }
+                        guard = ready.wait(guard).expect("decode slots poisoned");
+                    }
+                };
+                let (records, skipped) = decoded?;
+                summary.skipped += skipped;
+                for chunk in records.chunks(PCAP_BATCH) {
+                    summary.records += chunk.len() as u64;
+                    f(chunk)?;
+                }
+            }
+            Ok(summary)
+        })
     }
 }
 
@@ -385,6 +480,65 @@ impl ShardedEngine {
 impl Engine for ShardedEngine {
     fn name(&self) -> &'static str {
         "sharded"
+    }
+
+    fn push_batch(&mut self, batch: &[TraceRecord], _emit: &mut dyn FnMut(OnlineEvent)) {
+        self.records += batch.len() as u64;
+        self.buf.extend_from_slice(batch);
+    }
+
+    fn finish(&mut self, emit: &mut dyn FnMut(OnlineEvent)) -> DetectionStats {
+        let buf = std::mem::take(&mut self.buf);
+        self.done = true;
+        emit_detection(self.det.run(&buf), emit)
+    }
+
+    fn progress(&self) -> EngineProgress {
+        EngineProgress {
+            records: self.records,
+            open_candidates: if self.done { Some(0) } else { None },
+        }
+    }
+
+    fn run_slice(
+        &mut self,
+        records: &[TraceRecord],
+        emit: &mut dyn FnMut(OnlineEvent),
+    ) -> DetectionStats {
+        self.records += records.len() as u64;
+        self.done = true;
+        emit_detection(self.det.run(records), emit)
+    }
+}
+
+/// The share-nothing block-parallel detector ([`BlockParallelDetector`])
+/// behind the [`Engine`] interface: the trace is split into contiguous
+/// record ranges scanned in place by independent workers, with a
+/// boundary-reconciliation pass keeping the output byte-identical to
+/// [`SerialEngine`] at every thread count. This is the default parallel
+/// engine; the ring-dispatcher [`ShardedEngine`] remains as an ablation.
+pub struct BlockEngine {
+    det: BlockParallelDetector,
+    buf: Vec<TraceRecord>,
+    records: u64,
+    done: bool,
+}
+
+impl BlockEngine {
+    /// A block-parallel engine over `threads` workers.
+    pub fn new(cfg: DetectorConfig, threads: usize) -> Self {
+        Self {
+            det: BlockParallelDetector::new(cfg, threads),
+            buf: Vec::new(),
+            records: 0,
+            done: false,
+        }
+    }
+}
+
+impl Engine for BlockEngine {
+    fn name(&self) -> &'static str {
+        "block"
     }
 
     fn push_batch(&mut self, batch: &[TraceRecord], _emit: &mut dyn FnMut(OnlineEvent)) {
@@ -587,7 +741,7 @@ pub fn run_pipeline_with_progress(
         (
             SourceSummary {
                 records: slice.len() as u64,
-                skipped: 0,
+                skipped: source.skipped_hint(),
             },
             stats,
         )

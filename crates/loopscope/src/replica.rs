@@ -411,7 +411,7 @@ impl PreFilter {
 /// whose (pure-function-of-key) fingerprint is genuinely 0 is folded onto
 /// 1 — at worst one more collision, resolved like any other.
 #[inline]
-fn normalise_fp(fp: u64) -> u64 {
+pub(crate) fn normalise_fp(fp: u64) -> u64 {
     if fp == 0 {
         1
     } else {
@@ -439,6 +439,11 @@ pub struct CandidateScanner {
     done: Vec<ReplicaStream>,
     counters: ScanCounters,
     prefilter: Option<PreFilter>,
+    /// Normalised fingerprint of the key behind each checksum-split event,
+    /// in occurrence order. The block-parallel pipeline uses this to
+    /// re-attribute splits at slice boundaries; splits are rare (one per
+    /// corrupted rewrite, not per record), so the log is tiny.
+    split_fps: Vec<u64>,
 }
 
 impl CandidateScanner {
@@ -461,6 +466,7 @@ impl CandidateScanner {
             done: Vec::new(),
             counters: ScanCounters::default(),
             prefilter,
+            split_fps: Vec::new(),
         }
     }
 
@@ -534,6 +540,7 @@ impl CandidateScanner {
             } else {
                 if check.checksum_split {
                     self.counters.checksum_splits += 1;
+                    self.split_fps.push(fp);
                 }
                 // Same key but not a continuation (link-layer duplicate,
                 // ident wrap, or stale stream): the one-sighting seed
@@ -584,6 +591,7 @@ impl CandidateScanner {
                 } else {
                     if check.checksum_split {
                         self.counters.checksum_splits += 1;
+                        self.split_fps.push(fp);
                     }
                     // Same key but not a continuation: close the old
                     // candidate and start over from this sighting —
@@ -681,7 +689,15 @@ impl CandidateScanner {
 
     /// Closes every open candidate and returns the finished sets in
     /// `(start time, first record index)` order.
-    pub fn finish(mut self) -> (Vec<ReplicaStream>, ScanCounters) {
+    pub fn finish(self) -> (Vec<ReplicaStream>, ScanCounters) {
+        let (done, counters, _) = self.finish_with_splits();
+        (done, counters)
+    }
+
+    /// [`Self::finish`] plus the per-event checksum-split fingerprint log —
+    /// what the block-parallel pipeline needs to decide which worker-local
+    /// splits survive boundary reconciliation.
+    pub fn finish_with_splits(mut self) -> (Vec<ReplicaStream>, ScanCounters, Vec<u64>) {
         let mut tele = [0u64; 5];
         if let Some(pf) = self.prefilter.take() {
             // Remaining seeds are one-sighting candidates that never found
@@ -713,7 +729,7 @@ impl CandidateScanner {
         // closes); normalise.
         self.done
             .sort_by_key(|s| (s.start_ns(), s.record_indices[0]));
-        (self.done, self.counters)
+        (self.done, self.counters, self.split_fps)
     }
 
     fn close(

@@ -1,6 +1,16 @@
 //! Sharded parallel detection: the offline pipeline fanned out over
 //! `std::thread` workers, with output byte-identical to the serial path.
 //!
+//! **Status: ablation.** The central dispatcher measured here moves every
+//! record across a thread boundary, and on real traces that dispatch cost
+//! exceeds the entire serial detection pass — `BENCH_parallel.json`
+//! recorded speedups of 0.42–0.95× at every thread count. The production
+//! parallel path is [`crate::block::BlockParallelDetector`], which splits
+//! the trace into contiguous ranges and moves no records between threads;
+//! this ring dispatcher stays behind `loopdetect --engine ring` (and
+//! `bench_parallel --engine ring`) as the comparison point that documents
+//! *why* the share-nothing design wins.
+//!
 //! # Why sharding by destination /24 is sound
 //!
 //! Every stage of the paper's algorithm is keyed no coarser than the

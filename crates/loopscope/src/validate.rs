@@ -51,6 +51,59 @@ impl PrefixIndex {
         Self { by_prefix }
     }
 
+    /// [`Self::build`] fanned out over `threads` contiguous record ranges.
+    ///
+    /// Each worker indexes its own range with range-global record indices;
+    /// the partial posting lists are then concatenated in range order.
+    /// Ranges are contiguous and the trace is time-sorted, so every
+    /// per-prefix list comes out in exactly the `(timestamp, index)` order
+    /// the serial build produces — the index contents are identical.
+    pub fn build_parallel(records: &[TraceRecord], threads: usize) -> Self {
+        let n = threads.max(1).min(records.len());
+        if n <= 1 {
+            return Self::build(records);
+        }
+        let chunk = records.len().div_ceil(n);
+        let partials: Vec<FxHashMap<Ipv4Prefix, Vec<(u64, usize)>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|w| {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(records.len());
+                    let slice = &records[lo..hi];
+                    scope.spawn(move || {
+                        let mut part: FxHashMap<Ipv4Prefix, Vec<(u64, usize)>> =
+                            fx_map_with_capacity((slice.len() / 64).max(16));
+                        for (off, rec) in slice.iter().enumerate() {
+                            part.entry(rec.dst_slash24())
+                                .or_default()
+                                .push((rec.timestamp_ns, lo + off));
+                        }
+                        part
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("index worker panicked"))
+                .collect()
+        });
+        let mut by_prefix: FxHashMap<Ipv4Prefix, Vec<(u64, usize)>> =
+            fx_map_with_capacity((records.len() / 64).max(16));
+        for part in partials {
+            for (prefix, mut postings) in part {
+                match by_prefix.entry(prefix) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        e.get_mut().append(&mut postings);
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(postings);
+                    }
+                }
+            }
+        }
+        Self { by_prefix }
+    }
+
     /// Record indices destined to `prefix` with timestamps in
     /// `[from, to]` (inclusive).
     pub fn in_window(&self, prefix: Ipv4Prefix, from: u64, to: u64) -> &[(u64, usize)] {

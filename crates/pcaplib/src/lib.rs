@@ -40,10 +40,12 @@
 
 pub mod format;
 pub mod reader;
+pub mod split;
 pub mod writer;
 
 pub use format::{FileHeader, LinkType, PcapError, RecordHeader, TsResolution};
 pub use reader::{PcapReader, RecordBuf, INLINE_RECORD_CAP};
+pub use split::{BlockIndex, SplitPoint, SPLIT_BLOCK_LEN};
 pub use writer::PcapWriter;
 
 /// One captured record: a timestamp, the original on-the-wire length, and

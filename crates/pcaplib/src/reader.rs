@@ -27,7 +27,7 @@ static TM_MALFORMED: LazyCounter = LazyCounter::new("pcap.malformed_records");
 /// An upper bound on per-record capture length used to reject corrupt files
 /// before allocating absurd buffers. Generous enough for jumbo frames and
 /// full-packet captures.
-const MAX_SANE_CAPLEN: u32 = 256 * 1024;
+pub(crate) const MAX_SANE_CAPLEN: u32 = 256 * 1024;
 
 /// Bytes read from the source per refill of the internal block buffer.
 const BLOCK_LEN: usize = 64 * 1024;
@@ -144,6 +144,23 @@ impl<R: Read> PcapReader<R> {
             pos: 0,
             filled: 0,
         })
+    }
+
+    /// Resumes reading mid-stream: `source` must be positioned at a
+    /// record boundary of a capture whose global header is `header`
+    /// (typically a [`crate::split::SplitPoint`] offset from a
+    /// [`crate::split::BlockIndex`] scan). The reader behaves exactly as
+    /// if the records before the boundary did not exist — bound the
+    /// source (e.g. [`Read::take`]) to stop at a range end.
+    pub fn resume(source: R, header: FileHeader) -> Self {
+        Self {
+            source,
+            header,
+            records_read: 0,
+            block: vec![0u8; BLOCK_LEN].into_boxed_slice(),
+            pos: 0,
+            filled: 0,
+        }
     }
 
     /// The decoded file header.

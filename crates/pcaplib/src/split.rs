@@ -1,0 +1,308 @@
+//! Block-range indexing for parallel pcap reads.
+//!
+//! Classic pcap has no framing beyond the per-record headers, so a byte
+//! range cannot be decoded without knowing where records start. A
+//! [`BlockIndex`] is one cheap header-walking pass over a capture that
+//! remembers the first record-start offset at (or after) every
+//! [`SPLIT_BLOCK_LEN`] boundary — just enough structure to cut the file
+//! into independently decodable byte ranges, without storing an offset
+//! per record. [`BlockIndex::split_offsets`] then turns a desired part
+//! count into interior split offsets that are always snapped to record
+//! starts: a split point that would land mid-record moves forward to the
+//! next record boundary, a final block shorter than the granularity
+//! simply yields a shorter last range, and a file too small to have any
+//! interior boundary yields no splits at all (one range).
+//!
+//! Each range is consumed by a [`PcapReader::resume`] reader positioned
+//! at the range start with the already-decoded file header, so the
+//! zero-alloc `read_into` path works unchanged mid-file.
+
+use crate::format::{FileHeader, PcapError, RecordHeader, FILE_HEADER_LEN, RECORD_HEADER_LEN};
+use crate::reader::MAX_SANE_CAPLEN;
+use std::io::Read;
+
+#[cfg(doc)]
+use crate::reader::PcapReader;
+
+/// Granularity of the index: one entry per this many bytes of capture.
+pub const SPLIT_BLOCK_LEN: u64 = 64 * 1024;
+
+/// One indexed record boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitPoint {
+    /// Byte offset of a record header (the first at/after a block
+    /// boundary).
+    pub offset: u64,
+    /// Records preceding this offset.
+    pub records_before: u64,
+}
+
+/// A block-granular map of record boundaries in one pcap capture.
+#[derive(Debug, Clone)]
+pub struct BlockIndex {
+    header: FileHeader,
+    entries: Vec<SplitPoint>,
+    records: u64,
+    len: u64,
+}
+
+impl BlockIndex {
+    /// Scans a capture front to back, validating record framing exactly
+    /// like [`PcapReader`] (oversized or inconsistent lengths and EOF
+    /// inside a record are corruption, not EOF).
+    pub fn scan<R: Read>(mut source: R) -> Result<Self, PcapError> {
+        let mut hdr_buf = [0u8; FILE_HEADER_LEN];
+        source.read_exact(&mut hdr_buf)?;
+        let header = FileHeader::decode(&hdr_buf)?;
+
+        let mut entries = Vec::new();
+        let mut offset = FILE_HEADER_LEN as u64;
+        let mut records = 0u64;
+        let mut next_boundary = SPLIT_BLOCK_LEN.max(FILE_HEADER_LEN as u64);
+        let mut scratch = [0u8; 4096];
+        loop {
+            let mut rec_hdr = [0u8; RECORD_HEADER_LEN];
+            match read_full(&mut source, &mut rec_hdr)? {
+                0 => break,
+                n if n < RECORD_HEADER_LEN => {
+                    return Err(PcapError::Corrupt("EOF inside record header"));
+                }
+                _ => {}
+            }
+            let rec = RecordHeader::decode(&rec_hdr, header.swapped);
+            if rec.incl_len > MAX_SANE_CAPLEN {
+                return Err(PcapError::OversizedRecord(rec.incl_len));
+            }
+            if rec.incl_len > rec.orig_len {
+                return Err(PcapError::Corrupt("incl_len exceeds orig_len"));
+            }
+            if offset >= next_boundary {
+                entries.push(SplitPoint {
+                    offset,
+                    records_before: records,
+                });
+                next_boundary = (offset / SPLIT_BLOCK_LEN + 1) * SPLIT_BLOCK_LEN;
+            }
+            let mut remaining = rec.incl_len as usize;
+            while remaining > 0 {
+                let take = remaining.min(scratch.len());
+                if read_full(&mut source, &mut scratch[..take])? < take {
+                    return Err(PcapError::Corrupt("EOF inside record body"));
+                }
+                remaining -= take;
+            }
+            offset += (RECORD_HEADER_LEN + rec.incl_len as usize) as u64;
+            records += 1;
+        }
+        Ok(Self {
+            header,
+            entries,
+            records,
+            len: offset,
+        })
+    }
+
+    /// The capture's decoded file header.
+    pub fn header(&self) -> FileHeader {
+        self.header
+    }
+
+    /// Total records in the capture.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Total byte length of the capture (header + all records).
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// The indexed block-boundary record starts.
+    pub fn entries(&self) -> &[SplitPoint] {
+        &self.entries
+    }
+
+    /// Up to `parts - 1` interior split offsets cutting the record area
+    /// into roughly even byte ranges, each snapped forward to the first
+    /// indexed record start at/after its ideal position. Sorted, unique,
+    /// and strictly inside `(FILE_HEADER_LEN, len_bytes())` — possibly
+    /// empty (small file), in which case there is a single range.
+    pub fn split_offsets(&self, parts: usize) -> Vec<u64> {
+        let body = self.len - FILE_HEADER_LEN as u64;
+        if parts <= 1 || body == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for k in 1..parts as u64 {
+            let ideal = FILE_HEADER_LEN as u64 + body * k / parts as u64;
+            let i = self.entries.partition_point(|e| e.offset < ideal);
+            if let Some(e) = self.entries.get(i) {
+                out.push(e.offset);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out.retain(|&o| o > FILE_HEADER_LEN as u64 && o < self.len);
+        out
+    }
+
+    /// The `[lo, hi)` byte range per part implied by
+    /// [`Self::split_offsets`], starting after the file header.
+    pub fn split_ranges(&self, parts: usize) -> Vec<(u64, u64)> {
+        let splits = self.split_offsets(parts);
+        let mut ranges = Vec::with_capacity(splits.len() + 1);
+        let mut lo = FILE_HEADER_LEN as u64;
+        for s in splits {
+            ranges.push((lo, s));
+            lo = s;
+        }
+        ranges.push((lo, self.len));
+        ranges
+    }
+}
+
+/// `read` until `buf` is full or EOF; returns bytes read.
+fn read_full<R: Read>(source: &mut R, buf: &mut [u8]) -> Result<usize, PcapError> {
+    let mut got = 0;
+    while got < buf.len() {
+        let n = source.read(&mut buf[got..])?;
+        if n == 0 {
+            break;
+        }
+        got += n;
+    }
+    Ok(got)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::{PcapReader, RecordBuf};
+    use crate::writer::PcapWriter;
+    use std::io::{Cursor, Read};
+
+    fn capture(n: usize, body_len: usize) -> Vec<u8> {
+        let mut w = PcapWriter::new(Vec::new(), FileHeader::raw_ip(65535)).unwrap();
+        for i in 0..n {
+            w.write_bytes(i as u64 * 1_000, &vec![i as u8; body_len])
+                .unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn scan_counts_records_and_length() {
+        let file = capture(100, 40);
+        let idx = BlockIndex::scan(Cursor::new(&file)).unwrap();
+        assert_eq!(idx.records(), 100);
+        assert_eq!(idx.len_bytes(), file.len() as u64);
+        // 100 * 56-byte records fit in one block: no interior entries.
+        assert!(idx.entries().is_empty());
+        assert!(idx.split_offsets(8).is_empty());
+        assert_eq!(
+            idx.split_ranges(8),
+            vec![(FILE_HEADER_LEN as u64, file.len() as u64)]
+        );
+    }
+
+    #[test]
+    fn entries_land_on_record_starts() {
+        // 1000-byte bodies force several block boundaries mid-record; every
+        // entry must still be a decodable record start.
+        let file = capture(300, 1000);
+        let idx = BlockIndex::scan(Cursor::new(&file)).unwrap();
+        assert!(!idx.entries().is_empty());
+        for e in idx.entries() {
+            let mut r = PcapReader::resume(Cursor::new(&file[e.offset as usize..]), idx.header());
+            let mut buf = RecordBuf::new();
+            assert!(r.read_into(&mut buf).unwrap());
+            assert_eq!(buf.timestamp_ns(), e.records_before * 1_000);
+        }
+    }
+
+    #[test]
+    fn split_ranges_decode_to_the_serial_record_stream() {
+        let file = capture(500, 1000);
+        let idx = BlockIndex::scan(Cursor::new(&file)).unwrap();
+        for parts in [1, 2, 3, 4, 8] {
+            let ranges = idx.split_ranges(parts);
+            assert_eq!(ranges.first().unwrap().0, FILE_HEADER_LEN as u64);
+            assert_eq!(ranges.last().unwrap().1, file.len() as u64);
+            let mut timestamps = Vec::new();
+            for &(lo, hi) in &ranges {
+                let slice = &file[lo as usize..hi as usize];
+                let mut r = PcapReader::resume(Cursor::new(slice), idx.header());
+                let mut buf = RecordBuf::new();
+                while r.read_into(&mut buf).unwrap() {
+                    timestamps.push(buf.timestamp_ns());
+                }
+            }
+            let want: Vec<u64> = (0..500).map(|i| i * 1_000).collect();
+            assert_eq!(timestamps, want, "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn one_record_file_with_eight_parts_has_one_range() {
+        let file = capture(1, 40);
+        let idx = BlockIndex::scan(Cursor::new(&file)).unwrap();
+        assert_eq!(idx.records(), 1);
+        assert_eq!(idx.split_ranges(8).len(), 1);
+    }
+
+    #[test]
+    fn empty_capture_scans_clean() {
+        let file = capture(0, 0);
+        let idx = BlockIndex::scan(Cursor::new(&file)).unwrap();
+        assert_eq!(idx.records(), 0);
+        assert!(idx.split_offsets(4).is_empty());
+    }
+
+    #[test]
+    fn truncated_final_record_is_corrupt() {
+        let mut file = capture(200, 1000);
+        file.truncate(file.len() - 7);
+        assert!(matches!(
+            BlockIndex::scan(Cursor::new(&file)),
+            Err(PcapError::Corrupt("EOF inside record body"))
+        ));
+        let mut file = capture(200, 1000);
+        file.truncate(file.len() - 1005); // into the last record's header
+        assert!(matches!(
+            BlockIndex::scan(Cursor::new(&file)),
+            Err(PcapError::Corrupt("EOF inside record header"))
+        ));
+    }
+
+    #[test]
+    fn resume_respects_take_limits() {
+        // A resumed reader over a bounded sub-range stops at the range end
+        // exactly as if the file ended there.
+        let file = capture(300, 1000);
+        let idx = BlockIndex::scan(Cursor::new(&file)).unwrap();
+        let ranges = idx.split_ranges(4);
+        let (lo, hi) = ranges[1];
+        let mut cur = Cursor::new(&file);
+        cur.set_position(lo);
+        let limited = cur.take(hi - lo);
+        let mut r = PcapReader::resume(limited, idx.header());
+        let mut buf = RecordBuf::new();
+        let mut n = 0u64;
+        while r.read_into(&mut buf).unwrap() {
+            n += 1;
+        }
+        let next_before = idx
+            .entries()
+            .iter()
+            .find(|e| e.offset == hi)
+            .map(|e| e.records_before)
+            .unwrap();
+        let records_before = idx
+            .entries()
+            .iter()
+            .find(|e| e.offset == lo)
+            .map(|e| e.records_before)
+            .unwrap();
+        assert_eq!(n, next_before - records_before);
+    }
+}

@@ -14,7 +14,8 @@
 //! loopdetect trace.pcap --merge-gap-min 5    # A1 ablation gap
 //! loopdetect trace.pcap --no-validate        # A2 ablation (raw candidates)
 //! loopdetect trace.pcap --streaming          # bounded-memory single pass
-//! loopdetect trace.pcap --threads 4          # sharded parallel detection
+//! loopdetect trace.pcap --threads 4          # block-parallel detection
+//! loopdetect trace.pcap --threads 4 --engine ring  # old dispatcher (ablation)
 //! loopdetect trace.pcap --persistent-s 60    # persistence threshold
 //! loopdetect trace.pcap --metrics -          # telemetry snapshot (JSON) to stdout
 //! loopdetect trace.pcap --metrics run.json   # telemetry snapshot to a file
@@ -25,8 +26,9 @@
 //! ```
 //!
 //! Every mode runs the same `loopscope::pipeline` — the flags only choose
-//! the engine (serial, sharded, streaming) and the sinks (text, CSV,
-//! JSONL, analysis). Output is byte-identical across engines.
+//! the engine (serial, block-parallel, ring-sharded, streaming) and the
+//! sinks (text, CSV, JSONL, analysis). Output is byte-identical across
+//! engines.
 //!
 //! Diagnostics go to stderr and never contaminate the report/CSV on
 //! stdout. Verbosity: `-q` errors only, default warnings, `-v` info,
@@ -35,8 +37,8 @@
 use routing_loops::loopscope::analysis::{AnalysisAccumulator, AnalysisReport};
 use routing_loops::loopscope::merge::LoopKind;
 use routing_loops::loopscope::pipeline::{
-    run_pipeline_with_progress, Engine, EngineProgress, LoopCsvSink, LoopJsonlSink, PcapSource,
-    PipelineResult, SerialEngine, ShardedEngine, Sink, StreamCsvSink, StreamJsonlSink,
+    run_pipeline_with_progress, BlockEngine, Engine, EngineProgress, LoopCsvSink, LoopJsonlSink,
+    PcapSource, PipelineResult, SerialEngine, ShardedEngine, Sink, StreamCsvSink, StreamJsonlSink,
     StreamingEngine, SummaryCsvSink, OPEN_TAIL_GAP_NS,
 };
 use routing_loops::loopscope::{analysis, impact, DetectorConfig};
@@ -65,10 +67,16 @@ OPTIONS
                                  and run step 1 on the exact key map alone
                                  (ablation; output is byte-identical)
   --streaming                    use the single-pass bounded-memory detector
-  --threads <N>                  worker shards for parallel detection
+  --threads <N>                  workers for parallel detection
                                  (default: available cores; 1 = the exact
                                  serial legacy path; output is always
                                  byte-identical to --threads 1)
+  --engine <E>                   detection engine: serial, block (share-
+                                 nothing block-parallel; the default when
+                                 --threads > 1), ring (the old dispatcher
+                                 fan-out, kept as an ablation), or
+                                 streaming (same as --streaming). All
+                                 engines produce byte-identical output
   --persistent-s <N>             persistence threshold in seconds (default 60)
   --metrics <path|->             write the telemetry snapshot (JSON) to a
                                  file, or to stdout with '-'
@@ -93,7 +101,7 @@ struct Args {
     jsonl: bool,
     analysis: bool,
     cfg: DetectorConfig,
-    streaming: bool,
+    engine: EngineChoice,
     threads: usize,
     persistent_s: u64,
     metrics: Option<String>,
@@ -103,6 +111,15 @@ struct Args {
     progress: bool,
 }
 
+/// Which detector implementation runs the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EngineChoice {
+    Serial,
+    Block,
+    Ring,
+    Streaming,
+}
+
 fn parse_args() -> Args {
     let mut path = None;
     let mut csv = None;
@@ -110,6 +127,7 @@ fn parse_args() -> Args {
     let mut analysis = false;
     let mut cfg = DetectorConfig::default();
     let mut streaming = false;
+    let mut engine: Option<EngineChoice> = None;
     let mut threads: Option<usize> = None;
     let mut persistent_s = 60;
     let mut metrics = None;
@@ -183,6 +201,18 @@ fn parse_args() -> Args {
             "--no-checksum-verify" => cfg.verify_checksum_consistency = false,
             "--no-prefilter" => cfg.use_prefilter = false,
             "--streaming" => streaming = true,
+            "--engine" => {
+                let v = it.next().unwrap_or_else(|| die("--engine needs a value"));
+                engine = Some(match v.as_str() {
+                    "serial" => EngineChoice::Serial,
+                    "block" => EngineChoice::Block,
+                    "ring" => EngineChoice::Ring,
+                    "streaming" => EngineChoice::Streaming,
+                    other => die(&format!(
+                        "--engine must be serial, block, ring, or streaming, got {other:?}"
+                    )),
+                });
+            }
             "--threads" => {
                 let v = it.next().unwrap_or_else(|| die("--threads needs a value"));
                 let n: usize = v.parse().unwrap_or_else(|_| {
@@ -209,8 +239,17 @@ fn parse_args() -> Args {
     if let Some(level) = verbosity {
         telemetry::logging::set_default_level(Some(level));
     }
+    if engine == Some(EngineChoice::Streaming) {
+        streaming = true;
+    }
     if streaming && threads.is_some_and(|n| n > 1) {
         die("--streaming is a single-pass detector; it cannot be combined with --threads > 1");
+    }
+    if streaming && engine.is_some_and(|e| e != EngineChoice::Streaming) {
+        die("--streaming conflicts with --engine; pick one");
+    }
+    if engine == Some(EngineChoice::Serial) && threads.is_some_and(|n| n > 1) {
+        die("--engine serial runs one worker; it cannot be combined with --threads > 1");
     }
     let jsonl = format.as_deref() == Some("jsonl");
     if jsonl {
@@ -232,20 +271,27 @@ fn parse_args() -> Args {
     if watch && progress {
         die("--watch and --progress both redraw stderr; choose one");
     }
-    let threads = if streaming {
+    let threads = if streaming || engine == Some(EngineChoice::Serial) {
         1
     } else {
         threads.unwrap_or_else(|| {
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         })
     };
+    let engine = engine.unwrap_or(if streaming {
+        EngineChoice::Streaming
+    } else if threads > 1 {
+        EngineChoice::Block
+    } else {
+        EngineChoice::Serial
+    });
     Args {
         path: path.unwrap_or_else(|| die("missing trace path")),
         csv,
         jsonl,
         analysis,
         cfg,
-        streaming,
+        engine,
         threads,
         persistent_s,
         metrics,
@@ -414,13 +460,12 @@ fn main() {
         exit(1);
     });
 
-    // Mode selection is engine selection: all three run the same pipeline.
-    let mut engine: Box<dyn Engine> = if args.streaming {
-        Box::new(StreamingEngine::new(args.cfg))
-    } else if args.threads > 1 {
-        Box::new(ShardedEngine::new(args.cfg, args.threads))
-    } else {
-        Box::new(SerialEngine::new(args.cfg))
+    // Mode selection is engine selection: all four run the same pipeline.
+    let mut engine: Box<dyn Engine> = match args.engine {
+        EngineChoice::Streaming => Box::new(StreamingEngine::new(args.cfg)),
+        EngineChoice::Block => Box::new(BlockEngine::new(args.cfg, args.threads)),
+        EngineChoice::Ring => Box::new(ShardedEngine::new(args.cfg, args.threads)),
+        EngineChoice::Serial => Box::new(SerialEngine::new(args.cfg)),
     };
 
     // Output selection is sink selection.

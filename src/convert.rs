@@ -2,9 +2,10 @@
 //! detector's trace records.
 
 use loopscope::TraceRecord;
-use pcaplib::{FileHeader, PcapError, PcapReader, PcapWriter};
+use pcaplib::{BlockIndex, FileHeader, PcapError, PcapReader, PcapWriter};
 use simnet::Tap;
-use std::io::{Read, Write};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
 
 /// The monitors the paper used stored the first 40 bytes of each packet;
 /// that is the default snap length throughout this workspace.
@@ -57,6 +58,64 @@ pub fn records_from_pcap<R: Read>(source: R) -> Result<(Vec<TraceRecord>, u64), 
     TM_UNPARSEABLE.add(skipped);
     if skipped > 0 {
         telemetry::tm_warn!("skipped {} unparseable records", skipped);
+    }
+    Ok((records, skipped))
+}
+
+/// [`records_from_pcap`] fanned out over `threads` independent byte
+/// ranges of one file: a [`BlockIndex`] header walk finds record-aligned
+/// split offsets, then each worker opens its own handle and decodes its
+/// range through the same zero-alloc path. Ranges are concatenated in
+/// file order, so the records (and skip count) are identical to the
+/// serial read.
+pub fn records_from_pcap_parallel(
+    path: &Path,
+    threads: usize,
+) -> Result<(Vec<TraceRecord>, u64), PcapError> {
+    let _t = telemetry::span("pcap.read_parallel");
+    let index = {
+        let _t = telemetry::span("pcap.index");
+        BlockIndex::scan(std::io::BufReader::new(std::fs::File::open(path)?))?
+    };
+    let ranges = index.split_ranges(threads.max(1));
+    if ranges.len() <= 1 {
+        let file = std::fs::File::open(path)?;
+        return records_from_pcap(std::io::BufReader::new(file));
+    }
+    let header = index.header();
+    let parts: Vec<Result<(Vec<TraceRecord>, u64), PcapError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                scope.spawn(move || {
+                    let mut file = std::fs::File::open(path)?;
+                    file.seek(SeekFrom::Start(lo))?;
+                    let limited = std::io::BufReader::new(file).take(hi - lo);
+                    let mut reader = PcapReader::resume(limited, header);
+                    let mut records = Vec::new();
+                    let mut skipped = 0u64;
+                    let mut buf = pcaplib::RecordBuf::new();
+                    while reader.read_into(&mut buf)? {
+                        match TraceRecord::from_wire_bytes(buf.timestamp_ns(), buf.data()) {
+                            Ok(rec) => records.push(rec),
+                            Err(_) => skipped += 1,
+                        }
+                    }
+                    Ok((records, skipped))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pcap range reader panicked"))
+            .collect()
+    });
+    let mut records = Vec::with_capacity(index.records() as usize);
+    let mut skipped = 0u64;
+    for part in parts {
+        let (mut recs, skip) = part?;
+        records.append(&mut recs);
+        skipped += skip;
     }
     Ok((records, skipped))
 }
@@ -129,5 +188,45 @@ mod tests {
         let (records, skipped) = records_from_pcap(Cursor::new(buf)).unwrap();
         assert_eq!(records.len(), 1);
         assert_eq!(skipped, 1);
+    }
+
+    #[test]
+    fn parallel_pcap_read_matches_serial() {
+        // Enough distinct records to span several index blocks, plus some
+        // unparseable noise so the skip count is exercised.
+        let mut buf = Vec::new();
+        {
+            let mut w = PcapWriter::new(&mut buf, FileHeader::raw_ip(PAPER_SNAPLEN)).unwrap();
+            for i in 0..5000u32 {
+                if i % 1000 == 7 {
+                    w.write_bytes(u64::from(i) * 1_000, &[0xde, 0xad]).unwrap();
+                    continue;
+                }
+                let mut p = Packet::tcp_flags(
+                    Ipv4Addr::new(100, 0, 0, 1),
+                    Ipv4Addr::new(203, 0, 113, (i % 200) as u8),
+                    1,
+                    2,
+                    TcpFlags::ACK,
+                    vec![0u8; 40],
+                );
+                p.ip.ident = i as u16;
+                p.fill_checksums();
+                w.write_bytes(u64::from(i) * 1_000, &p.emit()).unwrap();
+            }
+            w.finish().unwrap();
+        }
+        let path = std::env::temp_dir().join(format!(
+            "loopdetect_convert_parallel_{}.pcap",
+            std::process::id()
+        ));
+        std::fs::write(&path, &buf).unwrap();
+        let (serial, serial_skipped) = records_from_pcap(Cursor::new(buf)).unwrap();
+        for threads in [1, 2, 4, 8] {
+            let (parallel, skipped) = records_from_pcap_parallel(&path, threads).unwrap();
+            assert_eq!(serial, parallel, "threads={threads}");
+            assert_eq!(serial_skipped, skipped, "threads={threads}");
+        }
+        let _ = std::fs::remove_file(&path);
     }
 }

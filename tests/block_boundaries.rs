@@ -1,0 +1,229 @@
+//! Boundary-reconciliation torture tests for the block-parallel engine:
+//! flows straddling split points, byte-level split offsets landing
+//! mid-record in the pcap stream, truncated captures, degenerate worker
+//! counts, and serial-vs-block byte-identity under proptest-chosen split
+//! offsets.
+
+use proptest::prelude::*;
+use routing_loops::backbone::{paper_backbones, run_backbone};
+use routing_loops::convert::{
+    records_from_pcap, records_from_pcap_parallel, write_tap_to_pcap, PAPER_SNAPLEN,
+};
+use routing_loops::loopscope::block::BlockParallelDetector;
+use routing_loops::loopscope::{Detector, DetectorConfig, TraceRecord};
+use routing_loops::net_types::{Packet, TcpFlags};
+use std::net::Ipv4Addr;
+
+/// A looping flow as the monitor would see it: the same packet sighted
+/// every `spacing_ns` with the TTL two lower each time.
+fn loop_packets(
+    start_ns: u64,
+    spacing_ns: u64,
+    first_ttl: u8,
+    n: usize,
+    ident: u16,
+    dst: Ipv4Addr,
+) -> Vec<(u64, Packet)> {
+    let mut p = Packet::tcp_flags(
+        Ipv4Addr::new(100, 11, 0, 1),
+        dst,
+        40_000,
+        80,
+        TcpFlags::ACK,
+        &b"x"[..],
+    );
+    p.ip.ident = ident;
+    p.ip.ttl = first_ttl;
+    p.fill_checksums();
+    let mut out = Vec::new();
+    for k in 0..n {
+        if k > 0 {
+            assert!(p.ip.decrement_ttl());
+            assert!(p.ip.decrement_ttl());
+        }
+        out.push((start_ns + k as u64 * spacing_ns, p.clone()));
+    }
+    out
+}
+
+/// A trace mixing several interleaved loops (one spanning most of the
+/// trace), background singletons, and a same-key burst separated by more
+/// than the replica gap.
+fn mixed_packets() -> Vec<(u64, Packet)> {
+    let mut packets = Vec::new();
+    for (i, (dst, n, spacing)) in [
+        (Ipv4Addr::new(203, 0, 113, 9), 12, 40_000_000u64),
+        (Ipv4Addr::new(198, 51, 100, 3), 8, 90_000_000),
+        (Ipv4Addr::new(192, 0, 2, 200), 20, 25_000_000),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        packets.extend(loop_packets(
+            1_000 + i as u64 * 7,
+            spacing,
+            60,
+            n,
+            i as u16,
+            dst,
+        ));
+    }
+    // Same key re-looping long after the replica gap: the boundary between
+    // the bursts must never need reconciliation.
+    packets.extend(loop_packets(
+        9_000_000_000,
+        40_000_000,
+        48,
+        5,
+        0,
+        Ipv4Addr::new(203, 0, 113, 9),
+    ));
+    // Background non-looping traffic into the same and other /24s.
+    for k in 0..40u16 {
+        let mut p = Packet::tcp_flags(
+            Ipv4Addr::new(100, 12, 0, 2),
+            Ipv4Addr::new(203, 0, 113, 50 + (k % 8) as u8),
+            50_000 + k,
+            443,
+            TcpFlags::ACK,
+            &b"bg"[..],
+        );
+        p.ip.ident = 10_000 + k;
+        p.fill_checksums();
+        packets.push((u64::from(k) * 230_000_000, p));
+    }
+    packets.sort_by_key(|(ts, _)| *ts);
+    packets
+}
+
+fn mixed_trace() -> Vec<TraceRecord> {
+    mixed_packets()
+        .iter()
+        .map(|(ts, p)| TraceRecord::from_packet(*ts, p))
+        .collect()
+}
+
+fn assert_block_identical(records: &[TraceRecord], splits: &[usize]) {
+    let cfg = DetectorConfig::default();
+    let serial = Detector::new(cfg).run(records);
+    let block = BlockParallelDetector::new(cfg, splits.len() + 1).run_with_splits(records, splits);
+    assert_eq!(serial.streams, block.streams, "splits {splits:?}");
+    assert_eq!(serial.loops, block.loops, "splits {splits:?}");
+    assert_eq!(serial.looped_flags, block.looped_flags, "splits {splits:?}");
+    assert_eq!(serial.stats, block.stats, "splits {splits:?}");
+}
+
+#[test]
+fn every_split_point_through_the_mixed_trace() {
+    let records = mixed_trace();
+    for s in 1..records.len() {
+        assert_block_identical(&records, &[s]);
+    }
+}
+
+#[test]
+fn backbone_fixture_at_power_of_two_thread_counts() {
+    let mut spec = paper_backbones(0.08).remove(2);
+    spec.name = "block-boundaries".into();
+    let records = run_backbone(&spec).records;
+    let cfg = DetectorConfig::default();
+    let serial = Detector::new(cfg).run(&records);
+    assert!(!serial.streams.is_empty(), "fixture must loop");
+    for threads in [1, 2, 4, 8] {
+        let block = BlockParallelDetector::new(cfg, threads).run(&records);
+        assert_eq!(serial.streams, block.streams, "threads={threads}");
+        assert_eq!(serial.loops, block.loops, "threads={threads}");
+        assert_eq!(serial.stats, block.stats, "threads={threads}");
+    }
+}
+
+#[test]
+fn pcap_path_with_mid_record_splits_is_byte_identical() {
+    // Small records mean the 64 KiB byte-level split boundaries almost
+    // always land mid-record; the BlockIndex must snap them to record
+    // starts and the end-to-end parallel read + detect must equal the
+    // serial read + detect.
+    let packets = mixed_packets();
+    let mut bytes = Vec::new();
+    {
+        let mut w =
+            pcaplib::PcapWriter::new(&mut bytes, pcaplib::FileHeader::raw_ip(PAPER_SNAPLEN))
+                .unwrap();
+        for (ts, p) in &packets {
+            w.write_bytes(*ts, &p.emit()).unwrap();
+        }
+        w.finish().unwrap();
+    }
+    let path = std::env::temp_dir().join(format!(
+        "loopdetect_block_boundaries_{}.pcap",
+        std::process::id()
+    ));
+    std::fs::write(&path, &bytes).unwrap();
+
+    let (serial_records, serial_skipped) =
+        records_from_pcap(std::io::Cursor::new(&bytes[..])).unwrap();
+    let cfg = DetectorConfig::default();
+    let serial = Detector::new(cfg).run(&serial_records);
+    for threads in [1, 2, 4, 8] {
+        let (par_records, skipped) = records_from_pcap_parallel(&path, threads).unwrap();
+        assert_eq!(serial_records, par_records, "threads={threads}");
+        assert_eq!(serial_skipped, skipped, "threads={threads}");
+        let block = BlockParallelDetector::new(cfg, threads).run(&par_records);
+        assert_eq!(serial.streams, block.streams, "threads={threads}");
+        assert_eq!(serial.stats, block.stats, "threads={threads}");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn one_record_trace_with_eight_workers() {
+    let records: Vec<TraceRecord> = loop_packets(1_000, 1, 60, 1, 3, Ipv4Addr::new(203, 0, 113, 9))
+        .iter()
+        .map(|(ts, p)| TraceRecord::from_packet(*ts, p))
+        .collect();
+    assert_block_identical(&records, &[]);
+    let cfg = DetectorConfig::default();
+    let serial = Detector::new(cfg).run(&records);
+    let block = BlockParallelDetector::new(cfg, 8).run(&records);
+    assert_eq!(serial.streams, block.streams);
+    assert_eq!(serial.stats, block.stats);
+}
+
+#[test]
+fn truncated_pcap_fails_identically_in_parallel() {
+    let mut spec = paper_backbones(0.05).remove(1);
+    spec.name = "block-truncated".into();
+    let run = run_backbone(&spec);
+    let mut bytes = Vec::new();
+    write_tap_to_pcap(&run.tap, PAPER_SNAPLEN, &mut bytes).unwrap();
+    bytes.truncate(bytes.len() - 7); // cut into the final record body
+    let path = std::env::temp_dir().join(format!(
+        "loopdetect_block_truncated_{}.pcap",
+        std::process::id()
+    ));
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(records_from_pcap(std::io::Cursor::new(&bytes[..])).is_err());
+    assert!(records_from_pcap_parallel(&path, 4).is_err());
+    let _ = std::fs::remove_file(&path);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Byte-identity holds for ANY set of split offsets, not just the even
+    /// ones `run` picks.
+    #[test]
+    fn random_split_offsets_are_byte_identical(
+        raw in proptest::collection::vec(0usize..10_000, 0..7),
+    ) {
+        let records = mixed_trace();
+        let splits: Vec<usize> = raw.iter().map(|r| r % records.len()).collect();
+        let cfg = DetectorConfig::default();
+        let serial = Detector::new(cfg).run(&records);
+        let block =
+            BlockParallelDetector::new(cfg, splits.len() + 1).run_with_splits(&records, &splits);
+        prop_assert_eq!(&serial.streams, &block.streams, "splits {:?}", &splits);
+        prop_assert_eq!(&serial.loops, &block.loops, "splits {:?}", &splits);
+        prop_assert_eq!(&serial.stats, &block.stats, "splits {:?}", &splits);
+    }
+}

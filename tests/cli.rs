@@ -126,6 +126,50 @@ fn threads_output_is_byte_identical_to_serial() {
     let _ = std::fs::remove_file(&pcap);
 }
 
+#[test]
+fn engine_flag_selects_engines_and_rejects_conflicts() {
+    let pcap = demo_pcap();
+    // Every engine choice produces byte-identical output.
+    let serial = loopdetect()
+        .arg(&pcap)
+        .args(["--csv", "loops", "--engine", "serial"])
+        .output()
+        .unwrap();
+    assert!(serial.status.success(), "{serial:?}");
+    for engine_args in [
+        &["--engine", "block", "--threads", "4"][..],
+        &["--engine", "ring", "--threads", "4"],
+        &["--engine", "streaming"],
+        &["--threads", "4"], // defaults to block
+    ] {
+        let other = loopdetect()
+            .arg(&pcap)
+            .args(["--csv", "loops"])
+            .args(engine_args)
+            .output()
+            .unwrap();
+        assert!(other.status.success(), "{engine_args:?}: {other:?}");
+        assert_eq!(
+            serial.stdout, other.stdout,
+            "{engine_args:?} must match --engine serial byte-for-byte"
+        );
+    }
+    // Conflicting or bogus combinations die with a clear message.
+    for bad in [
+        &["--engine", "warp"][..],
+        &["--engine"],
+        &["--engine", "serial", "--threads", "2"],
+        &["--engine", "block", "--streaming"],
+    ] {
+        let out = loopdetect().arg(&pcap).args(bad).output().unwrap();
+        assert!(!out.status.success(), "{bad:?} should fail");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("error:"), "{bad:?}: {err}");
+        assert!(err.contains("USAGE"), "{bad:?}: {err}");
+    }
+    let _ = std::fs::remove_file(&pcap);
+}
+
 /// A transient-ECMP-loop trace written to pcap: the diamond topology from
 /// `tests/ecmp.rs` with one arm failed mid-run, captured on the a→b link.
 fn ecmp_pcap() -> std::path::PathBuf {
@@ -456,13 +500,21 @@ fn trace_flag_writes_chrome_trace_without_touching_stdout() {
         std::env::temp_dir().join(format!("loopdetect_cli_trace_{}.json", std::process::id()));
     let plain = loopdetect()
         .arg(&pcap)
-        .args(["--csv", "summary", "--threads", "2"])
+        .args(["--csv", "summary", "--threads", "2", "--engine", "ring"])
         .output()
         .unwrap();
     assert!(plain.status.success(), "{plain:?}");
     let traced = loopdetect()
         .arg(&pcap)
-        .args(["--csv", "summary", "--threads", "2", "--trace"])
+        .args([
+            "--csv",
+            "summary",
+            "--threads",
+            "2",
+            "--engine",
+            "ring",
+            "--trace",
+        ])
         .arg(&trace_path)
         .output()
         .unwrap();
@@ -478,10 +530,31 @@ fn trace_flag_writes_chrome_trace_without_touching_stdout() {
     // complete events carrying µs timestamps.
     assert!(doc.contains("\"traceEvents\""), "missing traceEvents array");
     assert!(doc.contains("\"ph\":\"X\""), "no complete events in trace");
-    // The sharded run's per-worker stage spans, on named worker threads.
+    // The ring run's per-worker stage spans, on named worker threads.
     assert!(doc.contains("\"shard.detect\""), "no shard stage spans");
     assert!(doc.contains("\"shard-w0\""), "worker thread names missing");
     assert!(doc.contains("queue_depth"), "no queue-depth counter track");
+
+    // The default multi-threaded engine is block-parallel; its trace
+    // carries the block stage spans on named block workers.
+    let block_traced = loopdetect()
+        .arg(&pcap)
+        .args(["--csv", "summary", "--threads", "2", "--trace"])
+        .arg(&trace_path)
+        .output()
+        .unwrap();
+    assert!(block_traced.status.success(), "{block_traced:?}");
+    assert_eq!(
+        plain.stdout, block_traced.stdout,
+        "block engine must match ring output"
+    );
+    let doc = std::fs::read_to_string(&trace_path).expect("trace file written");
+    telemetry::json::validate(&doc).expect("trace is well-formed JSON");
+    assert!(doc.contains("\"block.scan\""), "no block scan spans");
+    assert!(
+        doc.contains("\"block-w0\""),
+        "block worker thread names missing"
+    );
 
     let _ = std::fs::remove_file(&trace_path);
     let _ = std::fs::remove_file(&pcap);

@@ -1,8 +1,9 @@
-//! Engine conformance suite: the serial, sharded, and streaming engines
-//! implement one `DetectionResult` contract, so every fixture must produce
-//! identical streams, loops, and stage counters — and byte-identical sink
-//! output — regardless of which engine ran. This is the trait-level home
-//! of what used to be scattered pairwise equality tests.
+//! Engine conformance suite: the serial, block-parallel, ring-sharded,
+//! and streaming engines implement one `DetectionResult` contract, so
+//! every fixture must produce identical streams, loops, and stage
+//! counters — and byte-identical sink output — regardless of which engine
+//! ran. This is the trait-level home of what used to be scattered
+//! pairwise equality tests.
 
 use routing_loops::backbone::{paper_backbones, run_backbone};
 use routing_loops::convert::{write_tap_to_pcap, PAPER_SNAPLEN};
@@ -10,8 +11,8 @@ use routing_loops::loopscope::pipeline::{
     LoopCsvSink, LoopJsonlSink, StreamCsvSink, StreamJsonlSink, SummaryCsvSink,
 };
 use routing_loops::loopscope::{
-    analysis, run_pipeline, DetectorConfig, Engine, PcapSource, PipelineResult, SerialEngine,
-    ShardedEngine, Sink, SliceSource, StreamingEngine, TraceRecord,
+    analysis, run_pipeline, BlockEngine, DetectorConfig, Engine, PcapSource, PipelineResult,
+    SerialEngine, ShardedEngine, Sink, SliceSource, StreamingEngine, TraceRecord,
 };
 use routing_loops::net_types::{Packet, TcpFlags};
 use std::net::Ipv4Addr;
@@ -25,6 +26,10 @@ fn engines(cfg: DetectorConfig) -> Vec<Box<dyn Engine>> {
     let safe_horizon = cfg.merge_gap_ns + cfg.max_replica_gap_ns.saturating_mul(256);
     vec![
         Box::new(SerialEngine::new(cfg)),
+        Box::new(BlockEngine::new(cfg, 1)),
+        Box::new(BlockEngine::new(cfg, 2)),
+        Box::new(BlockEngine::new(cfg, 4)),
+        Box::new(BlockEngine::new(cfg, 8)),
         Box::new(ShardedEngine::new(cfg, 2)),
         Box::new(ShardedEngine::new(cfg, 4)),
         Box::new(StreamingEngine::new(cfg)),
