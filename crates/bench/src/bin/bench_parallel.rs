@@ -17,9 +17,11 @@
 //! `trace_event` JSON of the timed runs; both perturb timings, so a loud
 //! warning fires when either is combined with `--gate`. With `--gate <baseline>`,
 //! throughput floors are enforced too: serial records/s must stay within
-//! 10% of the committed baseline (like-for-like on core count), and on
+//! 10% of the committed baseline (like-for-like on core count), on
 //! machines with at least 4 cores the per-core-count speedup floors bind
-//! (≥1.6× at 2 threads, ≥2.5× at 4). The scaling floors are skipped
+//! (≥1.6× at 2 threads, ≥2.5× at 4), and the columnar (`.ltc`) ingest
+//! rate must stay at least 2.5× the pcap ingest rate — a within-run
+//! ratio that binds on every machine. The scaling floors are skipped
 //! (loudly) on smaller machines, where wall-clock parallel speedup is
 //! physically impossible. `--summary <path>` writes a markdown delta
 //! table (fresh vs baseline) suitable for `$GITHUB_STEP_SUMMARY`.
@@ -59,6 +61,13 @@ const GATE_SPEEDUP_FLOORS: [(usize, f64); 2] = [(2, 1.6), (4, 2.5)];
 /// pure overhead.
 const GATE_MIN_CORES: usize = 4;
 
+/// Minimum `columnar ingest records/s ÷ pcap ingest records/s` under
+/// `--gate`. Unlike the other floors this ratio is measured within one
+/// run on one machine (same trace, same silicon, both single-threaded),
+/// so it is machine-independent and binds everywhere — no core-count or
+/// baseline-provenance skip applies.
+const GATE_COLUMNAR_INGEST_FLOOR: f64 = 2.5;
+
 /// Pulls `"serial": {... "records_per_s": <x> ...}` out of a baseline
 /// artifact (hand-rolled; the workspace has no serde).
 fn extract_serial_rps(json: &str) -> Option<f64> {
@@ -77,6 +86,18 @@ fn extract_cores(json: &str) -> Option<usize> {
     let key = "\"cores\":";
     let at = json.find(key)?;
     let after = &json[at + key.len()..];
+    let end = after.find([',', '}'])?;
+    after[..end].trim().parse().ok()
+}
+
+/// Pulls `"ingest_columnar": {... "vs_pcap": <x>}` out of a baseline
+/// artifact. Absent in artifacts written before the columnar format.
+fn extract_columnar_vs_pcap(json: &str) -> Option<f64> {
+    let at = json.find("\"ingest_columnar\":")?;
+    let rest = &json[at..];
+    let key = "\"vs_pcap\":";
+    let k = rest.find(key)?;
+    let after = &rest[k + key.len()..];
     let end = after.find([',', '}'])?;
     after[..end].trim().parse().ok()
 }
@@ -154,6 +175,14 @@ fn gate_failures(bench: &parallel::ParallelBench, baseline_json: &str) -> Vec<St
         },
         _ => failures.push("baseline has no parseable serial records_per_s".to_string()),
     }
+    // Within-run ratio: no baseline, no skip.
+    if bench.columnar_vs_pcap < GATE_COLUMNAR_INGEST_FLOOR {
+        failures.push(format!(
+            "columnar ingest only {:.2}x the pcap ingest rate, below the \
+             {GATE_COLUMNAR_INGEST_FLOOR}x floor ({:.0} vs {:.0} records/s)",
+            bench.columnar_vs_pcap, bench.columnar_ingest_records_per_s, bench.ingest_records_per_s
+        ));
+    }
     if bench.cores < GATE_MIN_CORES {
         eprintln!(
             "gate: SKIPPING the per-core-count speedup floors — only {} core(s) \
@@ -219,6 +248,17 @@ fn render_summary(bench: &parallel::ParallelBench, baseline_json: Option<&str>) 
     out.push_str(&format!(
         "| ingest records/s | — | {:.0} | — |\n",
         bench.ingest_records_per_s
+    ));
+    let base_columnar = baseline_json.and_then(extract_columnar_vs_pcap);
+    out.push_str(&format!(
+        "| columnar ingest records/s | — | {:.0} | — |\n",
+        bench.columnar_ingest_records_per_s
+    ));
+    out.push_str(&format!(
+        "| columnar vs pcap | {} | {:.2}x | {} |\n",
+        base_columnar.map_or("—".to_string(), |r| format!("{r:.2}x")),
+        bench.columnar_vs_pcap,
+        fmt_delta(bench.columnar_vs_pcap, base_columnar)
     ));
     for s in &bench.samples {
         let base = base_speedups
@@ -435,6 +475,10 @@ fn main() {
         bench.ingest_records_per_s, bench.ingest_records
     );
     eprintln!(
+        "ingest (columnar): {:.1} records/s ({:.2}x pcap)",
+        bench.columnar_ingest_records_per_s, bench.columnar_vs_pcap
+    );
+    eprintln!(
         "serial: {:.1} records/s ({:.2} ms)",
         bench.serial_records_per_s,
         bench.serial_best_ns as f64 / 1e6
@@ -511,6 +555,9 @@ mod tests {
             ingest_records: 1000,
             ingest_ns: 1_000_000,
             ingest_records_per_s: serial_rps,
+            columnar_ingest_ns: 300_000,
+            columnar_ingest_records_per_s: serial_rps * 3.0,
+            columnar_vs_pcap: 3.0,
             samples: speedups
                 .iter()
                 .map(|&(threads, speedup)| parallel::ParallelSample {
@@ -585,6 +632,31 @@ mod tests {
         // 1-core machine: floors loudly skipped, never failed.
         let one_core = fake_bench(1, 1000.0, &[(2, 0.5), (4, 0.4)]);
         assert!(gate_failures(&one_core, &baseline(Some(1), 1000.0)).is_empty());
+    }
+
+    #[test]
+    fn columnar_ingest_floor_is_within_run_and_never_skipped() {
+        // Ratio below the floor: failure, even on a 1-core machine.
+        let mut bench = fake_bench(1, 1000.0, &[]);
+        bench.columnar_vs_pcap = 2.0;
+        let fails = gate_failures(&bench, &baseline(Some(1), 1000.0));
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("columnar ingest"));
+        // Binds even when the serial floor is skipped (unlike cores /
+        // pre-`cores` baseline): the ratio is within-run.
+        let fails = gate_failures(&bench, &baseline(None, 1000.0));
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("columnar ingest"));
+        // At the floor: pass.
+        bench.columnar_vs_pcap = 2.5;
+        assert!(gate_failures(&bench, &baseline(Some(1), 1000.0)).is_empty());
+    }
+
+    #[test]
+    fn extract_columnar_vs_pcap_reads_the_artifact_field() {
+        let doc = fake_bench(4, 1000.0, &[]).to_json();
+        assert_eq!(extract_columnar_vs_pcap(&doc), Some(3.0));
+        assert_eq!(extract_columnar_vs_pcap("{}"), None);
     }
 
     #[test]

@@ -59,8 +59,10 @@ pub const BLOCK_STAGES: [&str; 6] = [
     "block.stitch",
 ];
 
-/// Per-worker timer fields reported for each block worker.
-pub const WORKER_FIELDS: [&str; 4] = ["scan", "validate", "merge", "busy"];
+/// Per-worker timer fields reported for each block worker. `index` is the
+/// worker's share of the step-2 prefix index, built inside the scan
+/// worker so it overlaps the scan instead of serialising after it.
+pub const WORKER_FIELDS: [&str; 5] = ["scan", "index", "validate", "merge", "busy"];
 
 /// Ring-dispatcher stage timers (ablation), in pipeline order.
 pub const PARALLEL_STAGES: [&str; 5] = [
@@ -150,12 +152,20 @@ pub struct ParallelBench {
     pub serial_records_per_s: f64,
     /// Serial per-stage breakdown (`(timer name, total ns)`).
     pub serial_stages: Vec<(&'static str, u64)>,
-    /// Records scanned by the pcap-ingest measurement.
+    /// Records scanned by the ingest measurements (same trace both ways).
     pub ingest_records: u64,
     /// Wall time of the pcap-ingest measurement in nanoseconds.
     pub ingest_ns: u64,
     /// Ingest throughput (pcap bytes → `TraceRecord`s) in records/second.
     pub ingest_records_per_s: f64,
+    /// Wall time of the columnar (`.ltc`) ingest measurement in
+    /// nanoseconds, over the identical record set.
+    pub columnar_ingest_ns: u64,
+    /// Columnar ingest throughput in records/second.
+    pub columnar_ingest_records_per_s: f64,
+    /// `columnar_ingest_records_per_s / ingest_records_per_s` — the
+    /// within-run, machine-independent ratio the CI gate floors.
+    pub columnar_vs_pcap: f64,
     /// Per-thread-count samples.
     pub samples: Vec<ParallelSample>,
 }
@@ -196,6 +206,13 @@ impl ParallelBench {
         out.push_str(&format!(
             "  \"ingest\": {{\"records\": {}, \"ns\": {}, \"records_per_s\": {:.1}}},\n",
             self.ingest_records, self.ingest_ns, self.ingest_records_per_s
+        ));
+        out.push_str(&format!(
+            "  \"ingest_columnar\": {{\"records\": {}, \"ns\": {}, \"records_per_s\": {:.1}, \"vs_pcap\": {:.3}}},\n",
+            self.ingest_records,
+            self.columnar_ingest_ns,
+            self.columnar_ingest_records_per_s,
+            self.columnar_vs_pcap
         ));
         out.push_str(&format!(
             "  \"serial\": {{\"ns\": {}, \"records_per_s\": {:.1}}},\n",
@@ -303,12 +320,32 @@ pub fn bench_trace(scale: f64) -> Vec<TraceRecord> {
     run_backbone(&spec).records
 }
 
-/// Measures the zero-alloc pcap ingest rate: synthesises an in-memory
-/// 40-byte-snaplen trace of `n_records` packets, then times
-/// `records_from_pcap` over it, best of `repeats` passes (a single pass
-/// soaks up scheduler noise just like the detect timings would).
-/// Returns `(records, ns, records_per_s)`.
-pub fn bench_ingest(n_records: usize, repeats: usize) -> (u64, u64, f64) {
+/// The pcap-vs-columnar ingest comparison over one synthetic trace.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestBench {
+    /// Records decoded (identical for both paths, asserted).
+    pub records: u64,
+    /// Best-of-repeats pcap decode wall time in nanoseconds.
+    pub pcap_ns: u64,
+    /// Pcap decode throughput in records/second.
+    pub pcap_records_per_s: f64,
+    /// Best-of-repeats columnar (`.ltc`) decode wall time in nanoseconds.
+    pub columnar_ns: u64,
+    /// Columnar decode throughput in records/second.
+    pub columnar_records_per_s: f64,
+    /// `columnar_records_per_s / pcap_records_per_s`.
+    pub columnar_vs_pcap: f64,
+}
+
+/// Measures both ingest paths like-for-like: synthesises an in-memory
+/// 40-byte-snaplen trace of `n_records` packets, times the zero-alloc
+/// `records_from_pcap` over it, converts the decoded records to an
+/// in-memory `.ltc` image, and times the serial columnar decode of the
+/// same data — best of `repeats` passes each, single-threaded both ways,
+/// with the decoded record vectors asserted equal. The resulting
+/// `columnar_vs_pcap` ratio is within-run and machine-independent, which
+/// is what lets the CI gate floor it everywhere.
+pub fn bench_ingest(n_records: usize, repeats: usize) -> IngestBench {
     use net_types::{Packet, TcpFlags};
     use pcaplib::{FileHeader, PcapWriter};
     use std::net::Ipv4Addr;
@@ -339,23 +376,64 @@ pub fn bench_ingest(n_records: usize, repeats: usize) -> (u64, u64, f64) {
     }
     let file = w.finish().expect("in-memory finish");
 
-    let mut ns = u64::MAX;
+    let mut pcap_ns = u64::MAX;
     let mut records = Vec::new();
     for _ in 0..repeats.max(1) {
         let t = Instant::now();
         let (recs, skipped) =
             routing_loops::convert::records_from_pcap(std::io::Cursor::new(&file[..]))
                 .expect("synthetic trace must parse");
-        ns = ns.min(t.elapsed().as_nanos() as u64);
+        pcap_ns = pcap_ns.min(t.elapsed().as_nanos() as u64);
         assert_eq!(skipped, 0, "synthetic packets must all parse");
         records = recs;
     }
-    let rps = if ns == 0 {
-        0.0
-    } else {
-        records.len() as f64 / (ns as f64 / 1e9)
+
+    // The conversion (untimed) is what `pcap2ltc` does; the timed part is
+    // the repeated-scan payoff.
+    let ltc = corpus::ltc_to_vec(&records, 0);
+    let mut columnar_ns = u64::MAX;
+    let mut columnar_records = Vec::new();
+    for _ in 0..repeats.max(1) {
+        let t = Instant::now();
+        let mut reader = corpus::LtcReader::new(std::io::Cursor::new(&ltc[..]), "bench.ltc")
+            .expect("in-memory corpus must validate");
+        let mut out = Vec::with_capacity(records.len());
+        let mut batch = Vec::new();
+        while reader
+            .next_block_into(&mut batch)
+            .expect("in-memory corpus must decode")
+        {
+            out.extend_from_slice(&batch);
+        }
+        columnar_ns = columnar_ns.min(t.elapsed().as_nanos() as u64);
+        columnar_records = out;
+    }
+    assert_eq!(
+        columnar_records, records,
+        "columnar ingest must reproduce the pcap decode exactly"
+    );
+
+    let rps = |ns: u64| {
+        if ns == 0 {
+            0.0
+        } else {
+            records.len() as f64 / (ns as f64 / 1e9)
+        }
     };
-    (records.len() as u64, ns, rps)
+    let pcap_records_per_s = rps(pcap_ns);
+    let columnar_records_per_s = rps(columnar_ns);
+    IngestBench {
+        records: records.len() as u64,
+        pcap_ns,
+        pcap_records_per_s,
+        columnar_ns,
+        columnar_records_per_s,
+        columnar_vs_pcap: if pcap_records_per_s > 0.0 {
+            columnar_records_per_s / pcap_records_per_s
+        } else {
+            0.0
+        },
+    }
 }
 
 fn make_engine(engine: BenchEngine, cfg: DetectorConfig, threads: usize) -> Box<dyn Engine> {
@@ -450,8 +528,7 @@ pub fn run_on_engine(
             }
         })
         .collect();
-    let (ingest_records, ingest_ns, ingest_records_per_s) =
-        bench_ingest(records.len().max(1), repeats);
+    let ingest = bench_ingest(records.len().max(1), repeats);
     ParallelBench {
         engine: engine.name(),
         records: records.len() as u64,
@@ -463,9 +540,12 @@ pub fn run_on_engine(
         serial_best_ns,
         serial_records_per_s: per_s(serial_best_ns),
         serial_stages,
-        ingest_records,
-        ingest_ns,
-        ingest_records_per_s,
+        ingest_records: ingest.records,
+        ingest_ns: ingest.pcap_ns,
+        ingest_records_per_s: ingest.pcap_records_per_s,
+        columnar_ingest_ns: ingest.columnar_ns,
+        columnar_ingest_records_per_s: ingest.columnar_records_per_s,
+        columnar_vs_pcap: ingest.columnar_vs_pcap,
         samples,
     }
 }
@@ -558,6 +638,8 @@ mod tests {
         assert!(bench.cores >= 1);
         assert!(bench.ingest_records == bench.records);
         assert!(bench.ingest_records_per_s > 0.0);
+        assert!(bench.columnar_ingest_records_per_s > 0.0);
+        assert!(bench.columnar_vs_pcap > 0.0);
         assert!(!bench.rustc.is_empty());
         assert!(!bench.runner.is_empty());
         let serial_detect = bench
@@ -575,8 +657,11 @@ mod tests {
         assert!(json.contains("\"rustc\": \""));
         assert!(json.contains("\"runner\": \""));
         assert!(json.contains("\"ingest\": {\"records\": "));
+        assert!(json.contains("\"ingest_columnar\": {\"records\": "));
+        assert!(json.contains("\"vs_pcap\": "));
         assert!(json.contains("\"serial_stages\": {\"replica.detect\": "));
         assert!(json.contains("\"block.scan\": "));
+        assert!(json.contains("\"block.w0.index\": "));
         assert!(json.contains("\"block.w0.busy\": "));
     }
 }

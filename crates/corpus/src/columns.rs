@@ -1,0 +1,351 @@
+//! Column codec: [`loopscope::TraceRecord`] ⇄ the fixed-width column
+//! arrays of one `.ltc` block.
+//!
+//! Encoding walks the records once per column so each output lane is
+//! written as one contiguous run; decoding fills a pre-sized record slice
+//! column by column, so the hot loops are straight-line passes over
+//! same-width lanes. The fingerprint column is stored, not recomputed —
+//! that is the point of the format: the level-0 prefilter probe needs no
+//! hashing on scan.
+
+use crate::format::{CorpusError, ROW_BYTES, TAG_ICMP, TAG_OTHER, TAG_TCP, TAG_UDP};
+use loopscope::{TraceRecord, TransportSummary};
+use std::net::Ipv4Addr;
+use std::path::Path;
+
+/// Width of the `tp_blob` column.
+const BLOB_BYTES: usize = 20;
+
+/// Per-record byte offsets of each column's lane start within a block of
+/// `k` records: `lane_start(col) = sum(width of earlier cols) * k`.
+struct Lanes {
+    k: usize,
+}
+
+impl Lanes {
+    const TIMESTAMP: usize = 0;
+    const FINGERPRINT: usize = 8;
+    const SRC: usize = 16;
+    const DST: usize = 20;
+    const IDENT: usize = 24;
+    const TOTAL_LEN: usize = 26;
+    const FRAG_WORD: usize = 28;
+    const IP_CHECKSUM: usize = 30;
+    const PROTOCOL: usize = 32;
+    const TOS: usize = 33;
+    const TTL: usize = 34;
+    const TP_TAG: usize = 35;
+    const TP_BLOB: usize = 36;
+
+    fn start(&self, cumulative_width: usize) -> usize {
+        cumulative_width * self.k
+    }
+}
+
+/// The zero record used to pre-size decode output (every field is then
+/// overwritten column by column).
+const EMPTY: TraceRecord = TraceRecord {
+    timestamp_ns: 0,
+    src: Ipv4Addr::new(0, 0, 0, 0),
+    dst: Ipv4Addr::new(0, 0, 0, 0),
+    protocol: 0,
+    ident: 0,
+    total_len: 0,
+    tos: 0,
+    ttl: 0,
+    frag_word: 0,
+    ip_checksum: 0,
+    transport: TransportSummary::Other {
+        lead: [0; 8],
+        len: 0,
+    },
+    fingerprint: 0,
+};
+
+/// Serialises `records` as one block's column data, appended to `out`.
+pub fn encode_block(records: &[TraceRecord], out: &mut Vec<u8>) {
+    let k = records.len();
+    out.reserve(k * ROW_BYTES);
+    for r in records {
+        out.extend_from_slice(&r.timestamp_ns.to_le_bytes());
+    }
+    for r in records {
+        out.extend_from_slice(&r.fingerprint.to_le_bytes());
+    }
+    for r in records {
+        out.extend_from_slice(&u32::from(r.src).to_le_bytes());
+    }
+    for r in records {
+        out.extend_from_slice(&u32::from(r.dst).to_le_bytes());
+    }
+    for r in records {
+        out.extend_from_slice(&r.ident.to_le_bytes());
+    }
+    for r in records {
+        out.extend_from_slice(&r.total_len.to_le_bytes());
+    }
+    for r in records {
+        out.extend_from_slice(&r.frag_word.to_le_bytes());
+    }
+    for r in records {
+        out.extend_from_slice(&r.ip_checksum.to_le_bytes());
+    }
+    for r in records {
+        out.push(r.protocol);
+    }
+    for r in records {
+        out.push(r.tos);
+    }
+    for r in records {
+        out.push(r.ttl);
+    }
+    for r in records {
+        out.push(transport_tag(&r.transport));
+    }
+    for r in records {
+        let mut blob = [0u8; BLOB_BYTES];
+        encode_blob(&r.transport, &mut blob);
+        out.extend_from_slice(&blob);
+    }
+}
+
+fn transport_tag(t: &TransportSummary) -> u8 {
+    match t {
+        TransportSummary::Tcp { .. } => TAG_TCP,
+        TransportSummary::Udp { .. } => TAG_UDP,
+        TransportSummary::Icmp { .. } => TAG_ICMP,
+        TransportSummary::Other { .. } => TAG_OTHER,
+    }
+}
+
+fn encode_blob(t: &TransportSummary, blob: &mut [u8; BLOB_BYTES]) {
+    match *t {
+        TransportSummary::Tcp {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags,
+            window,
+            checksum,
+            urgent,
+        } => {
+            blob[0..2].copy_from_slice(&src_port.to_le_bytes());
+            blob[2..4].copy_from_slice(&dst_port.to_le_bytes());
+            blob[4..8].copy_from_slice(&seq.to_le_bytes());
+            blob[8..12].copy_from_slice(&ack.to_le_bytes());
+            blob[12..14].copy_from_slice(&window.to_le_bytes());
+            blob[14..16].copy_from_slice(&checksum.to_le_bytes());
+            blob[16..18].copy_from_slice(&urgent.to_le_bytes());
+            blob[18] = flags;
+        }
+        TransportSummary::Udp {
+            src_port,
+            dst_port,
+            length,
+            checksum,
+        } => {
+            blob[0..2].copy_from_slice(&src_port.to_le_bytes());
+            blob[2..4].copy_from_slice(&dst_port.to_le_bytes());
+            blob[4..6].copy_from_slice(&length.to_le_bytes());
+            blob[6..8].copy_from_slice(&checksum.to_le_bytes());
+        }
+        TransportSummary::Icmp {
+            icmp_type,
+            code,
+            checksum,
+            rest,
+        } => {
+            blob[0] = icmp_type;
+            blob[1] = code;
+            blob[2..4].copy_from_slice(&checksum.to_le_bytes());
+            blob[4..8].copy_from_slice(&rest);
+        }
+        TransportSummary::Other { lead, len } => {
+            blob[0] = len;
+            blob[1..9].copy_from_slice(&lead);
+        }
+    }
+}
+
+fn decode_blob(tag: u8, blob: &[u8]) -> Option<TransportSummary> {
+    let u16_at = |i: usize| u16::from_le_bytes(blob[i..i + 2].try_into().expect("2 bytes"));
+    let u32_at = |i: usize| u32::from_le_bytes(blob[i..i + 4].try_into().expect("4 bytes"));
+    Some(match tag {
+        TAG_TCP => TransportSummary::Tcp {
+            src_port: u16_at(0),
+            dst_port: u16_at(2),
+            seq: u32_at(4),
+            ack: u32_at(8),
+            window: u16_at(12),
+            checksum: u16_at(14),
+            urgent: u16_at(16),
+            flags: blob[18],
+        },
+        TAG_UDP => TransportSummary::Udp {
+            src_port: u16_at(0),
+            dst_port: u16_at(2),
+            length: u16_at(4),
+            checksum: u16_at(6),
+        },
+        TAG_ICMP => TransportSummary::Icmp {
+            icmp_type: blob[0],
+            code: blob[1],
+            checksum: u16_at(2),
+            rest: blob[4..8].try_into().expect("4 bytes"),
+        },
+        TAG_OTHER => TransportSummary::Other {
+            lead: blob[1..9].try_into().expect("8 bytes"),
+            len: blob[0],
+        },
+        _ => return None,
+    })
+}
+
+/// Decodes one block's column data (exactly `k * ROW_BYTES` bytes) into
+/// records appended to `out`. `path` and `data_offset` (the file offset of
+/// `bytes[0]`) locate any defect in the error.
+pub fn decode_block(
+    bytes: &[u8],
+    k: usize,
+    out: &mut Vec<TraceRecord>,
+    path: &Path,
+    data_offset: u64,
+) -> Result<(), CorpusError> {
+    assert_eq!(bytes.len(), k * ROW_BYTES, "caller sizes the block buffer");
+    let lanes = Lanes { k };
+    let base = out.len();
+    out.resize(base + k, EMPTY);
+    let recs = &mut out[base..];
+
+    let u64_lane = |start: usize, i: usize| {
+        let at = start + i * 8;
+        u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"))
+    };
+    let u32_lane = |start: usize, i: usize| {
+        let at = start + i * 4;
+        u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"))
+    };
+    let u16_lane = |start: usize, i: usize| {
+        let at = start + i * 2;
+        u16::from_le_bytes(bytes[at..at + 2].try_into().expect("2 bytes"))
+    };
+
+    let ts = lanes.start(Lanes::TIMESTAMP);
+    let fp = lanes.start(Lanes::FINGERPRINT);
+    let src = lanes.start(Lanes::SRC);
+    let dst = lanes.start(Lanes::DST);
+    let ident = lanes.start(Lanes::IDENT);
+    let total_len = lanes.start(Lanes::TOTAL_LEN);
+    let frag = lanes.start(Lanes::FRAG_WORD);
+    let ipck = lanes.start(Lanes::IP_CHECKSUM);
+    let proto = lanes.start(Lanes::PROTOCOL);
+    let tos = lanes.start(Lanes::TOS);
+    let ttl = lanes.start(Lanes::TTL);
+    let tag = lanes.start(Lanes::TP_TAG);
+    let blob = lanes.start(Lanes::TP_BLOB);
+
+    for (i, r) in recs.iter_mut().enumerate() {
+        r.timestamp_ns = u64_lane(ts, i);
+        r.fingerprint = u64_lane(fp, i);
+    }
+    for (i, r) in recs.iter_mut().enumerate() {
+        r.src = Ipv4Addr::from(u32_lane(src, i));
+        r.dst = Ipv4Addr::from(u32_lane(dst, i));
+    }
+    for (i, r) in recs.iter_mut().enumerate() {
+        r.ident = u16_lane(ident, i);
+        r.total_len = u16_lane(total_len, i);
+        r.frag_word = u16_lane(frag, i);
+        r.ip_checksum = u16_lane(ipck, i);
+    }
+    for (i, r) in recs.iter_mut().enumerate() {
+        r.protocol = bytes[proto + i];
+        r.tos = bytes[tos + i];
+        r.ttl = bytes[ttl + i];
+    }
+    for (i, r) in recs.iter_mut().enumerate() {
+        let t = bytes[tag + i];
+        let b = &bytes[blob + i * BLOB_BYTES..blob + (i + 1) * BLOB_BYTES];
+        r.transport = decode_blob(t, b)
+            .ok_or_else(|| out_of_band_tag_error(path, data_offset + (tag + i) as u64))?;
+        // The stored fingerprint must be what ingest would have stamped;
+        // the converter computes it once so scans never hash.
+        debug_assert_eq!(
+            r.fingerprint,
+            loopscope::ReplicaKey::of(r).fingerprint(),
+            "stored fingerprint diverges from the replica-key fields"
+        );
+    }
+    Ok(())
+}
+
+fn out_of_band_tag_error(path: &Path, offset: u64) -> CorpusError {
+    CorpusError::Corrupt {
+        path: path.to_path_buf(),
+        offset,
+        what: "unknown transport tag (valid: 1=tcp 2=udp 3=icmp 4=other)",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_types::{IcmpHeader, IpProtocol, Packet, TcpFlags, UdpHeader};
+
+    fn sample_records() -> Vec<TraceRecord> {
+        let src = Ipv4Addr::new(100, 2, 3, 4);
+        let dst = Ipv4Addr::new(203, 0, 113, 77);
+        let packets = [
+            Packet::tcp_flags(src, dst, 999, 80, TcpFlags::SYN | TcpFlags::ACK, &b"xy"[..]),
+            Packet::udp(src, dst, UdpHeader::new(53, 5353), &b"q"[..]),
+            Packet::icmp(src, dst, IcmpHeader::echo(true, 7, 3), &b"ping"[..]),
+            Packet::opaque(src, dst, IpProtocol::Igmp, vec![0x16, 1, 2, 3]),
+        ];
+        packets
+            .iter()
+            .enumerate()
+            .map(|(i, p)| TraceRecord::from_packet(i as u64 * 1_000, p))
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_every_transport_variant() {
+        let records = sample_records();
+        let mut bytes = Vec::new();
+        encode_block(&records, &mut bytes);
+        assert_eq!(bytes.len(), records.len() * ROW_BYTES);
+        let mut back = Vec::new();
+        decode_block(&bytes, records.len(), &mut back, Path::new("t.ltc"), 0).unwrap();
+        assert_eq!(records, back);
+    }
+
+    #[test]
+    fn bad_transport_tag_is_located() {
+        let records = sample_records();
+        let mut bytes = Vec::new();
+        encode_block(&records, &mut bytes);
+        // Corrupt record 2's tag in place.
+        let tag_lane = 35 * records.len();
+        bytes[tag_lane + 2] = 200;
+        let mut back = Vec::new();
+        let err =
+            decode_block(&bytes, records.len(), &mut back, Path::new("t.ltc"), 48).unwrap_err();
+        match err {
+            CorpusError::Corrupt { offset, .. } => {
+                assert_eq!(offset, 48 + tag_lane as u64 + 2);
+            }
+            other => panic!("expected Corrupt, got {other}"),
+        }
+    }
+
+    #[test]
+    fn empty_block_is_legal() {
+        let mut bytes = Vec::new();
+        encode_block(&[], &mut bytes);
+        assert!(bytes.is_empty());
+        let mut back = Vec::new();
+        decode_block(&bytes, 0, &mut back, Path::new("t.ltc"), 0).unwrap();
+        assert!(back.is_empty());
+    }
+}

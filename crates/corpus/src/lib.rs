@@ -1,0 +1,302 @@
+//! Columnar on-disk trace corpus (`.ltc` — "loop trace columnar").
+//!
+//! A compact structure-of-arrays storage format for decoded
+//! [`TraceRecord`](loopscope::TraceRecord)s, built for fast *repeated*
+//! scans of the same capture: convert a pcap once (`pcap2ltc`), then every
+//! detector run ingests fixed-width column arrays instead of re-walking
+//! per-packet pcap headers and re-hashing replica keys.
+//!
+//! Why it is fast to ingest:
+//!
+//! - **No per-record framing.** Rows are a fixed 56 bytes spread across 13
+//!   column arrays; a block's byte length is pure arithmetic, so readers
+//!   never parse a header to find the next record and parallel readers
+//!   compute their seek offsets directly.
+//! - **Fingerprints are precomputed.** The 64-bit replica fingerprint (the
+//!   level-0 prefilter probe) is a stored column, computed once at
+//!   conversion — a corpus scan does no hashing.
+//! - **Block-aligned ingest.** Records travel in 8192-row blocks whose u64
+//!   lanes are exactly 64 KiB; `BlockParallelDetector` split points fall on
+//!   row boundaries with no snap-forward.
+//!
+//! Integrity is first-class: a checksummed, versioned header plus a
+//! per-block checksum (mixed with the block index, so swapped blocks
+//! fail). Every defect — bad magic, wrong version, truncation, checksum
+//! mismatch, undecodable cell — surfaces as a typed [`CorpusError`] naming
+//! the file and byte offset; nothing panics and nothing short-reads
+//! silently.
+//!
+//! The full byte-level layout is specified in `DESIGN.md` (§ on-disk
+//! corpus format).
+
+pub mod columns;
+pub mod format;
+pub mod reader;
+pub mod sequence;
+pub mod writer;
+
+pub use format::{
+    ChecksumRegion, CorpusError, LtcHeader, BLOCK_RECORDS, MAGIC, ROW_BYTES, VERSION,
+};
+pub use reader::{records_from_ltc, records_from_ltc_parallel, ColumnarSource, LtcReader};
+pub use sequence::{is_ltc_magic, sniff_is_ltc, CorpusFileSequence};
+pub use writer::{ltc_to_vec, write_ltc_file, LtcWriter};
+
+#[cfg(test)]
+mod corruption_tests {
+    use super::format::{block_offset, ChecksumRegion, CorpusError, HEADER_LEN, MAGIC};
+    use super::reader::LtcReader;
+    use super::writer::ltc_to_vec;
+    use loopscope::{TraceRecord, TransportSummary};
+    use std::io::Cursor;
+    use std::net::Ipv4Addr;
+
+    /// Deterministic records cycling through every transport variant.
+    fn sample_records(n: usize) -> Vec<TraceRecord> {
+        (0..n as u64)
+            .map(|i| {
+                let transport = match i % 4 {
+                    0 => TransportSummary::Tcp {
+                        src_port: 1000 + i as u16,
+                        dst_port: 80,
+                        seq: 7 * i as u32,
+                        ack: 3 * i as u32,
+                        flags: 0x18,
+                        window: 65_000,
+                        checksum: i as u16,
+                        urgent: 0,
+                    },
+                    1 => TransportSummary::Udp {
+                        src_port: 53,
+                        dst_port: 2000 + i as u16,
+                        length: 64,
+                        checksum: !(i as u16),
+                    },
+                    2 => TransportSummary::Icmp {
+                        icmp_type: 8,
+                        code: 0,
+                        checksum: i as u16,
+                        rest: (i as u32).to_be_bytes(),
+                    },
+                    _ => TransportSummary::Other {
+                        lead: (i.wrapping_mul(0x9e37)).to_be_bytes(),
+                        len: (i % 9) as u8,
+                    },
+                };
+                TraceRecord {
+                    timestamp_ns: i * 1_000,
+                    src: Ipv4Addr::from(0x0a00_0000u32 | (i as u32 & 0xffff)),
+                    dst: Ipv4Addr::from(0xc0a8_0000u32 | ((i as u32 * 3) & 0xffff)),
+                    protocol: [6, 17, 1, 47][(i % 4) as usize],
+                    ident: i as u16,
+                    total_len: 40 + (i % 1400) as u16,
+                    tos: (i % 3) as u8,
+                    ttl: 1 + (i % 255) as u8,
+                    frag_word: if i % 5 == 0 { 0x4000 } else { 0 },
+                    ip_checksum: (i as u16).rotate_left(3),
+                    transport,
+                    fingerprint: 0,
+                }
+                .with_fingerprint()
+            })
+            .collect()
+    }
+
+    fn read_all(bytes: Vec<u8>) -> Result<Vec<TraceRecord>, CorpusError> {
+        let mut reader = LtcReader::new(Cursor::new(bytes), "test.ltc")?;
+        let mut out = Vec::new();
+        let mut batch = Vec::new();
+        while reader.next_block_into(&mut batch)? {
+            out.extend_from_slice(&batch);
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn roundtrip_various_sizes() {
+        // 0 records, sub-block, exactly one block, block + partial.
+        for n in [0usize, 3, 8192, 8192 + 17] {
+            let records = sample_records(n);
+            let bytes = ltc_to_vec(&records, 7);
+            let reader = LtcReader::new(Cursor::new(bytes.clone()), "t.ltc").unwrap();
+            assert_eq!(reader.header().records, n as u64);
+            assert_eq!(reader.header().skipped, 7);
+            drop(reader);
+            assert_eq!(read_all(bytes).unwrap(), records, "n={n}");
+        }
+    }
+
+    #[test]
+    fn empty_file_is_truncated_header() {
+        match LtcReader::new(Cursor::new(Vec::new()), "empty.ltc").err() {
+            Some(CorpusError::Truncated {
+                offset,
+                needed,
+                got,
+                path,
+            }) => {
+                assert_eq!(offset, 0);
+                assert_eq!(needed, HEADER_LEN as u64);
+                assert_eq!(got, 0);
+                assert_eq!(path.to_str().unwrap(), "empty.ltc");
+            }
+            other => panic!("expected truncated header, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_mid_header() {
+        let bytes = ltc_to_vec(&sample_records(10), 0);
+        let short = bytes[..HEADER_LEN - 5].to_vec();
+        match LtcReader::new(Cursor::new(short), "t.ltc").err() {
+            Some(CorpusError::Truncated {
+                offset: 0,
+                needed,
+                got,
+                ..
+            }) => {
+                assert_eq!(needed, HEADER_LEN as u64);
+                assert_eq!(got, (HEADER_LEN - 5) as u64);
+            }
+            other => panic!("expected truncated header, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_column_arrays() {
+        // Cut mid-way through the second block's column data.
+        let records = sample_records(8192 + 100);
+        let full = ltc_to_vec(&records, 0);
+        let cut = block_offset(1) as usize + 40; // inside block 1
+        let err = read_all(full[..cut].to_vec()).unwrap_err();
+        match err {
+            CorpusError::Truncated {
+                offset,
+                needed,
+                got,
+                ref path,
+            } => {
+                assert_eq!(offset, block_offset(1));
+                assert_eq!(got, 40);
+                assert!(needed > got);
+                assert_eq!(path.to_str().unwrap(), "test.ltc");
+            }
+            other => panic!("expected truncated block, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("test.ltc"), "message names the file: {msg}");
+        assert!(
+            msg.contains(&block_offset(1).to_string()),
+            "message names the offset: {msg}"
+        );
+    }
+
+    #[test]
+    fn bad_magic() {
+        let mut bytes = ltc_to_vec(&sample_records(4), 0);
+        bytes[0] ^= 0xff;
+        match read_all(bytes) {
+            Err(CorpusError::BadMagic { path, .. }) => {
+                assert_eq!(path.to_str().unwrap(), "test.ltc");
+            }
+            other => panic!("expected bad magic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_version() {
+        let mut bytes = ltc_to_vec(&sample_records(4), 0);
+        bytes[MAGIC.len()] = 99; // version u32 LE low byte
+        match read_all(bytes) {
+            Err(CorpusError::UnsupportedVersion { found, .. }) => assert_eq!(found, 99),
+            other => panic!("expected unsupported version, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn header_checksum_mismatch() {
+        let mut bytes = ltc_to_vec(&sample_records(4), 0);
+        bytes[16] ^= 0x01; // flip a record-count bit; header checksum must catch it
+        match read_all(bytes) {
+            Err(CorpusError::ChecksumMismatch {
+                region: ChecksumRegion::Header,
+                offset,
+                ..
+            }) => {
+                assert_eq!(offset, 32);
+            }
+            other => panic!("expected header checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn block_checksum_mismatch_names_block_and_offset() {
+        let records = sample_records(8192 + 10);
+        let mut bytes = ltc_to_vec(&records, 0);
+        let victim = block_offset(1) as usize + 8 + 3; // a data byte in block 1
+        bytes[victim] ^= 0x10;
+        match read_all(bytes) {
+            Err(CorpusError::ChecksumMismatch {
+                region: ChecksumRegion::Block(1),
+                offset,
+                ..
+            }) => {
+                assert_eq!(offset, block_offset(1));
+            }
+            other => panic!("expected block 1 checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn swapped_blocks_fail_checksum() {
+        // Two identical blocks swapped: byte-identical payloads, but the
+        // block index is mixed into each checksum, so the swap is caught.
+        let one_block = sample_records(8192);
+        let mut two = one_block.clone();
+        two.extend_from_slice(&one_block);
+        let bytes = ltc_to_vec(&two, 0);
+        let b0 = block_offset(0) as usize;
+        let b1 = block_offset(1) as usize;
+        let len = b1 - b0;
+        let mut swapped = bytes.clone();
+        swapped[b0..b0 + len].copy_from_slice(&bytes[b1..b1 + len]);
+        swapped[b1..b1 + len].copy_from_slice(&bytes[b0..b0 + len]);
+        // Payloads identical → checksums differ only via the mixed-in index.
+        match read_all(swapped) {
+            Err(CorpusError::ChecksumMismatch {
+                region: ChecksumRegion::Block(0),
+                ..
+            }) => {}
+            other => panic!("expected block 0 checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_corrupt() {
+        let mut bytes = ltc_to_vec(&sample_records(20), 0);
+        let end = bytes.len() as u64;
+        bytes.extend_from_slice(b"junk");
+        match read_all(bytes) {
+            Err(CorpusError::Corrupt { offset, .. }) => assert_eq!(offset, end),
+            other => panic!("expected trailing-bytes corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_read_matches_serial() {
+        let records = sample_records(3 * 8192 + 123);
+        let bytes = ltc_to_vec(&records, 5);
+        let dir = std::env::temp_dir().join(format!("corpus-par-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("par.ltc");
+        std::fs::write(&path, &bytes).unwrap();
+        let (serial, sk1) = super::reader::records_from_ltc(&path).unwrap();
+        for threads in [1, 2, 4, 8] {
+            let (par, sk) = super::reader::records_from_ltc_parallel(&path, threads).unwrap();
+            assert_eq!(par, serial, "threads={threads}");
+            assert_eq!(sk, sk1);
+        }
+        assert_eq!(serial, records);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,152 @@
+//! A multi-file corpus source: several `.ltc` (or pcap) files read as one
+//! logical trace, with optional parallel decode and strictly ordered
+//! delivery — the columnar mirror of `loopscope`'s `PcapFileSequence`.
+
+use crate::format::MAGIC;
+use crate::reader::{records_from_ltc, to_source_error};
+use loopscope::pipeline::{PcapSource, PipelineError, RecordSource, SourceError, SourceSummary};
+use loopscope::TraceRecord;
+use std::io::Read;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Batch size for ordered delivery of pre-decoded files; matches the
+/// pcap source's batching so engines see the same boundaries either way.
+const BATCH: usize = 1024;
+
+/// Whether `prefix` starts with the `.ltc` magic bytes.
+pub fn is_ltc_magic(prefix: &[u8]) -> bool {
+    prefix.len() >= MAGIC.len() && prefix[..MAGIC.len()] == MAGIC
+}
+
+/// Sniffs a file's leading bytes for the `.ltc` magic. Short files (even
+/// empty ones) sniff as "not ltc" — the pcap layer then reports its own
+/// header error.
+pub fn sniff_is_ltc(path: &Path) -> std::io::Result<bool> {
+    let mut file = std::fs::File::open(path)?;
+    let mut prefix = [0u8; 8];
+    let mut n = 0;
+    while n < prefix.len() {
+        let m = file.read(&mut prefix[n..])?;
+        if m == 0 {
+            break;
+        }
+        n += m;
+    }
+    Ok(is_ltc_magic(&prefix[..n]))
+}
+
+/// A source concatenating several trace files — `.ltc` or pcap, sniffed
+/// per file by magic bytes — into one logical trace.
+///
+/// Files are read in the order given and must be globally timestamp-
+/// ordered (each file's records later than the previous file's), the
+/// usual layout for rotated captures of one link. With
+/// [`with_ingest_threads`](Self::with_ingest_threads) > 1 files decode
+/// concurrently but are *delivered* strictly in path order, so engines
+/// see exactly the serial stream.
+pub struct CorpusFileSequence {
+    paths: Vec<PathBuf>,
+    ingest_threads: usize,
+}
+
+impl CorpusFileSequence {
+    /// A sequence over the given paths, read in order.
+    pub fn new<I, P>(paths: I) -> Self
+    where
+        I: IntoIterator<Item = P>,
+        P: Into<PathBuf>,
+    {
+        Self {
+            paths: paths.into_iter().map(Into::into).collect(),
+            ingest_threads: 1,
+        }
+    }
+
+    /// Decodes up to `threads` files concurrently; delivery order is
+    /// unchanged. Decoded files are buffered until their turn, so peak
+    /// memory grows with the decode lead.
+    pub fn with_ingest_threads(mut self, threads: usize) -> Self {
+        self.ingest_threads = threads.max(1);
+        self
+    }
+
+    /// Fully decodes one file (either format) into memory.
+    fn decode_file(path: &PathBuf) -> Result<(Vec<TraceRecord>, u64), PipelineError> {
+        if sniff_is_ltc(path).map_err(|e| PipelineError::Source(SourceError::Io(e)))? {
+            return records_from_ltc(path).map_err(to_source_error);
+        }
+        let file =
+            std::fs::File::open(path).map_err(|e| PipelineError::Source(SourceError::Io(e)))?;
+        let mut src =
+            PcapSource::new(std::io::BufReader::new(file)).map_err(PipelineError::Source)?;
+        let mut records = Vec::new();
+        let summary = src.for_each_batch(&mut |batch| {
+            records.extend_from_slice(batch);
+            Ok(())
+        })?;
+        Ok((records, summary.skipped))
+    }
+}
+
+impl RecordSource for CorpusFileSequence {
+    fn for_each_batch(
+        &mut self,
+        f: &mut dyn FnMut(&[TraceRecord]) -> Result<(), PipelineError>,
+    ) -> Result<SourceSummary, PipelineError> {
+        let mut summary = SourceSummary::default();
+        if self.ingest_threads <= 1 || self.paths.len() <= 1 {
+            for path in &self.paths {
+                let (records, skipped) = Self::decode_file(path)?;
+                summary.skipped += skipped;
+                for chunk in records.chunks(BATCH) {
+                    summary.records += chunk.len() as u64;
+                    f(chunk)?;
+                }
+            }
+            return Ok(summary);
+        }
+
+        // Parallel decode, ordered delivery: workers claim files through
+        // an atomic ticket and park finished decodes in per-file slots;
+        // this thread consumes the slots strictly in path order.
+        type Slot = Option<Result<(Vec<TraceRecord>, u64), PipelineError>>;
+        let workers = self.ingest_threads.min(self.paths.len());
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Slot>> = Mutex::new((0..self.paths.len()).map(|_| None).collect());
+        let ready = Condvar::new();
+        let paths = &self.paths;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= paths.len() {
+                        break;
+                    }
+                    let decoded = Self::decode_file(&paths[i]);
+                    slots.lock().expect("decode slots poisoned")[i] = Some(decoded);
+                    ready.notify_all();
+                });
+            }
+            for i in 0..paths.len() {
+                let decoded = {
+                    let mut guard = slots.lock().expect("decode slots poisoned");
+                    loop {
+                        if let Some(d) = guard[i].take() {
+                            break d;
+                        }
+                        guard = ready.wait(guard).expect("decode slots poisoned");
+                    }
+                };
+                let (records, skipped) = decoded?;
+                summary.skipped += skipped;
+                for chunk in records.chunks(BATCH) {
+                    summary.records += chunk.len() as u64;
+                    f(chunk)?;
+                }
+            }
+            Ok(summary)
+        })
+    }
+}

@@ -63,7 +63,7 @@ use crate::record::TraceRecord;
 use crate::replica::{normalise_fp, CandidateScanner, DetectionResult, DetectionStats};
 use crate::shard::shard_of;
 use crate::stream::ReplicaStream;
-use crate::validate::{self, PrefixIndex};
+use crate::validate::{self, IndexPartial, PrefixIndex};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 use std::time::Instant;
@@ -78,6 +78,9 @@ struct ScanPartial {
     candidates: Vec<ReplicaStream>,
     /// Normalised fingerprints behind this range's checksum-split events.
     split_fps: Vec<u64>,
+    /// This range's share of the step-2 [`PrefixIndex`], built here so the
+    /// index work overlaps the scan instead of serialising after it.
+    index_part: IndexPartial,
 }
 
 /// One worker's share of the step-2/3 validate+merge.
@@ -151,8 +154,14 @@ impl BlockParallelDetector {
             .gauge("block.workers")
             .set(workers as i64);
 
-        // Phase A: per-range candidate scans, share-nothing.
-        let partials = self.scan_ranges(records, &splits);
+        // Phase A: per-range candidate scans, share-nothing. Each worker
+        // also builds its range's share of the step-2 prefix index, so
+        // the formerly serial index rebuild overlaps the scan.
+        let mut partials = self.scan_ranges(records, &splits);
+        let index_parts: Vec<IndexPartial> = partials
+            .iter_mut()
+            .map(|p| std::mem::take(&mut p.index_part))
+            .collect();
 
         // Boundary reconciliation: find fingerprints whose serial
         // candidates could differ from the per-range ones, rescan exactly
@@ -176,9 +185,11 @@ impl BlockParallelDetector {
             }
         }
 
+        // Only the cheap per-range merge remains serial here; the O(n)
+        // posting construction already happened inside the scan workers.
         let index = {
             let _t = telemetry::span("block.index");
-            PrefixIndex::build_parallel(records, workers)
+            PrefixIndex::from_partials(index_parts)
         };
 
         // Phase B: validate + merge, partitioned by destination /24.
@@ -242,16 +253,22 @@ impl BlockParallelDetector {
                                 scanner.push(lo + off, rec);
                             }
                             let (candidates, _counters, split_fps) = scanner.finish_with_splits();
-                            let elapsed = started.elapsed().as_nanos() as u64;
+                            let scan_ns = started.elapsed().as_nanos() as u64;
                             telemetry::global()
                                 .timer(block_metric(w, "scan"))
-                                .record(elapsed);
+                                .record(scan_ns);
+                            let index_started = Instant::now();
+                            let index_part = PrefixIndex::build_range(records, lo, hi);
+                            telemetry::global()
+                                .timer(block_metric(w, "index"))
+                                .record(index_started.elapsed().as_nanos() as u64);
                             telemetry::global()
                                 .timer(block_metric(w, "busy"))
-                                .record(elapsed);
+                                .record(started.elapsed().as_nanos() as u64);
                             ScanPartial {
                                 candidates,
                                 split_fps,
+                                index_part,
                             }
                         })
                         .expect("spawn block scan worker")
@@ -454,6 +471,9 @@ static BLOCK_RECORDS: [&str; PREBUILT_WORKERS] = block_name_table!("records";
 static BLOCK_SCAN: [&str; PREBUILT_WORKERS] = block_name_table!("scan";
     0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
     16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31);
+static BLOCK_INDEX: [&str; PREBUILT_WORKERS] = block_name_table!("index";
+    0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+    16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31);
 static BLOCK_VALIDATE: [&str; PREBUILT_WORKERS] = block_name_table!("validate";
     0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
     16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31);
@@ -473,6 +493,7 @@ pub fn block_metric(worker: usize, field: &str) -> &'static str {
         match field {
             "records" => return BLOCK_RECORDS[worker],
             "scan" => return BLOCK_SCAN[worker],
+            "index" => return BLOCK_INDEX[worker],
             "validate" => return BLOCK_VALIDATE[worker],
             "merge" => return BLOCK_MERGE[worker],
             "busy" => return BLOCK_BUSY[worker],

@@ -203,8 +203,10 @@ impl TraceRecord {
 
     /// Stamps [`Self::fingerprint`] from the replica-key fields — the
     /// tail of both constructors, so every record the detector ever sees
-    /// carries a fingerprint consistent with its key.
-    fn with_fingerprint(mut self) -> Self {
+    /// carries a fingerprint consistent with its key. Public for code
+    /// that materialises records outside the wire constructors (the
+    /// columnar corpus, synthetic fixtures).
+    pub fn with_fingerprint(mut self) -> Self {
         self.fingerprint = crate::key::ReplicaKey::of(&self).fingerprint();
         self
     }

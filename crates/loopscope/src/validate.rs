@@ -28,6 +28,12 @@ static TM_STREAMS_KEPT: LazyCounter = LazyCounter::new("validate.streams_kept");
 static TM_REJECTED_SHORT: LazyCounter = LazyCounter::new("validate.rejected_short");
 static TM_REJECTED_COVALIDATION: LazyCounter = LazyCounter::new("validate.rejected_covalidation");
 
+/// One contiguous range's share of a [`PrefixIndex`]: prefix →
+/// `(timestamp, trace-global record index)` postings, in range order.
+/// Built by [`PrefixIndex::build_range`], merged by
+/// [`PrefixIndex::from_partials`].
+pub type IndexPartial = FxHashMap<Ipv4Prefix, Vec<(u64, usize)>>;
+
 /// Per-/24 index of record positions, for windowed queries.
 #[derive(Debug, Default)]
 pub struct PrefixIndex {
@@ -38,57 +44,38 @@ pub struct PrefixIndex {
 impl PrefixIndex {
     /// Builds the index from a time-sorted trace.
     pub fn build(records: &[TraceRecord]) -> Self {
-        // Distinct /24s are far rarer than records; a /64 estimate is
-        // enough to dodge the rehash cascade without over-allocating.
-        let mut by_prefix: FxHashMap<Ipv4Prefix, Vec<(u64, usize)>> =
-            fx_map_with_capacity((records.len() / 64).max(16));
-        for (idx, rec) in records.iter().enumerate() {
-            by_prefix
-                .entry(rec.dst_slash24())
-                .or_default()
-                .push((rec.timestamp_ns, idx));
+        Self {
+            by_prefix: Self::build_range(records, 0, records.len()),
         }
-        Self { by_prefix }
     }
 
-    /// [`Self::build`] fanned out over `threads` contiguous record ranges.
-    ///
-    /// Each worker indexes its own range with range-global record indices;
-    /// the partial posting lists are then concatenated in range order.
-    /// Ranges are contiguous and the trace is time-sorted, so every
-    /// per-prefix list comes out in exactly the `(timestamp, index)` order
-    /// the serial build produces — the index contents are identical.
-    pub fn build_parallel(records: &[TraceRecord], threads: usize) -> Self {
-        let n = threads.max(1).min(records.len());
-        if n <= 1 {
-            return Self::build(records);
+    /// Indexes the contiguous range `[lo, hi)` of a trace, with
+    /// trace-global record indices. Callers that already fan workers over
+    /// contiguous ranges (the block-parallel scan) build these partials
+    /// in-worker, overlapped with their other work, and pay only the
+    /// [`Self::from_partials`] merge afterwards.
+    pub fn build_range(records: &[TraceRecord], lo: usize, hi: usize) -> IndexPartial {
+        let slice = &records[lo..hi];
+        // Distinct /24s are far rarer than records; a /64 estimate is
+        // enough to dodge the rehash cascade without over-allocating.
+        let mut part: IndexPartial = fx_map_with_capacity((slice.len() / 64).max(16));
+        for (off, rec) in slice.iter().enumerate() {
+            part.entry(rec.dst_slash24())
+                .or_default()
+                .push((rec.timestamp_ns, lo + off));
         }
-        let chunk = records.len().div_ceil(n);
-        let partials: Vec<FxHashMap<Ipv4Prefix, Vec<(u64, usize)>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..n)
-                .map(|w| {
-                    let lo = w * chunk;
-                    let hi = ((w + 1) * chunk).min(records.len());
-                    let slice = &records[lo..hi];
-                    scope.spawn(move || {
-                        let mut part: FxHashMap<Ipv4Prefix, Vec<(u64, usize)>> =
-                            fx_map_with_capacity((slice.len() / 64).max(16));
-                        for (off, rec) in slice.iter().enumerate() {
-                            part.entry(rec.dst_slash24())
-                                .or_default()
-                                .push((rec.timestamp_ns, lo + off));
-                        }
-                        part
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("index worker panicked"))
-                .collect()
-        });
+        part
+    }
+
+    /// Assembles the full index from per-range partials given in range
+    /// order. Ranges are contiguous and the trace is time-sorted, so
+    /// appending each range's posting lists in order reproduces exactly
+    /// the `(timestamp, index)` order the serial build produces — the
+    /// index contents are identical.
+    pub fn from_partials(partials: Vec<IndexPartial>) -> Self {
+        let postings: usize = partials.iter().map(|p| p.len()).sum();
         let mut by_prefix: FxHashMap<Ipv4Prefix, Vec<(u64, usize)>> =
-            fx_map_with_capacity((records.len() / 64).max(16));
+            fx_map_with_capacity(postings.max(16));
         for part in partials {
             for (prefix, mut postings) in part {
                 match by_prefix.entry(prefix) {
@@ -102,6 +89,30 @@ impl PrefixIndex {
             }
         }
         Self { by_prefix }
+    }
+
+    /// [`Self::build`] fanned out over `threads` contiguous record ranges:
+    /// [`Self::build_range`] per worker, [`Self::from_partials`] to merge.
+    pub fn build_parallel(records: &[TraceRecord], threads: usize) -> Self {
+        let n = threads.max(1).min(records.len());
+        if n <= 1 {
+            return Self::build(records);
+        }
+        let chunk = records.len().div_ceil(n);
+        let partials: Vec<IndexPartial> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|w| {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(records.len());
+                    scope.spawn(move || Self::build_range(records, lo, hi))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("index worker panicked"))
+                .collect()
+        });
+        Self::from_partials(partials)
     }
 
     /// Record indices destined to `prefix` with timestamps in

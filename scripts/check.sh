@@ -4,7 +4,7 @@
 #
 #   scripts/check.sh            # tests + lint (everything below)
 #   scripts/check.sh --quick    # release build + tier-1 tests only
-#   scripts/check.sh --tests    # release build + tier-1 + workspace tests
+#   scripts/check.sh --tests    # release build + tier-1 + workspace tests + corpus smoke
 #   scripts/check.sh --lint     # rustfmt --check + clippy -D warnings
 #   scripts/check.sh --bench    # bench gate: determinism + per-core speedup floors
 #   scripts/check.sh --observe  # observability smoke: metrics JSONL + trace
@@ -88,6 +88,31 @@ run_offline_build() {
     cargo build --workspace --release --offline
 }
 
+run_corpus_smoke() {
+    banner "corpus smoke: pcap2ltc --verify + loopdetect pcap/ltc byte parity"
+    # Convert the demo fixture to its .ltc twin (with the converter's own
+    # re-read verification), then prove the detector cannot tell the
+    # containers apart: every output mode must be byte-identical.
+    local tmp
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' RETURN
+    cargo run --release --example pcap_analysis -- --emit-demo "$tmp/demo.pcap"
+    cargo run --release --bin pcap2ltc -- "$tmp/demo.pcap" "$tmp/demo.ltc" --verify
+    for args in "--csv loops" "--csv streams" "--csv summary" "--analysis"; do
+        # shellcheck disable=SC2086
+        cargo run --release --bin loopdetect -- "$tmp/demo.pcap" $args --threads 2 \
+            > "$tmp/out.pcap.txt"
+        # shellcheck disable=SC2086
+        cargo run --release --bin loopdetect -- "$tmp/demo.ltc" $args --threads 2 \
+            > "$tmp/out.ltc.txt"
+        if ! cmp -s "$tmp/out.pcap.txt" "$tmp/out.ltc.txt"; then
+            echo "error: loopdetect '$args' output differs between pcap and .ltc input" >&2
+            diff "$tmp/out.pcap.txt" "$tmp/out.ltc.txt" >&2 || true
+            exit 1
+        fi
+    done
+}
+
 run_observability_smoke() {
     banner "observability smoke: --metrics-interval JSONL + --trace Chrome JSON"
     # Drive the real binary on the demo pcap fixture with both live
@@ -106,12 +131,12 @@ run_observability_smoke() {
 
 case "$mode" in
     quick) run_build_and_tier1 ;;
-    tests) run_build_and_tier1; run_workspace_tests ;;
+    tests) run_build_and_tier1; run_workspace_tests; run_corpus_smoke ;;
     lint)  run_lint ;;
     bench) run_bench_smoke ;;
     observe) run_observability_smoke ;;
     offline) run_offline_build ;;
-    full)  run_build_and_tier1; run_workspace_tests; run_lint; run_observability_smoke ;;
+    full)  run_build_and_tier1; run_workspace_tests; run_corpus_smoke; run_lint; run_observability_smoke ;;
 esac
 
 banner "OK"

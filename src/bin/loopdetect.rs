@@ -34,12 +34,13 @@
 //! stdout. Verbosity: `-q` errors only, default warnings, `-v` info,
 //! `-vv` debug; the `LOOPSCOPE_LOG` env filter overrides per module.
 
+use routing_loops::corpus::{self, ColumnarSource};
 use routing_loops::loopscope::analysis::{AnalysisAccumulator, AnalysisReport};
 use routing_loops::loopscope::merge::LoopKind;
 use routing_loops::loopscope::pipeline::{
     run_pipeline_with_progress, BlockEngine, Engine, EngineProgress, LoopCsvSink, LoopJsonlSink,
-    PcapSource, PipelineResult, SerialEngine, ShardedEngine, Sink, StreamCsvSink, StreamJsonlSink,
-    StreamingEngine, SummaryCsvSink, OPEN_TAIL_GAP_NS,
+    PcapSource, PipelineResult, RecordSource, SerialEngine, ShardedEngine, Sink, StreamCsvSink,
+    StreamJsonlSink, StreamingEngine, SummaryCsvSink, OPEN_TAIL_GAP_NS,
 };
 use routing_loops::loopscope::{analysis, impact, DetectorConfig};
 use std::fs::File;
@@ -50,7 +51,11 @@ use std::process::exit;
 const USAGE: &str = "\
 loopdetect — detect routing loops in a packet trace (IMC 2002 algorithm)
 
-USAGE: loopdetect <trace.pcap> [OPTIONS]
+USAGE: loopdetect <trace.pcap|trace.ltc> [OPTIONS]
+
+The input format is sniffed from the file's magic bytes: pcap captures
+and .ltc columnar corpora (see pcap2ltc) are both accepted, with
+identical output.
 
 OPTIONS
   --csv <loops|streams|summary>  machine-readable output instead of the
@@ -451,14 +456,28 @@ fn main() {
         None
     };
 
-    let file = File::open(&args.path).unwrap_or_else(|e| {
+    // Input format is sniffed, not told: `.ltc` corpora and pcap captures
+    // both work transparently, and everything downstream of the source —
+    // engines, sinks, report formats — is unchanged either way.
+    let is_ltc = corpus::sniff_is_ltc(std::path::Path::new(&args.path)).unwrap_or_else(|e| {
         eprintln!("error: cannot open {}: {e}", args.path);
         exit(1);
     });
-    let mut source = PcapSource::new(BufReader::new(file)).unwrap_or_else(|e| {
-        eprintln!("error: cannot parse {}: {e}", args.path);
-        exit(1);
-    });
+    let mut source: Box<dyn RecordSource> = if is_ltc {
+        Box::new(ColumnarSource::open(&args.path).unwrap_or_else(|e| {
+            eprintln!("error: cannot parse {e}");
+            exit(1);
+        }))
+    } else {
+        let file = File::open(&args.path).unwrap_or_else(|e| {
+            eprintln!("error: cannot open {}: {e}", args.path);
+            exit(1);
+        });
+        Box::new(PcapSource::new(BufReader::new(file)).unwrap_or_else(|e| {
+            eprintln!("error: cannot parse {}: {e}", args.path);
+            exit(1);
+        }))
+    };
 
     // Mode selection is engine selection: all four run the same pipeline.
     let mut engine: Box<dyn Engine> = match args.engine {
@@ -517,7 +536,7 @@ fn main() {
     let mut next_progress = PROGRESS_STRIDE;
     let want_progress = args.progress;
     let result = run_pipeline_with_progress(
-        &mut source,
+        source.as_mut(),
         engine.as_mut(),
         &mut sinks,
         &mut |p: &EngineProgress| {

@@ -120,6 +120,106 @@ pub fn records_from_pcap_parallel(
     Ok((records, skipped))
 }
 
+/// Failure converting a pcap capture to a `.ltc` corpus: either side of
+/// the conversion can reject its file.
+#[derive(Debug)]
+pub enum ConvertError {
+    /// The source pcap is unreadable or corrupt. A truncated final record
+    /// surfaces here — the conversion never writes a silently shortened
+    /// corpus.
+    Pcap(PcapError),
+    /// The corpus could not be written (or, under `--verify`, re-read).
+    Corpus(corpus::CorpusError),
+    /// `--verify` re-read the corpus and it did not match the source.
+    VerifyMismatch(&'static str),
+}
+
+impl std::fmt::Display for ConvertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConvertError::Pcap(e) => write!(f, "pcap source: {e}"),
+            ConvertError::Corpus(e) => write!(f, "ltc corpus: {e}"),
+            ConvertError::VerifyMismatch(what) => {
+                write!(
+                    f,
+                    "verification failed: corpus does not match source ({what})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConvertError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConvertError::Pcap(e) => Some(e),
+            ConvertError::Corpus(e) => Some(e),
+            ConvertError::VerifyMismatch(_) => None,
+        }
+    }
+}
+
+impl From<PcapError> for ConvertError {
+    fn from(e: PcapError) -> Self {
+        ConvertError::Pcap(e)
+    }
+}
+
+impl From<corpus::CorpusError> for ConvertError {
+    fn from(e: corpus::CorpusError) -> Self {
+        ConvertError::Corpus(e)
+    }
+}
+
+/// Converts a pcap capture at `src` into a `.ltc` columnar corpus at
+/// `dst`, decoding with up to `threads` parallel range readers. Returns
+/// `(records, skipped)` as written to the corpus header. Any pcap defect
+/// (including a truncated final record) aborts the conversion with the
+/// pcap layer's error; the partially written `dst` is removed.
+pub fn pcap_to_ltc(src: &Path, dst: &Path, threads: usize) -> Result<(u64, u64), ConvertError> {
+    let _t = telemetry::span("convert.pcap_to_ltc");
+    let (records, skipped) = if threads > 1 {
+        records_from_pcap_parallel(src, threads)?
+    } else {
+        let file = std::fs::File::open(src).map_err(PcapError::Io)?;
+        records_from_pcap(std::io::BufReader::new(file))?
+    };
+    match corpus::write_ltc_file(dst, &records, skipped) {
+        Ok(n) => Ok((n, skipped)),
+        Err(e) => {
+            let _ = std::fs::remove_file(dst);
+            Err(e.into())
+        }
+    }
+}
+
+/// Re-reads a freshly written corpus and compares it record-for-record
+/// against the source pcap — the `pcap2ltc --verify` check.
+pub fn verify_ltc_against_pcap(
+    ltc: &Path,
+    pcap: &Path,
+    threads: usize,
+) -> Result<(), ConvertError> {
+    let _t = telemetry::span("convert.verify");
+    let (want, want_skipped) = if threads > 1 {
+        records_from_pcap_parallel(pcap, threads)?
+    } else {
+        let file = std::fs::File::open(pcap).map_err(PcapError::Io)?;
+        records_from_pcap(std::io::BufReader::new(file))?
+    };
+    let (got, got_skipped) = corpus::records_from_ltc_parallel(ltc, threads)?;
+    if got.len() != want.len() {
+        return Err(ConvertError::VerifyMismatch("record count differs"));
+    }
+    if got_skipped != want_skipped {
+        return Err(ConvertError::VerifyMismatch("skip count differs"));
+    }
+    if got != want {
+        return Err(ConvertError::VerifyMismatch("record content differs"));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -24,6 +24,7 @@ pub mod backbone;
 pub mod convert;
 pub mod sources;
 
+pub use corpus;
 pub use loopscope;
 pub use net_types;
 pub use pcaplib;

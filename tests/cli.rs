@@ -676,3 +676,92 @@ fn streaming_supports_every_table_and_the_text_report() {
     assert_eq!(offline.stdout, streaming.stdout, "text report");
     let _ = std::fs::remove_file(&pcap);
 }
+
+fn pcap2ltc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pcap2ltc"))
+}
+
+#[test]
+fn pcap2ltc_converts_verifies_and_loopdetect_sniffs_the_result() {
+    let pcap = demo_pcap();
+    let ltc = pcap.with_extension("ltc");
+
+    let out = pcap2ltc()
+        .arg(&pcap)
+        .arg(&ltc)
+        .args(["--verify", "--threads", "2"])
+        .output()
+        .expect("run pcap2ltc");
+    assert!(out.status.success(), "{out:?}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("records") && err.contains("verified"), "{err}");
+
+    // The corpus leads with the .ltc magic, not a pcap header.
+    let head = std::fs::read(&ltc).expect("read ltc");
+    assert!(routing_loops::corpus::is_ltc_magic(&head[..8]));
+
+    // loopdetect sniffs the container: every output mode is byte-identical
+    // between the pcap and its .ltc twin, serial and parallel.
+    // The plain text report's first line echoes the input path, so it
+    // legitimately differs; everything after it must not.
+    let a = loopdetect().arg(&pcap).output().unwrap();
+    let b = loopdetect().arg(&ltc).output().unwrap();
+    assert!(a.status.success() && b.status.success());
+    let strip_first = |out: &[u8]| {
+        let text = String::from_utf8(out.to_vec()).unwrap();
+        text.split_once('\n').map(|(_, rest)| rest.to_string())
+    };
+    assert_eq!(
+        strip_first(&a.stdout),
+        strip_first(&b.stdout),
+        "text report body differs between pcap and ltc input"
+    );
+
+    for args in [
+        &["--csv", "loops"][..],
+        &["--csv", "streams"],
+        &["--csv", "summary"],
+        &["--csv", "loops", "--format", "jsonl"],
+        &["--analysis"],
+        &["--csv", "loops", "--threads", "2"],
+        &["--csv", "loops", "--threads", "4"],
+        &["--csv", "loops", "--streaming"],
+    ] {
+        let a = loopdetect().arg(&pcap).args(args).output().unwrap();
+        let b = loopdetect().arg(&ltc).args(args).output().unwrap();
+        assert!(a.status.success() && b.status.success(), "{args:?}");
+        assert_eq!(
+            a.stdout, b.stdout,
+            "loopdetect {args:?} differs between pcap and ltc input"
+        );
+    }
+    let _ = std::fs::remove_file(&pcap);
+    let _ = std::fs::remove_file(&ltc);
+}
+
+#[test]
+fn pcap2ltc_rejects_bad_invocations_and_bad_input() {
+    // No input at all: usage error, exit code 2.
+    let out = pcap2ltc().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("usage:"), "{err}");
+
+    // Input and output naming the same file is refused before any I/O.
+    let out = pcap2ltc()
+        .args(["same.pcap", "same.pcap"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    // A non-pcap input fails as a pcap error and leaves no corpus behind.
+    let junk = std::env::temp_dir().join(format!("pcap2ltc_junk_{}.pcap", std::process::id()));
+    let dst = junk.with_extension("ltc");
+    std::fs::write(&junk, b"this is not a capture file").unwrap();
+    let out = pcap2ltc().arg(&junk).arg(&dst).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("pcap"), "{err}");
+    assert!(!dst.exists(), "failed conversion must not leave a corpus");
+    let _ = std::fs::remove_file(&junk);
+}

@@ -283,6 +283,66 @@ fn pcap_fixture_conformance() {
 }
 
 #[test]
+fn ltc_fixture_conformance() {
+    use routing_loops::corpus::{records_from_ltc, ColumnarSource};
+    use routing_loops::loopscope::RecordSource;
+
+    // The same truncated capture as `pcap_fixture_conformance`, converted
+    // to the columnar `.ltc` corpus. The detector must not be able to tell
+    // which container the records came from: the decoded record set, the
+    // result of every engine, and every sink byte must match.
+    let mut spec = paper_backbones(0.08).remove(2);
+    spec.name = "conformance-ltc".into();
+    let run = run_backbone(&spec);
+    let dir = std::env::temp_dir();
+    let pcap_path = dir.join(format!("conformance_ltc_{}.pcap", std::process::id()));
+    let ltc_path = dir.join(format!("conformance_ltc_{}.ltc", std::process::id()));
+    {
+        let file = std::fs::File::create(&pcap_path).expect("create pcap");
+        write_tap_to_pcap(&run.tap, PAPER_SNAPLEN, std::io::BufWriter::new(file))
+            .expect("write pcap");
+    }
+    routing_loops::convert::pcap_to_ltc(&pcap_path, &ltc_path, 1).expect("convert pcap to ltc");
+
+    let mut pcap_records = Vec::new();
+    {
+        let file = std::fs::File::open(&pcap_path).expect("open pcap");
+        let mut source = PcapSource::new(std::io::BufReader::new(file)).expect("pcap header");
+        source
+            .for_each_batch(&mut |batch| {
+                pcap_records.extend_from_slice(batch);
+                Ok(())
+            })
+            .expect("pcap read");
+    }
+    let (ltc_records, skipped) = records_from_ltc(&ltc_path).expect("read ltc");
+    assert_eq!(skipped, 0, "fixture pcap has no undecodable frames");
+    assert_eq!(
+        pcap_records, ltc_records,
+        "columnar decode must equal the pcap decode record-for-record"
+    );
+
+    let baseline = assert_conformance("ltc", &ltc_records);
+    assert!(!baseline.streams.is_empty(), "ltc fixture must loop");
+
+    // And the streaming engine fed directly from the columnar source (the
+    // bounded-memory deployment shape) matches the slice baseline.
+    let mut source = ColumnarSource::open(&ltc_path).expect("open ltc");
+    let streamed = run_pipeline(
+        &mut source,
+        &mut StreamingEngine::new(DetectorConfig::default()),
+        &mut [],
+    )
+    .expect("pipeline run");
+    assert_eq!(streamed.streams, baseline.streams);
+    assert_eq!(streamed.loops, baseline.loops);
+    assert_eq!(streamed.stats, baseline.stats);
+
+    let _ = std::fs::remove_file(&pcap_path);
+    let _ = std::fs::remove_file(&ltc_path);
+}
+
+#[test]
 fn analysis_accumulator_conforms_across_engines() {
     let records = backbone_records();
     let cfg = DetectorConfig::default();
