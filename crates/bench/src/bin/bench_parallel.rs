@@ -19,9 +19,11 @@
 //! throughput floors are enforced too: serial records/s must stay within
 //! 10% of the committed baseline (like-for-like on core count), on
 //! machines with at least 4 cores the per-core-count speedup floors bind
-//! (≥1.6× at 2 threads, ≥2.5× at 4), and the columnar (`.ltc`) ingest
-//! rate must stay at least 2.5× the pcap ingest rate — a within-run
-//! ratio that binds on every machine. The scaling floors are skipped
+//! (≥1.6× at 2 threads, ≥2.5× at 4), the columnar (`.ltc`) ingest
+//! rate must stay at least 2.5× the pcap ingest rate, and the mapped
+//! (mmap) `.ltc` decode must stay at least 1.15× the buffered decode on
+//! the same warm-cache file — both within-run ratios that bind on every
+//! machine. The scaling floors are skipped
 //! (loudly) on smaller machines, where wall-clock parallel speedup is
 //! physically impossible. `--summary <path>` writes a markdown delta
 //! table (fresh vs baseline) suitable for `$GITHUB_STEP_SUMMARY`.
@@ -68,6 +70,12 @@ const GATE_MIN_CORES: usize = 4;
 /// baseline-provenance skip applies.
 const GATE_COLUMNAR_INGEST_FLOOR: f64 = 2.5;
 
+/// Minimum `mapped .ltc decode records/s ÷ buffered .ltc decode records/s`
+/// under `--gate`. Measured within one run against one warm-cache temp
+/// file, both arms single-threaded — machine-independent, binds
+/// everywhere, no skip path.
+const GATE_MMAP_INGEST_FLOOR: f64 = 1.15;
+
 /// Pulls `"serial": {... "records_per_s": <x> ...}` out of a baseline
 /// artifact (hand-rolled; the workspace has no serde).
 fn extract_serial_rps(json: &str) -> Option<f64> {
@@ -96,6 +104,18 @@ fn extract_columnar_vs_pcap(json: &str) -> Option<f64> {
     let at = json.find("\"ingest_columnar\":")?;
     let rest = &json[at..];
     let key = "\"vs_pcap\":";
+    let k = rest.find(key)?;
+    let after = &rest[k + key.len()..];
+    let end = after.find([',', '}'])?;
+    after[..end].trim().parse().ok()
+}
+
+/// Pulls `"ingest_mmap": {... "vs_buffered": <x>}` out of a baseline
+/// artifact. Absent in artifacts written before the mmap read path.
+fn extract_mmap_vs_buffered(json: &str) -> Option<f64> {
+    let at = json.find("\"ingest_mmap\":")?;
+    let rest = &json[at..];
+    let key = "\"vs_buffered\":";
     let k = rest.find(key)?;
     let after = &rest[k + key.len()..];
     let end = after.find([',', '}'])?;
@@ -175,12 +195,21 @@ fn gate_failures(bench: &parallel::ParallelBench, baseline_json: &str) -> Vec<St
         },
         _ => failures.push("baseline has no parseable serial records_per_s".to_string()),
     }
-    // Within-run ratio: no baseline, no skip.
+    // Within-run ratios: no baseline, no skip.
     if bench.columnar_vs_pcap < GATE_COLUMNAR_INGEST_FLOOR {
         failures.push(format!(
             "columnar ingest only {:.2}x the pcap ingest rate, below the \
              {GATE_COLUMNAR_INGEST_FLOOR}x floor ({:.0} vs {:.0} records/s)",
             bench.columnar_vs_pcap, bench.columnar_ingest_records_per_s, bench.ingest_records_per_s
+        ));
+    }
+    if bench.mmap_vs_buffered < GATE_MMAP_INGEST_FLOOR {
+        failures.push(format!(
+            "mapped .ltc ingest only {:.2}x the buffered rate, below the \
+             {GATE_MMAP_INGEST_FLOOR}x floor ({:.0} vs {:.0} records/s)",
+            bench.mmap_vs_buffered,
+            bench.mmap_ingest_records_per_s,
+            bench.buffered_ingest_records_per_s
         ));
     }
     if bench.cores < GATE_MIN_CORES {
@@ -259,6 +288,17 @@ fn render_summary(bench: &parallel::ParallelBench, baseline_json: Option<&str>) 
         base_columnar.map_or("—".to_string(), |r| format!("{r:.2}x")),
         bench.columnar_vs_pcap,
         fmt_delta(bench.columnar_vs_pcap, base_columnar)
+    ));
+    let base_mmap = baseline_json.and_then(extract_mmap_vs_buffered);
+    out.push_str(&format!(
+        "| mmap ingest records/s | — | {:.0} | — |\n",
+        bench.mmap_ingest_records_per_s
+    ));
+    out.push_str(&format!(
+        "| mmap vs buffered | {} | {:.2}x | {} |\n",
+        base_mmap.map_or("—".to_string(), |r| format!("{r:.2}x")),
+        bench.mmap_vs_buffered,
+        fmt_delta(bench.mmap_vs_buffered, base_mmap)
     ));
     for s in &bench.samples {
         let base = base_speedups
@@ -479,6 +519,12 @@ fn main() {
         bench.columnar_ingest_records_per_s, bench.columnar_vs_pcap
     );
     eprintln!(
+        "ingest (mmap): {:.1} records/s ({:.2}x buffered {:.1})",
+        bench.mmap_ingest_records_per_s,
+        bench.mmap_vs_buffered,
+        bench.buffered_ingest_records_per_s
+    );
+    eprintln!(
         "serial: {:.1} records/s ({:.2} ms)",
         bench.serial_records_per_s,
         bench.serial_best_ns as f64 / 1e6
@@ -558,6 +604,12 @@ mod tests {
             columnar_ingest_ns: 300_000,
             columnar_ingest_records_per_s: serial_rps * 3.0,
             columnar_vs_pcap: 3.0,
+            mmap_ingest_records: 1000,
+            buffered_ingest_ns: 250_000,
+            buffered_ingest_records_per_s: serial_rps * 4.0,
+            mmap_ingest_ns: 200_000,
+            mmap_ingest_records_per_s: serial_rps * 5.0,
+            mmap_vs_buffered: 1.25,
             samples: speedups
                 .iter()
                 .map(|&(threads, speedup)| parallel::ParallelSample {
@@ -657,6 +709,30 @@ mod tests {
         let doc = fake_bench(4, 1000.0, &[]).to_json();
         assert_eq!(extract_columnar_vs_pcap(&doc), Some(3.0));
         assert_eq!(extract_columnar_vs_pcap("{}"), None);
+    }
+
+    #[test]
+    fn extract_mmap_vs_buffered_reads_the_artifact_field() {
+        let doc = fake_bench(4, 1000.0, &[]).to_json();
+        assert_eq!(extract_mmap_vs_buffered(&doc), Some(1.25));
+        assert_eq!(extract_mmap_vs_buffered("{}"), None);
+    }
+
+    #[test]
+    fn mmap_ingest_floor_is_within_run_and_never_skipped() {
+        // Ratio below the floor: failure, even on a 1-core machine and
+        // even against a baseline the serial floor skips.
+        let mut bench = fake_bench(1, 1000.0, &[]);
+        bench.mmap_vs_buffered = 1.05;
+        let fails = gate_failures(&bench, &baseline(Some(1), 1000.0));
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("mapped .ltc ingest"));
+        let fails = gate_failures(&bench, &baseline(None, 1000.0));
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("mapped .ltc ingest"));
+        // At the floor: pass.
+        bench.mmap_vs_buffered = 1.15;
+        assert!(gate_failures(&bench, &baseline(Some(1), 1000.0)).is_empty());
     }
 
     #[test]

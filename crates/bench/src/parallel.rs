@@ -166,6 +166,23 @@ pub struct ParallelBench {
     /// `columnar_ingest_records_per_s / ingest_records_per_s` — the
     /// within-run, machine-independent ratio the CI gate floors.
     pub columnar_vs_pcap: f64,
+    /// Records in the mmap-vs-buffered comparison corpus — the bench
+    /// trace cycled up to an out-of-LLC floor, so this can exceed
+    /// `ingest_records` on small `--scale` runs.
+    pub mmap_ingest_records: u64,
+    /// Wall time of the buffered real-file `.ltc` decode (the `--no-mmap`
+    /// ablation arm) in nanoseconds, warm cache.
+    pub buffered_ingest_ns: u64,
+    /// Buffered real-file ingest throughput in records/second.
+    pub buffered_ingest_records_per_s: f64,
+    /// Wall time of the mapped (zero-copy) `.ltc` decode in nanoseconds,
+    /// same file and cache state.
+    pub mmap_ingest_ns: u64,
+    /// Mapped ingest throughput in records/second.
+    pub mmap_ingest_records_per_s: f64,
+    /// `mmap_ingest_records_per_s / buffered_ingest_records_per_s` — the
+    /// second within-run ratio the CI gate floors.
+    pub mmap_vs_buffered: f64,
     /// Per-thread-count samples.
     pub samples: Vec<ParallelSample>,
 }
@@ -213,6 +230,15 @@ impl ParallelBench {
             self.columnar_ingest_ns,
             self.columnar_ingest_records_per_s,
             self.columnar_vs_pcap
+        ));
+        out.push_str(&format!(
+            "  \"ingest_mmap\": {{\"records\": {}, \"ns\": {}, \"records_per_s\": {:.1}, \"buffered_ns\": {}, \"buffered_records_per_s\": {:.1}, \"vs_buffered\": {:.3}}},\n",
+            self.mmap_ingest_records,
+            self.mmap_ingest_ns,
+            self.mmap_ingest_records_per_s,
+            self.buffered_ingest_ns,
+            self.buffered_ingest_records_per_s,
+            self.mmap_vs_buffered
         ));
         out.push_str(&format!(
             "  \"serial\": {{\"ns\": {}, \"records_per_s\": {:.1}}},\n",
@@ -335,6 +361,23 @@ pub struct IngestBench {
     pub columnar_records_per_s: f64,
     /// `columnar_records_per_s / pcap_records_per_s`.
     pub columnar_vs_pcap: f64,
+    /// Records in the mmap-vs-buffered comparison corpus (the record set
+    /// cycled up to an out-of-LLC floor; ≥ `records`).
+    pub mmap_corpus_records: u64,
+    /// Best-of-repeats buffered whole-file `.ltc` decode wall time in
+    /// nanoseconds — a real temp file on warm cache, the `--no-mmap`
+    /// ablation arm.
+    pub buffered_ns: u64,
+    /// Buffered whole-file decode throughput in records/second.
+    pub buffered_records_per_s: f64,
+    /// Best-of-repeats mapped (zero-copy) whole-file `.ltc` decode wall
+    /// time in nanoseconds, same file, same cache state.
+    pub mmap_ns: u64,
+    /// Mapped decode throughput in records/second.
+    pub mmap_records_per_s: f64,
+    /// `mmap_records_per_s / buffered_records_per_s` — the within-run,
+    /// machine-independent ratio the CI gate floors.
+    pub mmap_vs_buffered: f64,
 }
 
 /// Measures both ingest paths like-for-like: synthesises an in-memory
@@ -346,6 +389,9 @@ pub struct IngestBench {
 /// `columnar_vs_pcap` ratio is within-run and machine-independent, which
 /// is what lets the CI gate floor it everywhere.
 pub fn bench_ingest(n_records: usize, repeats: usize) -> IngestBench {
+    /// Floor on the mmap-vs-buffered comparison corpus: ~45 MB of `.ltc`,
+    /// comfortably past any last-level cache on the machines this runs on.
+    const MMAP_BENCH_MIN_RECORDS: usize = 800_000;
     use net_types::{Packet, TcpFlags};
     use pcaplib::{FileHeader, PcapWriter};
     use std::net::Ipv4Addr;
@@ -376,9 +422,15 @@ pub fn bench_ingest(n_records: usize, repeats: usize) -> IngestBench {
     }
     let file = w.finish().expect("in-memory finish");
 
+    // All ingest arms time at least four passes: the engine runs that
+    // precede this in the full bench churn hundreds of MB of allocations,
+    // and for roughly half a second afterwards this box serves big fresh
+    // allocations (and mapped page faults) several times slow. Two
+    // repeats can land entirely inside that window; best-of-4 cannot.
+    let repeats = repeats.max(4);
     let mut pcap_ns = u64::MAX;
     let mut records = Vec::new();
-    for _ in 0..repeats.max(1) {
+    for _ in 0..repeats {
         let t = Instant::now();
         let (recs, skipped) =
             routing_loops::convert::records_from_pcap(std::io::Cursor::new(&file[..]))
@@ -393,7 +445,7 @@ pub fn bench_ingest(n_records: usize, repeats: usize) -> IngestBench {
     let ltc = corpus::ltc_to_vec(&records, 0);
     let mut columnar_ns = u64::MAX;
     let mut columnar_records = Vec::new();
-    for _ in 0..repeats.max(1) {
+    for _ in 0..repeats {
         let t = Instant::now();
         let mut reader = corpus::LtcReader::new(std::io::Cursor::new(&ltc[..]), "bench.ltc")
             .expect("in-memory corpus must validate");
@@ -413,23 +465,94 @@ pub fn bench_ingest(n_records: usize, repeats: usize) -> IngestBench {
         "columnar ingest must reproduce the pcap decode exactly"
     );
 
-    let rps = |ns: u64| {
+    // The mmap-vs-buffered comparison needs a real file — and a corpus
+    // large enough to fall out of the last-level cache. A cache-resident
+    // file makes the buffered path's extra copy nearly free (the kernel
+    // pages it copies from are already hot), so tiny corpora measure LLC
+    // bandwidth, not the read paths; the zero-copy payoff is for the
+    // multi-day traces this format exists for. Cycle the record set up to
+    // the floor before imaging it.
+    let mut mm_records = records.clone();
+    while mm_records.len() < MMAP_BENCH_MIN_RECORDS && !records.is_empty() {
+        let take = (MMAP_BENCH_MIN_RECORDS - mm_records.len()).min(records.len());
+        mm_records.extend_from_slice(&records[..take]);
+    }
+    let ltc_mm = corpus::ltc_to_vec(&mm_records, 0);
+    // Write the corpus image to a temp path, take one untimed pass
+    // through each arm (faulting the file into the page cache and
+    // amortising lazy setup), then time the arms interleaved so neither
+    // sees a colder cache than the other. At least four timed repeats:
+    // right after a large allocation churn the kernel can serve one
+    // mapped pass an order of magnitude slow (observed once per process,
+    // ~500 ms on this box), and best-of-N must be able to step over that
+    // outlier. Every repeat runs both decodes in full — no skip path.
+    let path = std::env::temp_dir().join(format!("bench-ingest-{}.ltc", std::process::id()));
+    std::fs::write(&path, &ltc_mm).expect("bench corpus write");
+    let mut buffered_ns = u64::MAX;
+    let mut mmap_ns = u64::MAX;
+    let mut mmap_records = Vec::new();
+    corpus::records_from_ltc(&path).expect("bench corpus read");
+    corpus::records_from_ltc_mmap(&path).expect("bench corpus map");
+    // Eight passes minimum with the arm order alternating: the two arms
+    // race the same drifting machine, so a fixed order would hand
+    // whichever arm runs second any systematic slowdown, and a larger
+    // best-of pool is what keeps one noisy pass from deciding a CI gate.
+    for pass in 0..repeats.max(8) {
+        let mut time_buffered = || {
+            let t = Instant::now();
+            let (buffered_records, _) = corpus::records_from_ltc(&path).expect("bench corpus read");
+            buffered_ns = buffered_ns.min(t.elapsed().as_nanos() as u64);
+            assert_eq!(buffered_records.len(), mm_records.len());
+        };
+        let mut time_mmap = |out: &mut Vec<_>| {
+            let t = Instant::now();
+            let (recs, _) = corpus::records_from_ltc_mmap(&path).expect("bench corpus map");
+            mmap_ns = mmap_ns.min(t.elapsed().as_nanos() as u64);
+            *out = recs;
+        };
+        if pass % 2 == 0 {
+            time_buffered();
+            time_mmap(&mut mmap_records);
+        } else {
+            time_mmap(&mut mmap_records);
+            time_buffered();
+        }
+    }
+    std::fs::remove_file(&path).ok();
+    assert_eq!(
+        mmap_records, mm_records,
+        "mapped ingest must reproduce the buffered decode exactly"
+    );
+
+    let rps = |count: usize, ns: u64| {
         if ns == 0 {
             0.0
         } else {
-            records.len() as f64 / (ns as f64 / 1e9)
+            count as f64 / (ns as f64 / 1e9)
         }
     };
-    let pcap_records_per_s = rps(pcap_ns);
-    let columnar_records_per_s = rps(columnar_ns);
+    let pcap_records_per_s = rps(records.len(), pcap_ns);
+    let columnar_records_per_s = rps(records.len(), columnar_ns);
+    let buffered_records_per_s = rps(mm_records.len(), buffered_ns);
+    let mmap_records_per_s = rps(mm_records.len(), mmap_ns);
     IngestBench {
         records: records.len() as u64,
+        mmap_corpus_records: mm_records.len() as u64,
         pcap_ns,
         pcap_records_per_s,
         columnar_ns,
         columnar_records_per_s,
         columnar_vs_pcap: if pcap_records_per_s > 0.0 {
             columnar_records_per_s / pcap_records_per_s
+        } else {
+            0.0
+        },
+        buffered_ns,
+        buffered_records_per_s,
+        mmap_ns,
+        mmap_records_per_s,
+        mmap_vs_buffered: if buffered_records_per_s > 0.0 {
+            mmap_records_per_s / buffered_records_per_s
         } else {
             0.0
         },
@@ -546,6 +669,12 @@ pub fn run_on_engine(
         columnar_ingest_ns: ingest.columnar_ns,
         columnar_ingest_records_per_s: ingest.columnar_records_per_s,
         columnar_vs_pcap: ingest.columnar_vs_pcap,
+        buffered_ingest_ns: ingest.buffered_ns,
+        buffered_ingest_records_per_s: ingest.buffered_records_per_s,
+        mmap_ingest_records: ingest.mmap_corpus_records,
+        mmap_ingest_ns: ingest.mmap_ns,
+        mmap_ingest_records_per_s: ingest.mmap_records_per_s,
+        mmap_vs_buffered: ingest.mmap_vs_buffered,
         samples,
     }
 }
@@ -640,6 +769,9 @@ mod tests {
         assert!(bench.ingest_records_per_s > 0.0);
         assert!(bench.columnar_ingest_records_per_s > 0.0);
         assert!(bench.columnar_vs_pcap > 0.0);
+        assert!(bench.buffered_ingest_records_per_s > 0.0);
+        assert!(bench.mmap_ingest_records_per_s > 0.0);
+        assert!(bench.mmap_vs_buffered > 0.0);
         assert!(!bench.rustc.is_empty());
         assert!(!bench.runner.is_empty());
         let serial_detect = bench
@@ -659,6 +791,8 @@ mod tests {
         assert!(json.contains("\"ingest\": {\"records\": "));
         assert!(json.contains("\"ingest_columnar\": {\"records\": "));
         assert!(json.contains("\"vs_pcap\": "));
+        assert!(json.contains("\"ingest_mmap\": {\"records\": "));
+        assert!(json.contains("\"vs_buffered\": "));
         assert!(json.contains("\"serial_stages\": {\"replica.detect\": "));
         assert!(json.contains("\"block.scan\": "));
         assert!(json.contains("\"block.w0.index\": "));

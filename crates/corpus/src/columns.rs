@@ -280,6 +280,75 @@ pub fn decode_block(
     Ok(())
 }
 
+/// Single-pass decode of one block's column data, each record constructed
+/// once and pushed straight onto `out`. Same output and error semantics as
+/// [`decode_block`]; this is the mapped read path's hot loop, where the
+/// input slice borrows the page cache directly — no zero-record pre-size,
+/// no per-column passes re-touching the output, and `chunks_exact` lane
+/// cursors in place of per-field indexing.
+pub fn decode_columns_push(
+    bytes: &[u8],
+    k: usize,
+    out: &mut Vec<TraceRecord>,
+    path: &Path,
+    data_offset: u64,
+) -> Result<(), CorpusError> {
+    assert_eq!(bytes.len(), k * ROW_BYTES, "caller sizes the block slice");
+    let (ts, rest) = bytes.split_at(8 * k);
+    let (fp, rest) = rest.split_at(8 * k);
+    let (src, rest) = rest.split_at(4 * k);
+    let (dst, rest) = rest.split_at(4 * k);
+    let (ident, rest) = rest.split_at(2 * k);
+    let (total_len, rest) = rest.split_at(2 * k);
+    let (frag_word, rest) = rest.split_at(2 * k);
+    let (ip_checksum, rest) = rest.split_at(2 * k);
+    let (protocol, rest) = rest.split_at(k);
+    let (tos, rest) = rest.split_at(k);
+    let (ttl, rest) = rest.split_at(k);
+    let (tag, blob) = rest.split_at(k);
+
+    let u64_of = |c: &[u8]| u64::from_le_bytes(c.try_into().expect("8 bytes"));
+    let u32_of = |c: &[u8]| u32::from_le_bytes(c.try_into().expect("4 bytes"));
+    let u16_of = |c: &[u8]| u16::from_le_bytes(c.try_into().expect("2 bytes"));
+
+    let mut ts = ts.chunks_exact(8);
+    let mut fp = fp.chunks_exact(8);
+    let mut src = src.chunks_exact(4);
+    let mut dst = dst.chunks_exact(4);
+    let mut ident = ident.chunks_exact(2);
+    let mut total_len = total_len.chunks_exact(2);
+    let mut frag_word = frag_word.chunks_exact(2);
+    let mut ip_checksum = ip_checksum.chunks_exact(2);
+    let mut blob = blob.chunks_exact(BLOB_BYTES);
+
+    out.reserve(k);
+    for i in 0..k {
+        let transport = decode_blob(tag[i], blob.next().expect("blob lane sized"))
+            .ok_or_else(|| out_of_band_tag_error(path, data_offset + (35 * k + i) as u64))?;
+        let r = TraceRecord {
+            timestamp_ns: u64_of(ts.next().expect("ts lane sized")),
+            fingerprint: u64_of(fp.next().expect("fp lane sized")),
+            src: Ipv4Addr::from(u32_of(src.next().expect("src lane sized"))),
+            dst: Ipv4Addr::from(u32_of(dst.next().expect("dst lane sized"))),
+            ident: u16_of(ident.next().expect("ident lane sized")),
+            total_len: u16_of(total_len.next().expect("total_len lane sized")),
+            frag_word: u16_of(frag_word.next().expect("frag lane sized")),
+            ip_checksum: u16_of(ip_checksum.next().expect("ip_checksum lane sized")),
+            protocol: protocol[i],
+            tos: tos[i],
+            ttl: ttl[i],
+            transport,
+        };
+        debug_assert_eq!(
+            r.fingerprint,
+            loopscope::ReplicaKey::of(&r).fingerprint(),
+            "stored fingerprint diverges from the replica-key fields"
+        );
+        out.push(r);
+    }
+    Ok(())
+}
+
 fn out_of_band_tag_error(path: &Path, offset: u64) -> CorpusError {
     CorpusError::Corrupt {
         path: path.to_path_buf(),
@@ -336,6 +405,60 @@ mod tests {
                 assert_eq!(offset, 48 + tag_lane as u64 + 2);
             }
             other => panic!("expected Corrupt, got {other}"),
+        }
+    }
+
+    #[test]
+    fn push_decode_matches_block_decode() {
+        let records = sample_records();
+        let mut bytes = Vec::new();
+        encode_block(&records, &mut bytes);
+        let mut multi_pass = Vec::new();
+        decode_block(
+            &bytes,
+            records.len(),
+            &mut multi_pass,
+            Path::new("t.ltc"),
+            48,
+        )
+        .unwrap();
+        let mut single_pass = Vec::new();
+        decode_columns_push(
+            &bytes,
+            records.len(),
+            &mut single_pass,
+            Path::new("t.ltc"),
+            48,
+        )
+        .unwrap();
+        assert_eq!(multi_pass, single_pass);
+        assert_eq!(single_pass, records);
+
+        // Same defect → same located offset from both decoders.
+        let tag_lane = 35 * records.len();
+        bytes[tag_lane + 1] = 200;
+        let err_a = decode_block(
+            &bytes,
+            records.len(),
+            &mut Vec::new(),
+            Path::new("t.ltc"),
+            48,
+        )
+        .unwrap_err();
+        let err_b = decode_columns_push(
+            &bytes,
+            records.len(),
+            &mut Vec::new(),
+            Path::new("t.ltc"),
+            48,
+        )
+        .unwrap_err();
+        match (err_a, err_b) {
+            (CorpusError::Corrupt { offset: a, .. }, CorpusError::Corrupt { offset: b, .. }) => {
+                assert_eq!(a, b);
+                assert_eq!(a, 48 + tag_lane as u64 + 1);
+            }
+            other => panic!("expected matching Corrupt errors, got {other:?}"),
         }
     }
 

@@ -31,12 +31,17 @@
 
 pub mod columns;
 pub mod format;
+pub mod mapped;
 pub mod reader;
 pub mod sequence;
 pub mod writer;
 
 pub use format::{
     ChecksumRegion, CorpusError, LtcHeader, BLOCK_RECORDS, MAGIC, ROW_BYTES, VERSION,
+};
+pub use mapped::{
+    open_ltc_source, records_from_ltc_mmap, records_from_ltc_mmap_parallel, records_from_ltc_with,
+    IngestMode, MappedColumnarSource, MappedLtc,
 };
 pub use reader::{records_from_ltc, records_from_ltc_parallel, ColumnarSource, LtcReader};
 pub use sequence::{is_ltc_magic, sniff_is_ltc, CorpusFileSequence};
@@ -279,6 +284,132 @@ mod corruption_tests {
         match read_all(bytes) {
             Err(CorpusError::Corrupt { offset, .. }) => assert_eq!(offset, end),
             other => panic!("expected trailing-bytes corruption, got {other:?}"),
+        }
+    }
+
+    /// Writes corpus bytes to a unique temp file for the mapped reader
+    /// (mmap needs a real fd); returns the path.
+    fn write_temp(tag: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("corpus-map-{}-{tag}.ltc", std::process::id()));
+        std::fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn mmap_read_matches_buffered_at_every_thread_count() {
+        let records = sample_records(2 * 8192 + 77);
+        let path = write_temp("identity", &ltc_to_vec(&records, 9));
+        let (buffered, sk_buf) = super::reader::records_from_ltc(&path).unwrap();
+        let (mapped, sk_map) = super::mapped::records_from_ltc_mmap(&path).unwrap();
+        assert_eq!(mapped, buffered);
+        assert_eq!(mapped, records);
+        assert_eq!(sk_map, sk_buf);
+        for threads in [1, 2, 4, 8] {
+            let (par, sk) = super::mapped::records_from_ltc_mmap_parallel(&path, threads).unwrap();
+            assert_eq!(par, buffered, "threads={threads}");
+            assert_eq!(sk, 9);
+            for mode in [super::IngestMode::Mmap, super::IngestMode::Buffered] {
+                let (via, sk) = super::mapped::records_from_ltc_with(&path, threads, mode).unwrap();
+                assert_eq!(via, buffered, "threads={threads} mode={mode:?}");
+                assert_eq!(sk, 9);
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mmap_bad_magic_names_file() {
+        let mut bytes = ltc_to_vec(&sample_records(4), 0);
+        bytes[0] ^= 0xff;
+        let path = write_temp("badmagic", &bytes);
+        match super::mapped::MappedLtc::open(&path) {
+            Err(CorpusError::BadMagic { path: p, .. }) => assert_eq!(p, path),
+            other => panic!("expected bad magic, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mmap_block_checksum_names_block_and_offset() {
+        let mut bytes = ltc_to_vec(&sample_records(8192 + 10), 0);
+        let victim = block_offset(1) as usize + 8 + 3;
+        bytes[victim] ^= 0x10;
+        let path = write_temp("badsum", &bytes);
+        let err = super::mapped::records_from_ltc_mmap(&path).unwrap_err();
+        match err {
+            CorpusError::ChecksumMismatch {
+                region: ChecksumRegion::Block(1),
+                offset,
+                path: ref p,
+                ..
+            } => {
+                assert_eq!(offset, block_offset(1));
+                assert_eq!(p, &path);
+            }
+            other => panic!("expected block 1 checksum mismatch, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(
+            msg.contains(path.to_str().unwrap()),
+            "names the file: {msg}"
+        );
+        assert!(
+            msg.contains(&block_offset(1).to_string()),
+            "names the offset: {msg}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mmap_truncation_names_offset() {
+        let full = ltc_to_vec(&sample_records(8192 + 100), 0);
+        let cut = block_offset(1) as usize + 40;
+        let path = write_temp("truncated", &full[..cut]);
+        match super::mapped::records_from_ltc_mmap(&path).unwrap_err() {
+            CorpusError::Truncated {
+                offset,
+                needed,
+                got,
+                ..
+            } => {
+                assert_eq!(offset, block_offset(1));
+                assert_eq!(got, 40);
+                assert!(needed > got);
+            }
+            other => panic!("expected truncated block, got {other:?}"),
+        }
+        // Too short for even the header: Truncated at offset 0.
+        let stub = write_temp("stub", &full[..HEADER_LEN - 5]);
+        match super::mapped::MappedLtc::open(&stub).unwrap_err() {
+            CorpusError::Truncated { offset: 0, .. } => {}
+            other => panic!("expected truncated header, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&stub).ok();
+    }
+
+    #[test]
+    fn mmap_trailing_bytes_are_corrupt() {
+        let mut bytes = ltc_to_vec(&sample_records(20), 0);
+        let end = bytes.len() as u64;
+        bytes.extend_from_slice(b"junk");
+        let path = write_temp("trailing", &bytes);
+        match super::mapped::records_from_ltc_mmap(&path).unwrap_err() {
+            CorpusError::Corrupt { offset, .. } => assert_eq!(offset, end),
+            other => panic!("expected trailing-bytes corruption, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mmap_missing_file_falls_back_to_the_buffered_error() {
+        let path = std::env::temp_dir().join("corpus-map-does-not-exist.ltc");
+        // The `with` wrapper retries buffered on mapping failure; the
+        // buffered path then reports the authoritative io error.
+        match super::mapped::records_from_ltc_with(&path, 2, super::IngestMode::Mmap) {
+            Err(CorpusError::Io { path: p, .. }) => assert_eq!(p, path),
+            other => panic!("expected io error, got {other:?}"),
         }
     }
 

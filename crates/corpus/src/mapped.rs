@@ -1,0 +1,389 @@
+//! Zero-copy `.ltc` ingest over a shared memory mapping.
+//!
+//! [`MappedLtc`] maps a corpus file once ([`mmapio::Mmap`]) and validates
+//! header and per-block checksums directly against the mapping; column
+//! lanes decode straight out of the page cache with no block buffer, no
+//! per-block `read` syscall, and no intermediate batch copy. Because the
+//! format's block/record addressing is pure arithmetic, a block's bytes
+//! are `&map[block_offset(b)..][..block_len(k)]` — so N parallel workers
+//! ([`records_from_ltc_mmap_parallel`]) decode disjoint block ranges of
+//! ONE shared mapping with zero per-worker file handles.
+//!
+//! Error semantics are identical to the buffered [`LtcReader`]: every
+//! defect surfaces as a typed [`CorpusError`] naming the file and the
+//! same byte offset the buffered reader would report (truncation is
+//! discovered at the first incomplete block, trailing bytes after the
+//! last block, checksums per block in file order).
+//!
+//! The buffered path stays fully supported — `--no-mmap` in the CLIs, the
+//! [`IngestMode`] switch here — both as the ablation arm of the ingest
+//! bench and as the fallback when a file cannot be mapped (exotic
+//! filesystems, non-unix hosts where [`mmapio`] degrades to an owned
+//! buffer read).
+//!
+//! [`LtcReader`]: crate::reader::LtcReader
+
+use crate::columns::decode_columns_push;
+use crate::format::{
+    block_checksum, block_count, block_len, block_offset, expected_file_len, ChecksumRegion,
+    CorpusError, LtcHeader, BLOCK_CHECKSUM_LEN, BLOCK_RECORDS, HEADER_LEN,
+};
+use crate::reader::{records_from_ltc, records_from_ltc_parallel, to_source_error};
+use loopscope::pipeline::{PipelineError, RecordSource, SourceSummary};
+use loopscope::TraceRecord;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use telemetry::LazyCounter;
+
+static TM_MAPS: LazyCounter = LazyCounter::new("ingest.mmap.maps");
+static TM_BYTES: LazyCounter = LazyCounter::new("ingest.mmap.bytes");
+static TM_FALLBACKS: LazyCounter = LazyCounter::new("ingest.mmap.fallbacks");
+static TM_BLOCKS: LazyCounter = LazyCounter::new("ingest.mmap.blocks_decoded");
+
+/// Which `.ltc` read path a decode should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IngestMode {
+    /// Decode from a shared memory mapping (the default); falls back to
+    /// buffered reads — counted in `ingest.mmap.fallbacks` — if the file
+    /// cannot be mapped.
+    #[default]
+    Mmap,
+    /// Buffered `Read` through [`LtcReader`](crate::reader::LtcReader)
+    /// (the `--no-mmap` ablation path).
+    Buffered,
+}
+
+/// A `.ltc` corpus file behind one shared read-only mapping, with the
+/// header validated. Cheap to clone (the mapping is `Arc`-shared), `Send`
+/// + `Sync`, so block-range workers can decode one mapping concurrently.
+#[derive(Clone)]
+pub struct MappedLtc {
+    map: Arc<mmapio::Mmap>,
+    path: PathBuf,
+    header: LtcHeader,
+}
+
+impl MappedLtc {
+    /// Maps the file and validates its header. Fails with [`CorpusError::Io`]
+    /// when the file cannot be opened *or mapped* — callers wanting a
+    /// buffered fallback match on that variant.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, CorpusError> {
+        let path = path.as_ref();
+        let _t = telemetry::span("ingest.mmap.map");
+        let file = std::fs::File::open(path).map_err(|e| CorpusError::io(path, e))?;
+        let map = mmapio::Mmap::map(&file).map_err(|e| CorpusError::io(path, e))?;
+        // Bulk scans read front to back; say so, and start faulting now.
+        map.advise(mmapio::Advice::Sequential);
+        map.advise(mmapio::Advice::WillNeed);
+        TM_MAPS.inc();
+        TM_BYTES.add(map.len() as u64);
+        if map.len() < HEADER_LEN {
+            return Err(CorpusError::Truncated {
+                path: path.to_path_buf(),
+                offset: 0,
+                needed: HEADER_LEN as u64,
+                got: map.len() as u64,
+            });
+        }
+        let head: &[u8; HEADER_LEN] = map[..HEADER_LEN].try_into().expect("header slice");
+        let header = LtcHeader::decode(head, path)?;
+        Ok(Self {
+            map: Arc::new(map),
+            path: path.to_path_buf(),
+            header,
+        })
+    }
+
+    /// The validated header.
+    pub fn header(&self) -> &LtcHeader {
+        &self.header
+    }
+
+    /// The file this mapping reads (as labelled in errors).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Whether the backing is a real kernel mapping (false: the
+    /// owned-buffer fallback `mmapio` uses on non-unix hosts).
+    pub fn is_mapped(&self) -> bool {
+        self.map.is_mapped()
+    }
+
+    /// Number of blocks in the file.
+    pub fn blocks(&self) -> u64 {
+        block_count(self.header.records)
+    }
+
+    /// Records in block `b`.
+    fn block_records(&self, b: u64) -> usize {
+        let before = b * BLOCK_RECORDS as u64;
+        ((self.header.records - before).min(BLOCK_RECORDS as u64)) as usize
+    }
+
+    /// The checksum-verified column bytes of block `b`, borrowed straight
+    /// from the mapping.
+    pub fn block_data(&self, b: u64) -> Result<&[u8], CorpusError> {
+        let k = self.block_records(b);
+        let need = block_len(k);
+        let off = block_offset(b);
+        let data: &[u8] = &self.map;
+        let avail = (data.len() as u64).saturating_sub(off);
+        if avail < need as u64 {
+            return Err(CorpusError::Truncated {
+                path: self.path.clone(),
+                offset: off,
+                needed: need as u64,
+                got: avail,
+            });
+        }
+        let block = &data[off as usize..off as usize + need];
+        let stored = u64::from_le_bytes(
+            block[..BLOCK_CHECKSUM_LEN]
+                .try_into()
+                .expect("checksum prefix"),
+        );
+        let computed = block_checksum(b, &block[BLOCK_CHECKSUM_LEN..]);
+        if stored != computed {
+            return Err(CorpusError::ChecksumMismatch {
+                path: self.path.clone(),
+                offset: off,
+                region: ChecksumRegion::Block(b),
+                expected: stored,
+                found: computed,
+            });
+        }
+        Ok(&block[BLOCK_CHECKSUM_LEN..])
+    }
+
+    /// Decodes block `b` appended to `out` (verifying its checksum).
+    pub fn decode_block_into(&self, b: u64, out: &mut Vec<TraceRecord>) -> Result<(), CorpusError> {
+        let data = self.block_data(b)?;
+        TM_BLOCKS.inc();
+        decode_columns_push(
+            data,
+            self.block_records(b),
+            out,
+            &self.path,
+            block_offset(b) + BLOCK_CHECKSUM_LEN as u64,
+        )
+    }
+
+    /// Verifies nothing follows the final block — the mapped equivalent
+    /// of the buffered reader's EOF probe. Only the owner of the final
+    /// block range calls this.
+    pub fn check_trailing(&self) -> Result<(), CorpusError> {
+        let expect = expected_file_len(self.header.records);
+        if self.map.len() as u64 > expect {
+            return Err(CorpusError::Corrupt {
+                path: self.path.clone(),
+                offset: expect,
+                what: "trailing bytes after the last block",
+            });
+        }
+        Ok(())
+    }
+
+    /// Decodes blocks `[first, end)` appended to `out`; the range owning
+    /// the final block also verifies nothing trails it.
+    pub fn decode_range_into(
+        &self,
+        first: u64,
+        end: u64,
+        out: &mut Vec<TraceRecord>,
+    ) -> Result<(), CorpusError> {
+        let end = end.min(self.blocks());
+        for b in first..end {
+            self.decode_block_into(b, out)?;
+        }
+        if end >= self.blocks() {
+            self.check_trailing()?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for MappedLtc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedLtc")
+            .field("path", &self.path)
+            .field("records", &self.header.records)
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+/// A pipeline [`RecordSource`] streaming a mapped `.ltc` file block by
+/// block — the zero-copy twin of [`ColumnarSource`](crate::reader::ColumnarSource),
+/// delivering identical batches.
+pub struct MappedColumnarSource {
+    ltc: MappedLtc,
+}
+
+impl MappedColumnarSource {
+    /// Maps a corpus file (validates the header).
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, CorpusError> {
+        Ok(Self {
+            ltc: MappedLtc::open(path)?,
+        })
+    }
+
+    /// Wraps an already-mapped file.
+    pub fn new(ltc: MappedLtc) -> Self {
+        Self { ltc }
+    }
+
+    /// The corpus header.
+    pub fn header(&self) -> &LtcHeader {
+        self.ltc.header()
+    }
+}
+
+impl RecordSource for MappedColumnarSource {
+    fn for_each_batch(
+        &mut self,
+        f: &mut dyn FnMut(&[TraceRecord]) -> Result<(), PipelineError>,
+    ) -> Result<SourceSummary, PipelineError> {
+        let _t = telemetry::span("corpus.read");
+        let _tm = telemetry::span("ingest.mmap.decode");
+        let mut batch = Vec::new();
+        let mut summary = SourceSummary {
+            records: 0,
+            skipped: self.ltc.header().skipped,
+        };
+        for b in 0..self.ltc.blocks() {
+            batch.clear();
+            self.ltc
+                .decode_block_into(b, &mut batch)
+                .map_err(to_source_error)?;
+            summary.records += batch.len() as u64;
+            f(&batch)?;
+        }
+        self.ltc.check_trailing().map_err(to_source_error)?;
+        Ok(summary)
+    }
+
+    fn skipped_hint(&self) -> u64 {
+        self.ltc.header().skipped
+    }
+}
+
+/// Whole-file decode through the mapping: `(records, conversion-time skip
+/// count)`. Identical output to [`records_from_ltc`], with no block
+/// buffer and no batch-to-output copy.
+pub fn records_from_ltc_mmap(path: &Path) -> Result<(Vec<TraceRecord>, u64), CorpusError> {
+    let _t = telemetry::span("corpus.read");
+    let ltc = MappedLtc::open(path)?;
+    let _tm = telemetry::span("ingest.mmap.decode");
+    let mut records = Vec::with_capacity(ltc.header().records as usize);
+    ltc.decode_range_into(0, ltc.blocks(), &mut records)?;
+    Ok((records, ltc.header().skipped))
+}
+
+/// [`records_from_ltc_mmap`] fanned out over `threads` contiguous block
+/// ranges of ONE shared mapping — no per-worker file handles, no seeks,
+/// no read buffers. Ranges are concatenated in file order, so the result
+/// is identical to the serial read.
+pub fn records_from_ltc_mmap_parallel(
+    path: &Path,
+    threads: usize,
+) -> Result<(Vec<TraceRecord>, u64), CorpusError> {
+    let _t = telemetry::span("corpus.read_parallel");
+    let ltc = MappedLtc::open(path)?;
+    let blocks = ltc.blocks();
+    let n = (threads.max(1) as u64).min(blocks.max(1));
+    if n <= 1 {
+        let _tm = telemetry::span("ingest.mmap.decode");
+        let mut records = Vec::with_capacity(ltc.header().records as usize);
+        ltc.decode_range_into(0, blocks, &mut records)?;
+        return Ok((records, ltc.header().skipped));
+    }
+    let chunk = blocks.div_ceil(n);
+    let ltc_ref = &ltc;
+    let parts: Vec<Result<Vec<TraceRecord>, CorpusError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|w| {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(blocks);
+                scope.spawn(move || {
+                    let _tm = telemetry::span("ingest.mmap.decode");
+                    let mut part = Vec::with_capacity(
+                        ((hi.saturating_sub(lo)) * BLOCK_RECORDS as u64) as usize,
+                    );
+                    if lo < hi {
+                        ltc_ref.decode_range_into(lo, hi, &mut part)?;
+                    }
+                    Ok(part)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("mmap range decoder panicked"))
+            .collect()
+    });
+    let mut records = Vec::with_capacity(ltc.header().records as usize);
+    for part in parts {
+        records.append(&mut part?);
+    }
+    Ok((records, ltc.header().skipped))
+}
+
+/// Whole-file decode with the preferred backend: the shared mapping under
+/// [`IngestMode::Mmap`] (buffered fallback, counted, when mapping fails),
+/// buffered range readers under [`IngestMode::Buffered`]. `threads` > 1
+/// fans the decode out over contiguous block ranges either way.
+pub fn records_from_ltc_with(
+    path: &Path,
+    threads: usize,
+    mode: IngestMode,
+) -> Result<(Vec<TraceRecord>, u64), CorpusError> {
+    match mode {
+        IngestMode::Mmap => match records_from_ltc_mmap_parallel(path, threads) {
+            Ok(out) => Ok(out),
+            Err(CorpusError::Io { .. }) => {
+                // The file could not be mapped (or vanished mid-open); the
+                // buffered path either succeeds or produces the
+                // authoritative error.
+                TM_FALLBACKS.inc();
+                telemetry::tm_warn!(
+                    "mmap unavailable for {}; falling back to buffered reads",
+                    path.display()
+                );
+                records_from_ltc_with(path, threads, IngestMode::Buffered)
+            }
+            Err(e) => Err(e),
+        },
+        IngestMode::Buffered => {
+            if threads > 1 {
+                records_from_ltc_parallel(path, threads)
+            } else {
+                records_from_ltc(path)
+            }
+        }
+    }
+}
+
+/// Opens a `.ltc` file as a boxed pipeline source with the preferred
+/// backend ([`MappedColumnarSource`] / [`crate::ColumnarSource`]), with the same
+/// fallback rule as [`records_from_ltc_with`].
+pub fn open_ltc_source(
+    path: &Path,
+    mode: IngestMode,
+) -> Result<Box<dyn RecordSource>, CorpusError> {
+    match mode {
+        IngestMode::Mmap => match MappedColumnarSource::open(path) {
+            Ok(src) => Ok(Box::new(src)),
+            Err(CorpusError::Io { .. }) => {
+                TM_FALLBACKS.inc();
+                telemetry::tm_warn!(
+                    "mmap unavailable for {}; falling back to buffered reads",
+                    path.display()
+                );
+                Ok(Box::new(crate::reader::ColumnarSource::open(path)?))
+            }
+            Err(e) => Err(e),
+        },
+        IngestMode::Buffered => Ok(Box::new(crate::reader::ColumnarSource::open(path)?)),
+    }
+}

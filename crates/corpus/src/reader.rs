@@ -183,6 +183,26 @@ impl<R: Read> LtcReader<R> {
     }
 }
 
+/// A positional-read view over a shared `&File`, starting at `pos`: each
+/// range worker of the parallel decode reads through one of these instead
+/// of opening its own handle. Unix `read_at` needs no seek, so there is
+/// no shared cursor for the workers to race on.
+#[cfg(unix)]
+struct FileRangeReader<'a> {
+    file: &'a std::fs::File,
+    pos: u64,
+}
+
+#[cfg(unix)]
+impl Read for FileRangeReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        use std::os::unix::fs::FileExt;
+        let n = self.file.read_at(buf, self.pos)?;
+        self.pos += n as u64;
+        Ok(n)
+    }
+}
+
 /// Maps a corpus defect into the pipeline's source-error channel. The
 /// full typed message (file, offset, region) rides along verbatim.
 pub(crate) fn to_source_error(e: CorpusError) -> PipelineError {
@@ -263,18 +283,35 @@ pub fn records_from_ltc(path: &Path) -> Result<(Vec<TraceRecord>, u64), CorpusEr
 /// ranges — fixed-width blocks make the split offsets pure arithmetic
 /// (no header walk). Ranges are concatenated in file order, so the result
 /// is identical to the serial read.
+///
+/// The file is opened exactly once: every range worker reads through a
+/// positional view of the same handle (`FileRangeReader`) resumed at
+/// its range's byte offset. Only on non-unix hosts, where std has no
+/// positional read, does each worker open its own handle.
 pub fn records_from_ltc_parallel(
     path: &Path,
     threads: usize,
 ) -> Result<(Vec<TraceRecord>, u64), CorpusError> {
     let _t = telemetry::span("corpus.read_parallel");
-    let header = *LtcReader::open(path)?.header();
+    let file = std::fs::File::open(path).map_err(|e| CorpusError::io(path, e))?;
+    let header = *LtcReader::new(std::io::BufReader::new(&file), path)?.header();
     let blocks = block_count(header.records);
     let n = (threads.max(1) as u64).min(blocks.max(1));
     if n <= 1 {
-        return records_from_ltc(path);
+        // Rewind the handle the header probe advanced and decode serially.
+        (&file)
+            .seek(SeekFrom::Start(0))
+            .map_err(|e| CorpusError::io(path, e))?;
+        let mut reader = LtcReader::new(std::io::BufReader::new(&file), path)?;
+        let mut records = Vec::with_capacity(header.records as usize);
+        let mut batch = Vec::new();
+        while reader.next_block_into(&mut batch)? {
+            records.extend_from_slice(&batch);
+        }
+        return Ok((records, header.skipped));
     }
     let chunk = blocks.div_ceil(n);
+    let file_ref = &file;
     let parts: Vec<Result<Vec<TraceRecord>, CorpusError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n)
             .map(|w| {
@@ -285,12 +322,21 @@ pub fn records_from_ltc_parallel(
                     if lo >= hi {
                         return Ok(part);
                     }
-                    let mut file =
-                        std::fs::File::open(path).map_err(|e| CorpusError::io(path, e))?;
-                    file.seek(SeekFrom::Start(block_offset(lo)))
-                        .map_err(|e| CorpusError::io(path, e))?;
-                    let mut reader =
-                        LtcReader::resume(std::io::BufReader::new(file), path, header, lo, hi);
+                    #[cfg(unix)]
+                    let src = std::io::BufReader::new(FileRangeReader {
+                        file: file_ref,
+                        pos: block_offset(lo),
+                    });
+                    #[cfg(not(unix))]
+                    let src = {
+                        let _ = file_ref;
+                        let mut f =
+                            std::fs::File::open(path).map_err(|e| CorpusError::io(path, e))?;
+                        f.seek(SeekFrom::Start(block_offset(lo)))
+                            .map_err(|e| CorpusError::io(path, e))?;
+                        std::io::BufReader::new(f)
+                    };
+                    let mut reader = LtcReader::resume(src, path, header, lo, hi);
                     let mut batch = Vec::new();
                     while reader.next_block_into(&mut batch)? {
                         part.extend_from_slice(&batch);

@@ -3,7 +3,8 @@
 //! delivery — the columnar mirror of `loopscope`'s `PcapFileSequence`.
 
 use crate::format::MAGIC;
-use crate::reader::{records_from_ltc, to_source_error};
+use crate::mapped::{records_from_ltc_with, IngestMode};
+use crate::reader::to_source_error;
 use loopscope::pipeline::{PcapSource, PipelineError, RecordSource, SourceError, SourceSummary};
 use loopscope::TraceRecord;
 use std::io::Read;
@@ -49,6 +50,7 @@ pub fn sniff_is_ltc(path: &Path) -> std::io::Result<bool> {
 pub struct CorpusFileSequence {
     paths: Vec<PathBuf>,
     ingest_threads: usize,
+    ingest_mode: IngestMode,
 }
 
 impl CorpusFileSequence {
@@ -61,6 +63,7 @@ impl CorpusFileSequence {
         Self {
             paths: paths.into_iter().map(Into::into).collect(),
             ingest_threads: 1,
+            ingest_mode: IngestMode::default(),
         }
     }
 
@@ -72,10 +75,20 @@ impl CorpusFileSequence {
         self
     }
 
+    /// Selects the `.ltc` read path (default: the shared memory mapping;
+    /// [`IngestMode::Buffered`] is the `--no-mmap` ablation).
+    pub fn with_ingest_mode(mut self, mode: IngestMode) -> Self {
+        self.ingest_mode = mode;
+        self
+    }
+
     /// Fully decodes one file (either format) into memory.
-    fn decode_file(path: &PathBuf) -> Result<(Vec<TraceRecord>, u64), PipelineError> {
+    fn decode_file(
+        path: &PathBuf,
+        mode: IngestMode,
+    ) -> Result<(Vec<TraceRecord>, u64), PipelineError> {
         if sniff_is_ltc(path).map_err(|e| PipelineError::Source(SourceError::Io(e)))? {
-            return records_from_ltc(path).map_err(to_source_error);
+            return records_from_ltc_with(path, 1, mode).map_err(to_source_error);
         }
         let file =
             std::fs::File::open(path).map_err(|e| PipelineError::Source(SourceError::Io(e)))?;
@@ -98,7 +111,7 @@ impl RecordSource for CorpusFileSequence {
         let mut summary = SourceSummary::default();
         if self.ingest_threads <= 1 || self.paths.len() <= 1 {
             for path in &self.paths {
-                let (records, skipped) = Self::decode_file(path)?;
+                let (records, skipped) = Self::decode_file(path, self.ingest_mode)?;
                 summary.skipped += skipped;
                 for chunk in records.chunks(BATCH) {
                     summary.records += chunk.len() as u64;
@@ -117,6 +130,7 @@ impl RecordSource for CorpusFileSequence {
         let slots: Mutex<Vec<Slot>> = Mutex::new((0..self.paths.len()).map(|_| None).collect());
         let ready = Condvar::new();
         let paths = &self.paths;
+        let mode = self.ingest_mode;
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
@@ -124,7 +138,7 @@ impl RecordSource for CorpusFileSequence {
                     if i >= paths.len() {
                         break;
                     }
-                    let decoded = Self::decode_file(&paths[i]);
+                    let decoded = Self::decode_file(&paths[i], mode);
                     slots.lock().expect("decode slots poisoned")[i] = Some(decoded);
                     ready.notify_all();
                 });

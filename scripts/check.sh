@@ -92,7 +92,8 @@ run_corpus_smoke() {
     banner "corpus smoke: pcap2ltc --verify + loopdetect pcap/ltc byte parity"
     # Convert the demo fixture to its .ltc twin (with the converter's own
     # re-read verification), then prove the detector cannot tell the
-    # containers apart: every output mode must be byte-identical.
+    # containers apart: every output mode must be byte-identical — and
+    # that the mmap/buffered ingest split (--no-mmap) is invisible too.
     local tmp
     tmp="$(mktemp -d)"
     trap 'rm -rf "$tmp"' RETURN
@@ -108,6 +109,14 @@ run_corpus_smoke() {
         if ! cmp -s "$tmp/out.pcap.txt" "$tmp/out.ltc.txt"; then
             echo "error: loopdetect '$args' output differs between pcap and .ltc input" >&2
             diff "$tmp/out.pcap.txt" "$tmp/out.ltc.txt" >&2 || true
+            exit 1
+        fi
+        # shellcheck disable=SC2086
+        cargo run --release --bin loopdetect -- "$tmp/demo.ltc" $args --threads 2 \
+            --no-mmap > "$tmp/out.ltc.nommap.txt"
+        if ! cmp -s "$tmp/out.ltc.txt" "$tmp/out.ltc.nommap.txt"; then
+            echo "error: loopdetect '$args' output differs between mmap and --no-mmap ingest" >&2
+            diff "$tmp/out.ltc.txt" "$tmp/out.ltc.nommap.txt" >&2 || true
             exit 1
         fi
     done

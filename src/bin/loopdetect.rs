@@ -34,7 +34,7 @@
 //! stdout. Verbosity: `-q` errors only, default warnings, `-v` info,
 //! `-vv` debug; the `LOOPSCOPE_LOG` env filter overrides per module.
 
-use routing_loops::corpus::{self, ColumnarSource};
+use routing_loops::corpus::{self, IngestMode};
 use routing_loops::loopscope::analysis::{AnalysisAccumulator, AnalysisReport};
 use routing_loops::loopscope::merge::LoopKind;
 use routing_loops::loopscope::pipeline::{
@@ -82,6 +82,9 @@ OPTIONS
                                  fan-out, kept as an ablation), or
                                  streaming (same as --streaming). All
                                  engines produce byte-identical output
+  --no-mmap                      read .ltc input through buffered reads
+                                 instead of the default shared memory
+                                 mapping (ablation; output is identical)
   --persistent-s <N>             persistence threshold in seconds (default 60)
   --metrics <path|->             write the telemetry snapshot (JSON) to a
                                  file, or to stdout with '-'
@@ -108,6 +111,7 @@ struct Args {
     cfg: DetectorConfig,
     engine: EngineChoice,
     threads: usize,
+    ingest_mode: IngestMode,
     persistent_s: u64,
     metrics: Option<String>,
     metrics_interval_ms: Option<u64>,
@@ -134,6 +138,7 @@ fn parse_args() -> Args {
     let mut streaming = false;
     let mut engine: Option<EngineChoice> = None;
     let mut threads: Option<usize> = None;
+    let mut ingest_mode = IngestMode::default();
     let mut persistent_s = 60;
     let mut metrics = None;
     let mut metrics_interval_ms: Option<u64> = None;
@@ -228,6 +233,7 @@ fn parse_args() -> Args {
                 }
                 threads = Some(n);
             }
+            "--no-mmap" => ingest_mode = IngestMode::Buffered,
             "--persistent-s" => {
                 persistent_s = it
                     .next()
@@ -298,6 +304,7 @@ fn parse_args() -> Args {
         cfg,
         engine,
         threads,
+        ingest_mode,
         persistent_s,
         metrics,
         metrics_interval_ms,
@@ -464,10 +471,12 @@ fn main() {
         exit(1);
     });
     let mut source: Box<dyn RecordSource> = if is_ltc {
-        Box::new(ColumnarSource::open(&args.path).unwrap_or_else(|e| {
-            eprintln!("error: cannot parse {e}");
-            exit(1);
-        }))
+        corpus::open_ltc_source(std::path::Path::new(&args.path), args.ingest_mode).unwrap_or_else(
+            |e| {
+                eprintln!("error: cannot parse {e}");
+                exit(1);
+            },
+        )
     } else {
         let file = File::open(&args.path).unwrap_or_else(|e| {
             eprintln!("error: cannot open {}: {e}", args.path);

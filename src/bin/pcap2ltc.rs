@@ -94,6 +94,7 @@ fn main() -> ExitCode {
         eprintln!("pcap2ltc: input and output are the same file");
         return ExitCode::from(2);
     }
+    let started = std::time::Instant::now();
     let (records, skipped) = match pcap_to_ltc(&args.input, &args.output, args.threads) {
         Ok(counts) => counts,
         Err(e) => {
@@ -108,11 +109,21 @@ fn main() -> ExitCode {
         }
     }
     if !args.quiet {
+        // Self-documenting CI logs: how much was converted and how fast.
+        let secs = started.elapsed().as_secs_f64();
+        let out_bytes = std::fs::metadata(&args.output).map_or(0, |m| m.len());
+        let rate = if secs > 0.0 {
+            records as f64 / secs
+        } else {
+            0.0
+        };
         eprintln!(
-            "pcap2ltc: {} -> {}: {records} records, {skipped} skipped{}",
+            "pcap2ltc: {} -> {}: {records} records, {skipped} skipped{}; {:.1} MB in {secs:.3} s ({:.0} records/s)",
             args.input.display(),
             args.output.display(),
-            if args.verify { ", verified" } else { "" }
+            if args.verify { ", verified" } else { "" },
+            out_bytes as f64 / 1e6,
+            rate,
         );
     }
     ExitCode::SUCCESS

@@ -207,7 +207,8 @@ pub fn verify_ltc_against_pcap(
         let file = std::fs::File::open(pcap).map_err(PcapError::Io)?;
         records_from_pcap(std::io::BufReader::new(file))?
     };
-    let (got, got_skipped) = corpus::records_from_ltc_parallel(ltc, threads)?;
+    let (got, got_skipped) =
+        corpus::records_from_ltc_with(ltc, threads, corpus::IngestMode::default())?;
     if got.len() != want.len() {
         return Err(ConvertError::VerifyMismatch("record count differs"));
     }

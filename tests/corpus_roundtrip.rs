@@ -14,7 +14,8 @@ use routing_loops::convert::{
     PAPER_SNAPLEN,
 };
 use routing_loops::corpus::{
-    records_from_ltc, records_from_ltc_parallel, ColumnarSource, CorpusFileSequence,
+    open_ltc_source, records_from_ltc, records_from_ltc_mmap, records_from_ltc_mmap_parallel,
+    records_from_ltc_parallel, ColumnarSource, CorpusFileSequence, IngestMode,
 };
 use routing_loops::loopscope::pipeline::{
     LoopCsvSink, LoopJsonlSink, StreamCsvSink, StreamJsonlSink, SummaryCsvSink,
@@ -106,6 +107,16 @@ fn assert_pcap_ltc_parity(tag: &str, bytes: &[u8]) {
         );
         assert_eq!(s, skipped_ltc);
     }
+    // The mapped reader is the default ingest path; it must reproduce the
+    // buffered decode bit for bit at every worker count.
+    let (mapped, skipped_mapped) = records_from_ltc_mmap(&ltc).expect("mmap ltc");
+    assert_eq!(mapped, via_ltc, "{tag}: mapped ltc read diverges");
+    assert_eq!(skipped_mapped, skipped_ltc);
+    for threads in [1, 2, 4, 8] {
+        let (par, s) = records_from_ltc_mmap_parallel(&ltc, threads).expect("mmap parallel ltc");
+        assert_eq!(par, via_ltc, "{tag}: mapped ltc read at {threads} threads");
+        assert_eq!(s, skipped_ltc);
+    }
 
     let cfg = DetectorConfig::default();
     // Engines are single-use (finish consumes the detector), so each run
@@ -124,17 +135,33 @@ fn assert_pcap_ltc_parity(tag: &str, bytes: &[u8]) {
             &mut ColumnarSource::open(&ltc).expect("open ltc"),
             make(threads).as_mut(),
         );
+        let c = run_from(
+            open_ltc_source(&ltc, IngestMode::Mmap)
+                .expect("open mapped ltc")
+                .as_mut(),
+            make(threads).as_mut(),
+        );
         assert_eq!(a.streams, b.streams, "{tag}: {name} streams");
         assert_eq!(a.loops, b.loops, "{tag}: {name} loops");
         assert_eq!(a.stats, b.stats, "{tag}: {name} stats");
         assert_eq!(a.records, b.records, "{tag}: {name} record count");
+        assert_eq!(b.streams, c.streams, "{tag}: {name} mapped streams");
+        assert_eq!(b.loops, c.loops, "{tag}: {name} mapped loops");
+        assert_eq!(b.stats, c.stats, "{tag}: {name} mapped stats");
+        assert_eq!(b.records, c.records, "{tag}: {name} mapped record count");
 
         let sa = sinks_from(&mut open_pcap(&pcap), make(threads).as_mut());
         let sb = sinks_from(
             &mut ColumnarSource::open(&ltc).expect("open ltc"),
             make(threads).as_mut(),
         );
-        for (kind, (x, y)) in [
+        let sc = sinks_from(
+            open_ltc_source(&ltc, IngestMode::Mmap)
+                .expect("open mapped ltc")
+                .as_mut(),
+            make(threads).as_mut(),
+        );
+        for (kind, ((x, y), z)) in [
             "loops csv",
             "streams csv",
             "summary csv",
@@ -142,9 +169,13 @@ fn assert_pcap_ltc_parity(tag: &str, bytes: &[u8]) {
             "streams jsonl",
         ]
         .iter()
-        .zip(sa.iter().zip(sb.iter()))
+        .zip(sa.iter().zip(sb.iter()).zip(sc.iter()))
         {
             assert_eq!(x, y, "{tag}: {name} {kind} differs between pcap and ltc");
+            assert_eq!(
+                y, z,
+                "{tag}: {name} {kind} differs between buffered and mapped ltc"
+            );
         }
     }
     remove(&[&pcap, &ltc]);
@@ -402,18 +433,24 @@ fn corpus_file_sequence_matches_concatenated_decode() {
     let mut expect = records.clone();
     expect.extend_from_slice(&records); // pcap_a then ltc_b ++ ltc_c
 
-    for threads in [1usize, 2, 4] {
-        let mut seq = CorpusFileSequence::new([&pcap_a, &ltc_b.clone(), &ltc_c.clone()])
-            .with_ingest_threads(threads);
-        let mut got = Vec::new();
-        let summary = seq
-            .for_each_batch(&mut |batch| {
-                got.extend_from_slice(batch);
-                Ok(())
-            })
-            .expect("sequence scan");
-        assert_eq!(summary.records as usize, got.len());
-        assert_eq!(got, expect, "sequence diverges at {threads} ingest threads");
+    for mode in [IngestMode::Mmap, IngestMode::Buffered] {
+        for threads in [1usize, 2, 4] {
+            let mut seq = CorpusFileSequence::new([&pcap_a, &ltc_b.clone(), &ltc_c.clone()])
+                .with_ingest_threads(threads)
+                .with_ingest_mode(mode);
+            let mut got = Vec::new();
+            let summary = seq
+                .for_each_batch(&mut |batch| {
+                    got.extend_from_slice(batch);
+                    Ok(())
+                })
+                .expect("sequence scan");
+            assert_eq!(summary.records as usize, got.len());
+            assert_eq!(
+                got, expect,
+                "sequence diverges at {threads} ingest threads ({mode:?})"
+            );
+        }
     }
     remove(&[&pcap_a, &ltc_b, &ltc_c]);
 }
