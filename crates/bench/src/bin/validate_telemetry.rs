@@ -2,16 +2,23 @@
 //!
 //! ```text
 //! validate_telemetry <metrics.jsonl> <trace.json>
+//! validate_telemetry --events <events.jsonl>
 //! ```
 //!
-//! Validates the two artifacts `loopdetect --metrics-interval/--trace`
-//! produce: every JSONL line must be a well-formed object carrying the
-//! sampler's schema (`seq`/`unix_ms`/`elapsed_ms`/`counters`/`timers`,
-//! with `seq` counting up from 0 and at least two snapshots present), and
-//! the trace must be a well-formed Chrome `trace_event` document with
-//! `traceEvents`, complete (`"ph":"X"`) spans, and thread-name metadata.
-//! Exit 0 means both pass; any violation is printed and exits 1. Used by
-//! `scripts/check.sh`; standalone-useful for eyeballing captures.
+//! The two-argument form validates the artifacts `loopdetect
+//! --metrics-interval/--trace` produce: every JSONL line must be a
+//! well-formed object carrying the sampler's schema
+//! (`seq`/`unix_ms`/`elapsed_ms`/`counters`/`timers`, with `seq` counting
+//! up from 0 and at least two snapshots present), and the trace must be a
+//! well-formed Chrome `trace_event` document with `traceEvents`, complete
+//! (`"ph":"X"`) spans, and thread-name metadata.
+//!
+//! `--events` validates a `loopmond` unified loop-event stream: every
+//! line must be well-formed JSON attributed to a link (`"link"` first),
+//! with `event` either `stream` (carrying `replicas`/`ttl_delta`) or
+//! `loop` (carrying `class`/`duration_s`), and at least one event of each
+//! kind present. Exit 0 means pass; any violation is printed and exits 1.
+//! Used by `scripts/check.sh`; standalone-useful for eyeballing captures.
 
 use std::process::exit;
 
@@ -67,13 +74,63 @@ fn check_trace(path: &str) {
     }
 }
 
+fn check_events(path: &str) -> (usize, usize) {
+    let body =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+    let (mut streams, mut loops) = (0usize, 0usize);
+    for (i, line) in body.lines().enumerate() {
+        let n = i + 1;
+        telemetry::json::validate(line)
+            .unwrap_or_else(|e| fail(format!("{path} line {n}: bad JSON: {e}")));
+        if !line.starts_with("{\"link\":\"") {
+            fail(format!("{path} line {n}: not link-attributed: {line}"));
+        }
+        let required: &[&str] = if line.contains("\"event\":\"stream\"") {
+            streams += 1;
+            &[
+                "\"dst\"",
+                "\"replicas\"",
+                "\"ttl_delta\"",
+                "\"duration_ms\"",
+            ]
+        } else if line.contains("\"event\":\"loop\"") {
+            loops += 1;
+            &["\"prefix\"", "\"streams\"", "\"duration_s\"", "\"class\""]
+        } else {
+            fail(format!("{path} line {n}: unknown event kind: {line}"));
+        };
+        for key in required {
+            if !line.contains(key) {
+                fail(format!("{path} line {n}: missing {key}"));
+            }
+        }
+    }
+    if streams == 0 || loops == 0 {
+        fail(format!(
+            "{path}: want both event kinds, got {streams} stream / {loops} loop events"
+        ));
+    }
+    (streams, loops)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let [metrics, trace] = args.as_slice() else {
-        eprintln!("usage: validate_telemetry <metrics.jsonl> <trace.json>");
-        exit(2);
-    };
-    let n = check_metrics(metrics);
-    check_trace(trace);
-    println!("validate_telemetry: OK ({n} snapshots, trace well-formed)");
+    match args.as_slice() {
+        [flag, events] if flag == "--events" => {
+            let (streams, loops) = check_events(events);
+            println!("validate_telemetry: OK ({streams} stream + {loops} loop events)");
+        }
+        [metrics, trace] => {
+            let n = check_metrics(metrics);
+            check_trace(trace);
+            println!("validate_telemetry: OK ({n} snapshots, trace well-formed)");
+        }
+        _ => {
+            eprintln!(
+                "usage: validate_telemetry <metrics.jsonl> <trace.json>\n\
+                 \x20      validate_telemetry --events <events.jsonl>"
+            );
+            exit(2);
+        }
+    }
 }

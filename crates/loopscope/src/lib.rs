@@ -30,6 +30,11 @@
 //! (see DESIGN.md for the soundness argument). The older ring-dispatcher
 //! fan-out survives in [`shard`] as the `--engine ring` ablation.
 //!
+//! For continuous operation, [`monitor`] multiplexes many links through
+//! one runtime — a bounded streaming engine per link feeding a unified,
+//! per-link-attributed loop-event sink — which is what the `loopmond`
+//! fleet daemon drives.
+//!
 //! The crate is deliberately independent of the simulator: it consumes
 //! [`record::TraceRecord`]s, which can come from simulated taps, pcap
 //! files, or any other 40-byte-snaplen capture source.
@@ -70,6 +75,7 @@ pub mod fxhash;
 pub mod impact;
 pub mod key;
 pub mod merge;
+pub mod monitor;
 pub mod online;
 pub mod pipeline;
 pub mod record;
@@ -84,6 +90,7 @@ pub use config::DetectorConfig;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use key::ReplicaKey;
 pub use merge::RoutingLoop;
+pub use monitor::{LinkMonitor, LinkSummary, MonitorConfig, MonitorRuntime, MonitorTotals};
 pub use online::{OnlineDetector, OnlineEvent};
 pub use pipeline::{
     run_pipeline, run_pipeline_with_progress, BlockEngine, Engine, EngineProgress,

@@ -90,6 +90,13 @@ pub enum PipelineError {
     Source(SourceError),
     /// A sink failed to write.
     Sink(std::io::Error),
+    /// The run was cancelled mid-stream (shutdown request). Raised from a
+    /// batch callback to unwind the source; [`run_pipeline_with_progress`]
+    /// catches it, drains the engine, flushes the sinks, and returns a
+    /// result with [`PipelineResult::interrupted`] set — it never escapes
+    /// a pipeline run. Drivers that pump sources by hand (the monitor
+    /// daemon) use it the same way.
+    Interrupted,
 }
 
 impl std::fmt::Display for PipelineError {
@@ -97,6 +104,7 @@ impl std::fmt::Display for PipelineError {
         match self {
             PipelineError::Source(e) => write!(f, "source: {e}"),
             PipelineError::Sink(e) => write!(f, "sink: {e}"),
+            PipelineError::Interrupted => write!(f, "interrupted"),
         }
     }
 }
@@ -355,17 +363,24 @@ pub struct EngineProgress {
 /// One detection engine: consumes record batches, emits validated streams
 /// and merged loops as [`OnlineEvent`]s, and reports [`DetectionStats`].
 ///
-/// The contract all three implementations share: on the same
-/// timestamp-ordered input, the *set* of emitted streams and loops and
-/// every stats field are identical. Emission *order* may differ (the
-/// streaming engine emits as evidence completes); [`run_pipeline`] puts
-/// events into the canonical order afterwards.
+/// The primary contract is the incremental feed path: any number of
+/// [`Engine::feed`] calls followed by exactly one [`Engine::finish`].
+/// Batches can arrive over an arbitrarily long wall-clock span — the
+/// monitor runtime keeps one engine per link alive for the life of the
+/// link — and the one-shot [`Engine::run_slice`] is a thin wrapper over
+/// feed + finish (buffering engines override it to skip their copy).
+///
+/// The contract all implementations share: on the same timestamp-ordered
+/// input, the *set* of emitted streams and loops and every stats field
+/// are identical. Emission *order* may differ (the streaming engine emits
+/// as evidence completes); [`run_pipeline`] puts events into the
+/// canonical order afterwards.
 pub trait Engine {
     /// A short stable name ("serial", "sharded", "streaming").
     fn name(&self) -> &'static str;
 
     /// Consumes one batch, emitting any events whose evidence completed.
-    fn push_batch(&mut self, batch: &[TraceRecord], emit: &mut dyn FnMut(OnlineEvent));
+    fn feed(&mut self, batch: &[TraceRecord], emit: &mut dyn FnMut(OnlineEvent));
 
     /// Flushes remaining state at end of input and returns the final
     /// counters. Must be called exactly once, after all batches.
@@ -375,14 +390,14 @@ pub trait Engine {
     fn progress(&self) -> EngineProgress;
 
     /// Runs the whole trace in one call when the caller already owns a
-    /// slice. Default is `push_batch` + `finish`; buffering engines
-    /// override it to skip their internal copy.
+    /// slice. Default is `feed` + `finish`; buffering engines override it
+    /// to skip their internal copy.
     fn run_slice(
         &mut self,
         records: &[TraceRecord],
         emit: &mut dyn FnMut(OnlineEvent),
     ) -> DetectionStats {
-        self.push_batch(records, emit);
+        self.feed(records, emit);
         self.finish(emit)
     }
 }
@@ -426,7 +441,7 @@ impl Engine for SerialEngine {
         "serial"
     }
 
-    fn push_batch(&mut self, batch: &[TraceRecord], _emit: &mut dyn FnMut(OnlineEvent)) {
+    fn feed(&mut self, batch: &[TraceRecord], _emit: &mut dyn FnMut(OnlineEvent)) {
         self.records += batch.len() as u64;
         self.buf.extend_from_slice(batch);
     }
@@ -482,7 +497,7 @@ impl Engine for ShardedEngine {
         "sharded"
     }
 
-    fn push_batch(&mut self, batch: &[TraceRecord], _emit: &mut dyn FnMut(OnlineEvent)) {
+    fn feed(&mut self, batch: &[TraceRecord], _emit: &mut dyn FnMut(OnlineEvent)) {
         self.records += batch.len() as u64;
         self.buf.extend_from_slice(batch);
     }
@@ -541,7 +556,7 @@ impl Engine for BlockEngine {
         "block"
     }
 
-    fn push_batch(&mut self, batch: &[TraceRecord], _emit: &mut dyn FnMut(OnlineEvent)) {
+    fn feed(&mut self, batch: &[TraceRecord], _emit: &mut dyn FnMut(OnlineEvent)) {
         self.records += batch.len() as u64;
         self.buf.extend_from_slice(batch);
     }
@@ -601,8 +616,8 @@ impl Engine for StreamingEngine {
         "streaming"
     }
 
-    fn push_batch(&mut self, batch: &[TraceRecord], emit: &mut dyn FnMut(OnlineEvent)) {
-        let det = self.det.as_mut().expect("push_batch after finish");
+    fn feed(&mut self, batch: &[TraceRecord], emit: &mut dyn FnMut(OnlineEvent)) {
+        let det = self.det.as_mut().expect("feed after finish");
         for rec in batch {
             self.records += 1;
             for ev in det.push(rec) {
@@ -646,6 +661,11 @@ pub struct PipelineResult {
     pub trace_start_ns: u64,
     /// Timestamp of the last record (0 on an empty trace).
     pub trace_end_ns: u64,
+    /// True when the run was cancelled before the source drained (the
+    /// progress callback broke out, e.g. on SIGINT). The engine was still
+    /// flushed and every sink saw the partial result, so the output is a
+    /// valid detection of the records consumed so far.
+    pub interrupted: bool,
 }
 
 impl PipelineResult {
@@ -681,7 +701,9 @@ pub fn run_pipeline(
     engine: &mut dyn Engine,
     sinks: &mut [&mut dyn Sink],
 ) -> Result<PipelineResult, PipelineError> {
-    run_pipeline_with_progress(source, engine, sinks, &mut |_| {})
+    run_pipeline_with_progress(source, engine, sinks, &mut |_| {
+        std::ops::ControlFlow::Continue(())
+    })
 }
 
 /// Marks an engine emission in the event trace: one instant per closed
@@ -699,17 +721,27 @@ fn trace_emission(ev: &OnlineEvent) {
 
 /// [`run_pipeline`] with a progress callback, invoked after every batch
 /// (and once after the final flush) with the engine's live state.
+///
+/// The callback also carries the cancellation channel: returning
+/// [`std::ops::ControlFlow::Break`] stops pulling from the source, after which the
+/// engine is flushed normally, the sinks see the partial result, and the
+/// returned [`PipelineResult`] has `interrupted` set. This is how SIGINT
+/// becomes a graceful drain instead of a mid-stream death. On the
+/// in-memory fast path the whole trace is one [`Engine::run_slice`] call,
+/// so a break can only take effect after it — short in-memory runs finish
+/// rather than cancel.
 pub fn run_pipeline_with_progress(
     source: &mut dyn RecordSource,
     engine: &mut dyn Engine,
     sinks: &mut [&mut dyn Sink],
-    progress: &mut dyn FnMut(&EngineProgress),
+    progress: &mut dyn FnMut(&EngineProgress) -> std::ops::ControlFlow<()>,
 ) -> Result<PipelineResult, PipelineError> {
     let _run = telemetry::span("pipeline.run");
     let mut streams: Vec<ReplicaStream> = Vec::new();
     let mut loops: Vec<RoutingLoop> = Vec::new();
     let mut trace_start: Option<u64> = None;
     let mut trace_end: u64 = 0;
+    let mut interrupted = false;
 
     let (summary, stats) = if let Some(slice) = source.as_slice() {
         // Fast path: the trace is already in memory, so the engine gets it
@@ -737,7 +769,8 @@ pub fn run_pipeline_with_progress(
             };
             engine.run_slice(slice, &mut emit)
         };
-        progress(&engine.progress());
+        // One-shot slice runs cannot cancel mid-detect; a Break here is moot.
+        let _ = progress(&engine.progress());
         (
             SourceSummary {
                 records: slice.len() as u64,
@@ -746,7 +779,7 @@ pub fn run_pipeline_with_progress(
             stats,
         )
     } else {
-        let summary = source.for_each_batch(&mut |batch| {
+        let pulled = source.for_each_batch(&mut |batch| {
             if batch.is_empty() {
                 return Ok(());
             }
@@ -769,11 +802,27 @@ pub fn run_pipeline_with_progress(
                         OnlineEvent::Loop(l) => loops.push(l),
                     }
                 };
-                engine.push_batch(batch, &mut emit);
+                engine.feed(batch, &mut emit);
             }
-            progress(&engine.progress());
-            Ok(())
-        })?;
+            match progress(&engine.progress()) {
+                std::ops::ControlFlow::Continue(()) => Ok(()),
+                std::ops::ControlFlow::Break(()) => Err(PipelineError::Interrupted),
+            }
+        });
+        let summary = match pulled {
+            Ok(summary) => summary,
+            // Cancelled: the source never reported its totals, but the
+            // engine counted everything it was fed. Drain and flush below
+            // exactly as on a clean end of input.
+            Err(PipelineError::Interrupted) => {
+                interrupted = true;
+                SourceSummary {
+                    records: engine.progress().records,
+                    skipped: source.skipped_hint(),
+                }
+            }
+            Err(e) => return Err(e),
+        };
         let stats = {
             let _t = telemetry::span("pipeline.finish");
             let mut emit = |ev: OnlineEvent| {
@@ -785,7 +834,7 @@ pub fn run_pipeline_with_progress(
             };
             engine.finish(&mut emit)
         };
-        progress(&engine.progress());
+        let _ = progress(&engine.progress());
         (summary, stats)
     };
 
@@ -812,6 +861,7 @@ pub fn run_pipeline_with_progress(
         skipped: summary.skipped,
         trace_start_ns: trace_start.unwrap_or(0),
         trace_end_ns: trace_end,
+        interrupted,
     };
 
     {
@@ -824,11 +874,47 @@ pub fn run_pipeline_with_progress(
 }
 
 /// The loop classification string used by all textual sinks.
-fn loop_class(l: &RoutingLoop, persistent_threshold_ns: u64) -> &'static str {
+pub(crate) fn loop_class(l: &RoutingLoop, persistent_threshold_ns: u64) -> &'static str {
     match l.classify(persistent_threshold_ns) {
         LoopKind::Transient => "transient",
         LoopKind::Persistent => "persistent",
     }
+}
+
+/// The JSONL body fields for one replica stream (key order and number
+/// formatting fixed, no surrounding braces). Shared between
+/// [`StreamJsonlSink`] and the monitor's per-link event sink so the two
+/// surfaces stay byte-identical field for field.
+pub(crate) fn stream_jsonl_fields(s: &ReplicaStream) -> String {
+    format!(
+        "\"dst\":\"{}\",\"ident\":{},\"first_ttl\":{},\"last_ttl\":{},\"ttl_delta\":{},\"replicas\":{},\"start_s\":{:.6},\"duration_ms\":{:.3},\"mean_spacing_ms\":{:.3}",
+        s.key.dst,
+        s.key.ident,
+        s.first_ttl(),
+        s.last_ttl(),
+        s.ttl_delta(),
+        s.len(),
+        s.start_ns() as f64 / 1e9,
+        s.duration_ns() as f64 / 1e6,
+        s.mean_spacing_ns() as f64 / 1e6,
+    )
+}
+
+/// The JSONL body fields for one merged loop, without the `open_ended`
+/// field — open-endedness is a whole-trace property the live monitor
+/// cannot know at emission time, so only the batch sink appends it.
+pub(crate) fn loop_jsonl_fields(l: &RoutingLoop, persistent_threshold_ns: u64) -> String {
+    format!(
+        "\"prefix\":\"{}\",\"start_s\":{:.6},\"end_s\":{:.6},\"duration_s\":{:.6},\"streams\":{},\"replicas\":{},\"ttl_delta\":{},\"class\":\"{}\"",
+        l.prefix,
+        l.start_ns as f64 / 1e9,
+        l.end_ns as f64 / 1e9,
+        l.duration_ns() as f64 / 1e9,
+        l.num_streams(),
+        l.replica_count(),
+        l.ttl_delta(),
+        loop_class(l, persistent_threshold_ns),
+    )
 }
 
 /// CSV emitter for merged routing loops — byte-identical to the historical
@@ -993,15 +1079,8 @@ impl<W: Write> Sink for LoopJsonlSink<W> {
         for l in &result.loops {
             writeln!(
                 self.out,
-                "{{\"prefix\":\"{}\",\"start_s\":{:.6},\"end_s\":{:.6},\"duration_s\":{:.6},\"streams\":{},\"replicas\":{},\"ttl_delta\":{},\"class\":\"{}\",\"open_ended\":{}}}",
-                l.prefix,
-                l.start_ns as f64 / 1e9,
-                l.end_ns as f64 / 1e9,
-                l.duration_ns() as f64 / 1e9,
-                l.num_streams(),
-                l.replica_count(),
-                l.ttl_delta(),
-                loop_class(l, self.persistent_threshold_ns),
+                "{{{},\"open_ended\":{}}}",
+                loop_jsonl_fields(l, self.persistent_threshold_ns),
                 l.is_open_ended(result.trace_end_ns, OPEN_TAIL_GAP_NS),
             )?;
         }
@@ -1030,19 +1109,7 @@ impl<W: Write> StreamJsonlSink<W> {
 impl<W: Write> Sink for StreamJsonlSink<W> {
     fn on_result(&mut self, result: &PipelineResult) -> std::io::Result<()> {
         for s in &result.streams {
-            writeln!(
-                self.out,
-                "{{\"dst\":\"{}\",\"ident\":{},\"first_ttl\":{},\"last_ttl\":{},\"ttl_delta\":{},\"replicas\":{},\"start_s\":{:.6},\"duration_ms\":{:.3},\"mean_spacing_ms\":{:.3}}}",
-                s.key.dst,
-                s.key.ident,
-                s.first_ttl(),
-                s.last_ttl(),
-                s.ttl_delta(),
-                s.len(),
-                s.start_ns() as f64 / 1e9,
-                s.duration_ns() as f64 / 1e6,
-                s.mean_spacing_ns() as f64 / 1e6,
-            )?;
+            writeln!(self.out, "{{{}}}", stream_jsonl_fields(s))?;
         }
         Ok(())
     }
@@ -1155,11 +1222,50 @@ mod tests {
         let mut source = SliceSource::new(&recs);
         run_pipeline_with_progress(&mut source, &mut engine, &mut [], &mut |p| {
             seen.push(*p);
+            std::ops::ControlFlow::Continue(())
         })
         .expect("pipeline run");
         let last = seen.last().expect("at least one progress call");
         assert_eq!(last.records, recs.len() as u64);
         assert_eq!(last.open_candidates, Some(0), "all closed after finish");
+    }
+
+    #[test]
+    fn progress_break_drains_gracefully() {
+        // Cancel after the first batch: the engine must still be flushed,
+        // the result marked interrupted, and the record count must match
+        // what the engine actually consumed (one 7-record chunk).
+        struct Chunked<'a>(&'a [TraceRecord]);
+        impl RecordSource for Chunked<'_> {
+            fn for_each_batch(
+                &mut self,
+                f: &mut dyn FnMut(&[TraceRecord]) -> Result<(), PipelineError>,
+            ) -> Result<SourceSummary, PipelineError> {
+                for chunk in self.0.chunks(7) {
+                    f(chunk)?;
+                }
+                Ok(SourceSummary {
+                    records: self.0.len() as u64,
+                    skipped: 0,
+                })
+            }
+        }
+        let recs = looped_trace();
+        let mut source = Chunked(&recs);
+        let mut engine = StreamingEngine::new(DetectorConfig::default());
+        let mut calls = 0u32;
+        let result = run_pipeline_with_progress(&mut source, &mut engine, &mut [], &mut |_| {
+            calls += 1;
+            if calls == 1 {
+                std::ops::ControlFlow::Break(())
+            } else {
+                std::ops::ControlFlow::Continue(())
+            }
+        })
+        .expect("interrupted run still returns a result");
+        assert!(result.interrupted);
+        assert_eq!(result.records, 7, "engine consumed exactly one chunk");
+        assert_eq!(result.stats.total_records, 7);
     }
 
     #[test]

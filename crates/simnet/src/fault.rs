@@ -7,6 +7,15 @@
 //! that validation rule, links can be configured to duplicate a fraction of
 //! the packets they carry (a duplicate has an *unchanged* TTL, unlike a loop
 //! replica). Random drops model line errors.
+//!
+//! [`FlapSchedule`] is the control-plane counterpart: a deterministic,
+//! jitter-free periodic down/up schedule for a link, used by the `fleet`
+//! scenario to roll failures across hundreds of links so that at any
+//! instant a predictable fraction of the fleet is mid-convergence.
+
+use crate::engine::Engine;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::LinkId;
 
 /// Per-link fault probabilities.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -88,6 +97,79 @@ impl Default for FaultConfig {
     }
 }
 
+/// A deterministic periodic link-flap schedule: starting at `offset`, the
+/// link goes down every `period` and comes back up `down_for` later.
+///
+/// There is no randomness anywhere — two engines given the same schedule
+/// produce identical event sequences — which is what lets the fleet
+/// scenario's per-link traces be regenerated bit-for-bit for the monitor
+/// determinism proof. Rolling a fleet is just phase-staggering the same
+/// schedule across links ([`FlapSchedule::rolling`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlapSchedule {
+    /// Time of the first failure.
+    pub offset: SimDuration,
+    /// Interval between consecutive failures.
+    pub period: SimDuration,
+    /// How long each failure lasts. Strictly less than `period`.
+    pub down_for: SimDuration,
+}
+
+impl FlapSchedule {
+    /// A schedule with an explicit phase offset.
+    ///
+    /// # Panics
+    /// Panics unless `0 < down_for < period`.
+    pub fn new(offset: SimDuration, period: SimDuration, down_for: SimDuration) -> Self {
+        assert!(period > SimDuration::ZERO, "flap period must be positive");
+        assert!(
+            down_for > SimDuration::ZERO && down_for < period,
+            "down_for must be in (0, period)"
+        );
+        Self {
+            offset,
+            period,
+            down_for,
+        }
+    }
+
+    /// The schedule for link `index` of a fleet of `fleet` links whose
+    /// failures roll evenly through each period: link *i* fails at phase
+    /// `period * i / fleet`.
+    ///
+    /// # Panics
+    /// Panics when `index >= fleet` or the durations fail [`Self::new`].
+    pub fn rolling(index: usize, fleet: usize, period: SimDuration, down_for: SimDuration) -> Self {
+        assert!(index < fleet, "link index {index} out of fleet of {fleet}");
+        let offset = SimDuration(period.as_nanos() * index as u64 / fleet as u64);
+        Self::new(offset, period, down_for)
+    }
+
+    /// Every `(down, up)` window with `down < horizon`. A window whose
+    /// recovery would land past the horizon is still returned in full, so
+    /// a link never ends a bounded run administratively down.
+    pub fn windows(&self, horizon: SimDuration) -> Vec<(SimTime, SimTime)> {
+        let mut out = Vec::new();
+        let mut down = SimTime::ZERO + self.offset;
+        while down.as_nanos() < horizon.as_nanos() {
+            out.push((down, down + self.down_for));
+            down += self.period;
+        }
+        out
+    }
+
+    /// Schedules the down/up events on `link` for every window within
+    /// `horizon`. Callers that need to co-schedule control-plane reactions
+    /// (the fleet scenario's stale protection routes) iterate
+    /// [`Self::windows`] themselves instead.
+    pub fn apply(&self, engine: &mut Engine, link: LinkId, horizon: SimDuration) {
+        for (down, up) in self.windows(horizon) {
+            engine.schedule_link_down(down, link);
+            engine.schedule_link_up(up, link);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,5 +208,69 @@ mod tests {
     #[should_panic(expected = "drop_prob")]
     fn validate_rejects_negative() {
         FaultConfig::drops(-0.1).validate();
+    }
+
+    #[test]
+    fn flap_windows_are_periodic() {
+        let s = FlapSchedule::new(
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(2),
+        );
+        let w = s.windows(SimDuration::from_secs(25));
+        assert_eq!(
+            w,
+            vec![
+                (SimTime::from_secs(1), SimTime::from_secs(3)),
+                (SimTime::from_secs(11), SimTime::from_secs(13)),
+                (SimTime::from_secs(21), SimTime::from_secs(23)),
+            ]
+        );
+    }
+
+    #[test]
+    fn flap_window_straddling_horizon_still_recovers() {
+        let s = FlapSchedule::new(
+            SimDuration::from_secs(9),
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(3),
+        );
+        // Down at 9s is within the 10s horizon; the up at 12s is kept.
+        let w = s.windows(SimDuration::from_secs(10));
+        assert_eq!(w, vec![(SimTime::from_secs(9), SimTime::from_secs(12))]);
+    }
+
+    #[test]
+    fn rolling_staggers_phases_evenly() {
+        let period = SimDuration::from_secs(8);
+        let down = SimDuration::from_secs(1);
+        let offsets: Vec<u64> = (0..4)
+            .map(|i| FlapSchedule::rolling(i, 4, period, down).offset.as_nanos())
+            .collect();
+        assert_eq!(
+            offsets,
+            vec![0, 2_000_000_000, 4_000_000_000, 6_000_000_000]
+        );
+        // Deterministic: same inputs, same schedule.
+        assert_eq!(
+            FlapSchedule::rolling(3, 4, period, down),
+            FlapSchedule::rolling(3, 4, period, down)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "down_for")]
+    fn flap_rejects_down_for_at_period() {
+        let _ = FlapSchedule::new(
+            SimDuration::ZERO,
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(5),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of fleet")]
+    fn rolling_rejects_index_out_of_fleet() {
+        let _ = FlapSchedule::rolling(4, 4, SimDuration::from_secs(8), SimDuration::from_secs(1));
     }
 }

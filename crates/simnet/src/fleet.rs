@@ -1,0 +1,291 @@
+//! Fleet scenario: hundreds of monitored router links with rolling
+//! failures, the workload behind the `loopmond` multi-link monitor.
+//!
+//! The paper's traces each watch *one* backbone link; a fleet monitor
+//! watches hundreds at once. This module builds that fleet as independent
+//! per-link simulations — each link gets its own four-node network
+//!
+//! ```text
+//!   host ──▶ r1 ══monitored══▶ r2 ──exit──▶ edge(prefix)
+//!             ◀────return──────┘
+//! ```
+//!
+//! with a [`FlapSchedule`]-driven failure cycle: when the exit link goes
+//! down, `r2` falls back to a *stale protection route* pointing back
+//! across the return link while `r1` still forwards ahead — the classic
+//! two-router micro-loop of the paper's Figure 1 — until `r2`'s control
+//! plane converges to a blackhole `heal_delay` later. Failures roll
+//! across the fleet ([`FlapSchedule::rolling`]), so at any instant a
+//! predictable fraction of links is mid-loop.
+//!
+//! Everything is deterministic and per-link independent: [`FleetSpec::
+//! run_link`] regenerates link *i*'s tap bit-for-bit in isolation, which
+//! is exactly what the monitor's byte-identity conformance test needs,
+//! and what lets `loopmond` generate links lazily on worker threads
+//! instead of materialising the whole fleet up front.
+
+use crate::engine::{Engine, SimConfig};
+use crate::fault::FlapSchedule;
+use crate::fib::Route;
+use crate::tap::Tap;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::TopologyBuilder;
+use net_types::{Ipv4Prefix, Packet, TcpFlags};
+use std::net::Ipv4Addr;
+
+/// The fleet's address plan caps out at 512 links (two /16s of /24s).
+pub const MAX_FLEET_LINKS: usize = 512;
+
+/// Parameters of a monitored-link fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetSpec {
+    /// Number of monitored links (≤ [`MAX_FLEET_LINKS`]).
+    pub links: usize,
+    /// Traffic window per link; the simulation drains in-flight packets
+    /// past this point.
+    pub duration: SimDuration,
+    /// Base seed (folded with the link index; the scenario itself is
+    /// RNG-free, so this only matters if fault probabilities are added).
+    pub seed: u64,
+    /// Interval between failures of any one link.
+    pub flap_period: SimDuration,
+    /// How long each failure keeps the exit link down.
+    pub flap_down: SimDuration,
+    /// Time from failure to `r2` converging (blackholing the prefix) —
+    /// the loop window length. Strictly less than `flap_down`.
+    pub heal_delay: SimDuration,
+    /// Constant inter-packet gap of the per-link CBR workload.
+    pub packet_interval: SimDuration,
+    /// Initial TTL of injected packets; bounds replicas-per-stream at
+    /// roughly `first_ttl / 2`.
+    pub first_ttl: u8,
+}
+
+impl FleetSpec {
+    /// The demo fleet: enough traffic and flaps per link that every link
+    /// shows several distinct loops, small enough that hundreds of links
+    /// simulate in seconds.
+    pub fn demo(links: usize) -> Self {
+        Self {
+            links,
+            duration: SimDuration::from_secs(20),
+            seed: 42,
+            flap_period: SimDuration::from_secs(6),
+            flap_down: SimDuration::from_secs(2),
+            heal_delay: SimDuration::from_millis(300),
+            packet_interval: SimDuration::from_millis(50),
+            first_ttl: 26,
+        }
+    }
+
+    /// Panics unless the spec is internally consistent.
+    pub fn validate(&self) {
+        assert!(self.links > 0, "fleet must have at least one link");
+        assert!(
+            self.links <= MAX_FLEET_LINKS,
+            "fleet of {} exceeds the {MAX_FLEET_LINKS}-link address plan",
+            self.links
+        );
+        assert!(
+            self.heal_delay > SimDuration::ZERO && self.heal_delay < self.flap_down,
+            "heal_delay must be in (0, flap_down)"
+        );
+        assert!(
+            self.flap_down < self.flap_period,
+            "flap_down must be less than flap_period"
+        );
+        assert!(
+            self.packet_interval > SimDuration::ZERO,
+            "packet_interval must be positive"
+        );
+        assert!(self.first_ttl >= 6, "first_ttl too small to form replicas");
+    }
+
+    /// The monitor link id for link `i`: `"link-000"`, `"link-001"`, …
+    pub fn link_name(i: usize) -> String {
+        format!("link-{i:03}")
+    }
+
+    /// Link `i`'s destination /24 (from `198.18.0.0/15`, the benchmarking
+    /// range — hence the 512-link cap).
+    pub fn prefix(i: usize) -> Ipv4Prefix {
+        assert!(i < MAX_FLEET_LINKS, "link index out of address plan");
+        format!("198.{}.{}.0/24", 18 + i / 256, i % 256)
+            .parse()
+            .expect("fleet prefix")
+    }
+
+    /// Link `i`'s failure schedule within the rolling fleet.
+    pub fn flap(&self, i: usize) -> FlapSchedule {
+        FlapSchedule::rolling(i, self.links, self.flap_period, self.flap_down)
+    }
+
+    /// Simulates link `i` alone and returns its monitored-link tap.
+    /// Deterministic and independent of every other link: calling this
+    /// twice, in any order, from any thread, yields identical taps.
+    ///
+    /// # Panics
+    /// Panics when `i >= self.links` or the spec fails [`Self::validate`].
+    pub fn run_link(&self, i: usize) -> Tap {
+        self.validate();
+        assert!(i < self.links, "link {i} out of fleet of {}", self.links);
+        let prefix = Self::prefix(i);
+
+        let mut b = TopologyBuilder::new();
+        let host = b.node("host", Ipv4Addr::new(10, 0, 0, 1));
+        let r1 = b.node("r1", Ipv4Addr::new(10, 0, 0, 2));
+        let r2 = b.node("r2", Ipv4Addr::new(10, 0, 0, 3));
+        let edge = b.node("edge", Ipv4Addr::new(10, 0, 0, 4));
+        b.attach_prefix(edge, prefix);
+        let bw = 1_000_000_000;
+        let d = SimDuration::from_millis(1);
+        let ingress = b.link(host, r1, bw, d);
+        let monitored = b.link(r1, r2, bw, d);
+        let ret = b.link(r2, r1, bw, d);
+        let exit = b.link(r2, edge, bw, d);
+
+        let mut engine = Engine::new(
+            b.build(),
+            SimConfig {
+                seed: self.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                // Looping packets die silently at TTL 0; the fleet wants
+                // bounded per-link event counts, not ICMP storms.
+                generate_time_exceeded: false,
+                icmp_min_interval: SimDuration::ZERO,
+                record_deliveries: false,
+                max_events: 50_000_000,
+            },
+        );
+        engine.install_route(host, prefix, Route::Link(ingress));
+        engine.install_route(r1, prefix, Route::Link(monitored));
+        engine.install_route(r2, prefix, Route::Link(exit));
+        engine.add_tap(monitored);
+
+        // Failure cycle. At t_down the exit fails and r2 falls back to a
+        // stale protection route across the return link — r1 still
+        // forwards ahead, so the pair micro-loops over the monitored link
+        // until r2 converges to a blackhole at t_down + heal_delay. At
+        // t_up both the link and the real route come back.
+        for (down, up) in self.flap(i).windows(self.duration) {
+            engine.schedule_link_down(down, exit);
+            engine.schedule_fib_insert(down, r2, prefix, Route::Link(ret));
+            engine.schedule_fib_insert(down + self.heal_delay, r2, prefix, Route::Blackhole);
+            engine.schedule_link_up(up, exit);
+            engine.schedule_fib_insert(up, r2, prefix, Route::Link(exit));
+        }
+
+        // CBR TCP workload: one packet per interval, incrementing IP
+        // ident, constant initial TTL — every looped packet yields a
+        // clean replica stream with TTL delta 2.
+        let dst = Ipv4Addr::from(u32::from(prefix.network()) | 1);
+        let mut t = SimTime::ZERO;
+        let mut ident: u16 = 0;
+        while t.as_nanos() < self.duration.as_nanos() {
+            let mut p = Packet::tcp_flags(
+                Ipv4Addr::new(100, 64, 0, 1),
+                dst,
+                4000,
+                80,
+                TcpFlags::ACK,
+                &b"fleet"[..],
+            );
+            p.ip.ident = ident;
+            p.ip.ttl = self.first_ttl;
+            p.fill_checksums();
+            engine.schedule_inject(t, host, p);
+            ident = ident.wrapping_add(1);
+            t += self.packet_interval;
+        }
+
+        engine.run();
+        engine.take_taps().remove(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FleetSpec {
+        FleetSpec {
+            links: 4,
+            duration: SimDuration::from_secs(8),
+            seed: 7,
+            flap_period: SimDuration::from_secs(4),
+            flap_down: SimDuration::from_secs(1),
+            heal_delay: SimDuration::from_millis(200),
+            packet_interval: SimDuration::from_millis(40),
+            first_ttl: 20,
+        }
+    }
+
+    #[test]
+    fn run_link_is_deterministic() {
+        let spec = tiny();
+        let a = spec.run_link(1);
+        let b = spec.run_link(1);
+        assert_eq!(a.records.len(), b.records.len());
+        assert!(!a.records.is_empty());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.time, y.time);
+            assert_eq!(x.packet.emit(), y.packet.emit());
+        }
+    }
+
+    #[test]
+    fn flaps_produce_replica_sightings() {
+        let spec = tiny();
+        let tap = spec.run_link(0);
+        // Count sightings per (ident): a looped packet crosses the
+        // monitored link many times with falling TTL.
+        let mut max_sightings = 0usize;
+        let mut looped_idents = 0usize;
+        for ident in 0..200u16 {
+            let ttls: Vec<u8> = tap
+                .records
+                .iter()
+                .filter(|r| r.packet.ip.ident == ident)
+                .map(|r| r.packet.ip.ttl)
+                .collect();
+            if ttls.len() >= 3 {
+                looped_idents += 1;
+                max_sightings = max_sightings.max(ttls.len());
+                // Strictly falling by 2 per crossing.
+                for w in ttls.windows(2) {
+                    assert_eq!(w[0] - w[1], 2, "loop replicas fall by 2 TTL");
+                }
+            }
+        }
+        assert!(
+            looped_idents >= 3,
+            "flap windows must loop several packets (got {looped_idents})"
+        );
+        assert!(max_sightings >= 3);
+    }
+
+    #[test]
+    fn links_are_phase_staggered() {
+        let spec = tiny();
+        let w0 = spec.flap(0).windows(spec.duration);
+        let w1 = spec.flap(1).windows(spec.duration);
+        assert!(!w0.is_empty() && !w1.is_empty());
+        assert_ne!(w0[0].0, w1[0].0, "rolling fleet staggers failures");
+    }
+
+    #[test]
+    fn address_plan_is_disjoint() {
+        let p0 = FleetSpec::prefix(0);
+        let p255 = FleetSpec::prefix(255);
+        let p256 = FleetSpec::prefix(256);
+        assert_ne!(p0, p255);
+        assert_ne!(p255, p256);
+        assert_eq!(FleetSpec::link_name(7), "link-007");
+        assert_eq!(FleetSpec::link_name(123), "link-123");
+    }
+
+    #[test]
+    #[should_panic(expected = "address plan")]
+    fn fleet_cap_is_enforced() {
+        let _ = FleetSpec::prefix(512);
+    }
+}

@@ -54,14 +54,16 @@
 pub mod engine;
 pub mod fault;
 pub mod fib;
+pub mod fleet;
 pub mod link;
 pub mod tap;
 pub mod time;
 pub mod topology;
 
 pub use engine::{DeliveryRecord, DropCause, Engine, LoopEvent, SimConfig, SimReport};
-pub use fault::FaultConfig;
+pub use fault::{FaultConfig, FlapSchedule};
 pub use fib::{Fib, Route};
+pub use fleet::FleetSpec;
 pub use link::LinkCounters;
 pub use tap::{Tap, TapRecord};
 pub use time::{SimDuration, SimTime};

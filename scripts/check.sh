@@ -4,7 +4,7 @@
 #
 #   scripts/check.sh            # tests + lint (everything below)
 #   scripts/check.sh --quick    # release build + tier-1 tests only
-#   scripts/check.sh --tests    # release build + tier-1 + workspace tests + corpus smoke
+#   scripts/check.sh --tests    # release build + tier-1 + workspace tests + corpus/monitor smoke
 #   scripts/check.sh --lint     # rustfmt --check + clippy -D warnings
 #   scripts/check.sh --bench    # bench gate: determinism + per-core speedup floors
 #   scripts/check.sh --observe  # observability smoke: metrics JSONL + trace
@@ -122,6 +122,47 @@ run_corpus_smoke() {
     done
 }
 
+run_monitor_smoke() {
+    banner "monitor smoke: loopmond fleet demo + event schema + graceful SIGINT"
+    local tmp
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' RETURN
+    # A 120-link rolling-failure fleet, bounded by a record budget, with
+    # the live sampler on: the unified event stream and the metrics JSONL
+    # must both validate, and the budget stop must exit 0.
+    cargo run --release --bin loopmond -- \
+        --fleet 120 --max-records 60000 --metrics "$tmp/metrics.json" \
+        --events "$tmp/events.jsonl"
+    cargo run -p bench --release --bin validate_telemetry -- --events "$tmp/events.jsonl"
+    grep -q '"monitor.loops"' "$tmp/metrics.json" || {
+        echo "error: final metrics snapshot lacks monitor.* counters" >&2
+        exit 1
+    }
+    grep -q 'link.link-000.records' "$tmp/metrics.json" || {
+        echo "error: final metrics snapshot lacks per-link gauges" >&2
+        exit 1
+    }
+    # Graceful shutdown: interrupt a paced live run mid-stream; the
+    # daemon must drain every started link, flush the sink, and exit 0.
+    cargo build --release --bin loopmond
+    ./target/release/loopmond --fleet 8 --duration-s 60 --pace-ms 50 \
+        --events "$tmp/sig.jsonl" 2> "$tmp/sig.err" &
+    local pid=$!
+    sleep 2
+    kill -INT "$pid"
+    if ! wait "$pid"; then
+        echo "error: loopmond did not exit 0 after SIGINT" >&2
+        cat "$tmp/sig.err" >&2
+        exit 1
+    fi
+    grep -q 'stopped' "$tmp/sig.err" || {
+        echo "error: SIGINT run did not report a graceful stop" >&2
+        cat "$tmp/sig.err" >&2
+        exit 1
+    }
+    cargo run -p bench --release --bin validate_telemetry -- --events "$tmp/sig.jsonl"
+}
+
 run_observability_smoke() {
     banner "observability smoke: --metrics-interval JSONL + --trace Chrome JSON"
     # Drive the real binary on the demo pcap fixture with both live
@@ -140,12 +181,12 @@ run_observability_smoke() {
 
 case "$mode" in
     quick) run_build_and_tier1 ;;
-    tests) run_build_and_tier1; run_workspace_tests; run_corpus_smoke ;;
+    tests) run_build_and_tier1; run_workspace_tests; run_corpus_smoke; run_monitor_smoke ;;
     lint)  run_lint ;;
     bench) run_bench_smoke ;;
     observe) run_observability_smoke ;;
     offline) run_offline_build ;;
-    full)  run_build_and_tier1; run_workspace_tests; run_corpus_smoke; run_lint; run_observability_smoke ;;
+    full)  run_build_and_tier1; run_workspace_tests; run_corpus_smoke; run_monitor_smoke; run_lint; run_observability_smoke ;;
 esac
 
 banner "OK"

@@ -43,6 +43,7 @@ use routing_loops::loopscope::pipeline::{
     StreamJsonlSink, StreamingEngine, SummaryCsvSink, OPEN_TAIL_GAP_NS,
 };
 use routing_loops::loopscope::{analysis, impact, DetectorConfig};
+use routing_loops::shutdown;
 use std::fs::File;
 use std::io::BufReader;
 use std::io::Write;
@@ -441,6 +442,12 @@ fn main() {
     let args = parse_args();
     let started = std::time::Instant::now();
 
+    // SIGINT/SIGTERM stop the source at the next batch boundary; the
+    // engine still drains, sinks still flush, and the sampler still
+    // emits its final sample — a long `--watch` run never dies
+    // mid-stream with half-written output.
+    shutdown::install();
+
     // Observability setup precedes the pipeline so the whole run is
     // covered: tracing records from the first batch, the sampler's first
     // sample is the pre-run zero point.
@@ -553,13 +560,18 @@ fn main() {
                 next_progress = p.records + PROGRESS_STRIDE;
                 progress_line(p.records, started, p.open_candidates);
             }
+            if shutdown::requested() {
+                std::ops::ControlFlow::Break(())
+            } else {
+                std::ops::ControlFlow::Continue(())
+            }
         },
     )
     .unwrap_or_else(|e| {
         eprintln!("error: cannot process {}: {e}", args.path);
         exit(1);
     });
-    if result.records == 0 {
+    if result.records == 0 && !result.interrupted {
         eprintln!("error: no parseable IPv4 records in {}", args.path);
         exit(1);
     }
@@ -614,5 +626,15 @@ fn main() {
                 eprintln!("error: cannot write {dest}: {e}");
                 exit(1);
             });
+    }
+
+    // Everything is flushed; only now acknowledge an interrupt with the
+    // conventional 128+SIGINT exit code.
+    if result.interrupted {
+        eprintln!(
+            "interrupted: report covers the {} records read before shutdown",
+            result.records
+        );
+        exit(130);
     }
 }

@@ -22,6 +22,7 @@
 pub mod attribution;
 pub mod backbone;
 pub mod convert;
+pub mod shutdown;
 pub mod sources;
 
 pub use corpus;

@@ -1,0 +1,90 @@
+//! Cooperative SIGINT/SIGTERM shutdown for the long-running binaries.
+//!
+//! `loopmond` (and `loopdetect --watch`) must not die mid-stream: sinks
+//! hold buffered JSONL lines, the telemetry sampler owes a final sample,
+//! and per-link engines owe their tail events. This module installs an
+//! async-signal-safe flag handler (no allocation, no locks — the handler
+//! only stores to an atomic), and the drive loops poll
+//! [`requested`] between batches, then drain engines and flush sinks
+//! before exiting.
+//!
+//! On unix the handler is registered with `signal(2)` declared directly
+//! via `extern "C"` (the workspace has no libc crate — same pattern as
+//! `mmapio`); elsewhere [`install`] is a no-op and shutdown relies on the
+//! process being killed.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static STOP: AtomicBool = AtomicBool::new(false);
+
+/// True once SIGINT or SIGTERM has been received (or [`request`] called).
+pub fn requested() -> bool {
+    STOP.load(Ordering::Relaxed)
+}
+
+/// Requests shutdown programmatically — what the signal handler does,
+/// callable from tests and from drive loops that hit their own stop
+/// conditions.
+pub fn request() {
+    STOP.store(true, Ordering::Relaxed);
+}
+
+/// Clears the flag (test isolation only; production installs once).
+pub fn reset() {
+    STOP.store(false, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+mod sys {
+    pub const SIGINT: i32 = 2;
+    pub const SIGTERM: i32 = 15;
+
+    // `signal(2)`: identical prototype on Linux and the BSD family. The
+    // handler must be async-signal-safe; ours only stores to an atomic.
+    extern "C" {
+        pub fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub extern "C" fn on_signal(_signum: i32) {
+        super::request();
+    }
+}
+
+/// Installs the SIGINT/SIGTERM handler. Idempotent; returns whether a
+/// real handler was installed (`false` on non-unix platforms, where the
+/// flag can still be driven via [`request`]).
+pub fn install() -> bool {
+    #[cfg(unix)]
+    {
+        unsafe {
+            sys::signal(sys::SIGINT, sys::on_signal);
+            sys::signal(sys::SIGTERM, sys::on_signal);
+        }
+        true
+    }
+    #[cfg(not(unix))]
+    {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_round_trips() {
+        reset();
+        assert!(!requested());
+        request();
+        assert!(requested());
+        reset();
+        assert!(!requested());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn install_reports_unix_handler() {
+        assert!(install());
+    }
+}

@@ -343,6 +343,36 @@ fn ltc_fixture_conformance() {
 }
 
 #[test]
+fn simnet_tap_fixture_conformance() {
+    use routing_loops::simnet::FleetSpec;
+    use routing_loops::sources::TapSource;
+
+    // A live-monitor capture source: a fleet link's simulated tap fed
+    // through `TapSource`, the path `loopmond` drives. The records must
+    // run the same conformance contract as the pcap/ltc containers.
+    let spec = FleetSpec::demo(3);
+    let tap = spec.run_link(1);
+    let mut tap_source = TapSource::new(&tap);
+    let records = tap_source.records().to_vec();
+    let baseline = assert_conformance("simnet-tap", &records);
+    assert!(!baseline.streams.is_empty(), "fleet tap fixture must loop");
+    assert!(!baseline.loops.is_empty());
+
+    // And the pipeline pulled from the TapSource itself (batch path, no
+    // slice fast path guarantees) matches the slice baseline.
+    let streamed = run_pipeline(
+        &mut tap_source,
+        &mut StreamingEngine::new(DetectorConfig::default()),
+        &mut [],
+    )
+    .expect("pipeline run");
+    assert_eq!(streamed.streams, baseline.streams);
+    assert_eq!(streamed.loops, baseline.loops);
+    assert_eq!(streamed.stats, baseline.stats);
+    assert_eq!(streamed.records, records.len() as u64);
+}
+
+#[test]
 fn analysis_accumulator_conforms_across_engines() {
     let records = backbone_records();
     let cfg = DetectorConfig::default();

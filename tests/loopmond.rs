@@ -1,0 +1,165 @@
+//! End-to-end tests of the `loopmond` fleet-monitor binary: fleet and
+//! capture modes, the record budget, graceful SIGINT shutdown, and
+//! usage-error handling.
+
+use routing_loops::backbone::{paper_backbones, run_backbone};
+use routing_loops::convert::{write_tap_to_pcap, PAPER_SNAPLEN};
+use std::process::Command;
+
+fn loopmond() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_loopmond"))
+}
+
+/// Every event line must be attributed JSON with the monitor's schema.
+fn assert_event_lines(stdout: &str, link_prefix: &str) -> (usize, usize) {
+    let (mut streams, mut loops) = (0usize, 0usize);
+    for line in stdout.lines() {
+        assert!(
+            line.starts_with(&format!("{{\"link\":\"{link_prefix}")),
+            "unattributed event line: {line}"
+        );
+        assert!(line.ends_with('}'), "truncated line: {line}");
+        if line.contains("\"event\":\"stream\"") {
+            streams += 1;
+            assert!(line.contains("\"replicas\":"), "{line}");
+            assert!(line.contains("\"ttl_delta\":"), "{line}");
+        } else if line.contains("\"event\":\"loop\"") {
+            loops += 1;
+            assert!(line.contains("\"class\":"), "{line}");
+            assert!(line.contains("\"duration_s\":"), "{line}");
+        } else {
+            panic!("unknown event kind: {line}");
+        }
+    }
+    (streams, loops)
+}
+
+#[test]
+fn fleet_mode_monitors_every_link_and_exits_cleanly() {
+    let out = loopmond()
+        .args(["--fleet", "3", "--events", "-", "--threads", "2"])
+        .output()
+        .expect("run loopmond");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    let (streams, loops) = assert_event_lines(&stdout, "link-00");
+    assert!(streams > 0, "fleet must emit stream events\n{stderr}");
+    assert!(loops > 0, "fleet must emit loop events\n{stderr}");
+    assert!(
+        stderr.contains("loopmond: 3 links (3 closed)"),
+        "summary line missing: {stderr}"
+    );
+    // All three links appear in the stream.
+    for id in ["link-000", "link-001", "link-002"] {
+        assert!(
+            stdout.contains(&format!("{{\"link\":\"{id}\",")),
+            "no events for {id}"
+        );
+    }
+}
+
+#[test]
+fn record_budget_stops_gracefully() {
+    let out = loopmond()
+        .args(["--fleet", "4", "--max-records", "500", "--events", "-"])
+        .output()
+        .expect("run loopmond");
+    assert!(out.status.success(), "budget stop must exit 0: {out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("— stopped"), "{stderr}");
+}
+
+#[test]
+fn capture_mode_monitors_a_pcap_as_one_link() {
+    let path = std::env::temp_dir().join(format!("loopmond_cli_{}.pcap", std::process::id()));
+    let mut spec = paper_backbones(0.08).remove(2);
+    spec.name = "loopmond-cli".into();
+    let run = run_backbone(&spec);
+    let file = std::fs::File::create(&path).expect("create pcap");
+    write_tap_to_pcap(&run.tap, PAPER_SNAPLEN, std::io::BufWriter::new(file)).expect("write pcap");
+
+    let out = loopmond()
+        .arg(&path)
+        .args(["--events", "-"])
+        .output()
+        .expect("run loopmond");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+    let (streams, _) = assert_event_lines(&stdout, &stem);
+    assert!(streams > 0, "backbone capture must emit stream events");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[cfg(unix)]
+#[test]
+fn sigint_drains_and_exits_zero() {
+    let child = loopmond()
+        .args([
+            "--fleet",
+            "4",
+            "--duration-s",
+            "60",
+            "--pace-ms",
+            "100",
+            "--events",
+            "-",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn loopmond");
+    // Let it get into the feed loops, then interrupt.
+    std::thread::sleep(std::time::Duration::from_millis(800));
+    let kill = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("send SIGINT");
+    assert!(kill.success());
+    let out = child.wait_with_output().expect("wait loopmond");
+    assert!(
+        out.status.success(),
+        "SIGINT must drain and exit 0: {out:?}"
+    );
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("— stopped"), "{stderr}");
+    // Whatever was written is whole lines: started links were drained.
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    if !stdout.is_empty() {
+        assert!(stdout.ends_with('\n'), "event stream must end on a line");
+        assert_event_lines(&stdout, "link-00");
+    }
+}
+
+#[test]
+fn bad_arguments_fail_cleanly() {
+    for args in [
+        &[] as &[&str],
+        &["--fleet", "0"],
+        &["--fleet", "2", "some.pcap"],
+        &["--fleet", "2", "--threads", "0"],
+        &["--fleet", "2", "--bogus"],
+        &["--fleet", "2", "--watch", "--metrics-interval", "100"],
+        &["--fleet", "not-a-number"],
+    ] {
+        let out = loopmond().args(args).output().expect("run loopmond");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "args {args:?} must be a usage error: {out:?}"
+        );
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains("USAGE"), "{stderr}");
+    }
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = loopmond().arg("--help").output().expect("run loopmond");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("loopmond"));
+    assert!(stdout.contains("--fleet"));
+    assert!(stdout.contains("--events"));
+}

@@ -1,0 +1,122 @@
+//! Monitor-runtime conformance: multiplexing many links through one
+//! `MonitorRuntime` — from multiple worker threads, with per-link batch
+//! sizes chosen adversarially — must not change any link's results. Each
+//! link's slice of the unified JSONL event stream has to be byte-identical
+//! to running that link's trace standalone through a streaming engine, and
+//! each link's summary has to match the offline serial detector.
+
+use routing_loops::convert::records_from_tap;
+use routing_loops::loopscope::monitor::event_line;
+use routing_loops::loopscope::{
+    run_pipeline, DetectorConfig, Engine, MonitorConfig, MonitorRuntime, OnlineEvent, SerialEngine,
+    SliceSource, StreamingEngine,
+};
+use routing_loops::simnet::FleetSpec;
+use std::io::Write;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A cloneable in-memory sink capturing the unified event stream.
+#[derive(Clone, Default)]
+struct SharedVec(Arc<Mutex<Vec<u8>>>);
+
+impl SharedVec {
+    fn contents(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+    }
+}
+
+impl Write for SharedVec {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn fleet_monitor_event_streams_are_byte_identical_to_standalone() {
+    let spec = FleetSpec::demo(6);
+    let cfg = MonitorConfig::default();
+    let persistent_ns = cfg.persistent_threshold_ns;
+    let sink = SharedVec::default();
+    let rt = MonitorRuntime::new(cfg, Box::new(sink.clone()));
+
+    // Three workers race over six links, each feeding its link in a
+    // different batch size — multiplexing and batching must be invisible.
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..3 {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= spec.links {
+                    break;
+                }
+                let records = records_from_tap(&spec.run_link(i));
+                let mut link = rt.add_link(&FleetSpec::link_name(i));
+                for chunk in records.chunks(64 + 97 * i) {
+                    link.feed(chunk).unwrap();
+                }
+                link.finish().unwrap();
+            });
+        }
+    });
+    let totals = rt.finish().unwrap();
+    assert_eq!(totals.links_opened, spec.links as u64);
+    assert_eq!(totals.links_closed, spec.links as u64);
+    assert!(totals.loops > 0, "fleet must produce loops");
+
+    let text = sink.contents();
+    let mut attributed = 0usize;
+    for i in 0..spec.links {
+        let id = FleetSpec::link_name(i);
+        let prefix = format!("{{\"link\":\"{id}\",");
+        let got: Vec<&str> = text.lines().filter(|l| l.starts_with(&prefix)).collect();
+        attributed += got.len();
+
+        // The standalone run: same records, one streaming engine, same
+        // line rendering, no runtime and no concurrency anywhere.
+        let records = records_from_tap(&spec.run_link(i));
+        let mut engine = StreamingEngine::new(DetectorConfig::default());
+        let mut expect = String::new();
+        let mut emit = |ev: OnlineEvent| {
+            expect.push_str(&event_line(&id, &ev, persistent_ns));
+            expect.push('\n');
+        };
+        engine.feed(&records, &mut emit);
+        engine.finish(&mut emit);
+        let want: Vec<&str> = expect.lines().collect();
+        assert!(!want.is_empty(), "link {id} must emit events");
+        assert_eq!(got, want, "link {id} event stream diverges from standalone");
+    }
+    // Every line in the unified stream belongs to some link.
+    assert_eq!(attributed, text.lines().count());
+}
+
+#[test]
+fn monitor_summary_matches_offline_detection() {
+    let spec = FleetSpec::demo(2);
+    let records = records_from_tap(&spec.run_link(0));
+
+    let rt = MonitorRuntime::new(MonitorConfig::default(), Box::new(std::io::sink()));
+    let mut link = rt.add_link("l0");
+    for chunk in records.chunks(500) {
+        link.feed(chunk).unwrap();
+    }
+    let summary = link.finish().unwrap();
+    rt.finish().unwrap();
+
+    let offline = run_pipeline(
+        &mut SliceSource::new(&records),
+        &mut SerialEngine::new(DetectorConfig::default()),
+        &mut [],
+    )
+    .expect("offline run");
+    assert_eq!(summary.records, offline.records);
+    assert_eq!(summary.streams, offline.streams.len() as u64);
+    assert_eq!(summary.loops, offline.loops.len() as u64);
+    assert_eq!(summary.stats, offline.stats);
+    assert!(summary.loops > 0, "fixture must loop");
+}

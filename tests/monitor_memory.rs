@@ -1,0 +1,159 @@
+//! Bounded-memory guarantee for the fleet monitor: peak live heap while
+//! monitoring links must scale with the number of links and their open
+//! loop state, not with how much traffic has flowed through them. A
+//! counting global allocator tracks live bytes; the same per-link
+//! workload (fixed destinations, fixed loop content per horizon, growing
+//! background traffic) runs at N and 4N records per link across several
+//! links, and the long run's peak-heap delta must stay within a constant
+//! factor of the short one — not the 4x a buffering monitor would show.
+
+use routing_loops::loopscope::{
+    DetectorConfig, MonitorConfig, MonitorRuntime, MonitorTotals, TraceRecord,
+};
+use routing_loops::net_types::{Packet, TcpFlags};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicIsize, Ordering};
+
+struct CountingAlloc;
+
+static LIVE: AtomicIsize = AtomicIsize::new(0);
+static PEAK: AtomicIsize = AtomicIsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            let live =
+                LIVE.fetch_add(layout.size() as isize, Ordering::SeqCst) + layout.size() as isize;
+            PEAK.fetch_max(live, Ordering::SeqCst);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, p: *mut u8, layout: Layout) {
+        System.dealloc(p, layout);
+        LIVE.fetch_sub(layout.size() as isize, Ordering::SeqCst);
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Peak live-heap growth (bytes above the starting level) while `f` runs.
+fn peak_during<R>(f: impl FnOnce() -> R) -> (isize, R) {
+    let before = LIVE.load(Ordering::SeqCst);
+    PEAK.store(before, Ordering::SeqCst);
+    let r = f();
+    (PEAK.load(Ordering::SeqCst) - before, r)
+}
+
+const LINKS: usize = 4;
+const BATCH: usize = 512;
+const SPACING_NS: u64 = 1_000_000; // one background record per ms
+
+/// Fills `batch` with link `link`'s records for indices `[from, to)`:
+/// steady background TCP to 32 rotating /24s, plus one five-sighting loop
+/// burst per simulated second so eviction always has live loop state to
+/// manage. Generated on the fly — the caller never holds more than one
+/// batch — so any O(traffic) growth must come from the monitor.
+fn fill_batch(link: usize, from: usize, to: usize, batch: &mut Vec<TraceRecord>) {
+    batch.clear();
+    for i in from..to {
+        let ts = i as u64 * SPACING_NS;
+        if i % 1000 < 5 {
+            // A loop sighting: the same packet, TTL falling by 2.
+            let burst = i / 1000;
+            let k = (i % 1000) as u8;
+            let mut p = Packet::tcp_flags(
+                Ipv4Addr::new(100, 5, link as u8, 1),
+                Ipv4Addr::new(203, 0, (burst % 200) as u8, 7),
+                40_000,
+                80,
+                TcpFlags::ACK,
+                &b"lp"[..],
+            );
+            p.ip.ident = (burst % 50_000) as u16;
+            p.ip.ttl = 60 - 2 * k;
+            p.fill_checksums();
+            batch.push(TraceRecord::from_packet(ts, &p));
+        } else {
+            let mut p = Packet::tcp_flags(
+                Ipv4Addr::new(100, 3, link as u8, 1),
+                Ipv4Addr::new(10, (i % 32) as u8, 0, 9),
+                50_000,
+                443,
+                TcpFlags::ACK,
+                &b"bg"[..],
+            );
+            p.ip.ident = (i / 32 % 50_000) as u16;
+            p.ip.ttl = 57;
+            p.fill_checksums();
+            batch.push(TraceRecord::from_packet(ts, &p));
+        }
+    }
+}
+
+/// A tight horizon so eviction is active well inside the short run.
+fn cfg() -> MonitorConfig {
+    MonitorConfig {
+        detector: DetectorConfig {
+            max_replica_gap_ns: 50_000_000,
+            merge_gap_ns: 1_000_000_000,
+            ..DetectorConfig::default()
+        },
+        history_horizon_ns: Some(2_000_000_000),
+        ..MonitorConfig::default()
+    }
+}
+
+fn monitor_inner(per_link: usize) -> (isize, MonitorTotals) {
+    peak_during(|| {
+        let rt = MonitorRuntime::new(cfg(), Box::new(std::io::sink()));
+        let mut links: Vec<_> = (0..LINKS)
+            .map(|i| rt.add_link(&format!("mem-{i}")))
+            .collect();
+        let mut batch = Vec::with_capacity(BATCH);
+        // Round-robin across links, as a multiplexed runtime would see it.
+        let mut fed = 0usize;
+        while fed < per_link {
+            let to = (fed + BATCH).min(per_link);
+            for link in links.iter_mut() {
+                fill_batch(0, fed, to, &mut batch);
+                link.feed(&batch).unwrap();
+            }
+            fed = to;
+        }
+        for link in links.drain(..) {
+            link.finish().unwrap();
+        }
+        rt.finish().unwrap()
+    })
+}
+
+#[test]
+fn monitor_peak_memory_does_not_scale_with_traffic() {
+    let n = 40_000usize;
+
+    // Warm-up so one-time allocations (telemetry registry entries, hash
+    // seeds, thread-locals) don't count against the short run.
+    let _ = monitor_inner(n / 4);
+
+    let (peak_short, short) = monitor_inner(n);
+    let (peak_long, long) = monitor_inner(4 * n);
+
+    assert_eq!(short.records, (LINKS * n) as u64);
+    assert_eq!(long.records, (LINKS * 4 * n) as u64);
+    assert!(short.loops > 0, "fixture must contain loops");
+    assert!(long.loops > short.loops);
+
+    // 4x the traffic through the same fleet: a buffering monitor would
+    // peak at ~4x the heap. The bounded per-link engines must stay within
+    // 2x (slack for allocator noise and hash-map growth steps).
+    assert!(
+        peak_long < peak_short * 2 + (64 << 10),
+        "monitor peak heap scales with traffic: {peak_short} B at {n} \
+         records/link, {peak_long} B at {} records/link",
+        4 * n
+    );
+}
